@@ -1,0 +1,290 @@
+//! Asynchronous mutual exclusion algorithms, in both *native* (real
+//! threads and atomics) and *specification* (register automaton) forms.
+//!
+//! Algorithm 3 of the paper ("Computing in the Presence of Timing
+//! Failures") wraps Fischer's timing-based lock around an asynchronous
+//! mutex `A`, and its convergence hinges on `A`'s progress property:
+//!
+//! * `A` **fast + deadlock-free** (Lamport's fast mutex,
+//!   [`lamport_fast`]) — Algorithm 3 is *not* guaranteed to converge after
+//!   timing failures (Theorem 3.2);
+//! * `A` **fast + starvation-free** (Lamport's fast mutex under the
+//!   starvation-free transformation, [`bar_david`]) — Algorithm 3 converges
+//!   and is resilient to timing failures (Theorem 3.3).
+//!
+//! This crate provides those `A` candidates plus classic asynchronous
+//! baselines: Lamport's bakery ([`bakery`]), Taubenfeld's black-white
+//! bakery with bounded registers ([`bw_bakery`]), and a Peterson
+//! tournament tree ([`peterson`]).
+//!
+//! # The two forms
+//!
+//! * [`LockSpec`] — the lock as a register automaton fragment. It is
+//!   *composable*: Algorithm 3 embeds a `LockSpec` inside its own
+//!   automaton, and [`workload::LockLoop`] turns any `LockSpec` into a
+//!   complete [`tfr_registers::spec::Automaton`] (non-critical section →
+//!   entry → critical section → exit, repeated) for the simulator and the
+//!   model checker.
+//! * [`RawLock`] — the lock as a real synchronization object
+//!   (`lock(pid)` / `unlock(pid)`) over `std::sync::atomic`, for Criterion
+//!   benchmarks and downstream use.
+
+pub mod bakery;
+pub mod bar_david;
+pub mod bw_bakery;
+pub mod lamport_fast;
+pub mod peterson;
+pub mod workload;
+
+use core::fmt;
+use core::hash::Hash;
+use tfr_registers::accounting::RegisterCount;
+use tfr_registers::spec::Action;
+use tfr_registers::ProcId;
+
+/// The progress property a mutual exclusion algorithm guarantees (in a
+/// fair asynchronous system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Progress {
+    /// If processes are trying, *some* process eventually enters.
+    DeadlockFree,
+    /// *Every* trying process eventually enters.
+    StarvationFree,
+}
+
+impl fmt::Display for Progress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Progress::DeadlockFree => write!(f, "deadlock-free"),
+            Progress::StarvationFree => write!(f, "starvation-free"),
+        }
+    }
+}
+
+/// One step of a lock protocol (entry or exit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockStep {
+    /// Perform this shared-memory action (or delay), then call
+    /// [`LockSpec::apply`].
+    Act(Action),
+    /// The entry protocol has completed: the process holds the lock. The
+    /// driver acknowledges with [`LockSpec::begin_exit`] once the critical
+    /// section is over.
+    Entered,
+    /// The exit protocol has completed. The driver acknowledges with
+    /// [`LockSpec::reset`] before the next acquisition.
+    Done,
+}
+
+/// A mutual exclusion algorithm as a composable register-automaton
+/// fragment.
+///
+/// # Protocol
+///
+/// A per-process lock state cycles through four phases:
+///
+/// ```text
+/// idle --start_entry--> entry --(steps...)--> Entered
+///      <----reset------ Done <--(steps...)-- begin_exit
+/// ```
+///
+/// While in the entry or exit phase, the driver repeatedly calls
+/// [`LockSpec::step`]; on [`LockStep::Act`] it linearizes the action and
+/// calls [`LockSpec::apply`] (with the observed value for reads). When
+/// `step` reports [`LockStep::Entered`] / [`LockStep::Done`] the phase is
+/// over.
+///
+/// Implementations receive a register **base offset** at construction so
+/// that composite algorithms (Algorithm 3) can place the inner lock's
+/// registers in a disjoint region.
+pub trait LockSpec {
+    /// Per-process protocol state.
+    type State: Clone + fmt::Debug + PartialEq + Eq + Hash;
+
+    /// Initial (idle) state of process `pid`.
+    fn init(&self, pid: ProcId) -> Self::State;
+
+    /// Begins the entry protocol from an idle state.
+    fn start_entry(&self, state: &mut Self::State);
+
+    /// The next protocol step. Only meaningful between `start_entry` and
+    /// `reset`; in the idle phase the return value is unspecified.
+    fn step(&self, state: &Self::State) -> LockStep;
+
+    /// Advances the state past the action most recently returned by
+    /// [`LockSpec::step`]; `observed` carries the value for reads.
+    fn apply(&self, state: &mut Self::State, observed: Option<u64>);
+
+    /// Acknowledges the critical section is over; begins the exit protocol.
+    fn begin_exit(&self, state: &mut Self::State);
+
+    /// Returns a `Done` state to idle, ready for the next acquisition.
+    fn reset(&self, state: &mut Self::State);
+
+    /// Number of processes this instance is configured for.
+    fn n(&self) -> usize;
+
+    /// Shared registers used by this instance.
+    fn registers(&self) -> RegisterCount;
+
+    /// The progress property this algorithm guarantees.
+    fn progress(&self) -> Progress;
+
+    /// Whether the algorithm is *fast*: in the absence of contention a
+    /// process enters after a constant number of its own steps.
+    fn is_fast(&self) -> bool;
+
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+/// Blanket impl so `&L` composes like `L`.
+impl<L: LockSpec + ?Sized> LockSpec for &L {
+    type State = L::State;
+    fn init(&self, pid: ProcId) -> Self::State {
+        (**self).init(pid)
+    }
+    fn start_entry(&self, state: &mut Self::State) {
+        (**self).start_entry(state)
+    }
+    fn step(&self, state: &Self::State) -> LockStep {
+        (**self).step(state)
+    }
+    fn apply(&self, state: &mut Self::State, observed: Option<u64>) {
+        (**self).apply(state, observed)
+    }
+    fn begin_exit(&self, state: &mut Self::State) {
+        (**self).begin_exit(state)
+    }
+    fn reset(&self, state: &mut Self::State) {
+        (**self).reset(state)
+    }
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn registers(&self) -> RegisterCount {
+        (**self).registers()
+    }
+    fn progress(&self) -> Progress {
+        (**self).progress()
+    }
+    fn is_fast(&self) -> bool {
+        (**self).is_fast()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// A mutual exclusion algorithm as a real synchronization object.
+///
+/// Unlike `std::sync::Mutex`, classic register-based algorithms need to
+/// know *which* process is acting, so `lock`/`unlock` take the caller's
+/// [`ProcId`] (which must be `< n` and unique per concurrent caller).
+pub trait RawLock: Send + Sync {
+    /// Blocks until process `pid` holds the lock.
+    fn lock(&self, pid: ProcId);
+    /// Releases the lock held by process `pid`.
+    ///
+    /// Calling `unlock` without holding the lock is a logic error and
+    /// voids the mutual exclusion guarantee.
+    fn unlock(&self, pid: ProcId);
+    /// Number of processes this instance supports.
+    fn n(&self) -> usize;
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared test harnesses: every lock in this crate is exercised by the
+    //! same battery.
+
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use tfr_modelcheck::{Explorer, SafetySpec};
+    use tfr_registers::{Delta, Ticks};
+    use tfr_sim::metrics::mutex_stats;
+    use tfr_sim::timing::{standard_no_failures, UniformAccess};
+    use tfr_sim::{RunConfig, Sim};
+
+    /// Hammers a native lock with `n` threads × `iters` increments of an
+    /// unprotected counter pair; any mutual exclusion failure shows up as
+    /// a torn invariant.
+    pub fn native_lock_smoke(lock: Arc<dyn RawLock>, n: usize, iters: u64) {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let lock = Arc::clone(&lock);
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        lock.lock(ProcId(i));
+                        // Inside the CS the two counters must move in
+                        // lockstep; a racing thread would observe/create a
+                        // mismatch.
+                        let va = a.load(Ordering::Relaxed);
+                        let vb = b.load(Ordering::Relaxed);
+                        assert_eq!(va, vb, "torn critical section in {}", lock.name());
+                        a.store(va + 1, Ordering::Relaxed);
+                        b.store(vb + 1, Ordering::Relaxed);
+                        lock.unlock(ProcId(i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        assert_eq!(a.load(Ordering::Relaxed), n as u64 * iters);
+        assert_eq!(b.load(Ordering::Relaxed), n as u64 * iters);
+    }
+
+    /// Model-checks mutual exclusion of a `LockSpec` exhaustively for a
+    /// small configuration.
+    pub fn spec_lock_modelcheck<L: LockSpec>(lock: L, n: usize, iterations: u64) {
+        let automaton = workload::LockLoop::new(lock, iterations)
+            .cs_ticks(Ticks(1))
+            .ncs_ticks(Ticks(1));
+        let report = Explorer::new(automaton, n).check(&SafetySpec::mutex());
+        if let Some(cex) = &report.violation {
+            panic!("mutual exclusion violated:\n{cex}");
+        }
+        assert!(report.proven_safe(), "exploration truncated; raise bounds");
+    }
+
+    /// Simulates a `LockSpec` under random (failure-free) timing and checks
+    /// mutual exclusion plus completion of the full workload.
+    pub fn spec_lock_sim<L: LockSpec>(lock: L, n: usize, iterations: u64, seed: u64) {
+        let name = lock.name();
+        let delta = Delta::from_ticks(100);
+        let automaton =
+            workload::LockLoop::new(lock, iterations).cs_ticks(Ticks(20)).ncs_ticks(Ticks(50));
+        let config = RunConfig::new(n, delta);
+        let result = Sim::new(automaton, config, standard_no_failures(delta, seed)).run();
+        assert!(result.all_halted(), "{name}: workload did not complete (livelock?)");
+        let stats = mutex_stats(&result, Ticks::ZERO);
+        assert!(!stats.mutual_exclusion_violated, "{name}: mutual exclusion violated");
+        assert_eq!(stats.cs_entries, n as u64 * iterations, "{name}: wrong CS entry count");
+    }
+
+    /// Simulates with timing failures possible (durations above Δ) — for an
+    /// *asynchronous* algorithm this must still be safe and complete.
+    pub fn spec_lock_sim_async<L: LockSpec>(lock: L, n: usize, iterations: u64, seed: u64) {
+        let name = lock.name();
+        let delta = Delta::from_ticks(100);
+        let automaton =
+            workload::LockLoop::new(lock, iterations).cs_ticks(Ticks(20)).ncs_ticks(Ticks(50));
+        let config = RunConfig::new(n, delta);
+        // Durations up to 5Δ: constant timing failures.
+        let model = UniformAccess::new(Ticks(10), Ticks(500), seed);
+        let result = Sim::new(automaton, config, model).run();
+        assert!(result.all_halted(), "{name}: workload did not complete under async timing");
+        assert!(result.timing_failures > 0, "model should produce timing failures");
+        let stats = mutex_stats(&result, Ticks::ZERO);
+        assert!(!stats.mutual_exclusion_violated, "{name}: unsafe under timing failures");
+    }
+}

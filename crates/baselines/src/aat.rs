@@ -1,0 +1,340 @@
+//! Time-adaptive consensus for the unknown-bound model
+//! (Alur–Attiya–Taubenfeld, reference \[3\] of the paper).
+//!
+//! Structurally the same round protocol as the paper's Algorithm 1, but
+//! the `delay` at the end of an unsuccessful round uses a **growing
+//! estimate** instead of the known Δ: round `r` delays
+//! `min(initial · growth^(r−1), cap)` ticks. Safety is identical to
+//! Algorithm 1 (the delay length never matters for safety); termination
+//! holds once the estimate catches up with the true (unknown) bound.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tfr_registers::native::{precise_delay, UnboundedAtomicArray};
+use tfr_registers::spec::{Action, Automaton, Obs};
+use tfr_registers::{ProcId, RegId, Ticks};
+
+#[inline]
+fn enc(v: bool) -> u64 {
+    v as u64 + 1
+}
+
+#[inline]
+fn dec(raw: u64) -> bool {
+    debug_assert!(raw == 1 || raw == 2, "not a consensus value: {raw}");
+    raw == 2
+}
+
+/// The per-round delay schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelaySchedule {
+    /// Delay of round 1.
+    pub initial: Ticks,
+    /// Multiplicative growth per round (1 = fixed estimate).
+    pub growth: u64,
+    /// Upper clamp on the delay.
+    pub cap: Ticks,
+}
+
+impl DelaySchedule {
+    /// The classic AAT schedule: start at `initial`, double each round.
+    pub fn doubling(initial: Ticks) -> DelaySchedule {
+        DelaySchedule { initial, growth: 2, cap: Ticks(u64::MAX / 2) }
+    }
+
+    /// A fixed (non-adaptive) estimate — the strawman.
+    pub fn fixed(delay: Ticks) -> DelaySchedule {
+        DelaySchedule { initial: delay, growth: 1, cap: delay }
+    }
+
+    /// The delay of round `r` (1-based).
+    pub fn delay_for_round(&self, r: u64) -> Ticks {
+        let mut d = self.initial.0.max(1);
+        for _ in 1..r.min(64) {
+            d = d.saturating_mul(self.growth);
+            if d >= self.cap.0 {
+                return self.cap;
+            }
+        }
+        Ticks(d.min(self.cap.0))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Specification form
+// ---------------------------------------------------------------------
+
+/// Time-adaptive consensus in specification form. Register layout is
+/// identical to [`tfr_core::consensus::ConsensusSpec`]: `decide` at 0,
+/// `y[r]` at `3r`, `x[r, b]` at `3r + 1 + b`.
+#[derive(Debug, Clone)]
+pub struct AatConsensusSpec {
+    inputs: Vec<bool>,
+    schedule: DelaySchedule,
+    max_rounds: u64,
+}
+
+impl AatConsensusSpec {
+    /// An instance where process `i` proposes `inputs[i]`, with the given
+    /// delay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn new(inputs: Vec<bool>, schedule: DelaySchedule) -> AatConsensusSpec {
+        assert!(!inputs.is_empty(), "at least one process is required");
+        AatConsensusSpec { inputs, schedule, max_rounds: u64::MAX }
+    }
+
+    /// Bounds the rounds attempted (for bounded model checking).
+    pub fn max_rounds(mut self, r: u64) -> AatConsensusSpec {
+        self.max_rounds = r;
+        self
+    }
+
+    fn y(&self, r: u64) -> RegId {
+        RegId(3 * r)
+    }
+    fn x(&self, r: u64, v: bool) -> RegId {
+        RegId(3 * r + 1 + v as u64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pc {
+    ReadDecide,
+    WriteX,
+    ReadY,
+    WriteY,
+    ReadXBar,
+    WriteDecide,
+    DelayStep,
+    ReadYAdopt,
+    Halted,
+}
+
+/// Per-process state of [`AatConsensusSpec`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AatConsensusState {
+    pc: Pc,
+    v: bool,
+    r: u64,
+}
+
+impl Automaton for AatConsensusSpec {
+    type State = AatConsensusState;
+
+    fn init(&self, pid: ProcId) -> Self::State {
+        assert!(pid.0 < self.inputs.len(), "pid out of range");
+        AatConsensusState { pc: Pc::ReadDecide, v: self.inputs[pid.0], r: 1 }
+    }
+
+    fn next_action(&self, s: &Self::State) -> Action {
+        match s.pc {
+            Pc::ReadDecide => Action::Read(RegId(0)),
+            Pc::WriteX => Action::Write(self.x(s.r, s.v), 1),
+            Pc::ReadY => Action::Read(self.y(s.r)),
+            Pc::WriteY => Action::Write(self.y(s.r), enc(s.v)),
+            Pc::ReadXBar => Action::Read(self.x(s.r, !s.v)),
+            Pc::WriteDecide => Action::Write(RegId(0), enc(s.v)),
+            Pc::DelayStep => Action::Delay(self.schedule.delay_for_round(s.r)),
+            Pc::ReadYAdopt => Action::Read(self.y(s.r)),
+            Pc::Halted => Action::Halt,
+        }
+    }
+
+    fn apply(&self, s: &mut Self::State, observed: Option<u64>, obs: &mut Vec<Obs>) {
+        match s.pc {
+            Pc::ReadDecide => {
+                let d = observed.expect("read observes");
+                if d != 0 {
+                    obs.push(Obs::Decided(dec(d) as u64));
+                    s.pc = Pc::Halted;
+                } else if s.r > self.max_rounds {
+                    s.pc = Pc::Halted;
+                } else {
+                    obs.push(Obs::StartedRound(s.r));
+                    s.pc = Pc::WriteX;
+                }
+            }
+            Pc::WriteX => s.pc = Pc::ReadY,
+            Pc::ReadY => {
+                s.pc = if observed == Some(0) { Pc::WriteY } else { Pc::ReadXBar };
+            }
+            Pc::WriteY => s.pc = Pc::ReadXBar,
+            Pc::ReadXBar => {
+                s.pc = if observed == Some(0) { Pc::WriteDecide } else { Pc::DelayStep };
+            }
+            Pc::WriteDecide => s.pc = Pc::ReadDecide,
+            Pc::DelayStep => s.pc = Pc::ReadYAdopt,
+            Pc::ReadYAdopt => {
+                let raw = observed.expect("read observes");
+                if raw != 0 {
+                    s.v = dec(raw);
+                }
+                s.r += 1;
+                s.pc = Pc::ReadDecide;
+            }
+            Pc::Halted => unreachable!("halted process stepped"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Native form
+// ---------------------------------------------------------------------
+
+/// Time-adaptive consensus over real atomics: like
+/// [`tfr_core::consensus::NativeConsensus`] but with a growing delay
+/// schedule instead of a known Δ.
+#[derive(Debug)]
+pub struct AatNativeConsensus {
+    initial: Duration,
+    growth: u32,
+    cap: Duration,
+    decide: AtomicU64,
+    x: UnboundedAtomicArray,
+    y: UnboundedAtomicArray,
+}
+
+impl AatNativeConsensus {
+    /// A fresh instance with the doubling schedule starting at `initial`,
+    /// clamped to `cap`.
+    pub fn new(initial: Duration, cap: Duration) -> AatNativeConsensus {
+        AatNativeConsensus {
+            initial,
+            growth: 2,
+            cap,
+            decide: AtomicU64::new(0),
+            x: UnboundedAtomicArray::with_capacity(64),
+            y: UnboundedAtomicArray::with_capacity(32),
+        }
+    }
+
+    fn delay_for_round(&self, r: usize) -> Duration {
+        let mut d = self.initial;
+        for _ in 1..r.min(64) {
+            d = d.saturating_mul(self.growth);
+            if d >= self.cap {
+                return self.cap;
+            }
+        }
+        d.min(self.cap)
+    }
+
+    /// Proposes `input`; blocks until a decision is reached and returns it.
+    pub fn propose(&self, input: bool) -> bool {
+        let mut v = input;
+        let mut r = 1usize;
+        loop {
+            let d = self.decide.load(Ordering::SeqCst);
+            if d != 0 {
+                return dec(d);
+            }
+            self.x.store(2 * (r - 1) + v as usize, 1);
+            if self.y.load(r - 1) == 0 {
+                self.y.store(r - 1, enc(v));
+            }
+            if self.x.load(2 * (r - 1) + !v as usize) == 0 {
+                self.decide.store(enc(v), Ordering::SeqCst);
+                continue;
+            }
+            precise_delay(self.delay_for_round(r));
+            let raw = self.y.load(r - 1);
+            if raw != 0 {
+                v = dec(raw);
+            }
+            r += 1;
+        }
+    }
+
+    /// The decision, if one has been reached.
+    pub fn decision(&self) -> Option<bool> {
+        match self.decide.load(Ordering::SeqCst) {
+            0 => None,
+            d => Some(dec(d)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tfr_modelcheck::{Explorer, SafetySpec};
+    use tfr_registers::Delta;
+    use tfr_sim::metrics::consensus_stats;
+    use tfr_sim::timing::standard_no_failures;
+    use tfr_sim::{RunConfig, Sim};
+
+    #[test]
+    fn schedule_doubles_and_caps() {
+        let s = DelaySchedule { initial: Ticks(10), growth: 2, cap: Ticks(100) };
+        assert_eq!(s.delay_for_round(1), Ticks(10));
+        assert_eq!(s.delay_for_round(2), Ticks(20));
+        assert_eq!(s.delay_for_round(4), Ticks(80));
+        assert_eq!(s.delay_for_round(5), Ticks(100), "clamped");
+        assert_eq!(s.delay_for_round(500), Ticks(100), "no overflow at huge rounds");
+    }
+
+    #[test]
+    fn schedule_fixed_is_constant() {
+        let s = DelaySchedule::fixed(Ticks(7));
+        assert_eq!(s.delay_for_round(1), Ticks(7));
+        assert_eq!(s.delay_for_round(9), Ticks(7));
+    }
+
+    #[test]
+    fn sim_decides_when_estimate_starts_too_small() {
+        // True access times up to 200; the schedule starts at 5 — rounds
+        // grow the estimate until it covers the truth, then decision.
+        let delta = Delta::from_ticks(200);
+        let spec = AatConsensusSpec::new(
+            vec![true, false, true],
+            DelaySchedule::doubling(Ticks(5)),
+        );
+        let result = Sim::new(
+            spec,
+            RunConfig::new(3, delta),
+            standard_no_failures(delta, 17),
+        )
+        .run();
+        let stats = consensus_stats(&result);
+        assert!(stats.agreement);
+        assert!(stats.all_decided_by.is_some(), "must eventually decide");
+    }
+
+    #[test]
+    fn modelcheck_safety_exhaustive() {
+        // Same safety as Algorithm 1, delays notwithstanding.
+        let spec = AatConsensusSpec::new(vec![false, true], DelaySchedule::doubling(Ticks(1)))
+            .max_rounds(3);
+        let report = Explorer::new(spec, 2).check(&SafetySpec::consensus(vec![0, 1]));
+        assert!(report.proven_safe(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn native_concurrent_agreement() {
+        for trial in 0..10 {
+            let c = Arc::new(AatNativeConsensus::new(
+                Duration::from_nanos(200),
+                Duration::from_millis(1),
+            ));
+            let handles: Vec<_> = (0..6)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    std::thread::spawn(move || c.propose((i + trial) % 2 == 0))
+                })
+                .collect();
+            let outs: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(outs.windows(2).all(|w| w[0] == w[1]), "trial {trial}");
+            assert_eq!(c.decision(), Some(outs[0]));
+        }
+    }
+
+    #[test]
+    fn native_solo_decides_own_value() {
+        let c = AatNativeConsensus::new(Duration::from_micros(1), Duration::from_millis(1));
+        assert!(!c.propose(false));
+    }
+}

@@ -1,0 +1,93 @@
+//! Wall-clock benchmarks for the native mutual exclusion algorithms
+//! (B3/B4): uncontended acquire/release latency across the whole lock zoo
+//! (including `std`/`parking_lot` for scale), and a two-thread contended
+//! throughput comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use tfr_asynclock::bakery::Bakery;
+use tfr_asynclock::bar_david::StarvationFree;
+use tfr_asynclock::bw_bakery::BwBakery;
+use tfr_asynclock::lamport_fast::LamportFast;
+use tfr_asynclock::peterson::Peterson;
+use tfr_asynclock::RawLock;
+use tfr_core::mutex::fischer::Fischer;
+use tfr_core::mutex::resilient::ResilientMutex;
+use tfr_registers::ProcId;
+
+/// The optimistic(Δ) estimate used by the timing-based locks.
+const DELTA: Duration = Duration::from_nanos(300);
+
+fn register_locks(n: usize) -> Vec<(&'static str, Arc<dyn RawLock>)> {
+    vec![
+        ("resilient_alg3", Arc::new(ResilientMutex::standard(n, DELTA))),
+        ("fischer", Arc::new(Fischer::new(n, DELTA))),
+        ("lamport_fast", Arc::new(LamportFast::new(n))),
+        ("sf_lamport", Arc::new(StarvationFree::over_lamport_fast(n))),
+        ("bakery", Arc::new(Bakery::new(n))),
+        ("bw_bakery", Arc::new(BwBakery::new(n))),
+        ("peterson", Arc::new(Peterson::new(n))),
+    ]
+}
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mutex_uncontended");
+    for (name, lock) in register_locks(8) {
+        g.bench_function(BenchmarkId::new(name, 8), |b| {
+            b.iter(|| {
+                lock.lock(ProcId(0));
+                black_box(());
+                lock.unlock(ProcId(0));
+            })
+        });
+    }
+    // Scale reference: the platform locks.
+    let std_lock = std::sync::Mutex::new(());
+    g.bench_function(BenchmarkId::new("std_mutex", 8), |b| {
+        b.iter(|| {
+            let guard = std_lock.lock().unwrap();
+            black_box(&guard);
+        })
+    });
+    let pl_lock = parking_lot::Mutex::new(());
+    g.bench_function(BenchmarkId::new("parking_lot", 8), |b| {
+        b.iter(|| {
+            let guard = pl_lock.lock();
+            black_box(&guard);
+        })
+    });
+    g.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mutex_contended_2threads");
+    g.sample_size(10);
+    let per_thread = 200u64;
+    for (name, lock) in register_locks(2) {
+        g.bench_function(BenchmarkId::new(name, per_thread), |b| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..2)
+                    .map(|i| {
+                        let lock = Arc::clone(&lock);
+                        std::thread::spawn(move || {
+                            for _ in 0..per_thread {
+                                lock.lock(ProcId(i));
+                                black_box(());
+                                lock.unlock(ProcId(i));
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_uncontended, bench_contended);
+criterion_main!(benches);

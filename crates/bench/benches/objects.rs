@@ -1,0 +1,48 @@
+//! Wall-clock benchmarks for the derived wait-free objects (B7): the cost
+//! of building election / test-and-set / universal operations out of
+//! binary consensus instances.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tfr_core::derived::{LeaderElection, Renaming, TestAndSet};
+use tfr_core::universal::{Counter, Universal};
+use tfr_registers::ProcId;
+
+const DELTA: Duration = Duration::from_micros(2);
+
+fn bench_objects(c: &mut Criterion) {
+    let mut g = c.benchmark_group("objects_solo");
+    g.bench_function("election_elect", |b| {
+        b.iter_batched(
+            || LeaderElection::new(8, DELTA),
+            |e| black_box(e.elect(ProcId(3))),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("test_and_set", |b| {
+        b.iter_batched(
+            || TestAndSet::new(8, DELTA),
+            |t| black_box(t.test_and_set(ProcId(0))),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("renaming_first_slot", |b| {
+        b.iter_batched(
+            || Renaming::new(8, DELTA),
+            |r| black_box(r.rename(ProcId(5))),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("universal_counter_op", |b| {
+        b.iter_batched(
+            || Universal::new(Counter, 4, 4, DELTA),
+            |u| black_box(u.invoke(ProcId(0), 1)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_objects);
+criterion_main!(benches);

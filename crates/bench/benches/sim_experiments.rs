@@ -1,0 +1,71 @@
+//! Benchmarks of the experiment substrate itself (B5/B6): how fast the
+//! discrete-event simulator executes the paper's workloads and how fast
+//! the model checker exhausts a small configuration — the costs that
+//! bound how much sweeping the harness can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tfr_asynclock::workload::LockLoop;
+use tfr_core::consensus::ConsensusSpec;
+use tfr_core::mutex::resilient::standard_resilient_spec;
+use tfr_modelcheck::{Explorer, SafetySpec};
+use tfr_registers::{Delta, Ticks};
+use tfr_sim::timing::standard_no_failures;
+use tfr_sim::{RunConfig, Sim};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    let d = Delta::from_ticks(100);
+    for n in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("consensus_run", n), &n, |b, &n| {
+            b.iter(|| {
+                let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+                let result = Sim::new(
+                    ConsensusSpec::new(inputs),
+                    RunConfig::new(n, d),
+                    standard_no_failures(d, 42),
+                )
+                .run();
+                black_box(result.steps)
+            })
+        });
+    }
+    for n in [2usize, 8] {
+        g.bench_with_input(BenchmarkId::new("mutex_run_40iters", n), &n, |b, &n| {
+            b.iter(|| {
+                let automaton = LockLoop::new(standard_resilient_spec(n, 0, d.ticks()), 40)
+                    .cs_ticks(Ticks(20))
+                    .ncs_ticks(Ticks(30));
+                let result =
+                    Sim::new(automaton, RunConfig::new(n, d), standard_no_failures(d, 7)).run();
+                black_box(result.steps)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_modelcheck(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modelcheck");
+    g.sample_size(10);
+    g.bench_function("consensus_n2_r3_exhaustive", |b| {
+        b.iter(|| {
+            let report = Explorer::new(ConsensusSpec::new(vec![false, true]).max_rounds(3), 2)
+                .check(&SafetySpec::consensus(vec![0, 1]));
+            assert!(report.proven_safe());
+            black_box(report.states_explored)
+        })
+    });
+    g.bench_function("alg3_mutex_n2_exhaustive", |b| {
+        b.iter(|| {
+            let automaton = LockLoop::new(standard_resilient_spec(2, 0, Ticks(100)), 1);
+            let report = Explorer::new(automaton, 2).check(&SafetySpec::mutex());
+            assert!(report.proven_safe());
+            black_box(report.states_explored)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_modelcheck);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiment harness CLI: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p tfr-bench --bin harness -- all
+//! cargo run --release -p tfr-bench --bin harness -- e1 e7
+//! cargo run --release -p tfr-bench --bin harness -- list
+//! ```
+
+use std::time::Instant;
+use tfr_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = experiments::registry();
+
+    if args.is_empty() || args[0] == "help" {
+        eprintln!("usage: harness <all | list | e1 e2 ...>");
+        eprintln!("experiments:");
+        for (id, desc, _) in &registry {
+            eprintln!("  {id:4} {desc}");
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    if args[0] == "list" {
+        for (id, desc, _) in &registry {
+            println!("{id:4} {desc}");
+        }
+        return;
+    }
+
+    let selected: Vec<&tfr_bench::experiments::Experiment> = if args[0] == "all" {
+        registry.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for a in &args {
+            match registry.iter().find(|(id, _, _)| id == a) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("unknown experiment: {a} (try `harness list`)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        sel
+    };
+
+    for (id, desc, run) in selected {
+        let start = Instant::now();
+        eprintln!("[{id}] {desc} ...");
+        let tables = run();
+        for table in &tables {
+            println!("{table}");
+        }
+        eprintln!("[{id}] done in {:.1?}\n", start.elapsed());
+    }
+}

@@ -1,0 +1,285 @@
+//! E13–E15: the paper's §2.1 remark and §4 research directions, made
+//! measurable — bounded-failure consensus with finite registers, memory
+//! fault sensitivity, and the busy-waiting profile that local-spinning
+//! variants would attack.
+
+use super::delta;
+use crate::Table;
+use tfr_asynclock::bakery::BakerySpec;
+use tfr_asynclock::bar_david::StarvationFreeSpec;
+use tfr_asynclock::bw_bakery::BwBakerySpec;
+use tfr_asynclock::lamport_fast::LamportFastSpec;
+use tfr_asynclock::peterson::PetersonSpec;
+use tfr_asynclock::workload::LockLoop;
+use tfr_asynclock::LockSpec;
+use tfr_core::bounded::BoundedConsensusSpec;
+use tfr_core::consensus::ConsensusSpec;
+use tfr_core::mutex::fischer::FischerSpec;
+use tfr_core::mutex::resilient::standard_resilient_spec;
+use tfr_registers::accounting::RegisterCount;
+use tfr_registers::spec::Obs;
+use tfr_registers::{ProcId, RegId, Ticks};
+use tfr_sim::metrics::{consensus_stats, mutex_stats, spin_stats};
+use tfr_sim::timing::{standard_no_failures, FailureWindows, Window};
+use tfr_sim::{RegisterFault, RunConfig, Sim};
+
+/// E13 — §2.1: when timing failures last at most `B`, consensus needs only
+/// `3·(⌈B/Δ⌉ + 2) + 1` registers. Sweep `B`, confirm every run decides
+/// within the budget, then break the promise and watch the budget (not
+/// safety) give out.
+pub fn e13() -> Vec<Table> {
+    let d = delta();
+    let seeds = 100u64;
+    let mut t = Table::new(
+        "E13",
+        "bounded-failure consensus: finite registers suffice when failures last ≤ B",
+        &["B", "rounds R", "registers", "failure window", "runs", "decided in budget", "gave up"],
+    );
+    for bound_deltas in [0u64, 2, 8] {
+        let bound = Ticks(d.ticks().0 * bound_deltas);
+        // Within the promise, and breaking it (window 4× the bound, plus
+        // margin so even B=0 gets a real violation window).
+        for (label, window_end) in
+            [("within B", bound), ("4×B + 2Δ (broken)", Ticks(bound.0 * 4 + 2 * d.ticks().0))]
+        {
+            let mut decided = 0u64;
+            let mut gave_up_runs = 0u64;
+            let mut regs = RegisterCount::Finite(0);
+            let mut rounds = 0u64;
+            for seed in 0..seeds {
+                let spec = BoundedConsensusSpec::new(
+                    vec![seed % 2 == 0, true, false],
+                    bound,
+                    d,
+                );
+                rounds = spec.rounds();
+                regs = spec.registers();
+                let model = FailureWindows::new(
+                    standard_no_failures(d, seed),
+                    vec![Window {
+                        from: Ticks::ZERO,
+                        to: window_end,
+                        pids: Some(vec![ProcId(seed as usize % 3)]),
+                        inflated: Ticks(350),
+                    }],
+                );
+                let result = Sim::new(spec, RunConfig::new(3, d), model).run();
+                let stats = consensus_stats(&result);
+                assert!(stats.agreement, "E13: agreement is unconditional");
+                if stats.all_decided_by.is_some() {
+                    decided += 1;
+                }
+                let overruns = result
+                    .events(|o| match o {
+                        Obs::Note("round-bound-exceeded", r) => Some(*r),
+                        _ => None,
+                    })
+                    .count();
+                if overruns > 0 {
+                    gave_up_runs += 1;
+                }
+            }
+            t.row(vec![
+                format!("{bound_deltas}Δ"),
+                rounds.to_string(),
+                regs.to_string(),
+                label.into(),
+                seeds.to_string(),
+                decided.to_string(),
+                gave_up_runs.to_string(),
+            ]);
+        }
+    }
+    // Random windows rarely force conflicts past the budget; the scripted
+    // split adversary (E3b/E11) does so deterministically: forcing more
+    // conflict rounds than the budget means every process gives up —
+    // gracefully, and still in agreement about deciding nothing.
+    {
+        use tfr_sim::timing::{Fate, Scripted};
+        let bound = Ticks(d.ticks().0); // R = 3
+        let spec = BoundedConsensusSpec::new(vec![false, true], bound, d);
+        let rounds = spec.rounds();
+        let regs = spec.registers();
+        let mut model = Scripted::new(Ticks(10));
+        for k in 0..6 {
+            if k > 0 {
+                model = model.set(ProcId(0), 7 * k, Fate::Take(Ticks(260)));
+            }
+            model = model
+                .set(ProcId(0), 7 * k + 6, Fate::Take(Ticks(150)))
+                .set(ProcId(1), 7 * k + 3, Fate::Take(Ticks(400)));
+        }
+        let result = Sim::new(spec, RunConfig::new(2, d), model).run();
+        let stats = consensus_stats(&result);
+        assert!(stats.agreement);
+        let gave_up = result
+            .events(|o| match o {
+                Obs::Note("round-bound-exceeded", r) => Some(*r),
+                _ => None,
+            })
+            .count() as u64;
+        t.row(vec![
+            "1Δ".into(),
+            rounds.to_string(),
+            regs.to_string(),
+            "scripted 6-round split".into(),
+            "1".into(),
+            if stats.all_decided_by.is_some() { "1" } else { "0" }.into(),
+            gave_up.to_string(),
+        ]);
+    }
+    t.note("claim: within the promised bound every run decides and 'gave up' is 0;");
+    t.note("past the bound the budget may give out (gracefully) — agreement never does");
+    vec![t]
+}
+
+/// E14 — §4 ("to assume that both (transient) memory failures and timing
+/// failures are possible"): inject a single register corruption into
+/// Algorithm 1 runs and measure which registers are load-bearing for
+/// safety.
+pub fn e14() -> Vec<Table> {
+    let d = delta();
+    let seeds = 400u64;
+    let mut t = Table::new(
+        "E14",
+        "sensitivity of Algorithm 1 to single transient memory faults",
+        &["corrupted register", "fault value", "runs", "agreement broken", "validity broken"],
+    );
+    // Register layout of ConsensusSpec: decide = 0; y[r] = 3r;
+    // x[r, b] = 3r + 1 + b.
+    let cases: Vec<(&str, RegId, u64)> = vec![
+        ("decide := 2 (spurious 'true')", RegId(0), 2),
+        ("y[1] := 0 (erase adoption value)", RegId(3), 0),
+        ("y[1] := 2 (flip adoption value)", RegId(3), 2),
+        ("x[1,0] := 0 (hide a flag)", RegId(4), 0),
+        ("x[1,1] := 1 (phantom flag)", RegId(5), 1),
+    ];
+    for (label, reg, value) in cases {
+        let mut bad_agreement = 0u64;
+        let mut bad_validity = 0u64;
+        for seed in 0..seeds {
+            // The decide-register case uses unanimous 'false' inputs so a
+            // validity violation is visible (any 'true' must come from the
+            // fault); the x/y cases use mixed inputs so a corrupted
+            // flag/adoption value has a chance to split a real conflict.
+            let inputs =
+                if reg == RegId(0) { vec![false; 3] } else { vec![false, true, false] };
+            let valid: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
+            let spec = ConsensusSpec::new(inputs).max_rounds(20);
+            let at = Ticks((seed * 37) % (d.ticks().0 * 10));
+            let result = Sim::new(
+                spec,
+                RunConfig::new(3, d).max_steps(50_000),
+                standard_no_failures(d, seed),
+            )
+            .with_faults(vec![RegisterFault { at, reg, value }])
+            .run();
+            let stats = consensus_stats(&result);
+            if !stats.agreement {
+                bad_agreement += 1;
+            }
+            if !stats.valid_against(&valid) {
+                bad_validity += 1;
+            }
+        }
+        t.row(vec![
+            label.into(),
+            value.to_string(),
+            seeds.to_string(),
+            bad_agreement.to_string(),
+            bad_validity.to_string(),
+        ]);
+    }
+    t.note("timing failures never break safety (E5); memory failures CAN — resilience to");
+    t.note("timing failures is a distinct, weaker assumption than self-stabilization (§1.5)");
+    vec![t]
+}
+
+/// E15 — §4 lists local-spinning time-resilient algorithms as future
+/// work; this profiles how much each algorithm busy-waits (repeat-reads of
+/// one register), the cost such variants would eliminate.
+pub fn e15() -> Vec<Table> {
+    let d = delta();
+    let mut t = Table::new(
+        "E15",
+        "busy-waiting profile under contention (40 CS entries per process)",
+        &["algorithm", "n", "shared accesses", "polls", "poll %", "longest streak", "polls/entry"],
+    );
+    fn profile<L: LockSpec>(t: &mut Table, name: &str, lock: L, n: usize) {
+        let d = delta();
+        let automaton = LockLoop::new(lock, 40).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30));
+        let config = RunConfig::new(n, d).record_trace();
+        let result = Sim::new(automaton, config, standard_no_failures(d, 23)).run();
+        assert!(result.all_halted(), "{name}: profile workload stalled");
+        let mutex = mutex_stats(&result, Ticks::ZERO);
+        assert!(!mutex.mutual_exclusion_violated, "{name}");
+        let s = spin_stats(&result);
+        t.row(vec![
+            name.into(),
+            n.to_string(),
+            s.shared_accesses.to_string(),
+            s.polls.to_string(),
+            format!("{:.1}%", 100.0 * s.poll_fraction()),
+            s.longest_streak.to_string(),
+            format!("{:.1}", s.polls as f64 / mutex.cs_entries as f64),
+        ]);
+    }
+    for n in [4usize, 8] {
+        profile(&mut t, "Alg3 (sf-lamport)", standard_resilient_spec(n, 0, d.ticks()), n);
+        profile(&mut t, "fischer", FischerSpec::new(n, 0, d.ticks()), n);
+        profile(
+            &mut t,
+            "sf-lamport (bare)",
+            StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(n, 0),
+            n,
+        );
+        profile(&mut t, "lamport-fast", LamportFastSpec::new(n, 0), n);
+        profile(&mut t, "bakery", BakerySpec::new(n, 0), n);
+        profile(&mut t, "bw-bakery", BwBakerySpec::new(n, 0), n);
+        profile(&mut t, "peterson", PetersonSpec::new(n, 0), n);
+    }
+    t.note("a poll = re-reading the register just read (await loops); Fischer-style");
+    t.note("delay-then-recheck counts too. Local-spinning designs (§4) attack these numbers");
+    vec![t]
+}
+
+/// E17 — §1.3's definition as an executable verdict: run the
+/// stabilization / efficiency / convergence assessment protocol over the
+/// whole mutex zoo and report who is resilient w.r.t. what ψ.
+pub fn e17() -> Vec<Table> {
+    use tfr_core::resilience::{assess_mutex, AssessConfig};
+    let d = delta();
+    let mut t = Table::new(
+        "E17",
+        "the §1.3 resilience assessment across the mutex zoo (n = 4 and 12)",
+        &["algorithm", "n", "ψ", "safe in burst", "live after", "convergence", "resilient"],
+    );
+    let mut row = |name: &str, n: usize, report: tfr_core::resilience::ResilienceReport| {
+        t.row(vec![
+            name.into(),
+            n.to_string(),
+            format!("{:.1}Δ", report.psi.in_deltas(d)),
+            report.safe_during_failures.to_string(),
+            report.live_after_failures.to_string(),
+            match report.convergence {
+                Some(c) => format!("+{:.1}Δ", c.in_deltas(d)),
+                None => "never".into(),
+            },
+            report.resilient().to_string(),
+        ]);
+    };
+    for n in [4usize, 12] {
+        let config = AssessConfig::new(n, d);
+        row("Alg3 (sf-lamport)", n, assess_mutex(|| standard_resilient_spec(n, 0, d.ticks()), &config));
+        row("fischer (Alg 2)", n, assess_mutex(|| FischerSpec::new(n, 0, d.ticks()), &config));
+        row("bakery", n, assess_mutex(|| BakerySpec::new(n, 0), &config));
+        row("bw-bakery", n, assess_mutex(|| BwBakerySpec::new(n, 0), &config));
+        row("peterson", n, assess_mutex(|| PetersonSpec::new(n, 0), &config));
+    }
+    t.note("empirical worst-case-over-seeds verdicts; the exhaustive safety side is E5/E6.");
+    t.note("Fischer's hazard needs a precisely timed failure — random bursts rarely trigger");
+    t.note("it (E6 constructs it deterministically; the model checker finds it in 36 states),");
+    t.note("so a 'true' here for Fischer is survivorship, not a guarantee. The asynchronous");
+    t.note("locks are resilient w.r.t. their own n-dependent ψ; Alg3 w.r.t. ψ = O(Δ).");
+    vec![t]
+}

@@ -1,0 +1,227 @@
+//! E7 and E8: the performance side of §3 — Algorithm 3's O(Δ) time
+//! complexity and convergence (Thm 3.3), and the non-convergence of the
+//! deadlock-free instantiation (Thm 3.2).
+
+use super::delta;
+use crate::table::in_deltas;
+use crate::Table;
+use tfr_asynclock::bakery::BakerySpec;
+use tfr_asynclock::bw_bakery::BwBakerySpec;
+use tfr_asynclock::workload::LockLoop;
+use tfr_core::mutex::resilient::{standard_resilient_spec, ResilientMutexSpec};
+use tfr_registers::spec::Obs;
+use tfr_registers::{ProcId, Ticks};
+use tfr_sim::metrics::{convergence_point, mutex_stats};
+use tfr_asynclock::bar_david::StarvationFreeSpec;
+use tfr_asynclock::lamport_fast::LamportFastSpec;
+use tfr_sim::timing::{standard_no_failures, FailureWindows, PerProcess, Window};
+use tfr_sim::{RunConfig, Sim};
+
+/// E7 — Theorem 3.3 and the §3 headline: Algorithm 3 has O(Δ) time
+/// complexity (the paper's metric) without failures — independent of n —
+/// and converges back to that regime after a failure burst. The pure
+/// bakery baseline shows what "merely asynchronous" costs: its metric
+/// grows with n.
+pub fn e7() -> Vec<Table> {
+    let d = delta();
+    let iterations = 40u64;
+    let burst_end = Ticks(3_000);
+    let converge_margin = d.times(50);
+
+    let mut t = Table::new(
+        "E7",
+        "mutex time complexity ψ (longest waiter-starved interval) and convergence",
+        &[
+            "algorithm",
+            "n",
+            "ψ no failures",
+            "ψ after burst+margin",
+            "converged (≤2×)",
+            "measured convergence",
+            "entries",
+        ],
+    );
+
+    enum Alg {
+        Std,
+        Bw,
+        Bakery,
+    }
+    for (name, alg) in [
+        ("Alg3 (sf-lamport)", Alg::Std),
+        ("Alg3 (bw-bakery)", Alg::Bw),
+        ("bakery (async)", Alg::Bakery),
+    ] {
+        for n in [2usize, 4, 8, 16] {
+            let run = |with_burst: bool| {
+                let config = RunConfig::new(n, d);
+                let base = standard_no_failures(d, 42 + n as u64);
+                let windows = if with_burst {
+                    vec![Window {
+                        from: Ticks::ZERO,
+                        to: burst_end,
+                        pids: None,
+                        inflated: Ticks(d.ticks().0 * 10),
+                    }]
+                } else {
+                    vec![]
+                };
+                let model = FailureWindows::new(base, windows);
+                match alg {
+                    Alg::Std => Sim::new(
+                        LockLoop::new(standard_resilient_spec(n, 0, d.ticks()), iterations)
+                            .cs_ticks(Ticks(20))
+                            .ncs_ticks(Ticks(30)),
+                        config,
+                        model,
+                    )
+                    .run(),
+                    Alg::Bw => Sim::new(
+                        LockLoop::new(
+                            ResilientMutexSpec::new(
+                                BwBakerySpec::new(n, 1),
+                                n,
+                                0,
+                                d.ticks(),
+                            ),
+                            iterations,
+                        )
+                        .cs_ticks(Ticks(20))
+                        .ncs_ticks(Ticks(30)),
+                        config,
+                        model,
+                    )
+                    .run(),
+                    Alg::Bakery => Sim::new(
+                        LockLoop::new(BakerySpec::new(n, 0), iterations)
+                            .cs_ticks(Ticks(20))
+                            .ncs_ticks(Ticks(30)),
+                        config,
+                        model,
+                    )
+                    .run(),
+                }
+            };
+
+            let clean = run(false);
+            assert!(clean.all_halted(), "E7: clean run stalled ({name}, n={n})");
+            let stats_clean = mutex_stats(&clean, Ticks::ZERO);
+            assert!(!stats_clean.mutual_exclusion_violated);
+            let psi0 = stats_clean.longest_starved_interval;
+
+            let burst = run(true);
+            assert!(burst.all_halted(), "E7: burst run stalled ({name}, n={n})");
+            let stats_burst_all = mutex_stats(&burst, Ticks::ZERO);
+            assert!(!stats_burst_all.mutual_exclusion_violated);
+            let stats_after = mutex_stats(&burst, burst_end + converge_margin);
+            let psi1 = stats_after.longest_starved_interval;
+            // The measured convergence point: the earliest instant after
+            // which the suffix metric is back within 2×ψ₀ (§1.3's
+            // convergence time, relative to the end of the burst).
+            let conv = convergence_point(&burst, burst_end, Ticks(psi0.0 * 3 / 2))
+                .map(|t| format!("+{:.1}Δ", t.saturating_sub(burst_end).in_deltas(d)))
+                .unwrap_or_else(|| "never".into());
+
+            t.row(vec![
+                name.into(),
+                n.to_string(),
+                in_deltas(psi0, d),
+                in_deltas(psi1, d),
+                (psi1.0 <= psi0.0 * 2 + d.ticks().0).to_string(),
+                conv,
+                stats_burst_all.cs_entries.to_string(),
+            ]);
+        }
+    }
+    t.note("ψ = the paper's §3 metric; Alg3's ψ is a constant multiple of Δ independent of n");
+    t.note(format!(
+        "burst: all accesses inflated to 10Δ during [0, {burst_end}]; ψ-after measured from \
+         {converge_margin} past the burst; measured convergence = first instant after the \
+         burst from which the suffix metric stays within 1.5·ψ₀"
+    ));
+    vec![t]
+}
+
+/// E8 — Theorem 3.2: with a merely deadlock-free inner lock, Algorithm 3
+/// is not guaranteed to converge. The theorem's mechanism is that timing
+/// failures can leave `A` with sustained contention, and a deadlock-free
+/// `A` may then starve a process forever. We isolate that mechanism
+/// deterministically: a slow-but-legal victim (Δ per access — no timing
+/// failures!) contends inside `A` against two fast processes. Under plain
+/// Lamport fast the victim enters only after the stream dries up (its wait
+/// grows without bound with the others' workload); under the
+/// starvation-free transformation the same victim enters after a constant
+/// delay.
+pub fn e8() -> Vec<Table> {
+    let d = delta();
+    let n = 3usize;
+    let victim = ProcId(n - 1);
+    let mut t = Table::new(
+        "E8",
+        "slow victim vs fast stream inside A: deadlock-free vs starvation-free",
+        &[
+            "inner A",
+            "stream iterations",
+            "victim 1st entry",
+            "stream finished",
+            "victim served only after stream",
+        ],
+    );
+
+    for iters in [10u64, 20, 40, 80] {
+        for sf in [false, true] {
+            // Victim at exactly Δ per access (legal), stream at Δ/10.
+            let model = PerProcess::new(vec![Ticks(10), Ticks(10), d.ticks()]);
+            let result = if sf {
+                Sim::new(
+                    LockLoop::new(
+                        StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(n, 0),
+                        iters,
+                    )
+                    .cs_ticks(Ticks(10))
+                    .ncs_ticks(Ticks(1)),
+                    RunConfig::new(n, d),
+                    model,
+                )
+                .run()
+            } else {
+                Sim::new(
+                    LockLoop::new(LamportFastSpec::new(n, 0), iters)
+                        .cs_ticks(Ticks(10))
+                        .ncs_ticks(Ticks(1)),
+                    RunConfig::new(n, d),
+                    model,
+                )
+                .run()
+            };
+            let stats = mutex_stats(&result, Ticks::ZERO);
+            assert!(!stats.mutual_exclusion_violated, "E8: safety must hold either way");
+            assert!(result.all_halted(), "E8: the finite workload always completes");
+
+            let victim_first = result
+                .obs
+                .iter()
+                .find(|e| e.pid == victim && e.obs == Obs::EnterCritical)
+                .map(|e| e.time)
+                .expect("victim eventually enters (finite stream)");
+            let stream_done = result
+                .obs
+                .iter()
+                .filter(|e| e.pid != victim && e.obs == Obs::EnterRemainder)
+                .map(|e| e.time)
+                .max()
+                .unwrap_or(Ticks::ZERO);
+            t.row(vec![
+                if sf { "starvation-free (Thm 3.3)" } else { "deadlock-free (Thm 3.2)" }.into(),
+                iters.to_string(),
+                in_deltas(victim_first, d),
+                in_deltas(stream_done, d),
+                (victim_first >= stream_done).to_string(),
+            ]);
+        }
+    }
+    t.note("victim takes exactly Δ per access — legal, no timing failures during the measurement");
+    t.note("claim shape: deadlock-free A starves the victim as long as the stream lasts (no");
+    t.note("convergence bound exists); the starvation-free A serves it after a constant delay");
+    vec![t]
+}

@@ -1,0 +1,102 @@
+//! E6: one timing failure breaks Fischer's mutual exclusion (§3.1), while
+//! Algorithm 3 stays safe on the same schedule — and under *all*
+//! schedules (model checked).
+
+use super::delta;
+use crate::Table;
+use tfr_asynclock::workload::LockLoop;
+use tfr_core::mutex::fischer::FischerSpec;
+use tfr_core::mutex::resilient::standard_resilient_spec;
+use tfr_modelcheck::{Explorer, SafetySpec};
+use tfr_registers::{ProcId, Ticks};
+use tfr_sim::metrics::mutex_stats;
+use tfr_sim::timing::{Fate, Scripted};
+use tfr_sim::{RunConfig, Sim};
+
+/// The paper's violation schedule: p0's write to `x` outlasts Δ while p1
+/// runs cleanly (see `fischer.rs` tests for the step-by-step timeline).
+fn violation_model() -> Scripted {
+    Scripted::new(Ticks(10))
+        .set(ProcId(0), 2, Fate::Take(Ticks(500)))
+        .set(ProcId(1), 1, Fate::Take(Ticks(30)))
+}
+
+/// E6 — see module docs.
+pub fn e6() -> Vec<Table> {
+    let d = delta();
+    let mut t = Table::new(
+        "E6",
+        "mutual exclusion under timing failures: Fischer vs Algorithm 3",
+        &["algorithm", "method", "timing failures", "ME violated", "detail"],
+    );
+
+    // Fischer on the scripted one-failure schedule.
+    {
+        let automaton = LockLoop::new(FischerSpec::new(2, 0, d.ticks()), 1)
+            .cs_ticks(Ticks(1000))
+            .ncs_ticks(Ticks(1));
+        let result = Sim::new(automaton, RunConfig::new(2, d), violation_model()).run();
+        let stats = mutex_stats(&result, Ticks::ZERO);
+        t.row(vec![
+            "fischer (Alg 2)".into(),
+            "scripted sim (1 slow write)".into(),
+            result.timing_failures.to_string(),
+            stats.mutual_exclusion_violated.to_string(),
+            "the paper's §3.1 schedule".into(),
+        ]);
+    }
+
+    // Algorithm 3 on the same schedule.
+    {
+        let automaton = LockLoop::new(standard_resilient_spec(2, 0, d.ticks()), 1)
+            .cs_ticks(Ticks(1000))
+            .ncs_ticks(Ticks(1));
+        let result = Sim::new(automaton, RunConfig::new(2, d), violation_model()).run();
+        let stats = mutex_stats(&result, Ticks::ZERO);
+        t.row(vec![
+            "resilient (Alg 3)".into(),
+            "same scripted schedule".into(),
+            result.timing_failures.to_string(),
+            stats.mutual_exclusion_violated.to_string(),
+            format!("{} CS entries, all exclusive", stats.cs_entries),
+        ]);
+    }
+
+    // Exhaustive: Fischer must have a reachable violation; Algorithm 3
+    // must be safe over the whole space.
+    {
+        let report = Explorer::new(LockLoop::new(FischerSpec::new(2, 0, d.ticks()), 1), 2)
+            .check(&SafetySpec::mutex());
+        let detail = match &report.violation {
+            Some(cex) => format!("counterexample of {} steps", cex.schedule.len()),
+            None => "NO VIOLATION FOUND (unexpected)".into(),
+        };
+        t.row(vec![
+            "fischer (Alg 2)".into(),
+            "exhaustive model check".into(),
+            "adversarial".into(),
+            report.violation.is_some().to_string(),
+            detail,
+        ]);
+    }
+    {
+        let report =
+            Explorer::new(LockLoop::new(standard_resilient_spec(2, 0, d.ticks()), 1), 2)
+                .check(&SafetySpec::mutex());
+        let detail = if report.proven_safe() {
+            format!("proven safe over {} states", report.states_explored)
+        } else {
+            format!("violation: {:?}", report.violation)
+        };
+        t.row(vec![
+            "resilient (Alg 3)".into(),
+            "exhaustive model check".into(),
+            "adversarial".into(),
+            report.violation.is_some().to_string(),
+            detail,
+        ]);
+    }
+
+    t.note("claim: Fischer violates ME under one timing failure; Algorithm 3 never does");
+    vec![t]
+}

@@ -1,0 +1,85 @@
+//! E9: register usage against the Theorem 3.1 lower bound — any mutual
+//! exclusion algorithm for n processes that is resilient to timing
+//! failures needs at least n shared registers.
+
+use crate::Table;
+use tfr_asynclock::bakery::BakerySpec;
+use tfr_asynclock::bar_david::StarvationFreeSpec;
+use tfr_asynclock::bw_bakery::BwBakerySpec;
+use tfr_asynclock::lamport_fast::LamportFastSpec;
+use tfr_asynclock::peterson::PetersonSpec;
+use tfr_asynclock::LockSpec;
+use tfr_core::mutex::fischer::FischerSpec;
+use tfr_core::mutex::resilient::{deadlock_free_resilient_spec, standard_resilient_spec};
+use tfr_registers::accounting::RegisterCount;
+use tfr_registers::Ticks;
+
+/// E9 — see module docs.
+pub fn e9() -> Vec<Table> {
+    let mut t = Table::new(
+        "E9",
+        "registers used vs the n-register lower bound for time-resilient mutexes",
+        &["algorithm", "time-resilient", "n=2", "n=8", "n=32", "≥ n for all n"],
+    );
+
+    let count = |c: RegisterCount| match c {
+        RegisterCount::Finite(v) => v.to_string(),
+        RegisterCount::Unbounded => "∞".to_string(),
+    };
+    let sizes = [2usize, 8, 32];
+
+    type Entry = (&'static str, &'static str, Box<dyn Fn(usize) -> RegisterCount>);
+    let entries: Vec<Entry> = vec![
+        (
+            "fischer (Alg 2)",
+            "no (breaks under failures)",
+            Box::new(|n| FischerSpec::new(n, 0, Ticks(1)).registers()),
+        ),
+        (
+            "Alg3 (sf-lamport)",
+            "yes (Thm 3.3)",
+            Box::new(|n| standard_resilient_spec(n, 0, Ticks(1)).registers()),
+        ),
+        (
+            "Alg3 (deadlock-free A)",
+            "safety yes, convergence no (Thm 3.2)",
+            Box::new(|n| deadlock_free_resilient_spec(n, 0, Ticks(1)).registers()),
+        ),
+        ("bakery", "n/a (asynchronous)", Box::new(|n| BakerySpec::new(n, 0).registers())),
+        ("bw-bakery", "n/a (asynchronous)", Box::new(|n| BwBakerySpec::new(n, 0).registers())),
+        (
+            "peterson tournament",
+            "n/a (asynchronous)",
+            Box::new(|n| PetersonSpec::new(n, 0).registers()),
+        ),
+        (
+            "lamport fast",
+            "n/a (asynchronous)",
+            Box::new(|n| LamportFastSpec::new(n, 0).registers()),
+        ),
+        (
+            "sf-transform(lamport fast)",
+            "n/a (asynchronous)",
+            Box::new(|n| StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(n, 0).registers()),
+        ),
+    ];
+
+    for (name, resilient, f) in entries {
+        let counts: Vec<RegisterCount> = sizes.iter().map(|&n| f(n)).collect();
+        let meets = sizes.iter().zip(&counts).all(|(&n, c)| match c {
+            RegisterCount::Finite(v) => *v >= n as u64,
+            RegisterCount::Unbounded => true,
+        });
+        t.row(vec![
+            name.into(),
+            resilient.into(),
+            count(counts[0]),
+            count(counts[1]),
+            count(counts[2]),
+            meets.to_string(),
+        ]);
+    }
+    t.note("Thm 3.1: time-resilient mutex ⇒ ≥ n registers. Fischer's single register is only");
+    t.note("possible because Fischer is NOT resilient; both Alg3 variants respect the bound.");
+    vec![t]
+}

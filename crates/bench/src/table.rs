@@ -1,0 +1,119 @@
+//! Plain-text result tables, aligned for terminals and EXPERIMENTS.md.
+
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: &'static str,
+    /// One-line description of the claim being reproduced.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (same arity as `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// An empty table with the given id/title/columns.
+    pub fn new(id: &'static str, title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            id,
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity does not match the columns.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Table {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}: {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        writeln!(f, "| {} |", header.join(" | "))?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", sep.join("-|-"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a tick count as a multiple of Δ with two decimals.
+pub fn in_deltas(t: tfr_registers::Ticks, delta: tfr_registers::Delta) -> String {
+    format!("{:.2}Δ", t.in_deltas(delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfr_registers::{Delta, Ticks};
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("E0", "demo", &["n", "value"]);
+        t.row(vec!["2".into(), "short".into()]);
+        t.row(vec!["16".into(), "much longer cell".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("## E0: demo"));
+        assert!(s.contains("| n  | value"));
+        assert!(s.contains("note: a note"));
+        // All data lines share the same width.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn delta_formatting() {
+        assert_eq!(in_deltas(Ticks(1500), Delta::from_ticks(1000)), "1.50Δ");
+    }
+}

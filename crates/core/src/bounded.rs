@@ -1,0 +1,382 @@
+//! Consensus with **finitely many registers** under a known bound on how
+//! long timing failures can last.
+//!
+//! §2.1 of the paper observes that Algorithm 1 uses infinitely many
+//! registers and leaves finite-register time-resilient consensus open in
+//! general — but notes that *"such an algorithm exists when there is a
+//! known bound on the number of time units during which there are timing
+//! failures"*. This module realizes that remark.
+//!
+//! # Derivation of the register bound
+//!
+//! Advancing from round `r` to `r + 1` requires executing one `delay(Δ)`,
+//! which suspends for **at least** Δ even under timing failures. So a
+//! process that is in round `r` has spent at least `(r − 1)·Δ` time, i.e.
+//! at any instant `t` every round in progress satisfies `r ≤ t/Δ + 1`.
+//!
+//! If all timing failures end by time `B`, the highest round in progress
+//! when they end is `r* ≤ ⌈B/Δ⌉ + 1`, and by Theorem 2.1(2) every process
+//! decides by the end of round `r* + 1 ≤ ⌈B/Δ⌉ + 2`. Rounds beyond
+//!
+//! ```text
+//! R(B) = ⌈B/Δ⌉ + 2
+//! ```
+//!
+//! are therefore never reached, and `3·R(B) + 1` registers (one `decide`,
+//! plus `y[r]`, `x[r,0]`, `x[r,1]` per round) suffice.
+//!
+//! If the environment breaks the promise (failures outlast `B`), safety
+//! still holds unconditionally — the algorithm is a round-capped
+//! Algorithm 1 — but a process can run out of rounds, which surfaces as
+//! [`BoundExceeded`] in the native form and as a
+//! `Note("round-bound-exceeded", r)` event in the spec form.
+
+use crate::consensus::ConsensusSpec;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tfr_registers::accounting::{RegisterCount, RegisterUsage};
+use tfr_registers::native::precise_delay;
+use tfr_registers::spec::{Action, Automaton, Obs};
+use tfr_registers::{Delta, ProcId, Ticks};
+
+/// `R(B) = ⌈B/Δ⌉ + 2`: rounds sufficient when timing failures last at
+/// most `failure_bound` (see the module docs for the derivation).
+pub fn rounds_for_bound(failure_bound: Ticks, delta: Delta) -> u64 {
+    failure_bound.0.div_ceil(delta.ticks().0) + 2
+}
+
+/// The environment broke its promise: timing failures lasted beyond the
+/// configured bound and the round budget ran out before a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundExceeded {
+    /// The configured round budget.
+    pub rounds: u64,
+}
+
+impl fmt::Display for BoundExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no decision within {} rounds: timing failures outlasted the configured bound",
+            self.rounds
+        )
+    }
+}
+
+impl std::error::Error for BoundExceeded {}
+
+// ---------------------------------------------------------------------
+// Specification form
+// ---------------------------------------------------------------------
+
+/// Bounded-failure consensus in specification form: Algorithm 1 with a
+/// finite round budget and hence finitely many registers.
+#[derive(Debug, Clone)]
+pub struct BoundedConsensusSpec {
+    inner: ConsensusSpec,
+    rounds: u64,
+}
+
+impl BoundedConsensusSpec {
+    /// An instance for failures lasting at most `failure_bound`, with the
+    /// `delay(Δ)` estimate `delta` (rounds budget `R = ⌈B/Δ⌉ + 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn new(inputs: Vec<bool>, failure_bound: Ticks, delta: Delta) -> BoundedConsensusSpec {
+        let rounds = rounds_for_bound(failure_bound, delta);
+        BoundedConsensusSpec {
+            inner: ConsensusSpec::new(inputs).max_rounds(rounds).with_delta(delta.ticks()),
+            rounds,
+        }
+    }
+
+    /// The round budget `R`.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Registers used: `decide` plus three per round.
+    pub fn registers(&self) -> RegisterCount {
+        RegisterCount::Finite(3 * self.rounds + 1)
+    }
+
+    /// A register-usage report (experiment E13).
+    pub fn register_usage(&self, n: usize) -> RegisterUsage {
+        RegisterUsage { algorithm: "bounded-consensus", n, count: self.registers() }
+    }
+}
+
+impl Automaton for BoundedConsensusSpec {
+    type State = <ConsensusSpec as Automaton>::State;
+
+    fn init(&self, pid: ProcId) -> Self::State {
+        self.inner.init(pid)
+    }
+
+    fn next_action(&self, s: &Self::State) -> Action {
+        self.inner.next_action(s)
+    }
+
+    fn apply(&self, s: &mut Self::State, observed: Option<u64>, obs: &mut Vec<Obs>) {
+        self.inner.apply(s, observed, obs)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Native form
+// ---------------------------------------------------------------------
+
+/// Bounded-failure consensus over real atomics: fixed, fully preallocated
+/// register arrays — unlike [`crate::consensus::NativeConsensus`], no
+/// growth path and no amortizing lock anywhere.
+#[derive(Debug)]
+pub struct BoundedNativeConsensus {
+    delta: Duration,
+    rounds: usize,
+    decide: AtomicU64,
+    /// `x[r, b]` at `2(r−1) + b`, `r ∈ 1..=rounds`.
+    x: Vec<AtomicU64>,
+    /// `y[r]` at `r − 1`.
+    y: Vec<AtomicU64>,
+}
+
+impl BoundedNativeConsensus {
+    /// An instance budgeting for timing failures lasting at most
+    /// `failure_bound`, with `delay(Δ)` estimate `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is zero.
+    pub fn new(failure_bound: Duration, delta: Duration) -> BoundedNativeConsensus {
+        assert!(!delta.is_zero(), "Δ must be positive");
+        let rounds = (failure_bound.as_nanos() as u64).div_ceil(delta.as_nanos() as u64) + 2;
+        Self::with_rounds(rounds as usize, delta)
+    }
+
+    /// An instance with an explicit round budget (used by tests and by
+    /// callers that compute their own bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn with_rounds(rounds: usize, delta: Duration) -> BoundedNativeConsensus {
+        assert!(rounds > 0, "at least one round is required");
+        BoundedNativeConsensus {
+            delta,
+            rounds,
+            decide: AtomicU64::new(0),
+            x: (0..2 * rounds).map(|_| AtomicU64::new(0)).collect(),
+            y: (0..rounds).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The round budget.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total atomic registers allocated (`3R + 1`).
+    pub fn register_count(&self) -> usize {
+        3 * self.rounds + 1
+    }
+
+    /// Proposes `input`; blocks until a decision is reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundExceeded`] if the round budget runs out — possible
+    /// only if timing failures lasted beyond the configured bound.
+    pub fn propose(&self, input: bool) -> Result<bool, BoundExceeded> {
+        let mut v = input;
+        for r in 1..=self.rounds {
+            let d = self.decide.load(Ordering::SeqCst);
+            if d != 0 {
+                return Ok(d == 2);
+            }
+            self.x[2 * (r - 1) + v as usize].store(1, Ordering::SeqCst);
+            if self.y[r - 1].load(Ordering::SeqCst) == 0 {
+                self.y[r - 1].store(v as u64 + 1, Ordering::SeqCst);
+            }
+            if self.x[2 * (r - 1) + !v as usize].load(Ordering::SeqCst) == 0 {
+                self.decide.store(v as u64 + 1, Ordering::SeqCst);
+                return Ok(v);
+            }
+            precise_delay(self.delta);
+            let raw = self.y[r - 1].load(Ordering::SeqCst);
+            if raw != 0 {
+                v = raw == 2;
+            }
+        }
+        // One final chance: someone else may have decided in our last round.
+        match self.decide.load(Ordering::SeqCst) {
+            0 => Err(BoundExceeded { rounds: self.rounds as u64 }),
+            d => Ok(d == 2),
+        }
+    }
+
+    /// The decision, if one has been reached.
+    pub fn decision(&self) -> Option<bool> {
+        match self.decide.load(Ordering::SeqCst) {
+            0 => None,
+            d => Some(d == 2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tfr_modelcheck::{Explorer, SafetySpec};
+    use tfr_sim::metrics::consensus_stats;
+    use tfr_sim::timing::{standard_no_failures, FailureWindows, Window};
+    use tfr_sim::{RunConfig, Sim};
+
+    #[test]
+    fn round_budget_formula() {
+        let d = Delta::from_ticks(100);
+        assert_eq!(rounds_for_bound(Ticks(0), d), 2);
+        assert_eq!(rounds_for_bound(Ticks(1), d), 3);
+        assert_eq!(rounds_for_bound(Ticks(100), d), 3);
+        assert_eq!(rounds_for_bound(Ticks(101), d), 4);
+        assert_eq!(rounds_for_bound(Ticks(1000), d), 12);
+    }
+
+    #[test]
+    fn register_count_is_finite_and_reported() {
+        let d = Delta::from_ticks(100);
+        let spec = BoundedConsensusSpec::new(vec![true, false], Ticks(500), d);
+        assert_eq!(spec.rounds(), 7);
+        assert_eq!(spec.registers(), RegisterCount::Finite(22));
+        assert!(spec.register_usage(2).satisfies_lower_bound());
+    }
+
+    #[test]
+    fn decides_when_failures_respect_the_bound() {
+        // Failures confined to [0, B]: every seed decides within the
+        // budget, so the finite registers suffice (the §2.1 remark).
+        let d = Delta::from_ticks(100);
+        let bound = Ticks(800);
+        for seed in 0..50 {
+            let spec = BoundedConsensusSpec::new(vec![seed % 2 == 0, true, false], bound, d);
+            let model = FailureWindows::new(
+                standard_no_failures(d, seed),
+                vec![Window {
+                    from: Ticks::ZERO,
+                    to: bound,
+                    pids: Some(vec![ProcId(seed as usize % 3)]),
+                    inflated: Ticks(350),
+                }],
+            );
+            let result = Sim::new(spec, RunConfig::new(3, d), model).run();
+            let stats = consensus_stats(&result);
+            assert!(stats.agreement, "seed={seed}");
+            assert!(stats.all_decided_by.is_some(), "seed={seed}: must decide within budget");
+            let gave_up = result
+                .events(|o| match o {
+                    Obs::Note("round-bound-exceeded", r) => Some(*r),
+                    _ => None,
+                })
+                .count();
+            assert_eq!(gave_up, 0, "seed={seed}: nobody exhausts the budget");
+        }
+    }
+
+    #[test]
+    fn spec_reports_bound_exceeded_under_forced_overrun() {
+        // The E3b-style adversary forces more conflict rounds than the
+        // budget allows: the spec form reports it instead of deciding.
+        use tfr_sim::timing::{Fate, Scripted};
+        let d = Delta::from_ticks(100);
+        // Budget of 3 rounds (B = Δ), adversary forces 6.
+        let spec = BoundedConsensusSpec::new(vec![false, true], Ticks(100), d);
+        assert_eq!(spec.rounds(), 3);
+        let mut model = Scripted::new(Ticks(10));
+        for k in 0..6 {
+            if k > 0 {
+                model = model.set(ProcId(0), 7 * k, Fate::Take(Ticks(260)));
+            }
+            model = model
+                .set(ProcId(0), 7 * k + 6, Fate::Take(Ticks(150)))
+                .set(ProcId(1), 7 * k + 3, Fate::Take(Ticks(400)));
+        }
+        let result = Sim::new(spec, RunConfig::new(2, d), model).run();
+        let stats = consensus_stats(&result);
+        assert!(stats.agreement, "safety holds even past the bound");
+        let gave_up = result
+            .events(|o| match o {
+                Obs::Note("round-bound-exceeded", r) => Some(*r),
+                _ => None,
+            })
+            .count();
+        assert!(gave_up > 0, "the overrun must be reported");
+    }
+
+    #[test]
+    fn modelcheck_bounded_spec_safety() {
+        let d = Delta::from_ticks(100);
+        let spec = BoundedConsensusSpec::new(vec![false, true], Ticks(100), d);
+        let report = Explorer::new(spec, 2).check(&SafetySpec::consensus(vec![0, 1]));
+        assert!(report.proven_safe(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn native_solo_and_concurrent() {
+        let c = BoundedNativeConsensus::new(Duration::from_micros(100), Duration::from_micros(5));
+        assert_eq!(c.propose(true), Ok(true));
+        assert_eq!(c.decision(), Some(true));
+
+        for trial in 0..10 {
+            let c = Arc::new(BoundedNativeConsensus::new(
+                Duration::from_millis(5),
+                Duration::from_micros(5),
+            ));
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    std::thread::spawn(move || c.propose((i + trial) % 2 == 0))
+                })
+                .collect();
+            let outs: Vec<bool> =
+                handles.into_iter().map(|h| h.join().unwrap().expect("within budget")).collect();
+            assert!(outs.windows(2).all(|w| w[0] == w[1]), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn native_register_count_and_rounds() {
+        let c = BoundedNativeConsensus::with_rounds(5, Duration::from_micros(1));
+        assert_eq!(c.rounds(), 5);
+        assert_eq!(c.register_count(), 16);
+    }
+
+    #[test]
+    fn native_error_is_well_formed() {
+        let e = BoundExceeded { rounds: 3 };
+        assert!(e.to_string().contains("3 rounds"));
+        let _: &dyn std::error::Error = &e;
+    }
+
+    #[test]
+    fn native_concurrent_never_disagrees_even_with_tiny_budget() {
+        // rounds = 1 with opposite inputs: a conflict in round 1 yields
+        // BoundExceeded for some processes, but the ones that decide must
+        // agree — safety is unconditional.
+        for _ in 0..50 {
+            let c = Arc::new(BoundedNativeConsensus::with_rounds(1, Duration::from_nanos(1)));
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    std::thread::spawn(move || c.propose(i == 0))
+                })
+                .collect();
+            let outs: Vec<Result<bool, BoundExceeded>> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let decided: Vec<bool> = outs.iter().filter_map(|r| r.ok()).collect();
+            assert!(decided.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+        }
+    }
+}

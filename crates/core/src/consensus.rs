@@ -1,0 +1,584 @@
+//! **Algorithm 1** — consensus in the presence of timing failures.
+//!
+//! Wait-free binary consensus from atomic registers, resilient to timing
+//! failures. The algorithm proceeds in (asynchronous) rounds; per round it
+//! runs a timing-based conflict-avoidance protocol that never produces
+//! conflicting decisions even if a timing failure strikes mid-round, and
+//! that is guaranteed to decide by round `r + 1` once failures stop at
+//! round `r`.
+//!
+//! Pseudocode (process `pᵢ`, input `inᵢ`; shared `x[1..∞, 0..1]` bits,
+//! `y[1..∞]` over `{⊥, 0, 1}`, `decide` over `{⊥, 0, 1}`):
+//!
+//! ```text
+//! while decide = ⊥ do
+//!     x[r, v] := 1
+//!     if y[r] = ⊥ then y[r] := v fi
+//!     if x[r, v̄] = 0 then decide := v
+//!     else delay(Δ)
+//!          v := y[r]
+//!          r := r + 1 fi
+//! od
+//! decide(decide)
+//! ```
+//!
+//! Properties (Theorem 2.1, each reproduced by the experiment harness):
+//!
+//! * without timing failures every process decides within **15·Δ** (first
+//!   two rounds) — experiment E1;
+//! * a solo process decides after **7** of its own steps, with no delay
+//!   statement, regardless of timing failures — E2;
+//! * failures stopping at the start of round `r` ⇒ all decide by the end
+//!   of round `r + 1` — E3;
+//! * wait-free: any number of crashes tolerated — E4;
+//! * agreement and validity hold under arbitrary timing failures
+//!   (Theorems 2.2/2.3) — E5, verified exhaustively by the model checker;
+//! * the number of participants is unbounded (the native form's `propose`
+//!   does not even take a process id).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tfr_registers::native::{precise_delay, UnboundedAtomicArray};
+use tfr_registers::spec::{Action, Automaton, Obs};
+use tfr_registers::{ProcId, RegId, Ticks};
+
+/// Encodes a boolean consensus value into a register (`⊥` is 0).
+#[inline]
+fn enc(v: bool) -> u64 {
+    v as u64 + 1
+}
+
+/// Decodes a non-`⊥` register value.
+#[inline]
+fn dec(raw: u64) -> bool {
+    debug_assert!(raw == 1 || raw == 2, "not a consensus value: {raw}");
+    raw == 2
+}
+
+// ---------------------------------------------------------------------
+// Specification form
+// ---------------------------------------------------------------------
+
+/// Algorithm 1 in specification form.
+///
+/// Register layout: `decide` at 0; for round `r ≥ 1`, `y[r]` at `3r`,
+/// `x[r, 0]` at `3r + 1`, `x[r, 1]` at `3r + 2` (the infinite arrays of
+/// the paper, laid out sparsely — banks allocate on demand).
+#[derive(Debug, Clone)]
+pub struct ConsensusSpec {
+    inputs: Vec<bool>,
+    max_rounds: u64,
+    base: u64,
+    /// The `delay(Δ)` duration used at line 5 — the algorithm's *estimate*
+    /// of Δ (see `optimistic(Δ)`, §1.2); the true access-time bound lives
+    /// in the run's timing model.
+    delay_ticks: Ticks,
+    /// Per-process overrides of the delay estimate (§1.2: the estimate
+    /// "should be tuned for each individual machine architecture", so
+    /// heterogeneous fleets are the norm, not the exception).
+    per_process_delay: Option<Vec<Ticks>>,
+}
+
+impl ConsensusSpec {
+    /// A consensus instance where process `i` proposes `inputs[i]`, with
+    /// the workspace-conventional `delay(Δ)` of 1000 ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn new(inputs: Vec<bool>) -> ConsensusSpec {
+        assert!(!inputs.is_empty(), "at least one process is required");
+        ConsensusSpec {
+            inputs,
+            max_rounds: u64::MAX,
+            base: 0,
+            delay_ticks: Self::DEFAULT_DELAY,
+            per_process_delay: None,
+        }
+    }
+
+    /// Bounds the number of rounds a process attempts before giving up
+    /// (halting undecided). Safety is unaffected; this keeps bounded
+    /// exhaustive exploration finite (the unbounded-round algorithm has an
+    /// infinite reachable state space under perpetual timing failures).
+    pub fn max_rounds(mut self, r: u64) -> ConsensusSpec {
+        self.max_rounds = r;
+        self
+    }
+
+    /// Number of configured processes.
+    pub fn n(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Relocates this instance's registers to start at `base`, so several
+    /// consensus instances (or embedding algorithms) can share one bank.
+    pub fn with_base(mut self, base: u64) -> ConsensusSpec {
+        self.base = base;
+        self
+    }
+
+    /// The register holding `decide`.
+    pub fn decide_reg(&self) -> RegId {
+        RegId(self.base)
+    }
+    fn y(&self, r: u64) -> RegId {
+        RegId(self.base + 3 * r)
+    }
+    fn x(&self, r: u64, v: bool) -> RegId {
+        RegId(self.base + 3 * r + 1 + v as u64)
+    }
+}
+
+/// Program counter of [`ConsensusSpec`] (one iteration of the while loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pc {
+    /// The `while decide = ⊥` loop check.
+    ReadDecide,
+    /// `x[r, v] := 1`.
+    WriteX,
+    /// read `y[r]`.
+    ReadY,
+    /// `y[r] := v` (only if the read saw ⊥).
+    WriteY,
+    /// read `x[r, v̄]`.
+    ReadXBar,
+    /// `decide := v`.
+    WriteDecide,
+    /// `delay(Δ)` before adopting `y[r]`.
+    DelayStep,
+    /// `v := y[r]`.
+    ReadYAdopt,
+    /// Terminated (decided, or gave up at the round bound).
+    Halted,
+}
+
+/// Per-process state of [`ConsensusSpec`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConsensusState {
+    pid: ProcId,
+    pc: Pc,
+    /// Current preference.
+    v: bool,
+    /// Current round (1-based).
+    r: u64,
+}
+
+impl Automaton for ConsensusSpec {
+    type State = ConsensusState;
+
+    fn init(&self, pid: ProcId) -> Self::State {
+        assert!(pid.0 < self.inputs.len(), "pid out of range");
+        ConsensusState { pid, pc: Pc::ReadDecide, v: self.inputs[pid.0], r: 1 }
+    }
+
+    fn next_action(&self, s: &Self::State) -> Action {
+        match s.pc {
+            Pc::ReadDecide => Action::Read(self.decide_reg()),
+            Pc::WriteX => Action::Write(self.x(s.r, s.v), 1),
+            Pc::ReadY => Action::Read(self.y(s.r)),
+            Pc::WriteY => Action::Write(self.y(s.r), enc(s.v)),
+            Pc::ReadXBar => Action::Read(self.x(s.r, !s.v)),
+            Pc::WriteDecide => Action::Write(self.decide_reg(), enc(s.v)),
+            Pc::DelayStep => Action::Delay(self.delay_for(s.pid)),
+            Pc::ReadYAdopt => Action::Read(self.y(s.r)),
+            Pc::Halted => Action::Halt,
+        }
+    }
+
+    fn apply(&self, s: &mut Self::State, observed: Option<u64>, obs: &mut Vec<Obs>) {
+        match s.pc {
+            Pc::ReadDecide => {
+                let d = observed.expect("read observes");
+                if d != 0 {
+                    // Line 9: decide(decide) — the value just read.
+                    obs.push(Obs::Decided(dec(d) as u64));
+                    s.pc = Pc::Halted;
+                } else if s.r > self.max_rounds {
+                    obs.push(Obs::Note("round-bound-exceeded", s.r));
+                    s.pc = Pc::Halted;
+                } else {
+                    obs.push(Obs::StartedRound(s.r));
+                    s.pc = Pc::WriteX;
+                }
+            }
+            Pc::WriteX => s.pc = Pc::ReadY,
+            Pc::ReadY => {
+                if observed == Some(0) {
+                    s.pc = Pc::WriteY;
+                } else {
+                    s.pc = Pc::ReadXBar;
+                }
+            }
+            Pc::WriteY => s.pc = Pc::ReadXBar,
+            Pc::ReadXBar => {
+                if observed == Some(0) {
+                    s.pc = Pc::WriteDecide;
+                } else {
+                    s.pc = Pc::DelayStep;
+                }
+            }
+            Pc::WriteDecide => s.pc = Pc::ReadDecide,
+            Pc::DelayStep => s.pc = Pc::ReadYAdopt,
+            Pc::ReadYAdopt => {
+                let raw = observed.expect("read observes");
+                // y[r] cannot be ⊥ here: this process either read it
+                // non-⊥ or wrote it itself earlier in the round. Keep the
+                // current preference defensively if a bank was tampered
+                // with.
+                if raw != 0 {
+                    s.v = dec(raw);
+                }
+                s.r += 1;
+                s.pc = Pc::ReadDecide;
+            }
+            Pc::Halted => unreachable!("halted process stepped"),
+        }
+    }
+}
+
+impl ConsensusSpec {
+    const DEFAULT_DELAY: Ticks = Ticks(1000);
+
+    /// Overrides the `delay(Δ)` duration used at line 5 (the estimate of
+    /// Δ; see `optimistic(Δ)`, §1.2 of the paper). The optimistic-Δ
+    /// experiments sweep this against the true access-time distribution.
+    pub fn with_delta(mut self, delta: Ticks) -> ConsensusSpec {
+        self.delay_ticks = delta;
+        self
+    }
+
+    /// Gives each process its own delay estimate — a heterogeneous fleet
+    /// where some machines run optimistic and some conservative (§1.2).
+    /// Safety is per-process-estimate-independent; experiment E16 measures
+    /// who pays what.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the number of processes.
+    pub fn with_per_process_deltas(mut self, deltas: Vec<Ticks>) -> ConsensusSpec {
+        assert_eq!(deltas.len(), self.inputs.len(), "one delay estimate per process");
+        self.per_process_delay = Some(deltas);
+        self
+    }
+
+    fn delay_for(&self, pid: ProcId) -> Ticks {
+        match &self.per_process_delay {
+            Some(v) => v[pid.0],
+            None => self.delay_ticks,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Native form
+// ---------------------------------------------------------------------
+
+/// Algorithm 1 over real atomics and threads.
+///
+/// `propose` takes no process id and any number of threads may call it —
+/// the algorithm supports unboundedly many participants (Theorem 2.1).
+/// The `delta` given at construction is the `delay(Δ)` estimate; an
+/// under-estimate can cost extra rounds but never safety.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use tfr_core::consensus::NativeConsensus;
+///
+/// let c = NativeConsensus::new(Duration::from_micros(10));
+/// assert_eq!(c.decision(), None);
+/// let decided = c.propose(true);
+/// assert_eq!(decided, true, "a solo proposer decides its own value");
+/// assert_eq!(c.decision(), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct NativeConsensus {
+    delta: Duration,
+    decide: AtomicU64,
+    /// `x[r, b]` at index `2(r−1) + b`.
+    x: UnboundedAtomicArray,
+    /// `y[r]` at index `r − 1`.
+    y: UnboundedAtomicArray,
+}
+
+impl NativeConsensus {
+    /// A fresh consensus object with `delay(Δ)` duration `delta`.
+    pub fn new(delta: Duration) -> NativeConsensus {
+        NativeConsensus {
+            delta,
+            decide: AtomicU64::new(0),
+            x: UnboundedAtomicArray::with_capacity(64),
+            y: UnboundedAtomicArray::with_capacity(32),
+        }
+    }
+
+    #[inline]
+    fn xi(r: usize, v: bool) -> usize {
+        2 * (r - 1) + v as usize
+    }
+
+    /// Proposes `input`; blocks until a decision is reached and returns it.
+    ///
+    /// Wait-free once timing constraints hold: no other thread can block
+    /// this one indefinitely, and crashes of other proposers are harmless.
+    pub fn propose(&self, input: bool) -> bool {
+        let mut v = input;
+        let mut r = 1usize;
+        loop {
+            let d = self.decide.load(Ordering::SeqCst);
+            if d != 0 {
+                return dec(d);
+            }
+            self.x.store(Self::xi(r, v), 1);
+            if self.y.load(r - 1) == 0 {
+                self.y.store(r - 1, enc(v));
+            }
+            if self.x.load(Self::xi(r, !v)) == 0 {
+                self.decide.store(enc(v), Ordering::SeqCst);
+                continue; // the loop check reads `decide` and returns
+            }
+            precise_delay(self.delta);
+            let raw = self.y.load(r - 1);
+            if raw != 0 {
+                v = dec(raw);
+            }
+            r += 1;
+        }
+    }
+
+    /// The decision, if one has been reached.
+    pub fn decision(&self) -> Option<bool> {
+        match self.decide.load(Ordering::SeqCst) {
+            0 => None,
+            d => Some(dec(d)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tfr_modelcheck::{Explorer, SafetySpec};
+    use tfr_registers::bank::ArrayBank;
+    use tfr_registers::spec::run_solo;
+    use tfr_registers::Delta;
+    use tfr_sim::metrics::consensus_stats;
+    use tfr_sim::timing::{standard_no_failures, CrashSchedule, Fixed, UniformAccess};
+    use tfr_sim::{RunConfig, Sim};
+
+    #[test]
+    fn solo_process_decides_in_seven_steps() {
+        // Theorem 2.1(4): fast path — 7 shared accesses, 0 delays.
+        for input in [false, true] {
+            let mut bank = ArrayBank::new();
+            let run = run_solo(&ConsensusSpec::new(vec![input]), ProcId(0), &mut bank, 50);
+            assert_eq!(run.shared_accesses, 7);
+            assert_eq!(run.delays, 0);
+            assert_eq!(run.decision(), Some(input as u64));
+        }
+    }
+
+    #[test]
+    fn sim_no_failures_decides_within_15_delta() {
+        // Theorem 2.1(1): ≤ 15·Δ without timing failures.
+        let delta = Delta::from_ticks(1000);
+        for n in [2usize, 4, 8] {
+            for seed in 0..20 {
+                let inputs: Vec<bool> = (0..n).map(|i| (i + seed as usize).is_multiple_of(2)).collect();
+                let spec = ConsensusSpec::new(inputs.clone());
+                let result = Sim::new(
+                    spec,
+                    RunConfig::new(n, delta),
+                    standard_no_failures(delta, seed),
+                )
+                .run();
+                let stats = consensus_stats(&result);
+                assert!(stats.agreement, "n={n} seed={seed}");
+                assert!(stats.valid_against(
+                    &inputs.iter().map(|&b| b as u64).collect::<Vec<_>>()
+                ));
+                let t = stats.all_decided_by.expect("everyone decides");
+                assert!(
+                    t <= delta.times(15),
+                    "n={n} seed={seed}: decided at {t}, over the 15Δ bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_all_same_input_decides_that_value() {
+        let delta = Delta::from_ticks(1000);
+        for input in [false, true] {
+            let spec = ConsensusSpec::new(vec![input; 5]);
+            let result =
+                Sim::new(spec, RunConfig::new(5, delta), standard_no_failures(delta, 9)).run();
+            let stats = consensus_stats(&result);
+            assert_eq!(stats.decided_value, Some(input as u64));
+        }
+    }
+
+    #[test]
+    fn sim_wait_free_under_crashes() {
+        // Theorem 2.4: the survivor decides even if all others crash.
+        let delta = Delta::from_ticks(1000);
+        let n = 4;
+        let spec = ConsensusSpec::new(vec![true, false, true, false]);
+        let crashes = (1..n).map(|i| (ProcId(i), Ticks(500 * i as u64))).collect();
+        let model = CrashSchedule::new(standard_no_failures(delta, 3), crashes);
+        let result = Sim::new(spec, RunConfig::new(n, delta), model).run();
+        let (t, v) = result.decision_of(ProcId(0)).expect("survivor must decide");
+        assert!(v <= 1);
+        assert!(!result.timed_out, "survivor must not loop forever");
+        assert!(t > Ticks::ZERO);
+    }
+
+    #[test]
+    fn sim_safe_under_heavy_timing_failures() {
+        // Durations up to 10Δ: perpetual timing failures. Agreement and
+        // validity must still hold in every run (termination may not).
+        let delta = Delta::from_ticks(100);
+        for seed in 0..50 {
+            let inputs = vec![seed % 2 == 0, seed % 3 == 0, true, false];
+            let spec = ConsensusSpec::new(inputs.clone()).max_rounds(50);
+            let model = UniformAccess::new(Ticks(10), Ticks(1000), seed);
+            let config = RunConfig::new(4, delta).max_steps(200_000);
+            let result = Sim::new(spec, config, model).run();
+            let stats = consensus_stats(&result);
+            assert!(stats.agreement, "seed={seed}");
+            assert!(
+                stats.valid_against(&inputs.iter().map(|&b| b as u64).collect::<Vec<_>>()),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn modelcheck_two_procs_exhaustive() {
+        // Theorems 2.2 + 2.3 for n=2, 3 rounds, ALL interleavings.
+        let report = Explorer::new(
+            ConsensusSpec::new(vec![false, true]).max_rounds(3),
+            2,
+        )
+        .check(&SafetySpec::consensus(vec![0, 1]));
+        assert!(report.proven_safe(), "violation or truncation: {:?}", report.violation);
+        assert!(report.states_explored > 100);
+    }
+
+    #[test]
+    fn modelcheck_two_procs_same_input() {
+        let report = Explorer::new(
+            ConsensusSpec::new(vec![true, true]).max_rounds(3),
+            2,
+        )
+        .check(&SafetySpec::consensus(vec![1]));
+        assert!(report.proven_safe(), "with equal inputs only that value may be decided");
+    }
+
+    #[test]
+    fn native_solo() {
+        let c = NativeConsensus::new(Duration::from_micros(10));
+        assert!(c.propose(true));
+        assert_eq!(c.decision(), Some(true));
+        // Later proposers adopt the decision.
+        assert!(c.propose(false));
+    }
+
+    #[test]
+    fn native_concurrent_agreement() {
+        for trial in 0..20 {
+            let c = Arc::new(NativeConsensus::new(Duration::from_micros(5)));
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    std::thread::spawn(move || c.propose((i + trial) % 2 == 0))
+                })
+                .collect();
+            let decisions: Vec<bool> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(
+                decisions.windows(2).all(|w| w[0] == w[1]),
+                "disagreement in trial {trial}: {decisions:?}"
+            );
+            assert_eq!(c.decision(), Some(decisions[0]));
+        }
+    }
+
+    #[test]
+    fn native_validity_unanimous() {
+        for input in [false, true] {
+            let c = Arc::new(NativeConsensus::new(Duration::from_micros(5)));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    std::thread::spawn(move || c.propose(input))
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), input);
+            }
+        }
+    }
+
+    #[test]
+    fn native_tiny_delta_is_safe() {
+        // delta = 0-ish: an aggressive optimistic(Δ). Liveness may need
+        // more rounds; safety must hold.
+        for _ in 0..10 {
+            let c = Arc::new(NativeConsensus::new(Duration::from_nanos(1)));
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    std::thread::spawn(move || c.propose(i % 2 == 0))
+                })
+                .collect();
+            let decisions: Vec<bool> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn per_process_deltas_are_safe_and_used() {
+        let d = Delta::from_ticks(100);
+        for seed in 0..20 {
+            let spec = ConsensusSpec::new(vec![true, false, true, false])
+                .with_per_process_deltas(vec![Ticks(10), Ticks(100), Ticks(400), Ticks(50)]);
+            let result =
+                Sim::new(spec, RunConfig::new(4, d), standard_no_failures(d, seed)).run();
+            let stats = consensus_stats(&result);
+            assert!(stats.agreement, "seed={seed}");
+            assert!(stats.all_decided_by.is_some(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one delay estimate per process")]
+    fn per_process_deltas_length_checked() {
+        let _ = ConsensusSpec::new(vec![true, false]).with_per_process_deltas(vec![Ticks(1)]);
+    }
+
+    #[test]
+    fn sim_failure_window_then_recovery_decides_next_round() {
+        // Theorem 2.1(2): failures confined to a window; once they stop,
+        // decision comes within roughly one more round.
+        let delta = Delta::from_ticks(100);
+        let spec = ConsensusSpec::new(vec![true, false]);
+        let model = tfr_sim::timing::FailureWindows::new(
+            Fixed::new(Ticks(50)),
+            vec![tfr_sim::timing::Window {
+                from: Ticks(0),
+                to: Ticks(1000),
+                pids: Some(vec![ProcId(1)]),
+                inflated: Ticks(700),
+            }],
+        );
+        let result = Sim::new(spec, RunConfig::new(2, delta), model).run();
+        let stats = consensus_stats(&result);
+        assert!(stats.agreement);
+        assert!(stats.all_decided_by.is_some(), "must decide after the window closes");
+    }
+}

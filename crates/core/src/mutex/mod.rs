@@ -1,0 +1,14 @@
+//! Mutual exclusion in the presence of timing failures (§3 of the paper).
+//!
+//! * [`fischer`] — **Algorithm 2**: Fischer's timing-based lock. The
+//!   canonical O(Δ) lock when timing constraints hold, and the canonical
+//!   *non-example*: one slow write (a timing failure) lets two processes
+//!   into the critical section (experiment E6 exhibits the schedule).
+//! * [`resilient`] — **Algorithm 3**: Fischer's wrapper around a fast
+//!   asynchronous lock `A`. Mutual exclusion and deadlock-freedom hold
+//!   under arbitrary timing failures; efficiency is O(Δ) without failures;
+//!   convergence after failures holds iff `A` is starvation-free
+//!   (Theorems 3.2/3.3).
+
+pub mod fischer;
+pub mod resilient;

@@ -1,0 +1,252 @@
+//! The paper's §1.3 definition of resilience to timing failures,
+//! operationalized: given a mutual exclusion algorithm in specification
+//! form, [`assess_mutex`] runs the three-part protocol — efficiency,
+//! stabilization, convergence — and returns a machine-checkable
+//! [`ResilienceReport`].
+//!
+//! The definition (w.r.t. time complexity ψ):
+//!
+//! 1. **Stabilization** — safety holds *always*, even during timing
+//!    failures, and all properties hold immediately once failures stop;
+//! 2. **Efficiency** — without timing failures the time complexity is ψ;
+//! 3. **Convergence** — a finite time after failures stop, the time
+//!    complexity is ψ again.
+//!
+//! The assessment measures ψ on a failure-free run (the paper's §3 metric),
+//! checks safety across a failure burst, and finds the measured
+//! convergence point after the burst. It is an *empirical* check over the
+//! given seeds — a cheap falsifier and a quantifier, complementing the
+//! exhaustive safety verification in `tfr-modelcheck`.
+
+use std::fmt;
+use tfr_asynclock::workload::LockLoop;
+use tfr_asynclock::LockSpec;
+use tfr_registers::{Delta, Ticks};
+use tfr_sim::metrics::{convergence_point, mutex_stats};
+use tfr_sim::timing::{standard_no_failures, FailureWindows, Window};
+use tfr_sim::{RunConfig, Sim};
+
+/// Parameters of a resilience assessment.
+#[derive(Debug, Clone)]
+pub struct AssessConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// The Δ bound of the timing-based model.
+    pub delta: Delta,
+    /// Lock acquisitions per process, per run.
+    pub iterations: u64,
+    /// Critical-section duration.
+    pub cs_ticks: Ticks,
+    /// Remainder-section duration.
+    pub ncs_ticks: Ticks,
+    /// End of the injected failure burst (burst spans `[0, burst_end]`).
+    pub burst_end: Ticks,
+    /// Duration given to every access during the burst (should exceed Δ).
+    pub burst_inflated: Ticks,
+    /// Tolerance factor: converged means the suffix metric is within
+    /// `tolerance_num/tolerance_den · ψ + Δ`.
+    pub tolerance_num: u64,
+    /// See `tolerance_num`.
+    pub tolerance_den: u64,
+    /// Timing seed of the first run.
+    pub seed: u64,
+    /// Number of seeds to assess; the report aggregates worst cases.
+    pub seeds: u64,
+}
+
+impl AssessConfig {
+    /// A reasonable default assessment: 4 processes, Δ = 100t, 40
+    /// acquisitions, a 30Δ burst at 10Δ inflation, 1.5× tolerance.
+    pub fn new(n: usize, delta: Delta) -> AssessConfig {
+        AssessConfig {
+            n,
+            delta,
+            iterations: 40,
+            cs_ticks: Ticks(20),
+            ncs_ticks: Ticks(30),
+            burst_end: delta.times(30),
+            burst_inflated: delta.times(10),
+            tolerance_num: 3,
+            tolerance_den: 2,
+            seed: 42,
+            seeds: 8,
+        }
+    }
+}
+
+/// Outcome of a resilience assessment (§1.3's three requirements).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// The measured failure-free time complexity ψ (the paper's §3
+    /// metric) — requirement 2.
+    pub psi: Ticks,
+    /// Whether mutual exclusion held throughout the failure burst —
+    /// requirement 1 (empirically, for this run).
+    pub safe_during_failures: bool,
+    /// Whether the full workload completed despite the burst (liveness
+    /// resumed after failures — requirement 1's second half).
+    pub live_after_failures: bool,
+    /// Measured convergence time after the burst ends — requirement 3;
+    /// `None` means the metric never returned to the tolerance band.
+    pub convergence: Option<Ticks>,
+}
+
+impl ResilienceReport {
+    /// All three requirements held in this assessment.
+    pub fn resilient(&self) -> bool {
+        self.safe_during_failures && self.live_after_failures && self.convergence.is_some()
+    }
+}
+
+impl fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ψ = {}, safe during failures: {}, live after: {}, convergence: {}",
+            self.psi,
+            self.safe_during_failures,
+            self.live_after_failures,
+            match self.convergence {
+                Some(t) => format!("+{t} after burst"),
+                None => "never".into(),
+            }
+        )
+    }
+}
+
+/// Runs the §1.3 assessment protocol on a mutual exclusion algorithm.
+///
+/// `make_lock` is called once per run (the two runs need fresh lock
+/// instances over fresh register banks).
+///
+/// # Panics
+///
+/// Panics if the failure-free run does not complete — an algorithm that
+/// cannot even run without failures is outside the definition's scope.
+pub fn assess_mutex<L: LockSpec>(
+    mut make_lock: impl FnMut() -> L,
+    config: &AssessConfig,
+) -> ResilienceReport {
+    let workload = |lock: L, cfg: &AssessConfig| {
+        LockLoop::new(lock, cfg.iterations).cs_ticks(cfg.cs_ticks).ncs_ticks(cfg.ncs_ticks)
+    };
+
+    let mut psi = Ticks::ZERO;
+    let mut safe = true;
+    let mut live = true;
+    let mut convergence: Option<Ticks> = Some(Ticks::ZERO);
+
+    for seed in config.seed..config.seed + config.seeds.max(1) {
+        // Requirement 2: ψ on a failure-free run (worst case over seeds).
+        let clean = Sim::new(
+            workload(make_lock(), config),
+            RunConfig::new(config.n, config.delta),
+            standard_no_failures(config.delta, seed),
+        )
+        .run();
+        assert!(clean.all_halted(), "the failure-free run must complete");
+        let clean_stats = mutex_stats(&clean, Ticks::ZERO);
+        assert!(!clean_stats.mutual_exclusion_violated, "unsafe without failures");
+        psi = Ticks(psi.0.max(clean_stats.longest_starved_interval.0));
+    }
+
+    for seed in config.seed..config.seed + config.seeds.max(1) {
+        // Requirements 1 + 3: a failure burst, then measure. The burst is
+        // ASYMMETRIC — only the first half of the processes are slowed —
+        // because a uniform slowdown preserves relative timing and is the
+        // kindest possible failure; timing failures in the wild hit some
+        // processes and not others.
+        let slow: Vec<tfr_registers::ProcId> =
+            (0..config.n.div_ceil(2)).map(tfr_registers::ProcId).collect();
+        let model = FailureWindows::new(
+            standard_no_failures(config.delta, seed),
+            vec![Window {
+                from: Ticks::ZERO,
+                to: config.burst_end,
+                pids: Some(slow),
+                inflated: config.burst_inflated,
+            }],
+        );
+        let burst = Sim::new(
+            workload(make_lock(), config),
+            RunConfig::new(config.n, config.delta),
+            model,
+        )
+        .run();
+        let burst_stats = mutex_stats(&burst, Ticks::ZERO);
+        safe &= !burst_stats.mutual_exclusion_violated;
+        live &= burst.all_halted();
+        let target =
+            Ticks(psi.0 * config.tolerance_num / config.tolerance_den + config.delta.ticks().0);
+        let this = convergence_point(&burst, config.burst_end, target)
+            .map(|t| t.saturating_sub(config.burst_end));
+        convergence = match (convergence, this) {
+            (Some(worst), Some(t)) => Some(Ticks(worst.0.max(t.0))),
+            _ => None,
+        };
+    }
+
+    ResilienceReport { psi, safe_during_failures: safe, live_after_failures: live, convergence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutex::resilient::standard_resilient_spec;
+    use tfr_asynclock::bakery::BakerySpec;
+
+    #[test]
+    fn algorithm_3_assesses_as_resilient() {
+        let d = Delta::from_ticks(100);
+        let config = AssessConfig::new(4, d);
+        let report = assess_mutex(|| standard_resilient_spec(4, 0, d.ticks()), &config);
+        assert!(report.resilient(), "{report}");
+        assert!(report.psi <= d.times(20), "ψ must be a small multiple of Δ: {}", report.psi);
+        assert!(!report.to_string().is_empty());
+    }
+
+    #[test]
+    fn bakery_assesses_as_resilient_with_larger_psi() {
+        // An asynchronous algorithm is trivially resilient (it never relied
+        // on timing) — w.r.t. its own, larger, n-dependent ψ. The paper's
+        // point is exactly this trade: resilience is easy to get at ψ =
+        // O(nΔ), Algorithm 3 gets it at ψ = O(Δ).
+        let d = Delta::from_ticks(100);
+        let small = assess_mutex(|| BakerySpec::new(2, 0), &AssessConfig::new(2, d));
+        let large = assess_mutex(|| BakerySpec::new(12, 0), &AssessConfig::new(12, d));
+        assert!(small.resilient(), "{small}");
+        assert!(large.resilient(), "{large}");
+        assert!(
+            large.psi.0 > small.psi.0 * 2,
+            "bakery ψ grows with n: {} vs {}",
+            large.psi,
+            small.psi
+        );
+    }
+
+    #[test]
+    fn alg3_psi_is_n_independent_in_the_assessment() {
+        let d = Delta::from_ticks(100);
+        let r2 = assess_mutex(|| standard_resilient_spec(2, 0, d.ticks()), &AssessConfig::new(2, d));
+        let r12 =
+            assess_mutex(|| standard_resilient_spec(12, 0, d.ticks()), &AssessConfig::new(12, d));
+        assert!(
+            r12.psi.0 <= r2.psi.0 * 2,
+            "Alg 3's ψ must not scale with n: n=2 → {}, n=12 → {}",
+            r2.psi,
+            r12.psi
+        );
+    }
+
+    #[test]
+    fn report_display_mentions_never_when_unconverged() {
+        let report = ResilienceReport {
+            psi: Ticks(100),
+            safe_during_failures: true,
+            live_after_failures: false,
+            convergence: None,
+        };
+        assert!(!report.resilient());
+        assert!(report.to_string().contains("never"));
+    }
+}

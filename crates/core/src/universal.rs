@@ -1,0 +1,503 @@
+//! Universality (§1.4): from the wait-free time-resilient binary consensus
+//! of Algorithm 1, build (a) **multivalued consensus** and (b) a
+//! Herlihy-style **universal construction** — a wait-free, time-resilient
+//! implementation of *any* object with a sequential specification, using
+//! atomic registers only.
+//!
+//! The paper invokes Herlihy's universality result \[24\]: since Algorithm 1
+//! is wait-free consensus from registers, every sequential object has a
+//! wait-free register-only implementation that is resilient to timing
+//! failures (w.r.t. *some* ψ). This module makes that concrete.
+//!
+//! # Multivalued from binary
+//!
+//! [`MultiConsensus`] agrees on a `width`-bit value bit by bit (one
+//! Algorithm 1 instance per bit, most significant first). Every proposer
+//! first *announces* its value; whenever a decided bit contradicts the
+//! proposer's current candidate, it adopts some announced value matching
+//! the decided prefix — one always exists, because each decided bit was
+//! proposed by a process whose (announced) candidate matched the prefix.
+//!
+//! # The universal object
+//!
+//! [`Universal`] keeps a log of consensus *slots*; slot `s` decides which
+//! process's pending invocation occupies position `s` of the
+//! linearization. Operations are announced (payload first, then a sequence
+//! counter), and proposers *help*: at slot `s`, priority goes to process
+//! `s mod n`'s oldest unserved announced operation, which bounds how long
+//! any announced operation can be bypassed — wait-freedom.
+
+use crate::consensus::NativeConsensus;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tfr_registers::native::UnboundedAtomicArray;
+use tfr_registers::ProcId;
+
+/// Wait-free multivalued consensus on `width`-bit values, built from
+/// `width` binary Algorithm 1 instances.
+///
+/// One-shot per process: each of the `n` processes calls
+/// [`MultiConsensus::propose`] at most once.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use tfr_core::universal::MultiConsensus;
+/// use tfr_registers::ProcId;
+///
+/// let mc = MultiConsensus::new(3, 8, Duration::from_micros(10));
+/// let winner = mc.propose(ProcId(0), 42);
+/// assert_eq!(winner, 42, "a solo proposer wins with its own value");
+/// assert_eq!(mc.propose(ProcId(1), 7), 42, "later proposers adopt it");
+/// ```
+#[derive(Debug)]
+pub struct MultiConsensus {
+    n: usize,
+    width: u32,
+    /// `bits[k]` decides bit `k` (bit 0 = least significant).
+    bits: Vec<NativeConsensus>,
+    /// `announce[i]` holds process `i`'s proposal, +1 (0 = none yet).
+    announce: Vec<AtomicU64>,
+    /// The final decision, +1 (0 = undecided), published by finishers.
+    result: AtomicU64,
+}
+
+impl MultiConsensus {
+    /// A multivalued consensus object for `n` processes on values
+    /// `< 2^width`, with `delay(Δ)` estimate `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `width` is 0 or greater than 63.
+    pub fn new(n: usize, width: u32, delta: Duration) -> MultiConsensus {
+        assert!(n > 0, "at least one process is required");
+        assert!(width > 0 && width <= 63, "width must be in 1..=63");
+        MultiConsensus {
+            n,
+            width,
+            bits: (0..width).map(|_| NativeConsensus::new(delta)).collect(),
+            announce: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            result: AtomicU64::new(0),
+        }
+    }
+
+    /// Proposes `value`; blocks until the common decision is known and
+    /// returns it. Wait-free once timing constraints hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or `value` does not fit in `width`
+    /// bits.
+    pub fn propose(&self, pid: ProcId, value: u64) -> u64 {
+        assert!(pid.0 < self.n, "pid out of range");
+        assert!(value < 1u64 << self.width, "value exceeds width");
+        self.announce[pid.0].store(value + 1, Ordering::SeqCst);
+
+        let mut candidate = value;
+        for k in (0..self.width).rev() {
+            let my_bit = (candidate >> k) & 1 == 1;
+            let decided = self.bits[k as usize].propose(my_bit);
+            if decided != my_bit {
+                candidate = self.adopt(candidate, k, decided);
+            }
+        }
+        self.result.store(candidate + 1, Ordering::SeqCst);
+        candidate
+    }
+
+    /// The decision, if some proposer has completed.
+    pub fn decision(&self) -> Option<u64> {
+        match self.result.load(Ordering::SeqCst) {
+            0 => None,
+            v => Some(v - 1),
+        }
+    }
+
+    /// Finds an announced value that matches `candidate` on bits above
+    /// `k` and has bit `k` equal to `decided_bit`.
+    fn adopt(&self, candidate: u64, k: u32, decided_bit: bool) -> u64 {
+        let target_prefix = (candidate >> (k + 1) << 1) | decided_bit as u64;
+        for a in &self.announce {
+            let raw = a.load(Ordering::SeqCst);
+            if raw != 0 {
+                let v = raw - 1;
+                if v >> k == target_prefix {
+                    return v;
+                }
+            }
+        }
+        unreachable!(
+            "bit {k} decided {decided_bit} but no announced value matches prefix \
+             {target_prefix:#b} — violates the announce-before-propose invariant"
+        );
+    }
+}
+
+/// A sequential object specification for [`Universal`].
+///
+/// Operations and responses are encoded as `u64` (they travel through
+/// atomic registers). The `apply` function must be deterministic.
+pub trait Sequential: Send + Sync {
+    /// The object's sequential state.
+    type State: Clone + Send;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Applies `op`, mutating the state and returning the response.
+    fn apply(&self, state: &mut Self::State, op: u64) -> u64;
+}
+
+/// Wait-free linearizable implementation of any [`Sequential`] object from
+/// atomic registers and Algorithm 1 consensus (Herlihy-style universal
+/// construction).
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use tfr_core::universal::{Counter, Universal};
+/// use tfr_registers::ProcId;
+///
+/// let obj = Universal::new(Counter, 2, 16, Duration::from_micros(10));
+/// assert_eq!(obj.invoke(ProcId(0), 5), 5);  // add 5 → counter = 5
+/// assert_eq!(obj.invoke(ProcId(1), 3), 8);  // add 3 → counter = 8
+/// ```
+pub struct Universal<T: Sequential> {
+    object: T,
+    n: usize,
+    capacity: usize,
+    /// Slot `s` decides which `(pid, seq)` occupies linearization position
+    /// `s`, packed as `pid · 2^24 + seq`.
+    slots: Vec<MultiConsensus>,
+    /// `ops[i]` holds process `i`'s `seq`-th operation payload, +1.
+    ops: Vec<UnboundedAtomicArray>,
+    /// Number of operations process `i` has announced.
+    announced: Vec<AtomicU64>,
+}
+
+const SEQ_BITS: u32 = 24;
+
+impl<T: Sequential> Universal<T> {
+    /// A universal object for `n` processes accepting at most `capacity`
+    /// operations in total; `delta` is the consensus `delay(Δ)` estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or above 255, or `capacity` is 0.
+    pub fn new(object: T, n: usize, capacity: usize, delta: Duration) -> Universal<T> {
+        assert!(n > 0 && n <= 255, "n must be in 1..=255");
+        assert!(capacity > 0, "capacity must be positive");
+        let width = SEQ_BITS + 8;
+        Universal {
+            object,
+            n,
+            capacity,
+            slots: (0..capacity).map(|_| MultiConsensus::new(n, width, delta)).collect(),
+            ops: (0..n).map(|_| UnboundedAtomicArray::with_capacity(16)).collect(),
+            announced: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn pack(pid: usize, seq: u64) -> u64 {
+        ((pid as u64) << SEQ_BITS) | seq
+    }
+
+    #[inline]
+    fn unpack(v: u64) -> (usize, u64) {
+        ((v >> SEQ_BITS) as usize, v & ((1 << SEQ_BITS) - 1))
+    }
+
+    /// Invokes `op` (at most 2^63−2) as process `pid`; blocks until the
+    /// operation is linearized and returns its response.
+    ///
+    /// Wait-free once timing constraints hold: the helping rule gives
+    /// every announced operation priority at one slot in every `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or the object's operation capacity
+    /// is exhausted.
+    pub fn invoke(&self, pid: ProcId, op: u64) -> u64 {
+        assert!(pid.0 < self.n, "pid out of range");
+        // Announce: payload first, then the sequence counter, so any
+        // process that reads the counter can read the payload.
+        let seq = self.announced[pid.0].load(Ordering::SeqCst);
+        assert!(seq < (1 << SEQ_BITS) - 1, "per-process operation budget exhausted");
+        self.ops[pid.0].store(seq as usize, op + 1);
+        self.announced[pid.0].store(seq + 1, Ordering::SeqCst);
+
+        let mine = Self::pack(pid.0, seq);
+        let mut state = self.object.initial();
+        let mut committed = vec![0u64; self.n];
+        for s in 0..self.capacity {
+            let decided = match self.slots[s].decision() {
+                Some(d) => d,
+                None => {
+                    // Helping: the priority process for this slot is
+                    // s mod n; propose its oldest unserved announced op if
+                    // it has one, else our own.
+                    let q = s % self.n;
+                    let proposal = if self.announced[q].load(Ordering::SeqCst) > committed[q]
+                    {
+                        Self::pack(q, committed[q])
+                    } else {
+                        mine
+                    };
+                    self.slots[s].propose(pid, proposal)
+                }
+            };
+            let (dp, dseq) = Self::unpack(decided);
+            committed[dp] += 1;
+            let payload = self.ops[dp].load(dseq as usize);
+            debug_assert!(payload != 0, "decided op must have been announced");
+            let response = self.object.apply(&mut state, payload - 1);
+            if decided == mine {
+                return response;
+            }
+        }
+        panic!("universal object capacity exhausted before the operation was linearized");
+    }
+
+    /// Replays the committed prefix of the log and returns the current
+    /// state (a read-only snapshot; not linearized against in-flight
+    /// operations).
+    pub fn snapshot(&self) -> T::State {
+        let mut state = self.object.initial();
+        for s in 0..self.capacity {
+            match self.slots[s].decision() {
+                Some(d) => {
+                    let (dp, dseq) = Self::unpack(d);
+                    let payload = self.ops[dp].load(dseq as usize);
+                    if payload != 0 {
+                        self.object.apply(&mut state, payload - 1);
+                    }
+                }
+                None => break,
+            }
+        }
+        state
+    }
+}
+
+// ---------------------------------------------------------------------
+// Example sequential objects
+// ---------------------------------------------------------------------
+
+/// A counter: `op` is the amount to add; the response is the new total.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter;
+
+impl Sequential for Counter {
+    type State = u64;
+    fn initial(&self) -> u64 {
+        0
+    }
+    fn apply(&self, state: &mut u64, op: u64) -> u64 {
+        *state += op;
+        *state
+    }
+}
+
+/// A FIFO queue of `u32`s. Encode `enqueue(v)` as `(v << 1) | 1` and
+/// `dequeue` as `0`; `dequeue` responds with `value + 1`, or 0 when empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoQueue;
+
+impl FifoQueue {
+    /// Encodes an enqueue operation.
+    pub fn enqueue_op(v: u32) -> u64 {
+        ((v as u64) << 1) | 1
+    }
+    /// The dequeue operation.
+    pub const DEQUEUE: u64 = 0;
+    /// Decodes a dequeue response.
+    pub fn decode_dequeue(resp: u64) -> Option<u32> {
+        resp.checked_sub(1).map(|v| v as u32)
+    }
+}
+
+impl Sequential for FifoQueue {
+    type State = std::collections::VecDeque<u32>;
+    fn initial(&self) -> Self::State {
+        std::collections::VecDeque::new()
+    }
+    fn apply(&self, state: &mut Self::State, op: u64) -> u64 {
+        if op & 1 == 1 {
+            state.push_back((op >> 1) as u32);
+            0
+        } else {
+            match state.pop_front() {
+                Some(v) => v as u64 + 1,
+                None => 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const D: Duration = Duration::from_micros(5);
+
+    #[test]
+    fn multi_solo_wins() {
+        let mc = MultiConsensus::new(2, 16, D);
+        assert_eq!(mc.propose(ProcId(0), 12345), 12345);
+        assert_eq!(mc.decision(), Some(12345));
+        assert_eq!(mc.propose(ProcId(1), 54), 12345);
+    }
+
+    #[test]
+    fn multi_concurrent_agreement_and_validity() {
+        for trial in 0..20 {
+            let n = 6;
+            let mc = Arc::new(MultiConsensus::new(n, 12, D));
+            let inputs: Vec<u64> = (0..n).map(|i| (i as u64 * 37 + trial) % 4096).collect();
+            let handles: Vec<_> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let mc = Arc::clone(&mc);
+                    std::thread::spawn(move || mc.propose(ProcId(i), v))
+                })
+                .collect();
+            let outs: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(outs.windows(2).all(|w| w[0] == w[1]), "trial {trial}: {outs:?}");
+            assert!(inputs.contains(&outs[0]), "trial {trial}: decided a non-input");
+        }
+    }
+
+    #[test]
+    fn multi_boundary_values() {
+        let mc = MultiConsensus::new(1, 8, D);
+        assert_eq!(mc.propose(ProcId(0), 255), 255);
+        let mc2 = MultiConsensus::new(1, 8, D);
+        assert_eq!(mc2.propose(ProcId(0), 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "value exceeds width")]
+    fn multi_rejects_oversized_value() {
+        let mc = MultiConsensus::new(1, 4, D);
+        let _ = mc.propose(ProcId(0), 16);
+    }
+
+    #[test]
+    fn universal_counter_sequential() {
+        let obj = Universal::new(Counter, 1, 8, D);
+        assert_eq!(obj.invoke(ProcId(0), 5), 5);
+        assert_eq!(obj.invoke(ProcId(0), 7), 12);
+        assert_eq!(obj.snapshot(), 12);
+    }
+
+    #[test]
+    fn universal_counter_concurrent_total_is_exact() {
+        for _ in 0..5 {
+            let n = 4;
+            let per = 8;
+            let obj = Arc::new(Universal::new(Counter, n, n * per + 4, D));
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let obj = Arc::clone(&obj);
+                    std::thread::spawn(move || {
+                        for _ in 0..per {
+                            obj.invoke(ProcId(i), 1);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(obj.snapshot(), (n * per) as u64);
+        }
+    }
+
+    #[test]
+    fn universal_counter_responses_are_distinct_and_dense() {
+        // Each +1 returns the counter value at its linearization point:
+        // the multiset of responses must be exactly {1..=total}.
+        let n = 4;
+        let per = 6;
+        let obj = Arc::new(Universal::new(Counter, n, n * per + 4, D));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let obj = Arc::clone(&obj);
+                std::thread::spawn(move || {
+                    (0..per).map(|_| obj.invoke(ProcId(i), 1)).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (1..=(n * per) as u64).collect();
+        assert_eq!(all, expected, "responses must form a dense linearization");
+    }
+
+    #[test]
+    fn universal_queue_fifo_single_process() {
+        let obj = Universal::new(FifoQueue, 1, 16, D);
+        obj.invoke(ProcId(0), FifoQueue::enqueue_op(10));
+        obj.invoke(ProcId(0), FifoQueue::enqueue_op(20));
+        let r1 = obj.invoke(ProcId(0), FifoQueue::DEQUEUE);
+        let r2 = obj.invoke(ProcId(0), FifoQueue::DEQUEUE);
+        let r3 = obj.invoke(ProcId(0), FifoQueue::DEQUEUE);
+        assert_eq!(FifoQueue::decode_dequeue(r1), Some(10));
+        assert_eq!(FifoQueue::decode_dequeue(r2), Some(20));
+        assert_eq!(FifoQueue::decode_dequeue(r3), None);
+    }
+
+    #[test]
+    fn universal_queue_concurrent_no_loss_no_dup() {
+        let n = 3;
+        let per = 5;
+        let obj = Arc::new(Universal::new(FifoQueue, n, 2 * n * per + 8, D));
+        // Phase 1: concurrent enqueues of distinct values.
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let obj = Arc::clone(&obj);
+                std::thread::spawn(move || {
+                    for k in 0..per {
+                        obj.invoke(ProcId(i), FifoQueue::enqueue_op((i * 100 + k) as u32));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Phase 2: concurrent dequeues drain exactly the enqueued set.
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let obj = Arc::clone(&obj);
+                std::thread::spawn(move || {
+                    (0..per)
+                        .filter_map(|_| {
+                            FifoQueue::decode_dequeue(obj.invoke(ProcId(i), FifoQueue::DEQUEUE))
+                        })
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        let mut got: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> =
+            (0..n).flat_map(|i| (0..per).map(move |k| (i * 100 + k) as u32)).collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "every enqueued value dequeued exactly once");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exhausted")]
+    fn universal_capacity_exhaustion_panics() {
+        let obj = Universal::new(Counter, 1, 2, D);
+        obj.invoke(ProcId(0), 1);
+        obj.invoke(ProcId(0), 1);
+        obj.invoke(ProcId(0), 1);
+    }
+}

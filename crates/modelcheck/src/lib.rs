@@ -1,0 +1,540 @@
+//! Bounded exhaustive interleaving explorer for register automata.
+//!
+//! Safety under timing failures (Theorems 2.2, 2.3 and the mutual exclusion
+//! property of Algorithm 3) must hold for **every** behaviour the timing
+//! failures can produce. In the register model, arbitrary timing failures
+//! make arbitrary interleavings of atomic register accesses possible, and
+//! strip `delay(d)` of any synchronizing power (other processes' steps may
+//! outlast any delay). The *asynchronous closure* explored here — any
+//! pending process may linearize its next action at any point, delays are
+//! ordinary steps — is therefore a sound over-approximation: a safety
+//! property verified over all interleavings holds under arbitrary timing
+//! failures.
+//!
+//! The explorer walks the interleaving tree depth-first with exact state
+//! deduplication (full states, not hashes — no collision unsoundness),
+//! checking a [`SafetySpec`] after every transition, and reports either
+//! exhaustion or a [`Counterexample`] with the full schedule that reaches
+//! the violation.
+//!
+//! # Example
+//!
+//! ```
+//! use tfr_modelcheck::{Explorer, SafetySpec};
+//! use tfr_registers::spec::{Action, Automaton, Obs};
+//! use tfr_registers::{ProcId, RegId};
+//!
+//! /// Every process decides its own input parity — deliberately broken
+//! /// consensus.
+//! struct Broken;
+//! impl Automaton for Broken {
+//!     type State = (ProcId, bool);
+//!     fn init(&self, pid: ProcId) -> Self::State { (pid, false) }
+//!     fn next_action(&self, s: &Self::State) -> Action {
+//!         if s.1 { Action::Halt } else { Action::Read(RegId(0)) }
+//!     }
+//!     fn apply(&self, s: &mut Self::State, _v: Option<u64>, obs: &mut Vec<Obs>) {
+//!         obs.push(Obs::Decided(s.0 .0 as u64 % 2));
+//!         s.1 = true;
+//!     }
+//! }
+//!
+//! let report = Explorer::new(Broken, 2).check(&SafetySpec::consensus(vec![0, 1]));
+//! assert!(report.violation.is_some(), "processes decide different values");
+//! ```
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+use tfr_registers::bank::{MapBank, RegisterBank};
+use tfr_registers::spec::{Action, Automaton, Obs};
+use tfr_registers::ProcId;
+
+/// Which safety properties to check after every transition.
+#[derive(Debug, Clone, Default)]
+pub struct SafetySpec {
+    /// Agreement (Theorem 2.3): no two processes decide different values.
+    pub agreement: bool,
+    /// Validity (Theorem 2.2): every decided value must be in this set.
+    pub validity: Option<Vec<u64>>,
+    /// Mutual exclusion: no two processes in the critical section at once.
+    pub mutual_exclusion: bool,
+}
+
+impl SafetySpec {
+    /// Agreement + validity against the given admissible inputs.
+    pub fn consensus(inputs: Vec<u64>) -> SafetySpec {
+        SafetySpec { agreement: true, validity: Some(inputs), mutual_exclusion: false }
+    }
+
+    /// Mutual exclusion only.
+    pub fn mutex() -> SafetySpec {
+        SafetySpec { agreement: false, validity: None, mutual_exclusion: true }
+    }
+}
+
+/// A safety violation found by the explorer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two processes decided different values.
+    Disagreement {
+        /// First process and its decision.
+        a: (ProcId, u64),
+        /// Second process and its conflicting decision.
+        b: (ProcId, u64),
+    },
+    /// A process decided a value outside the admissible input set.
+    InvalidDecision {
+        /// The offending process.
+        pid: ProcId,
+        /// The value it decided.
+        value: u64,
+    },
+    /// Two processes were in the critical section simultaneously.
+    MutualExclusion {
+        /// The two offending processes.
+        pids: (ProcId, ProcId),
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Disagreement { a, b } => {
+                write!(f, "disagreement: {} decided {}, {} decided {}", a.0, a.1, b.0, b.1)
+            }
+            Violation::InvalidDecision { pid, value } => {
+                write!(f, "invalid decision: {pid} decided {value}, not an input")
+            }
+            Violation::MutualExclusion { pids } => {
+                write!(f, "mutual exclusion violated: {} and {} in CS", pids.0, pids.1)
+            }
+        }
+    }
+}
+
+/// A schedule that drives the system from its initial state into a safety
+/// violation.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The violation reached.
+    pub violation: Violation,
+    /// The linearization order: `(pid, action)` per step.
+    pub schedule: Vec<(ProcId, Action)>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.violation)?;
+        for (i, (pid, action)) in self.schedule.iter().enumerate() {
+            writeln!(f, "  {i:3}: {pid} {action}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of an exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Distinct global states visited.
+    pub states_explored: usize,
+    /// Transitions taken.
+    pub transitions: usize,
+    /// The first violation found, with its schedule; `None` if the explored
+    /// space is safe.
+    pub violation: Option<Counterexample>,
+    /// Whether any branch was cut by the depth or state bound — if `true`
+    /// and `violation` is `None`, the result is "no violation within
+    /// bounds", not a proof.
+    pub truncated: bool,
+}
+
+impl Report {
+    /// `true` when the full state space was exhausted with no violation —
+    /// a proof of safety for this configuration.
+    pub fn proven_safe(&self) -> bool {
+        self.violation.is_none() && !self.truncated
+    }
+}
+
+/// Monitor folded into the explored state: decisions and critical-section
+/// occupancy per process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+struct Monitor {
+    decided: Vec<Option<u64>>,
+    in_cs: Vec<bool>,
+}
+
+impl Monitor {
+    fn new(n: usize) -> Monitor {
+        Monitor { decided: vec![None; n], in_cs: vec![false; n] }
+    }
+
+    fn observe(&mut self, pid: ProcId, obs: &[Obs], spec: &SafetySpec) -> Option<Violation> {
+        for o in obs {
+            match *o {
+                Obs::Decided(v) => {
+                    if let Some(valid) = &spec.validity {
+                        if !valid.contains(&v) {
+                            return Some(Violation::InvalidDecision { pid, value: v });
+                        }
+                    }
+                    if spec.agreement {
+                        for (j, d) in self.decided.iter().enumerate() {
+                            if let Some(w) = d {
+                                if *w != v {
+                                    return Some(Violation::Disagreement {
+                                        a: (ProcId(j), *w),
+                                        b: (pid, v),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    self.decided[pid.0] = Some(v);
+                }
+                Obs::EnterCritical => {
+                    if spec.mutual_exclusion {
+                        if let Some(other) = self.in_cs.iter().position(|&c| c) {
+                            return Some(Violation::MutualExclusion {
+                                pids: (ProcId(other), pid),
+                            });
+                        }
+                    }
+                    self.in_cs[pid.0] = true;
+                }
+                Obs::ExitCritical => {
+                    self.in_cs[pid.0] = false;
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Global<S> {
+    procs: Vec<S>,
+    bank: MapBank,
+    monitor: Monitor,
+}
+
+/// Bounded exhaustive explorer of all interleavings of `n` copies of an
+/// automaton.
+#[derive(Debug)]
+pub struct Explorer<A> {
+    automaton: A,
+    n: usize,
+    max_depth: usize,
+    max_states: usize,
+}
+
+impl<A: Automaton> Explorer<A> {
+    /// An explorer over `n` processes with default bounds
+    /// (depth 10 000, 5 000 000 states).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(automaton: A, n: usize) -> Explorer<A> {
+        assert!(n > 0, "at least one process is required");
+        Explorer { automaton, n, max_depth: 10_000, max_states: 5_000_000 }
+    }
+
+    /// Overrides the depth bound (schedule length).
+    pub fn max_depth(mut self, d: usize) -> Explorer<A> {
+        self.max_depth = d;
+        self
+    }
+
+    /// Overrides the distinct-state bound.
+    pub fn max_states(mut self, s: usize) -> Explorer<A> {
+        self.max_states = s;
+        self
+    }
+
+    /// Explores every interleaving (up to the bounds), checking `spec`
+    /// after each transition.
+    pub fn check(&self, spec: &SafetySpec) -> Report {
+        let init = Global {
+            procs: (0..self.n).map(|i| self.automaton.init(ProcId(i))).collect(),
+            bank: MapBank::new(),
+            monitor: Monitor::new(self.n),
+        };
+
+        // seen: state -> shallowest depth at which it was expanded. A state
+        // reached again at a depth not smaller than before cannot lead to
+        // new behaviour within the depth budget.
+        let mut seen: HashMap<Global<A::State>, usize> = HashMap::new();
+        let mut transitions = 0usize;
+        let mut truncated = false;
+
+        struct Frame<S> {
+            state: Global<S>,
+            depth: usize,
+            next_pid: usize,
+        }
+        let mut schedule: Vec<(ProcId, Action)> = Vec::new();
+        let mut stack = vec![Frame { state: init.clone(), depth: 0, next_pid: 0 }];
+        seen.insert(init, 0);
+
+        let mut obs_buf: Vec<Obs> = Vec::new();
+        while let Some(frame) = stack.last_mut() {
+            if frame.next_pid >= self.n {
+                stack.pop();
+                schedule.pop();
+                continue;
+            }
+            let pid = frame.next_pid;
+            frame.next_pid += 1;
+
+            let action = self.automaton.next_action(&frame.state.procs[pid]);
+            if matches!(action, Action::Halt) {
+                continue;
+            }
+            if frame.depth >= self.max_depth {
+                truncated = true;
+                continue;
+            }
+            transitions += 1;
+
+            let mut next = frame.state.clone();
+            let observed = match action {
+                Action::Read(r) => Some(next.bank.read(r)),
+                Action::Write(r, v) => {
+                    next.bank.write(r, v);
+                    None
+                }
+                Action::Delay(_) => None,
+                Action::Halt => unreachable!(),
+            };
+            obs_buf.clear();
+            self.automaton.apply(&mut next.procs[pid], observed, &mut obs_buf);
+            let violation = next.monitor.observe(ProcId(pid), &obs_buf, spec);
+            let depth = frame.depth + 1;
+            schedule.push((ProcId(pid), action));
+
+            if let Some(v) = violation {
+                return Report {
+                    states_explored: seen.len(),
+                    transitions,
+                    violation: Some(Counterexample { violation: v, schedule }),
+                    truncated,
+                };
+            }
+
+            if seen.len() >= self.max_states {
+                truncated = true;
+                schedule.pop();
+                continue;
+            }
+            let expand = match seen.entry(next.clone()) {
+                Entry::Vacant(e) => {
+                    e.insert(depth);
+                    true
+                }
+                Entry::Occupied(mut e) => {
+                    if depth < *e.get() {
+                        e.insert(depth);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if expand {
+                stack.push(Frame { state: next, depth, next_pid: 0 });
+            } else {
+                schedule.pop();
+            }
+        }
+
+        Report { states_explored: seen.len(), transitions, violation: None, truncated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfr_registers::RegId;
+
+    /// A racy "adopt first" protocol: read register 0; if unset, write
+    /// `input+1` and re-read; decide `value−1`. Two concurrent writers can
+    /// overwrite each other after the first has read back — a genuine
+    /// disagreement the explorer must find.
+    struct AdoptFirst {
+        inputs: Vec<u64>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum AfState {
+        Read1(ProcId),
+        MaybeWrite(ProcId),
+        ReadBack,
+        Decide(u64),
+        Done,
+    }
+
+    impl Automaton for AdoptFirst {
+        type State = AfState;
+        fn init(&self, pid: ProcId) -> AfState {
+            AfState::Read1(pid)
+        }
+        fn next_action(&self, s: &AfState) -> Action {
+            match s {
+                AfState::Read1(_) => Action::Read(RegId(0)),
+                AfState::MaybeWrite(p) => Action::Write(RegId(0), self.inputs[p.0] + 1),
+                AfState::ReadBack => Action::Read(RegId(0)),
+                AfState::Decide(_) => Action::Delay(tfr_registers::Ticks(1)),
+                AfState::Done => Action::Halt,
+            }
+        }
+        fn apply(&self, s: &mut AfState, observed: Option<u64>, obs: &mut Vec<Obs>) {
+            *s = match s {
+                AfState::Read1(p) => {
+                    if observed == Some(0) {
+                        AfState::MaybeWrite(*p)
+                    } else {
+                        AfState::Decide(observed.unwrap() - 1)
+                    }
+                }
+                AfState::MaybeWrite(_) => AfState::ReadBack,
+                AfState::ReadBack => AfState::Decide(observed.unwrap() - 1),
+                AfState::Decide(v) => {
+                    obs.push(Obs::Decided(*v));
+                    AfState::Done
+                }
+                AfState::Done => unreachable!(),
+            };
+        }
+    }
+
+    #[test]
+    fn racy_adopt_first_disagreement_found() {
+        let report = Explorer::new(AdoptFirst { inputs: vec![3, 7] }, 2).check(&SafetySpec {
+            agreement: true,
+            validity: None,
+            mutual_exclusion: false,
+        });
+        let cex = report.violation.expect("the write race is a real disagreement");
+        assert!(matches!(cex.violation, Violation::Disagreement { .. }));
+        assert!(!cex.schedule.is_empty());
+        assert!(!cex.to_string().is_empty());
+    }
+
+    /// Both processes decide the constant 9 — safe, and exhaustible.
+    struct Const9;
+    impl Automaton for Const9 {
+        type State = u8;
+        fn init(&self, _pid: ProcId) -> u8 {
+            0
+        }
+        fn next_action(&self, s: &u8) -> Action {
+            match s {
+                0 => Action::Write(RegId(0), 9),
+                1 => Action::Read(RegId(0)),
+                _ => Action::Halt,
+            }
+        }
+        fn apply(&self, s: &mut u8, observed: Option<u64>, obs: &mut Vec<Obs>) {
+            if *s == 1 {
+                obs.push(Obs::Decided(observed.unwrap()));
+            }
+            *s += 1;
+        }
+    }
+
+    #[test]
+    fn safe_automaton_proven_safe() {
+        let report = Explorer::new(Const9, 3).check(&SafetySpec::consensus(vec![9]));
+        assert!(report.proven_safe());
+        assert!(report.states_explored > 1);
+    }
+
+    #[test]
+    fn validity_violation_detected() {
+        let report = Explorer::new(Const9, 2).check(&SafetySpec::consensus(vec![1, 2]));
+        let cex = report.violation.expect("9 is not an admissible input");
+        assert!(matches!(cex.violation, Violation::InvalidDecision { value: 9, .. }));
+    }
+
+    /// Both processes walk straight into the critical section — mutual
+    /// exclusion obviously violated.
+    struct NoLock;
+    impl Automaton for NoLock {
+        type State = u8;
+        fn init(&self, _pid: ProcId) -> u8 {
+            0
+        }
+        fn next_action(&self, s: &u8) -> Action {
+            match s {
+                0 => Action::Write(RegId(0), 1),
+                1 => Action::Write(RegId(0), 0),
+                _ => Action::Halt,
+            }
+        }
+        fn apply(&self, s: &mut u8, _observed: Option<u64>, obs: &mut Vec<Obs>) {
+            match *s {
+                0 => obs.push(Obs::EnterCritical),
+                1 => obs.push(Obs::ExitCritical),
+                _ => {}
+            }
+            *s += 1;
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_violation_detected() {
+        let report = Explorer::new(NoLock, 2).check(&SafetySpec::mutex());
+        let cex = report.violation.expect("no lock, overlap must exist");
+        assert!(matches!(cex.violation, Violation::MutualExclusion { .. }));
+    }
+
+    #[test]
+    fn single_process_never_violates_mutex() {
+        let report = Explorer::new(NoLock, 1).check(&SafetySpec::mutex());
+        assert!(report.proven_safe());
+    }
+
+    #[test]
+    fn depth_bound_marks_truncated() {
+        let report = Explorer::new(Const9, 2).max_depth(1).check(&SafetySpec::mutex());
+        assert!(report.truncated);
+        assert!(report.violation.is_none());
+        assert!(!report.proven_safe());
+    }
+
+    #[test]
+    fn counterexample_schedule_replays_to_violation() {
+        // Replay the schedule by hand and confirm the final decisions
+        // disagree — validates that reported schedules are real.
+        let automaton = AdoptFirst { inputs: vec![3, 7] };
+        let report = Explorer::new(AdoptFirst { inputs: vec![3, 7] }, 2)
+            .check(&SafetySpec { agreement: true, validity: None, mutual_exclusion: false });
+        let cex = report.violation.unwrap();
+
+        let mut bank = MapBank::new();
+        let mut procs = [automaton.init(ProcId(0)), automaton.init(ProcId(1))];
+        let mut decided = [None, None];
+        for &(pid, action) in &cex.schedule {
+            let observed = match action {
+                Action::Read(r) => Some(bank.read(r)),
+                Action::Write(r, v) => {
+                    bank.write(r, v);
+                    None
+                }
+                _ => None,
+            };
+            let mut obs = Vec::new();
+            automaton.apply(&mut procs[pid.0], observed, &mut obs);
+            for o in obs {
+                if let Obs::Decided(v) = o {
+                    decided[pid.0] = Some(v);
+                }
+            }
+        }
+        let (a, b) = (decided[0], decided[1]);
+        assert!(a.is_some() && b.is_some() && a != b, "replayed schedule must disagree: {a:?} {b:?}");
+    }
+}

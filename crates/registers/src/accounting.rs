@@ -1,0 +1,93 @@
+//! Static register-usage accounting (experiment E9).
+//!
+//! Theorem 3.1 of the paper (following Burns–Lynch and Lynch–Shavit): any
+//! mutual exclusion algorithm for `n` processes that is resilient to timing
+//! failures must use at least `n` shared registers, *regardless* of its
+//! time complexity ψ. Every algorithm in this workspace reports its register
+//! usage through [`RegisterUsage`]; the experiment harness tabulates them
+//! against the lower bound.
+
+use core::fmt;
+
+/// How many registers an algorithm instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegisterCount {
+    /// A finite count (for the given number of processes).
+    Finite(u64),
+    /// The algorithm uses unbounded register arrays (Algorithm 1's
+    /// `x[1..∞, 0..1]` / `y[1..∞]`; registers are allocated per round).
+    Unbounded,
+}
+
+impl fmt::Display for RegisterCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterCount::Finite(c) => write!(f, "{c}"),
+            RegisterCount::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// A register-usage report for one algorithm at one process count.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RegisterUsage {
+    /// Human-readable algorithm name.
+    pub algorithm: &'static str,
+    /// Number of processes the instance is configured for.
+    pub n: usize,
+    /// Registers used.
+    pub count: RegisterCount,
+}
+
+impl RegisterUsage {
+    /// Creates a finite-count report.
+    pub fn finite(algorithm: &'static str, n: usize, count: u64) -> RegisterUsage {
+        RegisterUsage { algorithm, n, count: RegisterCount::Finite(count) }
+    }
+
+    /// Creates an unbounded report.
+    pub fn unbounded(algorithm: &'static str, n: usize) -> RegisterUsage {
+        RegisterUsage { algorithm, n, count: RegisterCount::Unbounded }
+    }
+
+    /// Whether the usage satisfies the Theorem 3.1 lower bound of `n`
+    /// registers (trivially true for unbounded usage).
+    pub fn satisfies_lower_bound(&self) -> bool {
+        match self.count {
+            RegisterCount::Finite(c) => c >= self.n as u64,
+            RegisterCount::Unbounded => true,
+        }
+    }
+}
+
+impl fmt::Display for RegisterUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (n={}): {} registers", self.algorithm, self.n, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_lower_bound() {
+        assert!(RegisterUsage::finite("x", 4, 4).satisfies_lower_bound());
+        assert!(RegisterUsage::finite("x", 4, 9).satisfies_lower_bound());
+        assert!(!RegisterUsage::finite("x", 4, 3).satisfies_lower_bound());
+    }
+
+    #[test]
+    fn unbounded_always_satisfies() {
+        assert!(RegisterUsage::unbounded("consensus", 1000).satisfies_lower_bound());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RegisterUsage::finite("bakery", 3, 6).to_string(), "bakery (n=3): 6 registers");
+        assert_eq!(
+            RegisterUsage::unbounded("alg1", 2).to_string(),
+            "alg1 (n=2): unbounded registers"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Register files that the specification form of an algorithm executes
+//! against.
+//!
+//! Both banks model the paper's shared memory: an unbounded collection of
+//! atomic `u64` registers, all zero-initialized. [`ArrayBank`] is the dense,
+//! fast bank used by the simulator; [`MapBank`] is the sparse, *canonical*
+//! bank used by the model checker (equal register contents always compare
+//! and hash equal, regardless of write history).
+
+use crate::RegId;
+use std::collections::BTreeMap;
+
+/// A file of atomic registers addressed by [`RegId`].
+///
+/// Every register conceptually exists and holds `0` until written.
+pub trait RegisterBank {
+    /// Atomically reads register `reg` (zero if never written).
+    fn read(&self, reg: RegId) -> u64;
+    /// Atomically writes `value` to register `reg`.
+    fn write(&mut self, reg: RegId, value: u64);
+}
+
+/// Dense register file backed by a growable `Vec`.
+///
+/// Reads beyond the written range return 0 without allocating; writes grow
+/// the vector. Suitable when register ids are reasonably dense (every
+/// algorithm in this workspace packs its registers densely from 0).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArrayBank {
+    regs: Vec<u64>,
+}
+
+impl ArrayBank {
+    /// Creates an empty (all-zero) register file.
+    pub fn new() -> ArrayBank {
+        ArrayBank::default()
+    }
+
+    /// Number of registers that have been materialized (written at least
+    /// once, directly or by growth). Used by tests and accounting.
+    pub fn materialized(&self) -> usize {
+        self.regs.len()
+    }
+}
+
+impl RegisterBank for ArrayBank {
+    fn read(&self, reg: RegId) -> u64 {
+        self.regs.get(reg.0 as usize).copied().unwrap_or(0)
+    }
+
+    fn write(&mut self, reg: RegId, value: u64) {
+        let idx = reg.0 as usize;
+        if idx >= self.regs.len() {
+            if value == 0 {
+                return; // writing the default value needs no storage
+            }
+            self.regs.resize(idx + 1, 0);
+        }
+        self.regs[idx] = value;
+    }
+}
+
+/// Sparse, canonical register file backed by a `BTreeMap`.
+///
+/// Registers holding 0 are absent from the map, so two `MapBank`s are `==`
+/// (and hash identically) exactly when every register holds the same value.
+/// The model checker relies on this for state deduplication.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct MapBank {
+    regs: BTreeMap<u64, u64>,
+}
+
+impl MapBank {
+    /// Creates an empty (all-zero) register file.
+    pub fn new() -> MapBank {
+        MapBank::default()
+    }
+
+    /// Number of registers currently holding a nonzero value.
+    pub fn nonzero_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Iterates over `(RegId, value)` pairs with nonzero values, in id
+    /// order. Useful for printing counterexample states.
+    pub fn iter(&self) -> impl Iterator<Item = (RegId, u64)> + '_ {
+        self.regs.iter().map(|(&k, &v)| (RegId(k), v))
+    }
+}
+
+impl RegisterBank for MapBank {
+    fn read(&self, reg: RegId) -> u64 {
+        self.regs.get(&reg.0).copied().unwrap_or(0)
+    }
+
+    fn write(&mut self, reg: RegId, value: u64) {
+        if value == 0 {
+            self.regs.remove(&reg.0);
+        } else {
+            self.regs.insert(reg.0, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn array_bank_default_zero() {
+        let bank = ArrayBank::new();
+        assert_eq!(bank.read(RegId(0)), 0);
+        assert_eq!(bank.read(RegId(1 << 20)), 0);
+        assert_eq!(bank.materialized(), 0);
+    }
+
+    #[test]
+    fn array_bank_read_back() {
+        let mut bank = ArrayBank::new();
+        bank.write(RegId(7), 99);
+        assert_eq!(bank.read(RegId(7)), 99);
+        assert_eq!(bank.read(RegId(6)), 0);
+        assert_eq!(bank.materialized(), 8);
+    }
+
+    #[test]
+    fn array_bank_zero_write_to_fresh_register_is_free() {
+        let mut bank = ArrayBank::new();
+        bank.write(RegId(1 << 30), 0);
+        assert_eq!(bank.materialized(), 0);
+        assert_eq!(bank.read(RegId(1 << 30)), 0);
+    }
+
+    #[test]
+    fn map_bank_canonical_on_zero() {
+        let mut a = MapBank::new();
+        let b = MapBank::new();
+        a.write(RegId(3), 5);
+        assert_ne!(a, b);
+        a.write(RegId(3), 0);
+        assert_eq!(a, b, "writing 0 must restore the canonical empty state");
+        assert_eq!(a.nonzero_count(), 0);
+    }
+
+    #[test]
+    fn map_bank_iter_in_id_order() {
+        let mut bank = MapBank::new();
+        bank.write(RegId(9), 1);
+        bank.write(RegId(2), 2);
+        let pairs: Vec<_> = bank.iter().collect();
+        assert_eq!(pairs, vec![(RegId(2), 2), (RegId(9), 1)]);
+    }
+
+    proptest! {
+        /// Both banks implement the same register semantics: after an
+        /// arbitrary sequence of writes, every register reads back the last
+        /// value written to it (or zero).
+        #[test]
+        fn banks_agree(ops in proptest::collection::vec((0u64..64, any::<u64>()), 0..200)) {
+            let mut array = ArrayBank::new();
+            let mut map = MapBank::new();
+            for &(reg, val) in &ops {
+                array.write(RegId(reg), val);
+                map.write(RegId(reg), val);
+            }
+            for reg in 0..64 {
+                prop_assert_eq!(array.read(RegId(reg)), map.read(RegId(reg)));
+            }
+        }
+
+        /// MapBank equality is extensional: two different write histories
+        /// ending in the same contents compare equal.
+        #[test]
+        fn map_bank_extensional(vals in proptest::collection::vec(any::<u64>(), 1..20)) {
+            let mut direct = MapBank::new();
+            let mut indirect = MapBank::new();
+            for (i, &v) in vals.iter().enumerate() {
+                direct.write(RegId(i as u64), v);
+                // Indirect: write garbage first, then overwrite.
+                indirect.write(RegId(i as u64), v.wrapping_add(1));
+                indirect.write(RegId(i as u64), v);
+            }
+            prop_assert_eq!(direct, indirect);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Building blocks for the *native form* of the algorithms: real
+//! `std::sync::atomic` registers on real threads.
+//!
+//! The paper's Algorithm 1 uses the infinite register arrays
+//! `x[1..∞, 0..1]` and `y[1..∞]`; a native implementation needs an array of
+//! atomics that can grow without ever blocking readers for long or moving
+//! existing elements (a relocated atomic would not be a register).
+//! [`UnboundedAtomicArray`] provides that: a chunked, append-only array
+//! where indexing takes a brief shared lock and growth takes an exclusive
+//! lock, while the atomics themselves live at stable addresses inside
+//! reference-counted chunks.
+//!
+//! [`precise_delay`] implements the `delay(d)` statement for native runs: a
+//! hybrid sleep/spin wait that does not return before the deadline.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of registers per chunk (must be a power of two).
+const CHUNK_LEN: usize = 1024;
+
+struct Chunk {
+    cells: Box<[AtomicU64]>,
+}
+
+impl Chunk {
+    fn new() -> Arc<Chunk> {
+        let cells: Vec<AtomicU64> = (0..CHUNK_LEN).map(|_| AtomicU64::new(0)).collect();
+        Arc::new(Chunk { cells: cells.into_boxed_slice() })
+    }
+}
+
+/// An unbounded array of atomic `u64` registers, all zero-initialized.
+///
+/// * `load(i)` on a cell that was never stored to returns 0 without
+///   allocating.
+/// * `store(i, v)` allocates the containing chunk on demand.
+/// * Cells never move once allocated, so loads and stores are genuine
+///   single-register atomic operations (`SeqCst`, matching the atomic
+///   register model).
+///
+/// # Example
+///
+/// ```
+/// use tfr_registers::native::UnboundedAtomicArray;
+///
+/// let arr = UnboundedAtomicArray::new();
+/// assert_eq!(arr.load(1_000_000), 0);
+/// arr.store(1_000_000, 7);
+/// assert_eq!(arr.load(1_000_000), 7);
+/// ```
+pub struct UnboundedAtomicArray {
+    chunks: RwLock<Vec<Arc<Chunk>>>,
+}
+
+impl UnboundedAtomicArray {
+    /// Creates an empty array (no chunks allocated).
+    pub fn new() -> UnboundedAtomicArray {
+        UnboundedAtomicArray { chunks: RwLock::new(Vec::new()) }
+    }
+
+    /// Creates an array with capacity for `n` registers pre-allocated, so
+    /// the first `n` accesses never take the exclusive lock.
+    pub fn with_capacity(n: usize) -> UnboundedAtomicArray {
+        let chunks = (0..n.div_ceil(CHUNK_LEN)).map(|_| Chunk::new()).collect();
+        UnboundedAtomicArray { chunks: RwLock::new(chunks) }
+    }
+
+    fn chunk_for(&self, index: usize) -> Option<Arc<Chunk>> {
+        self.chunks.read().get(index / CHUNK_LEN).cloned()
+    }
+
+    fn ensure_chunk(&self, index: usize) -> Arc<Chunk> {
+        if let Some(c) = self.chunk_for(index) {
+            return c;
+        }
+        let want = index / CHUNK_LEN;
+        let mut chunks = self.chunks.write();
+        while chunks.len() <= want {
+            chunks.push(Chunk::new());
+        }
+        chunks[want].clone()
+    }
+
+    /// Atomically reads register `index` (0 if never stored).
+    pub fn load(&self, index: usize) -> u64 {
+        match self.chunk_for(index) {
+            Some(chunk) => chunk.cells[index % CHUNK_LEN].load(Ordering::SeqCst),
+            None => 0,
+        }
+    }
+
+    /// Atomically writes `value` to register `index`, allocating its chunk
+    /// if needed.
+    pub fn store(&self, index: usize, value: u64) {
+        let chunk = self.ensure_chunk(index);
+        chunk.cells[index % CHUNK_LEN].store(value, Ordering::SeqCst);
+    }
+
+    /// Number of registers currently backed by allocated chunks.
+    pub fn capacity(&self) -> usize {
+        self.chunks.read().len() * CHUNK_LEN
+    }
+}
+
+impl Default for UnboundedAtomicArray {
+    fn default() -> Self {
+        UnboundedAtomicArray::new()
+    }
+}
+
+impl std::fmt::Debug for UnboundedAtomicArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnboundedAtomicArray").field("capacity", &self.capacity()).finish()
+    }
+}
+
+/// Executes the paper's `delay(d)` statement on a real thread: returns no
+/// earlier than `d` after the call.
+///
+/// For sub-millisecond delays this spins (with [`std::hint::spin_loop`]) so
+/// the overshoot stays small; longer delays sleep for the bulk of the wait
+/// and spin only the final stretch. Overshoot is harmless in the paper's
+/// model (`delay(d)` waits *at least* `d`); undershoot would be a
+/// correctness bug for timing-based algorithms, hence the explicit deadline
+/// check.
+pub fn precise_delay(d: Duration) {
+    let deadline = Instant::now() + d;
+    // Sleep for the coarse part, leaving a spin margin for timer slop.
+    const SPIN_MARGIN: Duration = Duration::from_micros(200);
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > SPIN_MARGIN {
+            std::thread::sleep(remaining - SPIN_MARGIN);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cells_read_zero() {
+        let arr = UnboundedAtomicArray::new();
+        assert_eq!(arr.load(0), 0);
+        assert_eq!(arr.load(12345678), 0);
+        assert_eq!(arr.capacity(), 0, "loads must not allocate");
+    }
+
+    #[test]
+    fn store_then_load() {
+        let arr = UnboundedAtomicArray::new();
+        arr.store(5, 42);
+        arr.store(5000, 43);
+        assert_eq!(arr.load(5), 42);
+        assert_eq!(arr.load(5000), 43);
+        assert_eq!(arr.load(4), 0);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let arr = UnboundedAtomicArray::with_capacity(3000);
+        assert!(arr.capacity() >= 3000);
+    }
+
+    #[test]
+    fn concurrent_growth_and_access() {
+        let arr = UnboundedAtomicArray::new();
+        let threads = 8;
+        let per_thread = 2000usize;
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let arr = &arr;
+                s.spawn(move |_| {
+                    for i in 0..per_thread {
+                        let idx = i * threads + t;
+                        arr.store(idx, (idx as u64) + 1);
+                        assert_eq!(arr.load(idx), (idx as u64) + 1);
+                    }
+                });
+            }
+        })
+        .expect("threads join cleanly");
+        for idx in 0..threads * per_thread {
+            assert_eq!(arr.load(idx), (idx as u64) + 1);
+        }
+    }
+
+    #[test]
+    fn precise_delay_never_returns_early() {
+        for micros in [50u64, 500, 2000] {
+            let d = Duration::from_micros(micros);
+            let start = Instant::now();
+            precise_delay(d);
+            assert!(start.elapsed() >= d, "delay({micros}µs) returned early");
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let arr = UnboundedAtomicArray::new();
+        assert!(!format!("{arr:?}").is_empty());
+    }
+}

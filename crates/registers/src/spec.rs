@@ -1,0 +1,293 @@
+//! The *specification form* of an algorithm: an explicit state machine whose
+//! atomic steps are single shared-register accesses.
+//!
+//! The paper's model charges time only for statements that access the shared
+//! memory (each such access takes at most Δ, unless a timing failure
+//! occurs), for `delay(d)` statements (at least — and, for complexity
+//! accounting, exactly — `d`), and treats local computation as free. An
+//! [`Automaton`] mirrors that: [`Automaton::next_action`] names the single
+//! shared-memory access (or delay) the process performs next, and
+//! [`Automaton::apply`] performs the unbounded local computation that
+//! follows it.
+//!
+//! The same automaton is executed by
+//!
+//! * the discrete-event simulator (`tfr-sim`), which assigns each action a
+//!   duration from a timing model and linearizes it at its completion
+//!   instant, and
+//! * the model checker (`tfr-modelcheck`), which explores *all* possible
+//!   linearization orders (the asynchronous closure of the timing-based
+//!   model — exactly the behaviours possible under arbitrary timing
+//!   failures).
+//!
+//! # Protocol
+//!
+//! For a state `s` that is not halted the driver:
+//!
+//! 1. calls `next_action(&s)`;
+//! 2. linearizes the action against the register bank — a `Read` observes
+//!    the register's value at that instant, a `Write` installs its value;
+//! 3. calls `apply(&mut s, observed, &mut obs)` where `observed` is
+//!    `Some(value)` for a `Read` and `None` otherwise.
+//!
+//! Once `next_action` returns [`Action::Halt`] the process has terminated
+//! and is never stepped again.
+
+use crate::{ProcId, RegId, Ticks};
+use core::fmt;
+
+/// The next atomic step of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Atomically read a shared register; the observed value is passed to
+    /// [`Automaton::apply`].
+    Read(RegId),
+    /// Atomically write a value to a shared register.
+    Write(RegId, u64),
+    /// Execute `delay(d)`: suspend for at least `d` ticks. Under timing
+    /// failures the suspension may be longer; it is never shorter.
+    Delay(Ticks),
+    /// The process has terminated (or, for long-lived algorithms, finished
+    /// its scripted workload).
+    Halt,
+}
+
+impl Action {
+    /// Whether this action accesses the shared memory (and is therefore
+    /// subject to the Δ bound and to timing failures).
+    #[inline]
+    pub fn is_shared_access(&self) -> bool {
+        matches!(self, Action::Read(_) | Action::Write(_, _))
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Read(r) => write!(f, "read {r}"),
+            Action::Write(r, v) => write!(f, "write {r} := {v}"),
+            Action::Delay(d) => write!(f, "delay({d})"),
+            Action::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// An observable event emitted by a process while applying a step.
+///
+/// Events drive the simulator's metrics (decision latency, the mutual
+/// exclusion time-complexity metric of §3) and the model checker's safety
+/// predicates (agreement, validity, mutual exclusion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Obs {
+    /// A consensus participant irrevocably decided this value.
+    Decided(u64),
+    /// A consensus participant started round `r` (1-based).
+    StartedRound(u64),
+    /// A mutex participant entered its entry code (started *trying*).
+    EnterTrying,
+    /// A mutex participant entered its critical section.
+    EnterCritical,
+    /// A mutex participant left its critical section (started exit code).
+    ExitCritical,
+    /// A mutex participant finished its exit code (back in the remainder).
+    EnterRemainder,
+    /// Algorithm-specific annotation, for traces and tests.
+    Note(&'static str, u64),
+}
+
+/// An algorithm in specification form: a Mealy machine over atomic register
+/// accesses.
+///
+/// Implementations must be deterministic: `next_action` is a pure function
+/// of the state, and `apply` of the state and the observed value. All
+/// nondeterminism lives in the driver (step durations, interleavings) —
+/// this is what makes simulation runs replayable and model checking sound.
+pub trait Automaton {
+    /// Per-process state. `Clone + Eq + Hash` so the model checker can
+    /// store and deduplicate global states.
+    type State: Clone + fmt::Debug + PartialEq + Eq + core::hash::Hash;
+
+    /// The initial state of process `pid`.
+    fn init(&self, pid: ProcId) -> Self::State;
+
+    /// The next atomic action of a process in state `state`.
+    fn next_action(&self, state: &Self::State) -> Action;
+
+    /// Advance the state past the action most recently returned by
+    /// [`Automaton::next_action`]. `observed` is `Some(v)` iff that action
+    /// was a `Read` that observed `v`. Events are appended to `obs`.
+    fn apply(&self, state: &mut Self::State, observed: Option<u64>, obs: &mut Vec<Obs>);
+
+    /// Whether `state` is halted (defaults to checking `next_action`).
+    fn is_halted(&self, state: &Self::State) -> bool {
+        matches!(self.next_action(state), Action::Halt)
+    }
+}
+
+/// Blanket impl so `&A` can be used wherever an automaton is expected.
+impl<A: Automaton + ?Sized> Automaton for &A {
+    type State = A::State;
+    fn init(&self, pid: ProcId) -> Self::State {
+        (**self).init(pid)
+    }
+    fn next_action(&self, state: &Self::State) -> Action {
+        (**self).next_action(state)
+    }
+    fn apply(&self, state: &mut Self::State, observed: Option<u64>, obs: &mut Vec<Obs>) {
+        (**self).apply(state, observed, obs)
+    }
+}
+
+/// Runs a single process of `automaton` to completion against `bank`,
+/// with every action linearizing immediately (no concurrency, no timing
+/// failures). Returns the events emitted and the number of shared-memory
+/// accesses performed.
+///
+/// This is the *solo execution* of the paper's "fast" property: Theorem
+/// 2.1(4) states a solo process decides after exactly 7 such steps. It is
+/// also handy in unit tests of individual automata.
+///
+/// # Panics
+///
+/// Panics if the process takes more than `step_limit` actions without
+/// halting — solo executions of all algorithms in this workspace terminate.
+pub fn run_solo<A: Automaton>(
+    automaton: &A,
+    pid: ProcId,
+    bank: &mut dyn crate::bank::RegisterBank,
+    step_limit: usize,
+) -> SoloRun {
+    let mut state = automaton.init(pid);
+    let mut obs = Vec::new();
+    let mut shared_accesses = 0usize;
+    let mut delays = 0usize;
+    for _ in 0..step_limit {
+        match automaton.next_action(&state) {
+            Action::Halt => {
+                return SoloRun { obs, shared_accesses, delays };
+            }
+            Action::Read(r) => {
+                shared_accesses += 1;
+                let v = bank.read(r);
+                automaton.apply(&mut state, Some(v), &mut obs);
+            }
+            Action::Write(r, v) => {
+                shared_accesses += 1;
+                bank.write(r, v);
+                automaton.apply(&mut state, None, &mut obs);
+            }
+            Action::Delay(_) => {
+                delays += 1;
+                automaton.apply(&mut state, None, &mut obs);
+            }
+        }
+    }
+    panic!("solo run of {pid} did not halt within {step_limit} steps");
+}
+
+/// Result of [`run_solo`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoloRun {
+    /// Events emitted, in order.
+    pub obs: Vec<Obs>,
+    /// Number of shared-memory accesses performed (the paper's step count).
+    pub shared_accesses: usize,
+    /// Number of `delay` statements executed.
+    pub delays: usize,
+}
+
+impl SoloRun {
+    /// The decided value, if the run emitted a [`Obs::Decided`] event.
+    pub fn decision(&self) -> Option<u64> {
+        self.obs.iter().find_map(|o| match o {
+            Obs::Decided(v) => Some(*v),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::{ArrayBank, RegisterBank};
+
+    /// A toy automaton: reads register 0, writes the value + 1 to register
+    /// 1, decides it, halts.
+    struct Incr;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum IncrState {
+        ReadIn,
+        WriteOut(u64),
+        Done,
+    }
+
+    impl Automaton for Incr {
+        type State = IncrState;
+        fn init(&self, _pid: ProcId) -> IncrState {
+            IncrState::ReadIn
+        }
+        fn next_action(&self, state: &IncrState) -> Action {
+            match state {
+                IncrState::ReadIn => Action::Read(RegId(0)),
+                IncrState::WriteOut(v) => Action::Write(RegId(1), *v),
+                IncrState::Done => Action::Halt,
+            }
+        }
+        fn apply(&self, state: &mut IncrState, observed: Option<u64>, obs: &mut Vec<Obs>) {
+            *state = match state {
+                IncrState::ReadIn => IncrState::WriteOut(observed.expect("read observes") + 1),
+                IncrState::WriteOut(v) => {
+                    obs.push(Obs::Decided(*v));
+                    IncrState::Done
+                }
+                IncrState::Done => unreachable!("halted automaton stepped"),
+            };
+        }
+    }
+
+    #[test]
+    fn solo_run_counts_steps_and_collects_obs() {
+        let mut bank = ArrayBank::new();
+        bank.write(RegId(0), 41);
+        let run = run_solo(&Incr, ProcId(0), &mut bank, 10);
+        assert_eq!(run.shared_accesses, 2);
+        assert_eq!(run.delays, 0);
+        assert_eq!(run.decision(), Some(42));
+        assert_eq!(bank.read(RegId(1)), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt")]
+    fn solo_run_enforces_step_limit() {
+        /// Spins forever re-reading register 0.
+        struct Spin;
+        impl Automaton for Spin {
+            type State = ();
+            fn init(&self, _pid: ProcId) {}
+            fn next_action(&self, _state: &()) -> Action {
+                Action::Read(RegId(0))
+            }
+            fn apply(&self, _state: &mut (), _observed: Option<u64>, _obs: &mut Vec<Obs>) {}
+        }
+        let mut bank = ArrayBank::new();
+        let _ = run_solo(&Spin, ProcId(0), &mut bank, 5);
+    }
+
+    #[test]
+    fn action_display_and_shared_access() {
+        assert!(Action::Read(RegId(1)).is_shared_access());
+        assert!(Action::Write(RegId(1), 2).is_shared_access());
+        assert!(!Action::Delay(Ticks(5)).is_shared_access());
+        assert!(!Action::Halt.is_shared_access());
+        assert_eq!(Action::Write(RegId(2), 9).to_string(), "write r2 := 9");
+        assert_eq!(Action::Delay(Ticks(5)).to_string(), "delay(5t)");
+    }
+
+    #[test]
+    fn automaton_usable_through_reference() {
+        let mut bank = ArrayBank::new();
+        let run = run_solo(&&Incr, ProcId(1), &mut bank, 10);
+        assert_eq!(run.decision(), Some(1));
+    }
+}

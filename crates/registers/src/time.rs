@@ -1,0 +1,200 @@
+//! Virtual time: [`Ticks`] and the Δ bound ([`Delta`]).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration or instant of virtual time, in abstract *ticks*.
+///
+/// The simulator measures everything in ticks; the Δ bound of the paper's
+/// timing-based model is itself a number of ticks ([`Delta`]). Using an
+/// integer keeps simulation runs exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ticks(pub u64);
+
+impl Ticks {
+    /// Zero duration / the initial instant.
+    pub const ZERO: Ticks = Ticks(0);
+    /// The largest representable instant — used as "never" (crashed
+    /// processes are scheduled to complete at `Ticks::NEVER`).
+    pub const NEVER: Ticks = Ticks(u64::MAX);
+
+    /// Saturating addition; `NEVER` is absorbing.
+    #[inline]
+    pub fn saturating_add(self, rhs: Ticks) -> Ticks {
+        Ticks(self.0.saturating_add(rhs.0))
+    }
+
+    /// `self - rhs`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Ticks) -> Ticks {
+        Ticks(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Expresses this duration as a (possibly fractional) multiple of Δ.
+    #[inline]
+    pub fn in_deltas(self, delta: Delta) -> f64 {
+        self.0 as f64 / delta.ticks().0 as f64
+    }
+}
+
+impl fmt::Display for Ticks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Ticks::NEVER {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}t", self.0)
+        }
+    }
+}
+
+impl Add for Ticks {
+    type Output = Ticks;
+    #[inline]
+    fn add(self, rhs: Ticks) -> Ticks {
+        Ticks(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ticks {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ticks) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ticks {
+    type Output = Ticks;
+    #[inline]
+    fn sub(self, rhs: Ticks) -> Ticks {
+        Ticks(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Ticks {
+    type Output = Ticks;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ticks {
+        Ticks(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ticks {
+    type Output = Ticks;
+    #[inline]
+    fn div(self, rhs: u64) -> Ticks {
+        Ticks(self.0 / rhs)
+    }
+}
+
+impl Sum for Ticks {
+    fn sum<I: Iterator<Item = Ticks>>(iter: I) -> Ticks {
+        iter.fold(Ticks::ZERO, |a, b| a + b)
+    }
+}
+
+/// The known upper bound Δ on the duration of a single shared-memory access.
+///
+/// In the paper's timing-based model Δ is *known* to all processes, so
+/// `delay(Δ)` statements can refer to it directly. A **timing failure** is
+/// any access that takes longer than Δ. Algorithms may also run with an
+/// *optimistic* estimate of Δ (`optimistic(Δ)` in §1.2 of the paper) that is
+/// smaller than the true bound; resilience guarantees that an under-estimate
+/// can cost time but never correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Delta(Ticks);
+
+impl Delta {
+    /// Creates a Δ bound of `ticks` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks` is zero: a zero access-time bound makes the model
+    /// degenerate (every access is a timing failure).
+    pub fn from_ticks(ticks: u64) -> Delta {
+        assert!(ticks > 0, "Δ must be positive");
+        Delta(Ticks(ticks))
+    }
+
+    /// The bound as a tick count.
+    #[inline]
+    pub fn ticks(self) -> Ticks {
+        self.0
+    }
+
+    /// `c · Δ` — the paper states every time-complexity bound as a small
+    /// constant multiple of Δ.
+    #[inline]
+    pub fn times(self, c: u64) -> Ticks {
+        self.0 * c
+    }
+
+    /// A scaled estimate of this bound (used by the adaptive
+    /// `optimistic(Δ)` machinery). Rounds down, clamped to at least 1 tick.
+    pub fn scaled(self, factor: f64) -> Delta {
+        let t = ((self.0 .0 as f64) * factor).floor().max(1.0) as u64;
+        Delta(Ticks(t))
+    }
+}
+
+impl Default for Delta {
+    /// 1000 ticks, the workspace-wide conventional Δ.
+    fn default() -> Self {
+        Delta::from_ticks(1000)
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_arithmetic() {
+        assert_eq!(Ticks(3) + Ticks(4), Ticks(7));
+        assert_eq!(Ticks(10) - Ticks(4), Ticks(6));
+        assert_eq!(Ticks(3) * 5, Ticks(15));
+        assert_eq!(Ticks(15) / 3, Ticks(5));
+        assert_eq!(Ticks(10).saturating_sub(Ticks(20)), Ticks::ZERO);
+        assert_eq!(Ticks::NEVER.saturating_add(Ticks(1)), Ticks::NEVER);
+    }
+
+    #[test]
+    fn tick_sum() {
+        let total: Ticks = [Ticks(1), Ticks(2), Ticks(3)].into_iter().sum();
+        assert_eq!(total, Ticks(6));
+    }
+
+    #[test]
+    fn delta_multiples() {
+        let d = Delta::from_ticks(100);
+        assert_eq!(d.times(15), Ticks(1500));
+        assert_eq!(Ticks(250).in_deltas(d), 2.5);
+    }
+
+    #[test]
+    fn delta_scaling_clamps() {
+        let d = Delta::from_ticks(10);
+        assert_eq!(d.scaled(0.5).ticks(), Ticks(5));
+        assert_eq!(d.scaled(0.0001).ticks(), Ticks(1));
+        assert_eq!(d.scaled(3.0).ticks(), Ticks(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "Δ must be positive")]
+    fn zero_delta_rejected() {
+        let _ = Delta::from_ticks(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ticks(5).to_string(), "5t");
+        assert_eq!(Ticks::NEVER.to_string(), "∞");
+        assert_eq!(Delta::from_ticks(7).to_string(), "Δ=7t");
+    }
+}

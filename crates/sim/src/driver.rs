@@ -1,0 +1,577 @@
+//! The discrete-event engine: issues actions, assigns durations via the
+//! timing model, linearizes each action at its completion instant.
+
+use crate::timing::{Fate, StepCtx, TimingModel};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tfr_registers::bank::{ArrayBank, RegisterBank};
+use tfr_registers::spec::{Action, Automaton, Obs};
+use tfr_registers::{Delta, ProcId, Ticks};
+
+/// Static parameters of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of processes (`ProcId(0)..ProcId(n-1)`).
+    pub n: usize,
+    /// The known bound Δ of the timing-based model; used only to *count*
+    /// timing failures (an access whose duration exceeds Δ) — the timing
+    /// model, not Δ, decides actual durations.
+    pub delta: Delta,
+    /// Stop once the virtual clock passes this instant (the run is then
+    /// marked [`RunResult::timed_out`]).
+    pub max_time: Ticks,
+    /// Stop after this many linearized actions.
+    pub max_steps: u64,
+    /// Record the full action trace (costs memory; off by default).
+    pub record_trace: bool,
+}
+
+impl RunConfig {
+    /// A config for `n` processes with bound `delta`, a generous time
+    /// budget of `100_000·Δ` and step budget of `10_000_000`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, delta: Delta) -> RunConfig {
+        assert!(n > 0, "at least one process is required");
+        RunConfig {
+            n,
+            delta,
+            max_time: delta.times(100_000),
+            max_steps: 10_000_000,
+            record_trace: false,
+        }
+    }
+
+    /// Overrides the virtual-time budget.
+    pub fn max_time(mut self, t: Ticks) -> RunConfig {
+        self.max_time = t;
+        self
+    }
+
+    /// Overrides the step budget.
+    pub fn max_steps(mut self, s: u64) -> RunConfig {
+        self.max_steps = s;
+        self
+    }
+
+    /// Enables full action tracing.
+    pub fn record_trace(mut self) -> RunConfig {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// An observable event with the instant and process that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedObs {
+    /// The virtual instant the event occurred (the completion instant of
+    /// the step that emitted it).
+    pub time: Ticks,
+    /// The emitting process.
+    pub pid: ProcId,
+    /// The event.
+    pub obs: Obs,
+}
+
+/// One linearized action in the full trace (only recorded when
+/// [`RunConfig::record_trace`] is on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// When the action was issued.
+    pub issued: Ticks,
+    /// When it completed (= its linearization instant).
+    pub completed: Ticks,
+    /// The acting process.
+    pub pid: ProcId,
+    /// The action.
+    pub action: Action,
+}
+
+/// Everything a simulation run produced.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Number of processes.
+    pub n: usize,
+    /// The Δ bound the run was configured with.
+    pub delta: Delta,
+    /// All observable events, in linearization order.
+    pub obs: Vec<TimedObs>,
+    /// Full action trace (empty unless tracing was enabled).
+    pub trace: Vec<TraceStep>,
+    /// Number of linearized actions.
+    pub steps: u64,
+    /// The instant of the last linearized action.
+    pub end_time: Ticks,
+    /// Which processes halted normally.
+    pub halted: Vec<bool>,
+    /// Which processes crashed.
+    pub crashed: Vec<bool>,
+    /// Number of shared-memory accesses that took longer than Δ — the
+    /// paper's timing failures.
+    pub timing_failures: u64,
+    /// Whether the run was cut off by the time or step budget.
+    pub timed_out: bool,
+    /// The final register file.
+    pub final_bank: ArrayBank,
+}
+
+impl RunResult {
+    /// Whether every process halted normally.
+    pub fn all_halted(&self) -> bool {
+        self.halted.iter().all(|&h| h)
+    }
+
+    /// Events of one kind, as `(time, pid, payload)` via a filter-map.
+    pub fn events<'a, T: 'a>(
+        &'a self,
+        mut f: impl FnMut(&Obs) -> Option<T> + 'a,
+    ) -> impl Iterator<Item = (Ticks, ProcId, T)> + 'a {
+        self.obs.iter().filter_map(move |e| f(&e.obs).map(|t| (e.time, e.pid, t)))
+    }
+
+    /// The value process `pid` decided, with the decision instant.
+    pub fn decision_of(&self, pid: ProcId) -> Option<(Ticks, u64)> {
+        self.obs.iter().find_map(|e| match e.obs {
+            Obs::Decided(v) if e.pid == pid => Some((e.time, v)),
+            _ => None,
+        })
+    }
+
+    /// All decisions as `(pid, time, value)` in decision order.
+    pub fn decisions(&self) -> Vec<(ProcId, Ticks, u64)> {
+        self.events(|o| match o {
+            Obs::Decided(v) => Some(*v),
+            _ => None,
+        })
+        .map(|(t, p, v)| (p, t, v))
+        .collect()
+    }
+
+    /// The latest decision instant, if every non-crashed process decided.
+    pub fn last_decision_time(&self) -> Option<Ticks> {
+        let decided: Vec<ProcId> = self.decisions().iter().map(|d| d.0).collect();
+        for i in 0..self.n {
+            if !self.crashed[i] && !decided.contains(&ProcId(i)) {
+                return None;
+            }
+        }
+        self.decisions().iter().map(|d| d.1).max()
+    }
+}
+
+/// A transient memory failure: at `at`, register `reg` is corrupted to
+/// `value` (out of band — no process writes it).
+///
+/// §4 of the paper lists "both (transient) memory failures and timing
+/// failures" as a research extension; fault injection makes the
+/// sensitivity measurable (experiment E14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterFault {
+    /// The instant the corruption takes effect (before any action
+    /// linearizing at or after this instant).
+    pub at: Ticks,
+    /// The corrupted register.
+    pub reg: tfr_registers::RegId,
+    /// The value it is corrupted to.
+    pub value: u64,
+}
+
+/// A simulation of `n` copies of one automaton under a timing model.
+#[derive(Debug)]
+pub struct Sim<A, M> {
+    automaton: A,
+    config: RunConfig,
+    model: M,
+    faults: Vec<RegisterFault>,
+}
+
+impl<A: Automaton, M: TimingModel> Sim<A, M> {
+    /// Creates the simulation; nothing runs until [`Sim::run`].
+    pub fn new(automaton: A, config: RunConfig, model: M) -> Sim<A, M> {
+        Sim { automaton, config, model, faults: Vec::new() }
+    }
+
+    /// Injects transient register corruptions (sorted internally by
+    /// instant). Faults model §4's memory failures: they change register
+    /// contents out of band and are invisible to the timing model.
+    pub fn with_faults(mut self, mut faults: Vec<RegisterFault>) -> Sim<A, M> {
+        faults.sort_by_key(|f| f.at);
+        self.faults = faults;
+        self
+    }
+
+    /// Runs to completion (all processes halted or crashed) or until a
+    /// budget is exhausted.
+    pub fn run(mut self) -> RunResult {
+        let n = self.config.n;
+        let delta = self.config.delta;
+        let mut bank = ArrayBank::new();
+        let mut states: Vec<A::State> = (0..n).map(|i| self.automaton.init(ProcId(i))).collect();
+        let mut halted = vec![false; n];
+        let mut crashed = vec![false; n];
+        let mut proc_steps = vec![0u64; n];
+        let mut pending: Vec<Option<Action>> = vec![None; n];
+        let mut issued_at = vec![Ticks::ZERO; n];
+        let mut obs_out: Vec<TimedObs> = Vec::new();
+        let mut trace: Vec<TraceStep> = Vec::new();
+        let mut global_step = 0u64;
+        let mut timing_failures = 0u64;
+        let mut timed_out = false;
+        let mut end_time = Ticks::ZERO;
+        let mut seq = 0u64;
+
+        // Completion events: (completion instant, tie-break seq, pid).
+        let mut queue: BinaryHeap<Reverse<(Ticks, u64, usize)>> = BinaryHeap::new();
+
+        let mut obs_buf: Vec<Obs> = Vec::new();
+
+        // Issues the next action of process `pid` at instant `now`.
+        // Returns false if the process halted or crashed instead.
+        macro_rules! issue {
+            ($pid:expr, $now:expr) => {{
+                let pid = $pid;
+                let now: Ticks = $now;
+                let action = self.automaton.next_action(&states[pid]);
+                if matches!(action, Action::Halt) {
+                    halted[pid] = true;
+                } else {
+                    let ctx = StepCtx {
+                        pid: ProcId(pid),
+                        action,
+                        now,
+                        global_step,
+                        proc_step: proc_steps[pid],
+                    };
+                    match self.model.fate(ctx) {
+                        Fate::Crash => {
+                            crashed[pid] = true;
+                        }
+                        Fate::Take(dur) => {
+                            // A delay never completes before its requested length.
+                            let dur = match action {
+                                Action::Delay(d) => Ticks(dur.0.max(d.0)),
+                                _ => dur,
+                            };
+                            if action.is_shared_access() && dur > delta.ticks() {
+                                timing_failures += 1;
+                            }
+                            pending[pid] = Some(action);
+                            issued_at[pid] = now;
+                            proc_steps[pid] += 1;
+                            global_step += 1;
+                            queue.push(Reverse((now.saturating_add(dur), seq, pid)));
+                            seq += 1;
+                        }
+                    }
+                }
+            }};
+        }
+
+        for pid in 0..n {
+            issue!(pid, Ticks::ZERO);
+        }
+
+        let mut steps = 0u64;
+        let mut next_fault = 0usize;
+        while let Some(Reverse((now, _, pid))) = queue.pop() {
+            if now > self.config.max_time || steps >= self.config.max_steps {
+                timed_out = true;
+                break;
+            }
+            // Transient memory failures strike before anything linearizes
+            // at or after their instant.
+            while next_fault < self.faults.len() && self.faults[next_fault].at <= now {
+                let f = self.faults[next_fault];
+                bank.write(f.reg, f.value);
+                next_fault += 1;
+            }
+            end_time = now;
+            steps += 1;
+            let action = pending[pid].take().expect("completion without pending action");
+            // Linearize the action at its completion instant.
+            let observed = match action {
+                Action::Read(r) => Some(bank.read(r)),
+                Action::Write(r, v) => {
+                    bank.write(r, v);
+                    None
+                }
+                Action::Delay(_) => None,
+                Action::Halt => unreachable!("Halt is never scheduled"),
+            };
+            if self.config.record_trace {
+                trace.push(TraceStep {
+                    issued: issued_at[pid],
+                    completed: now,
+                    pid: ProcId(pid),
+                    action,
+                });
+            }
+            obs_buf.clear();
+            self.automaton.apply(&mut states[pid], observed, &mut obs_buf);
+            for &o in obs_buf.iter() {
+                obs_out.push(TimedObs { time: now, pid: ProcId(pid), obs: o });
+            }
+            issue!(pid, now);
+        }
+
+        RunResult {
+            n,
+            delta,
+            obs: obs_out,
+            trace,
+            steps,
+            end_time,
+            halted,
+            crashed,
+            timing_failures,
+            timed_out,
+            final_bank: bank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{CrashSchedule, Fixed, Scripted};
+    use tfr_registers::RegId;
+
+    /// Increments register 0 `rounds` times: read, write back +1.
+    #[derive(Debug)]
+    struct Counter {
+        rounds: u64,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct CounterState {
+        left: u64,
+        seen: Option<u64>,
+    }
+
+    impl Automaton for Counter {
+        type State = CounterState;
+        fn init(&self, _pid: ProcId) -> CounterState {
+            CounterState { left: self.rounds, seen: None }
+        }
+        fn next_action(&self, s: &CounterState) -> Action {
+            if s.left == 0 {
+                Action::Halt
+            } else {
+                match s.seen {
+                    None => Action::Read(RegId(0)),
+                    Some(v) => Action::Write(RegId(0), v + 1),
+                }
+            }
+        }
+        fn apply(&self, s: &mut CounterState, observed: Option<u64>, obs: &mut Vec<Obs>) {
+            match s.seen {
+                None => s.seen = Some(observed.expect("read observes a value")),
+                Some(_) => {
+                    s.seen = None;
+                    s.left -= 1;
+                    if s.left == 0 {
+                        obs.push(Obs::Note("done", 0));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_process_counts_to_rounds() {
+        let config = RunConfig::new(1, Delta::from_ticks(100));
+        let result = Sim::new(Counter { rounds: 5 }, config, Fixed::new(Ticks(10))).run();
+        assert!(result.all_halted());
+        assert_eq!(result.final_bank.read(RegId(0)), 5);
+        assert_eq!(result.steps, 10, "5 reads + 5 writes");
+        assert_eq!(result.end_time, Ticks(100));
+        assert_eq!(result.timing_failures, 0);
+        assert!(!result.timed_out);
+    }
+
+    #[test]
+    fn interleaving_can_lose_updates() {
+        // Two processes, scripted so both read 0 before either writes:
+        // the classic lost update, demonstrating linearization-at-completion.
+        let model = Scripted::new(Ticks(10))
+            .set(ProcId(0), 0, Fate::Take(Ticks(10))) // read completes t=10
+            .set(ProcId(1), 0, Fate::Take(Ticks(15))) // read completes t=15
+            .set(ProcId(0), 1, Fate::Take(Ticks(10))) // write 1 at t=20
+            .set(ProcId(1), 1, Fate::Take(Ticks(10))); // write 1 at t=25
+        let config = RunConfig::new(2, Delta::from_ticks(100));
+        let result = Sim::new(Counter { rounds: 1 }, config, model).run();
+        assert_eq!(result.final_bank.read(RegId(0)), 1, "second write overwrites the first");
+    }
+
+    #[test]
+    fn timing_failures_are_counted_against_delta() {
+        let model = Scripted::new(Ticks(10)).set(ProcId(0), 1, Fate::Take(Ticks(5000)));
+        let config = RunConfig::new(1, Delta::from_ticks(100));
+        let result = Sim::new(Counter { rounds: 2 }, config, model).run();
+        assert_eq!(result.timing_failures, 1);
+    }
+
+    #[test]
+    fn crashes_stop_a_process_without_effect() {
+        // p0 crashes on its write: register keeps its read value.
+        let model = CrashSchedule::new(Fixed::new(Ticks(10)), vec![(ProcId(0), Ticks(10))]);
+        let config = RunConfig::new(1, Delta::from_ticks(100));
+        let result = Sim::new(Counter { rounds: 1 }, config, model).run();
+        assert!(result.crashed[0]);
+        assert!(!result.halted[0]);
+        assert_eq!(result.final_bank.read(RegId(0)), 0, "crashed write must not linearize");
+    }
+
+    #[test]
+    fn step_budget_cuts_off() {
+        let config = RunConfig::new(1, Delta::from_ticks(100)).max_steps(3);
+        let result = Sim::new(Counter { rounds: 100 }, config, Fixed::new(Ticks(10))).run();
+        assert!(result.timed_out);
+        assert_eq!(result.steps, 3);
+    }
+
+    #[test]
+    fn time_budget_cuts_off() {
+        let config = RunConfig::new(1, Delta::from_ticks(100)).max_time(Ticks(45));
+        let result = Sim::new(Counter { rounds: 100 }, config, Fixed::new(Ticks(10))).run();
+        assert!(result.timed_out);
+        assert!(result.end_time <= Ticks(45));
+    }
+
+    #[test]
+    fn trace_records_issue_and_completion() {
+        let config = RunConfig::new(1, Delta::from_ticks(100)).record_trace();
+        let result = Sim::new(Counter { rounds: 1 }, config, Fixed::new(Ticks(10))).run();
+        assert_eq!(result.trace.len(), 2);
+        assert_eq!(result.trace[0].issued, Ticks(0));
+        assert_eq!(result.trace[0].completed, Ticks(10));
+        assert_eq!(result.trace[1].issued, Ticks(10));
+        assert_eq!(result.trace[1].completed, Ticks(20));
+    }
+
+    #[test]
+    fn obs_events_carry_time_and_pid() {
+        let config = RunConfig::new(2, Delta::from_ticks(100));
+        let result = Sim::new(Counter { rounds: 2 }, config, Fixed::new(Ticks(10))).run();
+        let notes: Vec<_> = result
+            .events(|o| match o {
+                Obs::Note(name, _) => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notes.len(), 2, "each process emits one done-note");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _ = RunConfig::new(0, Delta::from_ticks(1));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::timing::Fixed;
+    use tfr_registers::RegId;
+
+    /// Reads register 0 twice with a pause, deciding each value as a note.
+    #[derive(Debug)]
+    struct TwoReads;
+    impl Automaton for TwoReads {
+        type State = u8;
+        fn init(&self, _pid: ProcId) -> u8 {
+            0
+        }
+        fn next_action(&self, s: &u8) -> Action {
+            match s {
+                0 => Action::Read(RegId(0)),
+                1 => Action::Delay(Ticks(100)),
+                2 => Action::Read(RegId(0)),
+                _ => Action::Halt,
+            }
+        }
+        fn apply(&self, s: &mut u8, observed: Option<u64>, obs: &mut Vec<Obs>) {
+            if let Some(v) = observed {
+                obs.push(Obs::Note("read", v));
+            }
+            *s += 1;
+        }
+    }
+
+    #[test]
+    fn faults_strike_at_their_instant() {
+        let config = RunConfig::new(1, Delta::from_ticks(1000));
+        let result = Sim::new(TwoReads, config, Fixed::new(Ticks(10)))
+            .with_faults(vec![RegisterFault { at: Ticks(50), reg: RegId(0), value: 77 }])
+            .run();
+        let reads: Vec<u64> = result
+            .events(|o| match o {
+                Obs::Note("read", v) => Some(*v),
+                _ => None,
+            })
+            .map(|(_, _, v)| v)
+            .collect();
+        assert_eq!(reads, vec![0, 77], "first read pre-fault, second post-fault");
+    }
+
+    #[test]
+    fn faults_are_applied_in_instant_order_even_if_given_unsorted() {
+        let config = RunConfig::new(1, Delta::from_ticks(1000));
+        let result = Sim::new(TwoReads, config, Fixed::new(Ticks(10)))
+            .with_faults(vec![
+                RegisterFault { at: Ticks(60), reg: RegId(0), value: 2 },
+                RegisterFault { at: Ticks(40), reg: RegId(0), value: 1 },
+            ])
+            .run();
+        let reads: Vec<u64> = result
+            .events(|o| match o {
+                Obs::Note("read", v) => Some(*v),
+                _ => None,
+            })
+            .map(|(_, _, v)| v)
+            .collect();
+        assert_eq!(reads, vec![0, 2], "both faults land before the second read; last wins");
+    }
+
+    #[test]
+    fn process_writes_overwrite_faults() {
+        /// Writes 5 to r0, then reads it back.
+        #[derive(Debug)]
+        struct WriteRead;
+        impl Automaton for WriteRead {
+            type State = u8;
+            fn init(&self, _pid: ProcId) -> u8 {
+                0
+            }
+            fn next_action(&self, s: &u8) -> Action {
+                match s {
+                    0 => Action::Write(RegId(0), 5),
+                    1 => Action::Read(RegId(0)),
+                    _ => Action::Halt,
+                }
+            }
+            fn apply(&self, s: &mut u8, observed: Option<u64>, obs: &mut Vec<Obs>) {
+                if let Some(v) = observed {
+                    obs.push(Obs::Note("read", v));
+                }
+                *s += 1;
+            }
+        }
+        let config = RunConfig::new(1, Delta::from_ticks(1000));
+        // Fault at t=5 (before the write lands at t=10): overwritten.
+        let result = Sim::new(WriteRead, config, Fixed::new(Ticks(10)))
+            .with_faults(vec![RegisterFault { at: Ticks(5), reg: RegId(0), value: 99 }])
+            .run();
+        let reads: Vec<u64> = result
+            .events(|o| match o {
+                Obs::Note("read", v) => Some(*v),
+                _ => None,
+            })
+            .map(|(_, _, v)| v)
+            .collect();
+        assert_eq!(reads, vec![5]);
+    }
+}

@@ -1,0 +1,88 @@
+//! A small "control plane" built entirely from atomic registers and the
+//! paper's wait-free primitives: worker threads of a (simulated) cluster
+//! pick a coordinator, agree on a configuration epoch, and claim distinct
+//! shard slots — with some workers crashing mid-protocol.
+//!
+//! This is the class of problem the paper's introduction motivates: none
+//! of these steps have fault-tolerant register-only solutions in a fully
+//! asynchronous system, yet all of them complete here because the system
+//! is only *mostly* asynchronous.
+//!
+//! ```sh
+//! cargo run --example cluster_config
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tfr::core::derived::{LeaderElection, Renaming};
+use tfr::core::universal::MultiConsensus;
+use tfr::registers::ProcId;
+
+const DELTA: Duration = Duration::from_micros(20);
+
+#[derive(Debug)]
+struct Assignment {
+    worker: usize,
+    leader: ProcId,
+    epoch: u64,
+    shard: usize,
+}
+
+fn main() {
+    let n = 6;
+    let election = Arc::new(LeaderElection::new(n, DELTA));
+    let epoch_consensus = Arc::new(MultiConsensus::new(n, 16, DELTA));
+    let renaming = Arc::new(Renaming::new(n, DELTA));
+
+    let workers: Vec<_> = (0..n)
+        .map(|i| {
+            let election = Arc::clone(&election);
+            let epoch_consensus = Arc::clone(&epoch_consensus);
+            let renaming = Arc::clone(&renaming);
+            std::thread::spawn(move || {
+                let me = ProcId(i);
+                // Workers 4 and 5 crash before participating — wait-freedom
+                // means nobody waits for them.
+                if i >= 4 {
+                    return None;
+                }
+                // 1. Pick a coordinator.
+                let leader = election.elect(me);
+                // 2. Agree on the config epoch; every worker proposes the
+                //    epoch it last saw locally (here: 100 + its id).
+                let epoch = epoch_consensus.propose(me, 100 + i as u64);
+                // 3. Claim a shard slot (distinct small names).
+                let shard = renaming.rename(me);
+                Some(Assignment { worker: i, leader, epoch, shard })
+            })
+        })
+        .collect();
+
+    let assignments: Vec<Assignment> =
+        workers.into_iter().filter_map(|h| h.join().unwrap()).collect();
+
+    println!("{:<8} {:<8} {:<7} {:<6}", "worker", "leader", "epoch", "shard");
+    for a in &assignments {
+        println!("{:<8} {:<8} {:<7} {:<6}", a.worker, a.leader.to_string(), a.epoch, a.shard);
+    }
+
+    // The guarantees, checked:
+    assert!(
+        assignments.windows(2).all(|w| w[0].leader == w[1].leader),
+        "all workers agree on the coordinator"
+    );
+    assert!(
+        assignments.windows(2).all(|w| w[0].epoch == w[1].epoch),
+        "all workers agree on the epoch"
+    );
+    let mut shards: Vec<usize> = assignments.iter().map(|a| a.shard).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    assert_eq!(shards.len(), assignments.len(), "shard slots are distinct");
+    println!(
+        "agreed: leader={}, epoch={}, {} live workers on distinct shards (2 crashed)",
+        assignments[0].leader,
+        assignments[0].epoch,
+        assignments.len()
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: wait-free consensus and a timing-failure-resilient lock on
+//! real threads.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tfr::asynclock::RawLock;
+use tfr::core::consensus::NativeConsensus;
+use tfr::core::mutex::resilient::ResilientMutex;
+use tfr::registers::ProcId;
+
+fn main() {
+    // --- Consensus (Algorithm 1) -------------------------------------
+    // Any number of threads propose a bit; all return the same decision,
+    // even if the Δ estimate is wrong and regardless of crashes.
+    let consensus = Arc::new(NativeConsensus::new(Duration::from_micros(50)));
+    let proposers: Vec<_> = (0..4)
+        .map(|i| {
+            let c = Arc::clone(&consensus);
+            std::thread::spawn(move || c.propose(i % 2 == 0))
+        })
+        .collect();
+    let decisions: Vec<bool> = proposers.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement");
+    println!("consensus: 4 threads decided {}", decisions[0]);
+
+    // --- Mutual exclusion (Algorithm 3) ------------------------------
+    // Fischer's O(Δ) fast path + an asynchronous safety net: a wrong Δ
+    // estimate (here: an absurd 1ns) can only cost time, never safety.
+    let n = 4;
+    let lock = Arc::new(ResilientMutex::standard(n, Duration::from_nanos(1)));
+    let counter = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..n)
+        .map(|i| {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    lock.lock(ProcId(i));
+                    // Non-atomic read-modify-write: only safe under mutual
+                    // exclusion.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    lock.unlock(ProcId(i));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let total = counter.load(Ordering::Relaxed);
+    assert_eq!(total, n as u64 * 10_000);
+    println!("mutex: {n} threads × 10000 exclusive increments = {total}");
+}

@@ -1,0 +1,90 @@
+//! Drive the deterministic simulator by hand: reproduce Fischer's mutual
+//! exclusion violation under a single timing failure, then run Algorithm 3
+//! through a failure burst and watch it converge back to the O(Δ) regime.
+//!
+//! ```sh
+//! cargo run --release --example simulate_failures
+//! ```
+
+use tfr::asynclock::workload::LockLoop;
+use tfr::core::mutex::fischer::FischerSpec;
+use tfr::core::mutex::resilient::standard_resilient_spec;
+use tfr::registers::spec::Obs;
+use tfr::registers::{Delta, ProcId, Ticks};
+use tfr::sim::metrics::mutex_stats;
+use tfr::sim::timing::{standard_no_failures, Fate, FailureWindows, Scripted, Window};
+use tfr::sim::{RunConfig, Sim};
+
+fn main() {
+    let delta = Delta::from_ticks(100);
+
+    // --- Part 1: break Fischer with one slow write -------------------
+    // p0's write to the lock register outlasts Δ; p1 runs clean. Both end
+    // up in the critical section.
+    let schedule = Scripted::new(Ticks(10))
+        .set(ProcId(0), 2, Fate::Take(Ticks(500))) // the timing failure
+        .set(ProcId(1), 1, Fate::Take(Ticks(30)));
+    let fischer = LockLoop::new(FischerSpec::new(2, 0, delta.ticks()), 1)
+        .cs_ticks(Ticks(1000))
+        .ncs_ticks(Ticks(1));
+    let result = Sim::new(fischer, RunConfig::new(2, delta), schedule.clone()).run();
+    println!("— Fischer (Algorithm 2) under one timing failure —");
+    for e in &result.obs {
+        if matches!(e.obs, Obs::EnterCritical | Obs::ExitCritical) {
+            println!("  {:>6} {} {:?}", e.time.to_string(), e.pid, e.obs);
+        }
+    }
+    let stats = mutex_stats(&result, Ticks::ZERO);
+    println!("  mutual exclusion violated: {}\n", stats.mutual_exclusion_violated);
+    assert!(stats.mutual_exclusion_violated);
+
+    // --- Part 2: Algorithm 3 on the same schedule --------------------
+    let resilient = LockLoop::new(standard_resilient_spec(2, 0, delta.ticks()), 1)
+        .cs_ticks(Ticks(1000))
+        .ncs_ticks(Ticks(1));
+    let result = Sim::new(resilient, RunConfig::new(2, delta), schedule).run();
+    let stats = mutex_stats(&result, Ticks::ZERO);
+    println!("— Algorithm 3 on the same schedule —");
+    println!(
+        "  CS entries: {}, mutual exclusion violated: {}\n",
+        stats.cs_entries, stats.mutual_exclusion_violated
+    );
+    assert!(!stats.mutual_exclusion_violated);
+
+    // --- Part 3: a failure burst, then convergence -------------------
+    // Four processes loop through the lock; every access during
+    // [0, 3000t] is inflated to 4.5Δ (a timing-failure storm), then the
+    // world behaves. The paper's §3 time-complexity metric, measured in
+    // windows, returns to the failure-free regime.
+    let n = 4;
+    let burst_end = Ticks(3_000);
+    let model = FailureWindows::new(
+        standard_no_failures(delta, 7),
+        vec![Window {
+            from: Ticks::ZERO,
+            to: burst_end,
+            pids: None,
+            inflated: Ticks(450),
+        }],
+    );
+    let automaton = LockLoop::new(standard_resilient_spec(n, 0, delta.ticks()), 60)
+        .cs_ticks(Ticks(20))
+        .ncs_ticks(Ticks(30));
+    let result = Sim::new(automaton, RunConfig::new(n, delta), model).run();
+    println!("— Algorithm 3 through a failure burst (all accesses 4.5Δ until t=3000) —");
+    println!("  {:>18} {:>10}", "measured from", "ψ");
+    for from in [0u64, 3_000, 8_000, 15_000] {
+        let stats = mutex_stats(&result, Ticks(from));
+        println!(
+            "  {:>18} {:>9.1}Δ",
+            format!("t = {from}"),
+            stats.longest_starved_interval.in_deltas(delta)
+        );
+    }
+    let overall = mutex_stats(&result, Ticks::ZERO);
+    println!(
+        "  safety throughout: {} ({} CS entries)",
+        !overall.mutual_exclusion_violated, overall.cs_entries
+    );
+    assert!(!overall.mutual_exclusion_violated);
+}

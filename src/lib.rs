@@ -1,0 +1,51 @@
+//! # tfr — computing in the presence of timing failures
+//!
+//! A Rust implementation of the algorithms, model, and experiments of
+//! **Gadi Taubenfeld, "Computing in the Presence of Timing Failures",
+//! ICDCS 2006**: consensus and mutual exclusion from atomic registers that
+//! keep their safety properties under arbitrary *timing failures* and
+//! automatically resume efficient, live operation once timing constraints
+//! hold again.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`core`] — the paper's algorithms (time-resilient consensus, Fischer's
+//!   lock, the time-resilient mutex) plus derived wait-free objects and the
+//!   adaptive `optimistic(Δ)` machinery.
+//! * [`registers`] — the shared-memory substrate (ids, virtual time,
+//!   automaton spec model, register banks, unbounded atomic arrays).
+//! * [`sim`] — a deterministic discrete-event simulator of the
+//!   timing-based model (timing-failure and crash injection, metrics).
+//! * [`modelcheck`] — a bounded exhaustive interleaving explorer used to
+//!   verify the safety theorems.
+//! * [`asynclock`] — asynchronous mutual exclusion algorithms (Lamport
+//!   fast, bakery variants, tournament) used as the inner lock `A` of
+//!   Algorithm 3 and as baselines.
+//! * [`baselines`] — consensus baselines (time-adaptive, unknown-Δ).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use tfr::core::consensus::NativeConsensus;
+//!
+//! // Wait-free binary consensus among 4 threads, resilient to timing
+//! // failures: safety never depends on the Δ estimate being right.
+//! let consensus = Arc::new(NativeConsensus::new(Duration::from_micros(50)));
+//! let handles: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let c = Arc::clone(&consensus);
+//!         std::thread::spawn(move || c.propose(i % 2 == 1))
+//!     })
+//!     .collect();
+//! let decisions: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+//! assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement");
+//! ```
+
+pub use tfr_asynclock as asynclock;
+pub use tfr_baselines as baselines;
+pub use tfr_core as core;
+pub use tfr_modelcheck as modelcheck;
+pub use tfr_registers as registers;
+pub use tfr_sim as sim;

@@ -1,0 +1,251 @@
+//! Cross-crate integration tests for §3: Fischer's fragility, Algorithm
+//! 3's unconditional safety over every inner-lock choice, convergence, and
+//! the Theorem 3.2 starvation contrast.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tfr::asynclock::bakery::BakerySpec;
+use tfr::asynclock::bar_david::StarvationFreeSpec;
+use tfr::asynclock::bw_bakery::BwBakerySpec;
+use tfr::asynclock::lamport_fast::LamportFastSpec;
+use tfr::asynclock::peterson::PetersonSpec;
+use tfr::asynclock::workload::LockLoop;
+use tfr::asynclock::{LockSpec, RawLock};
+use tfr::core::mutex::fischer::FischerSpec;
+use tfr::core::mutex::resilient::{
+    deadlock_free_resilient_spec, standard_resilient_spec, ResilientMutex, ResilientMutexSpec,
+};
+use tfr::modelcheck::{Explorer, SafetySpec};
+use tfr::registers::spec::Obs;
+use tfr::registers::{Delta, ProcId, Ticks};
+use tfr::sim::metrics::mutex_stats;
+use tfr::sim::timing::{standard_no_failures, PerProcess, UniformAccess};
+use tfr::sim::{RunConfig, Sim};
+
+#[test]
+fn fischer_is_unsafe_and_alg3_safe_under_the_same_exploration() {
+    let fischer = LockLoop::new(FischerSpec::new(2, 0, Ticks(100)), 1);
+    let report = Explorer::new(fischer, 2).check(&SafetySpec::mutex());
+    assert!(report.violation.is_some(), "Fischer must have a reachable ME violation");
+
+    let alg3 = LockLoop::new(standard_resilient_spec(2, 0, Ticks(100)), 1);
+    let report = Explorer::new(alg3, 2).check(&SafetySpec::mutex());
+    assert!(report.proven_safe(), "{:?}", report.violation);
+}
+
+/// Algorithm 3 is safe for *any* correct asynchronous inner lock: check
+/// the whole zoo through the generic composition.
+#[test]
+fn alg3_safe_with_every_inner_lock_modelchecked() {
+    fn check<A: LockSpec>(name: &str, inner: A) {
+        let spec = ResilientMutexSpec::new(inner, 2, 0, Ticks(100));
+        let report = Explorer::new(LockLoop::new(spec, 1), 2).check(&SafetySpec::mutex());
+        assert!(report.proven_safe(), "{name}: {:?}", report.violation);
+    }
+    check("lamport-fast", LamportFastSpec::new(2, 1));
+    check("sf-lamport", StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(2, 1));
+    check("bakery", BakerySpec::new(2, 1));
+    check("bw-bakery", BwBakerySpec::new(2, 1));
+    check("peterson", PetersonSpec::new(2, 1));
+}
+
+#[test]
+fn alg3_live_under_constant_timing_failures_with_every_inner_lock() {
+    let d = Delta::from_ticks(100);
+    fn run<A: LockSpec>(name: &str, inner: A, n: usize, seed: u64) {
+        let d = Delta::from_ticks(100);
+        let spec = ResilientMutexSpec::new(inner, n, 0, d.ticks());
+        let automaton = LockLoop::new(spec, 5).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30));
+        let model = UniformAccess::new(Ticks(10), Ticks(500), seed);
+        let result = Sim::new(automaton, RunConfig::new(n, d), model).run();
+        assert!(result.all_halted(), "{name}: stalled under failures");
+        let stats = mutex_stats(&result, Ticks::ZERO);
+        assert!(!stats.mutual_exclusion_violated, "{name}");
+        assert_eq!(stats.cs_entries, n as u64 * 5, "{name}");
+    }
+    let _ = d;
+    run("sf-lamport", StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(3, 1), 3, 1);
+    run("bakery", BakerySpec::new(3, 1), 3, 2);
+    run("bw-bakery", BwBakerySpec::new(3, 1), 3, 3);
+    run("peterson", PetersonSpec::new(3, 1), 3, 4);
+}
+
+#[test]
+fn starvation_contrast_deadlock_free_vs_starvation_free() {
+    // The E8 shape as a regression test: a slow-but-legal victim against
+    // a fast stream inside A.
+    let d = Delta::from_ticks(100);
+    let n = 3;
+    let victim = ProcId(2);
+    let first_entry = |sf: bool, iters: u64| -> (Ticks, Ticks) {
+        let model = PerProcess::new(vec![Ticks(10), Ticks(10), Ticks(100)]);
+        let result = if sf {
+            Sim::new(
+                LockLoop::new(
+                    StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(n, 0),
+                    iters,
+                )
+                .cs_ticks(Ticks(10))
+                .ncs_ticks(Ticks(1)),
+                RunConfig::new(n, d),
+                model,
+            )
+            .run()
+        } else {
+            Sim::new(
+                LockLoop::new(LamportFastSpec::new(n, 0), iters)
+                    .cs_ticks(Ticks(10))
+                    .ncs_ticks(Ticks(1)),
+                RunConfig::new(n, d),
+                model,
+            )
+            .run()
+        };
+        let first = result
+            .obs
+            .iter()
+            .find(|e| e.pid == victim && e.obs == Obs::EnterCritical)
+            .map(|e| e.time)
+            .expect("victim enters once the stream ends");
+        let stream_done = result
+            .obs
+            .iter()
+            .filter(|e| e.pid != victim && e.obs == Obs::EnterRemainder)
+            .map(|e| e.time)
+            .max()
+            .unwrap();
+        (first, stream_done)
+    };
+
+    // Deadlock-free: the victim waits out the whole stream, and its wait
+    // scales with the stream length.
+    let (df_20, done_20) = first_entry(false, 20);
+    let (df_40, done_40) = first_entry(false, 40);
+    assert!(df_20 >= done_20, "victim must be served only after the stream");
+    assert!(df_40 >= done_40);
+    assert!(df_40 > df_20, "victim wait must grow with the stream");
+
+    // Starvation-free: constant, stream-independent wait.
+    let (sf_20, _) = first_entry(true, 20);
+    let (sf_40, _) = first_entry(true, 40);
+    assert_eq!(sf_20, sf_40, "victim wait must not depend on the stream length");
+    assert!(sf_20 < df_20);
+}
+
+#[test]
+fn convergence_of_the_generic_composition_with_peterson_inner() {
+    // Peterson is starvation-free, so Algorithm 3 over it must converge
+    // (Theorem 3.3 is not specific to the Lamport-based inner lock).
+    let d = Delta::from_ticks(100);
+    let mk = || ResilientMutexSpec::new(PetersonSpec::new(4, 1), 4, 0, d.ticks());
+    let clean = Sim::new(
+        LockLoop::new(mk(), 30).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30)),
+        RunConfig::new(4, d),
+        standard_no_failures(d, 9),
+    )
+    .run();
+    let psi0 = mutex_stats(&clean, Ticks::ZERO).longest_starved_interval;
+
+    let burst_end = Ticks(3_000);
+    let model = tfr::sim::timing::FailureWindows::new(
+        standard_no_failures(d, 9),
+        vec![tfr::sim::timing::Window {
+            from: Ticks::ZERO,
+            to: burst_end,
+            pids: None,
+            inflated: Ticks(450),
+        }],
+    );
+    let burst = Sim::new(
+        LockLoop::new(mk(), 30).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30)),
+        RunConfig::new(4, d),
+        model,
+    )
+    .run();
+    assert!(burst.all_halted());
+    let all = mutex_stats(&burst, Ticks::ZERO);
+    assert!(!all.mutual_exclusion_violated);
+    let after = mutex_stats(&burst, burst_end + d.times(50));
+    assert!(
+        after.longest_starved_interval.0 <= psi0.0 * 2 + d.ticks().0,
+        "not converged: {} vs failure-free {}",
+        after.longest_starved_interval,
+        psi0
+    );
+}
+
+#[test]
+fn native_resilient_mutex_with_every_inner_lock() {
+    fn hammer(lock: Arc<dyn RawLock>, n: usize) {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        lock.lock(ProcId(i));
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.unlock(ProcId(i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), n as u64 * 1_000);
+    }
+    let delta = Duration::from_micros(3);
+    let n = 4;
+    hammer(Arc::new(ResilientMutex::standard(n, delta)), n);
+    hammer(
+        Arc::new(ResilientMutex::new(tfr::asynclock::bakery::Bakery::new(n), n, delta)),
+        n,
+    );
+    hammer(
+        Arc::new(ResilientMutex::new(tfr::asynclock::bw_bakery::BwBakery::new(n), n, delta)),
+        n,
+    );
+    hammer(
+        Arc::new(ResilientMutex::new(tfr::asynclock::peterson::Peterson::new(n), n, delta)),
+        n,
+    );
+}
+
+#[test]
+fn deadlock_free_variant_is_safe_even_if_not_convergent() {
+    let d = Delta::from_ticks(100);
+    for seed in 0..10 {
+        let spec = deadlock_free_resilient_spec(3, 0, d.ticks());
+        let automaton = LockLoop::new(spec, 5).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30));
+        let model = UniformAccess::new(Ticks(10), Ticks(500), seed);
+        let result = Sim::new(automaton, RunConfig::new(3, d), model).run();
+        let stats = mutex_stats(&result, Ticks::ZERO);
+        assert!(!stats.mutual_exclusion_violated, "seed={seed}");
+    }
+}
+
+#[test]
+fn long_lived_stability_under_periodic_bursts() {
+    // §1.3's convergence is not one-shot: with periodic failure bursts,
+    // the lock must stay safe, keep completing work, and be back in the
+    // O(Δ) regime within every good phase.
+    use tfr::sim::timing::Bursts;
+    let d = Delta::from_ticks(100);
+    let spec = standard_resilient_spec(4, 0, d.ticks());
+    let automaton = LockLoop::new(spec, 80).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30));
+    let model = Bursts::new(
+        standard_no_failures(d, 13),
+        Ticks(5_000),
+        Ticks(1_000),
+        Ticks(450),
+    );
+    let result = Sim::new(automaton, RunConfig::new(4, d), model).run();
+    assert!(result.all_halted(), "periodic bursts must not wedge the lock");
+    let stats = mutex_stats(&result, Ticks::ZERO);
+    assert!(!stats.mutual_exclusion_violated);
+    assert_eq!(stats.cs_entries, 4 * 80);
+}

@@ -1,0 +1,187 @@
+//! Integration tests for the derived wait-free objects and the universal
+//! construction (§1.4): the consensus building block must carry its
+//! guarantees up through every layer.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+use tfr::core::derived::{LeaderElection, Renaming, SetConsensus, TestAndSet};
+use tfr::core::universal::{Counter, FifoQueue, MultiConsensus, Sequential, Universal};
+use tfr::registers::ProcId;
+
+const D: Duration = Duration::from_micros(3);
+
+#[test]
+fn multivalued_one_bit_and_wide_values() {
+    let narrow = MultiConsensus::new(2, 1, D);
+    assert_eq!(narrow.propose(ProcId(0), 1), 1);
+    assert_eq!(narrow.propose(ProcId(1), 0), 1);
+
+    let wide = MultiConsensus::new(2, 63, D);
+    let big = (1u64 << 63) - 1;
+    assert_eq!(wide.propose(ProcId(0), big), big);
+    assert_eq!(wide.decision(), Some(big));
+}
+
+#[test]
+fn multivalued_stress_many_widths() {
+    for width in [2u32, 5, 9, 17, 33] {
+        let n = 5;
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mc = Arc::new(MultiConsensus::new(n, width, D));
+        let inputs: Vec<u64> = (0..n).map(|i| (i as u64 * 0x9E37_79B9) & mask).collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mc = Arc::clone(&mc);
+                std::thread::spawn(move || mc.propose(ProcId(i), v))
+            })
+            .collect();
+        let outs: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "width={width}");
+        assert!(inputs.contains(&outs[0]), "width={width}: validity");
+    }
+}
+
+#[test]
+fn election_partial_participation_any_subset() {
+    // Whatever subset participates, they agree on a member of the subset.
+    for subset in [vec![0usize], vec![3], vec![0, 5], vec![1, 2, 4], vec![0, 1, 2, 3, 4, 5]] {
+        let e = Arc::new(LeaderElection::new(6, D));
+        let handles: Vec<_> = subset
+            .iter()
+            .map(|&i| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || e.elect(ProcId(i)))
+            })
+            .collect();
+        let leaders: Vec<ProcId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(leaders.windows(2).all(|w| w[0] == w[1]), "subset {subset:?}");
+        assert!(subset.contains(&leaders[0].0), "leader must participate: {subset:?}");
+    }
+}
+
+#[test]
+fn test_and_set_sequential_semantics() {
+    let t = TestAndSet::new(3, D);
+    assert!(!t.test_and_set(ProcId(1)), "first caller wins");
+    assert!(t.test_and_set(ProcId(0)), "second caller loses");
+    assert!(t.test_and_set(ProcId(2)), "third caller loses");
+}
+
+#[test]
+fn renaming_is_order_oblivious() {
+    // Sequential participation in descending pid order still yields
+    // distinct names starting from 0.
+    let r = Renaming::new(4, D);
+    let n3 = r.rename(ProcId(3));
+    let n2 = r.rename(ProcId(2));
+    let n1 = r.rename(ProcId(1));
+    let n0 = r.rename(ProcId(0));
+    let names: HashSet<usize> = [n0, n1, n2, n3].into_iter().collect();
+    assert_eq!(names.len(), 4);
+    assert_eq!(n3, 0, "first arrival takes the first slot");
+}
+
+#[test]
+fn set_consensus_respects_group_validity() {
+    let s = SetConsensus::new(3, D);
+    // Solo proposer in its group decides its own value.
+    assert!(s.propose(ProcId(0), true));
+    assert!(!s.propose(ProcId(1), false));
+    // Same group as p0 (3 groups, pid 3 → group 0): adopts p0's decision.
+    assert!(s.propose(ProcId(3), false));
+}
+
+/// A sequential register with read/write ops, used to check the universal
+/// construction against a custom user-defined object.
+#[derive(Debug, Clone, Copy, Default)]
+struct RegObject;
+
+impl RegObject {
+    fn write_op(v: u32) -> u64 {
+        ((v as u64) << 1) | 1
+    }
+    const READ: u64 = 0;
+}
+
+impl Sequential for RegObject {
+    type State = u64;
+    fn initial(&self) -> u64 {
+        0
+    }
+    fn apply(&self, state: &mut u64, op: u64) -> u64 {
+        if op & 1 == 1 {
+            *state = op >> 1;
+            0
+        } else {
+            *state
+        }
+    }
+}
+
+#[test]
+fn universal_custom_object_reads_see_writes() {
+    let obj = Universal::new(RegObject, 2, 16, D);
+    obj.invoke(ProcId(0), RegObject::write_op(77));
+    assert_eq!(obj.invoke(ProcId(1), RegObject::READ), 77);
+    obj.invoke(ProcId(1), RegObject::write_op(5));
+    assert_eq!(obj.invoke(ProcId(0), RegObject::READ), 5);
+    assert_eq!(obj.snapshot(), 5);
+}
+
+#[test]
+fn universal_counter_helping_under_asymmetric_load() {
+    // One thread does many ops, another few: the helping rule must let
+    // both finish (wait-freedom) with an exact total.
+    let obj = Arc::new(Universal::new(Counter, 2, 40, D));
+    let heavy = {
+        let obj = Arc::clone(&obj);
+        std::thread::spawn(move || {
+            for _ in 0..20 {
+                obj.invoke(ProcId(0), 1);
+            }
+        })
+    };
+    let light = {
+        let obj = Arc::clone(&obj);
+        std::thread::spawn(move || obj.invoke(ProcId(1), 100))
+    };
+    heavy.join().unwrap();
+    let light_resp = light.join().unwrap();
+    assert!(light_resp >= 100, "light op linearized somewhere: {light_resp}");
+    assert_eq!(obj.snapshot(), 120);
+}
+
+#[test]
+fn universal_queue_interleaved_enq_deq() {
+    // Generous capacity: every empty dequeue also consumes a log slot.
+    let obj = Arc::new(Universal::new(FifoQueue, 2, 300, D));
+    let producer = {
+        let obj = Arc::clone(&obj);
+        std::thread::spawn(move || {
+            for k in 0..10u32 {
+                obj.invoke(ProcId(0), FifoQueue::enqueue_op(k));
+            }
+        })
+    };
+    let consumer = {
+        let obj = Arc::clone(&obj);
+        std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut misses = 0;
+            while got.len() < 10 && misses < 200 {
+                match FifoQueue::decode_dequeue(obj.invoke(ProcId(1), FifoQueue::DEQUEUE)) {
+                    Some(v) => got.push(v),
+                    None => misses += 1,
+                }
+            }
+            got
+        })
+    };
+    producer.join().unwrap();
+    let got = consumer.join().unwrap();
+    // FIFO per producer: the consumer sees 0..10 in order.
+    assert_eq!(got, (0..10).collect::<Vec<u32>>());
+}

@@ -1,0 +1,261 @@
+//! Property-based tests over the whole stack: randomized timing models,
+//! inputs, and workloads must never shake a safety property loose.
+
+use proptest::prelude::*;
+use tfr::asynclock::bakery::BakerySpec;
+use tfr::asynclock::bar_david::StarvationFreeSpec;
+use tfr::asynclock::bw_bakery::BwBakerySpec;
+use tfr::asynclock::lamport_fast::LamportFastSpec;
+use tfr::asynclock::peterson::PetersonSpec;
+use tfr::asynclock::workload::LockLoop;
+use tfr::core::consensus::ConsensusSpec;
+use tfr::core::mutex::resilient::standard_resilient_spec;
+use tfr::registers::spec::Obs;
+use tfr::registers::{Delta, ProcId, Ticks};
+use tfr::sim::metrics::{consensus_stats, mutex_stats};
+use tfr::sim::timing::{CrashSchedule, UniformAccess};
+use tfr::sim::{RunConfig, Sim};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Agreement and validity of Algorithm 1 hold for arbitrary process
+    /// counts, inputs, timing distributions (including failure-heavy
+    /// ones), and crash schedules.
+    #[test]
+    fn consensus_safety_under_arbitrary_timing_and_crashes(
+        n in 1usize..6,
+        inputs_seed in any::<u64>(),
+        timing_seed in any::<u64>(),
+        hi in 20u64..1000,
+        crash in proptest::option::of((0usize..6, 0u64..2000)),
+    ) {
+        let d = Delta::from_ticks(100);
+        let inputs: Vec<bool> = (0..n).map(|i| (inputs_seed >> (i % 64)) & 1 == 1).collect();
+        let valid: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
+        let base = UniformAccess::new(Ticks(10), Ticks(hi), timing_seed);
+        let crashes = crash
+            .into_iter()
+            .filter(|(p, _)| *p < n)
+            .map(|(p, t)| (ProcId(p), Ticks(t)))
+            .collect();
+        let model = CrashSchedule::new(base, crashes);
+        let config = RunConfig::new(n, d).max_steps(50_000);
+        let result = Sim::new(ConsensusSpec::new(inputs).max_rounds(30), config, model).run();
+        let stats = consensus_stats(&result);
+        prop_assert!(stats.agreement);
+        prop_assert!(stats.valid_against(&valid));
+    }
+
+    /// When the timing constraints hold (durations ≤ Δ), Algorithm 1
+    /// always terminates within the 15Δ bound.
+    #[test]
+    fn consensus_terminates_within_bound_when_constraints_hold(
+        n in 1usize..8,
+        inputs_seed in any::<u64>(),
+        timing_seed in any::<u64>(),
+    ) {
+        let d = Delta::from_ticks(100);
+        let inputs: Vec<bool> = (0..n).map(|i| (inputs_seed >> (i % 64)) & 1 == 1).collect();
+        let model = UniformAccess::new(Ticks(1), d.ticks(), timing_seed);
+        let result = Sim::new(
+            ConsensusSpec::new(inputs).with_delta(d.ticks()),
+            RunConfig::new(n, d),
+            model,
+        ).run();
+        let stats = consensus_stats(&result);
+        prop_assert!(stats.agreement);
+        let t = stats.all_decided_by;
+        prop_assert!(t.is_some(), "must decide without failures");
+        prop_assert!(t.unwrap() <= d.times(15), "decided at {} > 15Δ", t.unwrap());
+    }
+
+    /// Mutual exclusion of Algorithm 3 holds under arbitrary random
+    /// timing, and so does the per-process workload event discipline
+    /// (trying → critical → exit → remainder, cyclically).
+    #[test]
+    fn resilient_mutex_safety_and_event_discipline(
+        n in 1usize..5,
+        timing_seed in any::<u64>(),
+        hi in 20u64..600,
+        cs in 1u64..60,
+        ncs in 1u64..60,
+    ) {
+        let d = Delta::from_ticks(100);
+        let automaton = LockLoop::new(standard_resilient_spec(n, 0, d.ticks()), 3)
+            .cs_ticks(Ticks(cs))
+            .ncs_ticks(Ticks(ncs));
+        let model = UniformAccess::new(Ticks(10), Ticks(hi), timing_seed);
+        let result = Sim::new(automaton, RunConfig::new(n, d), model).run();
+        prop_assert!(result.all_halted(), "random fair schedules must complete");
+        let stats = mutex_stats(&result, Ticks::ZERO);
+        prop_assert!(!stats.mutual_exclusion_violated);
+        prop_assert_eq!(stats.cs_entries, n as u64 * 3);
+
+        // Event discipline per process.
+        for p in 0..n {
+            let seq: Vec<Obs> = result
+                .obs
+                .iter()
+                .filter(|e| e.pid == ProcId(p))
+                .filter(|e| matches!(
+                    e.obs,
+                    Obs::EnterTrying | Obs::EnterCritical | Obs::ExitCritical | Obs::EnterRemainder
+                ))
+                .map(|e| e.obs)
+                .collect();
+            let expected = [
+                Obs::EnterTrying,
+                Obs::EnterCritical,
+                Obs::ExitCritical,
+                Obs::EnterRemainder,
+            ];
+            prop_assert_eq!(seq.len(), 12, "3 iterations × 4 phase events");
+            for (i, o) in seq.iter().enumerate() {
+                prop_assert_eq!(*o, expected[i % 4], "process {} event {} out of phase", p, i);
+            }
+        }
+    }
+
+    /// Every asynchronous lock in the zoo is safe and live under arbitrary
+    /// random timing (they make no timing assumptions at all).
+    #[test]
+    fn async_lock_zoo_safety(
+        which in 0usize..5,
+        n in 1usize..5,
+        timing_seed in any::<u64>(),
+        hi in 20u64..600,
+    ) {
+        let d = Delta::from_ticks(100);
+        let model = UniformAccess::new(Ticks(10), Ticks(hi), timing_seed);
+        let config = RunConfig::new(n, d);
+        let result = match which {
+            0 => Sim::new(LockLoop::new(LamportFastSpec::new(n, 0), 3), config, model).run(),
+            1 => Sim::new(LockLoop::new(BakerySpec::new(n, 0), 3), config, model).run(),
+            2 => Sim::new(LockLoop::new(BwBakerySpec::new(n, 0), 3), config, model).run(),
+            3 => Sim::new(LockLoop::new(PetersonSpec::new(n, 0), 3), config, model).run(),
+            _ => Sim::new(
+                LockLoop::new(
+                    StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(n, 0),
+                    3,
+                ),
+                config,
+                model,
+            )
+            .run(),
+        };
+        prop_assert!(result.all_halted());
+        let stats = mutex_stats(&result, Ticks::ZERO);
+        prop_assert!(!stats.mutual_exclusion_violated);
+        prop_assert_eq!(stats.cs_entries, n as u64 * 3);
+    }
+
+    /// Simulation runs are exactly reproducible from their seed.
+    #[test]
+    fn simulation_is_deterministic(n in 1usize..5, seed in any::<u64>()) {
+        let d = Delta::from_ticks(100);
+        let run = || {
+            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            let model = UniformAccess::new(Ticks(10), Ticks(300), seed);
+            Sim::new(
+                ConsensusSpec::new(inputs).max_rounds(30),
+                RunConfig::new(n, d).max_steps(50_000),
+                model,
+            ).run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.obs, b.obs);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.end_time, b.end_time);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bounded-failure consensus: whenever the failure window actually
+    /// respects the promised bound B, every process decides within the
+    /// finite round/register budget.
+    #[test]
+    fn bounded_consensus_decides_within_promise(
+        bound_deltas in 0u64..6,
+        inputs_seed in any::<u64>(),
+        timing_seed in any::<u64>(),
+        slow_pid in 0usize..3,
+    ) {
+        use tfr::core::bounded::BoundedConsensusSpec;
+        use tfr::sim::timing::{FailureWindows, Window};
+        let d = Delta::from_ticks(100);
+        let bound = Ticks(d.ticks().0 * bound_deltas);
+        let inputs: Vec<bool> = (0..3).map(|i| (inputs_seed >> i) & 1 == 1).collect();
+        let spec = BoundedConsensusSpec::new(inputs.clone(), bound, d);
+        let model = FailureWindows::new(
+            UniformAccess::new(Ticks(10), d.ticks(), timing_seed),
+            vec![Window {
+                from: Ticks::ZERO,
+                to: bound,
+                pids: Some(vec![ProcId(slow_pid)]),
+                inflated: Ticks(350),
+            }],
+        );
+        let result = Sim::new(spec, RunConfig::new(3, d), model).run();
+        let stats = consensus_stats(&result);
+        prop_assert!(stats.agreement);
+        prop_assert!(
+            stats.all_decided_by.is_some(),
+            "failures within the bound ⇒ the finite budget must suffice"
+        );
+        let gave_up = result
+            .events(|o| match o {
+                Obs::Note("round-bound-exceeded", r) => Some(*r),
+                _ => None,
+            })
+            .count();
+        prop_assert_eq!(gave_up, 0);
+    }
+
+    /// Spec-form leader election: under arbitrary random timing (failures
+    /// included), whoever elects agrees on one real participant.
+    #[test]
+    fn election_spec_safety(
+        n in 1usize..5,
+        timing_seed in any::<u64>(),
+        hi in 20u64..600,
+    ) {
+        use tfr::core::election_spec::ElectionSpec;
+        let d = Delta::from_ticks(100);
+        let spec = ElectionSpec::new(n, 0, d.ticks()).inner_rounds(30);
+        let model = UniformAccess::new(Ticks(10), Ticks(hi), timing_seed);
+        let config = RunConfig::new(n, d).max_steps(300_000);
+        let result = Sim::new(spec, config, model).run();
+        let stats = consensus_stats(&result);
+        prop_assert!(stats.agreement);
+        if let Some(leader) = stats.decided_value {
+            prop_assert!(leader < n as u64, "the leader must be a participant");
+        }
+    }
+
+    /// AAT baseline safety matches Algorithm 1 under the same adversaries.
+    #[test]
+    fn aat_safety_under_arbitrary_timing(
+        n in 1usize..5,
+        inputs_seed in any::<u64>(),
+        timing_seed in any::<u64>(),
+        hi in 20u64..800,
+        initial in 1u64..200,
+    ) {
+        use tfr::baselines::aat::{AatConsensusSpec, DelaySchedule};
+        let d = Delta::from_ticks(100);
+        let inputs: Vec<bool> = (0..n).map(|i| (inputs_seed >> (i % 64)) & 1 == 1).collect();
+        let valid: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
+        let spec = AatConsensusSpec::new(inputs, DelaySchedule::doubling(Ticks(initial)))
+            .max_rounds(30);
+        let model = UniformAccess::new(Ticks(10), Ticks(hi), timing_seed);
+        let config = RunConfig::new(n, d).max_steps(100_000);
+        let result = Sim::new(spec, config, model).run();
+        let stats = consensus_stats(&result);
+        prop_assert!(stats.agreement);
+        prop_assert!(stats.valid_against(&valid));
+    }
+}
