@@ -90,15 +90,28 @@ enum Pc {
     /// `choosing[i] := 1`.
     SetChoosing,
     /// Doorway max scan: read `number[j]`, accumulating the max.
-    ReadMax { j: usize, max: u64 },
+    ReadMax {
+        j: usize,
+        max: u64,
+    },
     /// `number[i] := max + 1`.
-    WriteNumber { number: u64 },
+    WriteNumber {
+        number: u64,
+    },
     /// `choosing[i] := 0`.
-    ClearChoosing { number: u64 },
+    ClearChoosing {
+        number: u64,
+    },
     /// `await choosing[j] = 0`.
-    AwaitChoosing { j: usize, number: u64 },
+    AwaitChoosing {
+        j: usize,
+        number: u64,
+    },
     /// `await number[j] = 0 ∨ (number[j], j) > (number[i], i)`.
-    AwaitNumber { j: usize, number: u64 },
+    AwaitNumber {
+        j: usize,
+        number: u64,
+    },
     Entered,
     /// exit: `number[i] := 0`.
     ExitNumber,
@@ -158,7 +171,10 @@ impl LockSpec for BakerySpec {
                 if self.n == 1 {
                     Pc::Entered
                 } else {
-                    Pc::AwaitChoosing { j: self.first_j(s.pid), number }
+                    Pc::AwaitChoosing {
+                        j: self.first_j(s.pid),
+                        number,
+                    }
                 }
             }
             Pc::AwaitChoosing { j, number } => {
@@ -346,10 +362,18 @@ mod tests {
         let mut costs = Vec::new();
         for n in [2usize, 4, 8] {
             let mut bank = ArrayBank::new();
-            let run = run_solo(&LockLoop::new(BakerySpec::new(n, 0), 1), ProcId(0), &mut bank, 200);
+            let run = run_solo(
+                &LockLoop::new(BakerySpec::new(n, 0), 1),
+                ProcId(0),
+                &mut bank,
+                200,
+            );
             costs.push(run.shared_accesses);
         }
-        assert!(costs[1] > costs[0] && costs[2] > costs[1], "cost must grow with n: {costs:?}");
+        assert!(
+            costs[1] > costs[0] && costs[2] > costs[1],
+            "cost must grow with n: {costs:?}"
+        );
     }
 
     #[test]

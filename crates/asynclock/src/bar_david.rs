@@ -80,7 +80,11 @@ impl<L: LockSpec> StarvationFreeSpec<L> {
     /// Panics if `n == 0` or `inner.n() != n`.
     pub fn new(inner: L, n: usize, base: u64) -> StarvationFreeSpec<L> {
         assert!(n > 0, "at least one process is required");
-        assert_eq!(inner.n(), n, "inner lock must be configured for the same process count");
+        assert_eq!(
+            inner.n(),
+            n,
+            "inner lock must be configured for the same process count"
+        );
         StarvationFreeSpec { inner, n, base }
     }
 
@@ -110,7 +114,9 @@ enum Pc {
     /// gate: read `turn`.
     GateReadTurn,
     /// gate: read `interested[t]`; 0 → pass, else re-read `turn`.
-    GateReadInterested { t: usize },
+    GateReadInterested {
+        t: usize,
+    },
     /// delegating to the inner lock's entry protocol.
     Inner,
     /// exit: `interested[i] := 0`.
@@ -118,9 +124,13 @@ enum Pc {
     /// exit: read `turn`.
     ExitReadTurn,
     /// exit: read `interested[t]`; 0 → advance `turn`, else skip.
-    ExitReadInterested { t: usize },
+    ExitReadInterested {
+        t: usize,
+    },
     /// exit: `turn := (t + 1) mod n`.
-    AdvanceTurn { t: usize },
+    AdvanceTurn {
+        t: usize,
+    },
     /// delegating to the inner lock's exit protocol.
     InnerExit,
 }
@@ -138,7 +148,11 @@ impl<L: LockSpec> LockSpec for StarvationFreeSpec<L> {
 
     fn init(&self, pid: ProcId) -> Self::State {
         assert!(pid.0 < self.n, "pid out of range");
-        StarvationFreeState { pid, pc: Pc::Idle, inner: self.inner.init(pid) }
+        StarvationFreeState {
+            pid,
+            pc: Pc::Idle,
+            inner: self.inner.init(pid),
+        }
     }
 
     fn start_entry(&self, s: &mut Self::State) {
@@ -219,7 +233,11 @@ impl<L: LockSpec> LockSpec for StarvationFreeSpec<L> {
     }
 
     fn reset(&self, s: &mut Self::State) {
-        debug_assert_eq!(s.pc, Pc::InnerExit, "reset before the exit protocol finished");
+        debug_assert_eq!(
+            s.pc,
+            Pc::InnerExit,
+            "reset before the exit protocol finished"
+        );
         self.inner.reset(&mut s.inner);
         s.pc = Pc::Idle;
     }
@@ -269,7 +287,11 @@ impl<L: RawLock> StarvationFree<L> {
     /// Panics if `inner.n() != n` or `n == 0`.
     pub fn new(inner: L, n: usize) -> StarvationFree<L> {
         assert!(n > 0, "at least one process is required");
-        assert_eq!(inner.n(), n, "inner lock must be configured for the same process count");
+        assert_eq!(
+            inner.n(),
+            n,
+            "inner lock must be configured for the same process count"
+        );
         StarvationFree {
             inner,
             n,
@@ -377,8 +399,14 @@ mod tests {
             let run = run_solo(&LockLoop::new(sf_spec(n), 1), ProcId(0), &mut bank, 200);
             costs.push(run.shared_accesses);
         }
-        assert_eq!(costs[0], costs[1], "solo cost must be independent of n: {costs:?}");
-        assert_eq!(costs[1], costs[2], "solo cost must be independent of n: {costs:?}");
+        assert_eq!(
+            costs[0], costs[1],
+            "solo cost must be independent of n: {costs:?}"
+        );
+        assert_eq!(
+            costs[1], costs[2],
+            "solo cost must be independent of n: {costs:?}"
+        );
     }
 
     #[test]

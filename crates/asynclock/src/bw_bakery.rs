@@ -121,21 +121,47 @@ enum Pc {
     /// `c := color`.
     ReadColor,
     /// Doorway max scan over same-color tickets.
-    ReadMax { c: u64, j: usize, max: u64 },
+    ReadMax {
+        c: u64,
+        j: usize,
+        max: u64,
+    },
     /// `ticket[i] := (c, max + 1)`.
-    WriteTicket { c: u64, number: u64 },
+    WriteTicket {
+        c: u64,
+        number: u64,
+    },
     /// `choosing[i] := 0`.
-    ClearChoosing { c: u64, number: u64 },
+    ClearChoosing {
+        c: u64,
+        number: u64,
+    },
     /// `await choosing[j] = 0`.
-    AwaitChoosing { c: u64, number: u64, j: usize },
+    AwaitChoosing {
+        c: u64,
+        number: u64,
+        j: usize,
+    },
     /// Read `ticket[j]` and dispatch on its color.
-    CheckTicket { c: u64, number: u64, j: usize },
+    CheckTicket {
+        c: u64,
+        number: u64,
+        j: usize,
+    },
     /// Different-color `j`: read the shared `color`; pass if it moved away
     /// from `c`, else re-check `ticket[j]`.
-    ReadSharedColor { c: u64, number: u64, j: usize },
-    Entered { c: u64 },
+    ReadSharedColor {
+        c: u64,
+        number: u64,
+        j: usize,
+    },
+    Entered {
+        c: u64,
+    },
     /// exit: `color := ¬c`.
-    FlipColor { c: u64 },
+    FlipColor {
+        c: u64,
+    },
     /// exit: `ticket[i] := 0`.
     ClearTicket,
     Done,
@@ -206,7 +232,11 @@ impl LockSpec for BwBakerySpec {
                 if self.n == 1 {
                     Pc::Entered { c }
                 } else {
-                    Pc::AwaitChoosing { c, number, j: self.first_j(s.pid) }
+                    Pc::AwaitChoosing {
+                        c,
+                        number,
+                        j: self.first_j(s.pid),
+                    }
                 }
             }
             Pc::AwaitChoosing { c, number, j } => {
@@ -472,13 +502,20 @@ mod tests {
             h.join().unwrap();
         }
         let max = observed_max.load(Ordering::SeqCst);
-        assert!(max <= n as u64 + 1, "ticket number {max} exceeds bound n+1 = {}", n + 1);
+        assert!(
+            max <= n as u64 + 1,
+            "ticket number {max} exceeds bound n+1 = {}",
+            n + 1
+        );
         assert!(max >= 1);
     }
 
     #[test]
     fn register_count_is_two_n_plus_one() {
-        assert_eq!(BwBakerySpec::new(6, 0).registers(), RegisterCount::Finite(13));
+        assert_eq!(
+            BwBakerySpec::new(6, 0).registers(),
+            RegisterCount::Finite(13)
+        );
     }
 
     #[test]

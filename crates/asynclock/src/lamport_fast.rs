@@ -382,17 +382,25 @@ mod tests {
         let lock = LamportFastSpec::new(4, 0);
         let mut bank = ArrayBank::new();
         let run = run_solo(
-            &LockLoop::new(lock, 1).cs_ticks(Ticks(1)).ncs_ticks(Ticks(1)),
+            &LockLoop::new(lock, 1)
+                .cs_ticks(Ticks(1))
+                .ncs_ticks(Ticks(1)),
             ProcId(2),
             &mut bank,
             100,
         );
-        assert_eq!(run.shared_accesses, 7, "b:=1, x:=i, read y, y:=i, read x, y:=0, b:=0");
+        assert_eq!(
+            run.shared_accesses, 7,
+            "b:=1, x:=i, read y, y:=i, read x, y:=0, b:=0"
+        );
     }
 
     #[test]
     fn register_count_is_n_plus_two() {
-        assert_eq!(LamportFastSpec::new(5, 0).registers(), RegisterCount::Finite(7));
+        assert_eq!(
+            LamportFastSpec::new(5, 0).registers(),
+            RegisterCount::Finite(7)
+        );
     }
 
     #[test]

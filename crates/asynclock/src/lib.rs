@@ -261,14 +261,25 @@ pub(crate) mod testutil {
     pub fn spec_lock_sim<L: LockSpec>(lock: L, n: usize, iterations: u64, seed: u64) {
         let name = lock.name();
         let delta = Delta::from_ticks(100);
-        let automaton =
-            workload::LockLoop::new(lock, iterations).cs_ticks(Ticks(20)).ncs_ticks(Ticks(50));
+        let automaton = workload::LockLoop::new(lock, iterations)
+            .cs_ticks(Ticks(20))
+            .ncs_ticks(Ticks(50));
         let config = RunConfig::new(n, delta);
         let result = Sim::new(automaton, config, standard_no_failures(delta, seed)).run();
-        assert!(result.all_halted(), "{name}: workload did not complete (livelock?)");
+        assert!(
+            result.all_halted(),
+            "{name}: workload did not complete (livelock?)"
+        );
         let stats = mutex_stats(&result, Ticks::ZERO);
-        assert!(!stats.mutual_exclusion_violated, "{name}: mutual exclusion violated");
-        assert_eq!(stats.cs_entries, n as u64 * iterations, "{name}: wrong CS entry count");
+        assert!(
+            !stats.mutual_exclusion_violated,
+            "{name}: mutual exclusion violated"
+        );
+        assert_eq!(
+            stats.cs_entries,
+            n as u64 * iterations,
+            "{name}: wrong CS entry count"
+        );
     }
 
     /// Simulates with timing failures possible (durations above Δ) — for an
@@ -276,15 +287,25 @@ pub(crate) mod testutil {
     pub fn spec_lock_sim_async<L: LockSpec>(lock: L, n: usize, iterations: u64, seed: u64) {
         let name = lock.name();
         let delta = Delta::from_ticks(100);
-        let automaton =
-            workload::LockLoop::new(lock, iterations).cs_ticks(Ticks(20)).ncs_ticks(Ticks(50));
+        let automaton = workload::LockLoop::new(lock, iterations)
+            .cs_ticks(Ticks(20))
+            .ncs_ticks(Ticks(50));
         let config = RunConfig::new(n, delta);
         // Durations up to 5Δ: constant timing failures.
         let model = UniformAccess::new(Ticks(10), Ticks(500), seed);
         let result = Sim::new(automaton, config, model).run();
-        assert!(result.all_halted(), "{name}: workload did not complete under async timing");
-        assert!(result.timing_failures > 0, "model should produce timing failures");
+        assert!(
+            result.all_halted(),
+            "{name}: workload did not complete under async timing"
+        );
+        assert!(
+            result.timing_failures > 0,
+            "model should produce timing failures"
+        );
         let stats = mutex_stats(&result, Ticks::ZERO);
-        assert!(!stats.mutual_exclusion_violated, "{name}: unsafe under timing failures");
+        assert!(
+            !stats.mutual_exclusion_violated,
+            "{name}: unsafe under timing failures"
+        );
     }
 }

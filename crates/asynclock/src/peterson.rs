@@ -54,7 +54,11 @@ impl PetersonSpec {
     /// Panics if `n == 0`.
     pub fn new(n: usize, base: u64) -> PetersonSpec {
         assert!(n > 0, "at least one process is required");
-        PetersonSpec { n, base, levels: levels(n) }
+        PetersonSpec {
+            n,
+            base,
+            levels: levels(n),
+        }
     }
 
     /// The internal node and side process `pid` plays at `level`
@@ -78,16 +82,26 @@ impl PetersonSpec {
 enum Pc {
     Idle,
     /// `want[s] := 1` at the node of `level`.
-    SetWant { level: u32 },
+    SetWant {
+        level: u32,
+    },
     /// `turn := s`.
-    SetTurn { level: u32 },
+    SetTurn {
+        level: u32,
+    },
     /// read `want[1−s]`; zero → next level, else read `turn`.
-    ReadWant { level: u32 },
+    ReadWant {
+        level: u32,
+    },
     /// read `turn`; `≠ s` → next level, else re-read `want[1−s]`.
-    ReadTurn { level: u32 },
+    ReadTurn {
+        level: u32,
+    },
     Entered,
     /// exit: `want[s] := 0`, from the root (`level = L−1`) down.
-    Release { level: u32 },
+    Release {
+        level: u32,
+    },
     Done,
 }
 
@@ -107,7 +121,11 @@ impl LockSpec for PetersonSpec {
     }
 
     fn start_entry(&self, s: &mut Self::State) {
-        s.pc = if self.levels == 0 { Pc::Entered } else { Pc::SetWant { level: 0 } };
+        s.pc = if self.levels == 0 {
+            Pc::Entered
+        } else {
+            Pc::SetWant { level: 0 }
+        };
     }
 
     fn step(&self, s: &Self::State) -> LockStep {
@@ -177,7 +195,13 @@ impl LockSpec for PetersonSpec {
 
     fn begin_exit(&self, s: &mut Self::State) {
         debug_assert_eq!(s.pc, Pc::Entered, "begin_exit without holding the lock");
-        s.pc = if self.levels == 0 { Pc::Done } else { Pc::Release { level: self.levels - 1 } };
+        s.pc = if self.levels == 0 {
+            Pc::Done
+        } else {
+            Pc::Release {
+                level: self.levels - 1,
+            }
+        };
     }
 
     fn reset(&self, s: &mut Self::State) {
@@ -228,8 +252,14 @@ impl Peterson {
     pub fn new(n: usize) -> Peterson {
         assert!(n > 0, "at least one process is required");
         let l = levels(n);
-        let cells = (0..3 * ((1usize << l) - 1)).map(|_| AtomicU64::new(0)).collect();
-        Peterson { n, levels: l, cells }
+        let cells = (0..3 * ((1usize << l) - 1))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Peterson {
+            n,
+            levels: l,
+            cells,
+        }
     }
 
     fn seat(&self, pid: ProcId, level: u32) -> (usize, u64) {
@@ -368,9 +398,18 @@ mod tests {
 
     #[test]
     fn register_count() {
-        assert_eq!(PetersonSpec::new(2, 0).registers(), RegisterCount::Finite(3));
-        assert_eq!(PetersonSpec::new(4, 0).registers(), RegisterCount::Finite(9));
-        assert_eq!(PetersonSpec::new(8, 0).registers(), RegisterCount::Finite(21));
+        assert_eq!(
+            PetersonSpec::new(2, 0).registers(),
+            RegisterCount::Finite(3)
+        );
+        assert_eq!(
+            PetersonSpec::new(4, 0).registers(),
+            RegisterCount::Finite(9)
+        );
+        assert_eq!(
+            PetersonSpec::new(8, 0).registers(),
+            RegisterCount::Finite(21)
+        );
     }
 
     #[test]

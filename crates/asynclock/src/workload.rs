@@ -29,8 +29,16 @@ impl<L: LockSpec> LockLoop<L> {
     ///
     /// Panics if `iterations == 0`.
     pub fn new(lock: L, iterations: u64) -> LockLoop<L> {
-        assert!(iterations > 0, "a lock workload needs at least one iteration");
-        LockLoop { lock, iterations, cs_ticks: Ticks(1), ncs_ticks: Ticks(1) }
+        assert!(
+            iterations > 0,
+            "a lock workload needs at least one iteration"
+        );
+        LockLoop {
+            lock,
+            iterations,
+            cs_ticks: Ticks(1),
+            ncs_ticks: Ticks(1),
+        }
     }
 
     /// Sets the critical-section duration.
@@ -78,7 +86,11 @@ impl<L: LockSpec> Automaton for LockLoop<L> {
     type State = LoopState<L::State>;
 
     fn init(&self, pid: ProcId) -> Self::State {
-        LoopState { lock: self.lock.init(pid), phase: Phase::Remainder, left: self.iterations }
+        LoopState {
+            lock: self.lock.init(pid),
+            phase: Phase::Remainder,
+            left: self.iterations,
+        }
     }
 
     fn next_action(&self, s: &Self::State) -> Action {
@@ -137,7 +149,11 @@ impl<L: LockSpec> LockLoop<L> {
                     obs.push(Obs::EnterRemainder);
                     self.lock.reset(&mut s.lock);
                     s.left -= 1;
-                    s.phase = if s.left == 0 { Phase::Finished } else { Phase::Remainder };
+                    s.phase = if s.left == 0 {
+                        Phase::Finished
+                    } else {
+                        Phase::Remainder
+                    };
                 }
             }
             _ => {}
@@ -148,11 +164,11 @@ impl<L: LockSpec> LockLoop<L> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Progress;
     use tfr_registers::accounting::RegisterCount;
+    use tfr_registers::bank::ArrayBank;
     use tfr_registers::spec::run_solo;
     use tfr_registers::RegId;
-    use tfr_registers::bank::ArrayBank;
-    use crate::Progress;
 
     /// A trivial test-and-set-style spec lock (unsafe under contention but
     /// fine for exercising the loop plumbing with one process): write 1 to
@@ -223,7 +239,11 @@ mod tests {
         let trying = run.obs.iter().filter(|o| **o == Obs::EnterTrying).count();
         let enter = run.obs.iter().filter(|o| **o == Obs::EnterCritical).count();
         let exit = run.obs.iter().filter(|o| **o == Obs::ExitCritical).count();
-        let rem = run.obs.iter().filter(|o| **o == Obs::EnterRemainder).count();
+        let rem = run
+            .obs
+            .iter()
+            .filter(|o| **o == Obs::EnterRemainder)
+            .count();
         assert_eq!((trying, enter, exit, rem), (3, 3, 3, 3));
     }
 

@@ -39,12 +39,20 @@ pub struct DelaySchedule {
 impl DelaySchedule {
     /// The classic AAT schedule: start at `initial`, double each round.
     pub fn doubling(initial: Ticks) -> DelaySchedule {
-        DelaySchedule { initial, growth: 2, cap: Ticks(u64::MAX / 2) }
+        DelaySchedule {
+            initial,
+            growth: 2,
+            cap: Ticks(u64::MAX / 2),
+        }
     }
 
     /// A fixed (non-adaptive) estimate — the strawman.
     pub fn fixed(delay: Ticks) -> DelaySchedule {
-        DelaySchedule { initial: delay, growth: 1, cap: delay }
+        DelaySchedule {
+            initial: delay,
+            growth: 1,
+            cap: delay,
+        }
     }
 
     /// The delay of round `r` (1-based).
@@ -83,7 +91,11 @@ impl AatConsensusSpec {
     /// Panics if `inputs` is empty.
     pub fn new(inputs: Vec<bool>, schedule: DelaySchedule) -> AatConsensusSpec {
         assert!(!inputs.is_empty(), "at least one process is required");
-        AatConsensusSpec { inputs, schedule, max_rounds: u64::MAX }
+        AatConsensusSpec {
+            inputs,
+            schedule,
+            max_rounds: u64::MAX,
+        }
     }
 
     /// Bounds the rounds attempted (for bounded model checking).
@@ -126,7 +138,11 @@ impl Automaton for AatConsensusSpec {
 
     fn init(&self, pid: ProcId) -> Self::State {
         assert!(pid.0 < self.inputs.len(), "pid out of range");
-        AatConsensusState { pc: Pc::ReadDecide, v: self.inputs[pid.0], r: 1 }
+        AatConsensusState {
+            pc: Pc::ReadDecide,
+            v: self.inputs[pid.0],
+            r: 1,
+        }
     }
 
     fn next_action(&self, s: &Self::State) -> Action {
@@ -159,11 +175,19 @@ impl Automaton for AatConsensusSpec {
             }
             Pc::WriteX => s.pc = Pc::ReadY,
             Pc::ReadY => {
-                s.pc = if observed == Some(0) { Pc::WriteY } else { Pc::ReadXBar };
+                s.pc = if observed == Some(0) {
+                    Pc::WriteY
+                } else {
+                    Pc::ReadXBar
+                };
             }
             Pc::WriteY => s.pc = Pc::ReadXBar,
             Pc::ReadXBar => {
-                s.pc = if observed == Some(0) { Pc::WriteDecide } else { Pc::DelayStep };
+                s.pc = if observed == Some(0) {
+                    Pc::WriteDecide
+                } else {
+                    Pc::DelayStep
+                };
             }
             Pc::WriteDecide => s.pc = Pc::ReadDecide,
             Pc::DelayStep => s.pc = Pc::ReadYAdopt,
@@ -269,12 +293,20 @@ mod tests {
 
     #[test]
     fn schedule_doubles_and_caps() {
-        let s = DelaySchedule { initial: Ticks(10), growth: 2, cap: Ticks(100) };
+        let s = DelaySchedule {
+            initial: Ticks(10),
+            growth: 2,
+            cap: Ticks(100),
+        };
         assert_eq!(s.delay_for_round(1), Ticks(10));
         assert_eq!(s.delay_for_round(2), Ticks(20));
         assert_eq!(s.delay_for_round(4), Ticks(80));
         assert_eq!(s.delay_for_round(5), Ticks(100), "clamped");
-        assert_eq!(s.delay_for_round(500), Ticks(100), "no overflow at huge rounds");
+        assert_eq!(
+            s.delay_for_round(500),
+            Ticks(100),
+            "no overflow at huge rounds"
+        );
     }
 
     #[test]
@@ -289,10 +321,8 @@ mod tests {
         // True access times up to 200; the schedule starts at 5 — rounds
         // grow the estimate until it covers the truth, then decision.
         let delta = Delta::from_ticks(200);
-        let spec = AatConsensusSpec::new(
-            vec![true, false, true],
-            DelaySchedule::doubling(Ticks(5)),
-        );
+        let spec =
+            AatConsensusSpec::new(vec![true, false, true], DelaySchedule::doubling(Ticks(5)));
         let result = Sim::new(
             spec,
             RunConfig::new(3, delta),

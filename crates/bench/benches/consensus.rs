@@ -2,11 +2,11 @@
 //! solo fast-path latency, multi-thread decision latency, and the
 //! multivalued construction, with the AAT baseline alongside.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
 use tfr_baselines::aat::AatNativeConsensus;
+use tfr_bench::microbench::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use tfr_core::consensus::NativeConsensus;
 use tfr_core::universal::MultiConsensus;
 use tfr_registers::ProcId;

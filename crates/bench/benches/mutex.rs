@@ -1,9 +1,8 @@
 //! Wall-clock benchmarks for the native mutual exclusion algorithms
 //! (B3/B4): uncontended acquire/release latency across the whole lock zoo
-//! (including `std`/`parking_lot` for scale), and a two-thread contended
+//! (including `std::sync::Mutex` for scale), and a two-thread contended
 //! throughput comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -13,6 +12,7 @@ use tfr_asynclock::bw_bakery::BwBakery;
 use tfr_asynclock::lamport_fast::LamportFast;
 use tfr_asynclock::peterson::Peterson;
 use tfr_asynclock::RawLock;
+use tfr_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tfr_core::mutex::fischer::Fischer;
 use tfr_core::mutex::resilient::ResilientMutex;
 use tfr_registers::ProcId;
@@ -22,7 +22,10 @@ const DELTA: Duration = Duration::from_nanos(300);
 
 fn register_locks(n: usize) -> Vec<(&'static str, Arc<dyn RawLock>)> {
     vec![
-        ("resilient_alg3", Arc::new(ResilientMutex::standard(n, DELTA))),
+        (
+            "resilient_alg3",
+            Arc::new(ResilientMutex::standard(n, DELTA)),
+        ),
         ("fischer", Arc::new(Fischer::new(n, DELTA))),
         ("lamport_fast", Arc::new(LamportFast::new(n))),
         ("sf_lamport", Arc::new(StarvationFree::over_lamport_fast(n))),
@@ -48,13 +51,6 @@ fn bench_uncontended(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("std_mutex", 8), |b| {
         b.iter(|| {
             let guard = std_lock.lock().unwrap();
-            black_box(&guard);
-        })
-    });
-    let pl_lock = parking_lot::Mutex::new(());
-    g.bench_function(BenchmarkId::new("parking_lot", 8), |b| {
-        b.iter(|| {
-            let guard = pl_lock.lock();
             black_box(&guard);
         })
     });

@@ -2,9 +2,9 @@
 //! of building election / test-and-set / universal operations out of
 //! binary consensus instances.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
+use tfr_bench::microbench::{criterion_group, criterion_main, BatchSize, Criterion};
 use tfr_core::derived::{LeaderElection, Renaming, TestAndSet};
 use tfr_core::universal::{Counter, Universal};
 use tfr_registers::ProcId;

@@ -3,9 +3,9 @@
 //! the model checker exhausts a small configuration — the costs that
 //! bound how much sweeping the harness can afford.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tfr_asynclock::workload::LockLoop;
+use tfr_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tfr_core::consensus::ConsensusSpec;
 use tfr_core::mutex::resilient::standard_resilient_spec;
 use tfr_modelcheck::{Explorer, SafetySpec};

@@ -16,7 +16,14 @@ pub fn e5() -> Vec<Table> {
     let mut mc = Table::new(
         "E5a",
         "exhaustive model check: all interleavings = all timing failures",
-        &["n", "inputs", "round cutoff", "states", "transitions", "verdict"],
+        &[
+            "n",
+            "inputs",
+            "round cutoff",
+            "states",
+            "transitions",
+            "verdict",
+        ],
     );
     let configs: Vec<(usize, Vec<bool>, u64)> = vec![
         (2, vec![false, true], 3),
@@ -48,7 +55,13 @@ pub fn e5() -> Vec<Table> {
     let mut rand = Table::new(
         "E5b",
         "randomized sweep with heavy timing failures (durations up to 10Δ)",
-        &["n", "runs", "timing failures seen", "agreement violations", "validity violations"],
+        &[
+            "n",
+            "runs",
+            "timing failures seen",
+            "agreement violations",
+            "validity violations",
+        ],
     );
     for n in [2usize, 4, 8] {
         let runs = 5_000u64;
@@ -56,7 +69,9 @@ pub fn e5() -> Vec<Table> {
         let mut bad_agreement = 0u64;
         let mut bad_validity = 0u64;
         for seed in 0..runs {
-            let inputs: Vec<bool> = (0..n).map(|i| (i as u64 * 7 + seed).is_multiple_of(3)).collect();
+            let inputs: Vec<bool> = (0..n)
+                .map(|i| (i as u64 * 7 + seed).is_multiple_of(3))
+                .collect();
             let valid: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
             let spec = ConsensusSpec::new(inputs).max_rounds(40);
             let model = UniformAccess::new(Ticks(10), Ticks(d.ticks().0 * 10), seed);

@@ -12,7 +12,9 @@ use tfr_sim::timing::{standard_no_failures, CrashSchedule, FailureWindows, Scrip
 use tfr_sim::{RunConfig, Sim};
 
 fn mixed_inputs(n: usize, seed: u64) -> Vec<bool> {
-    (0..n).map(|i| (i as u64 + seed).is_multiple_of(2)).collect()
+    (0..n)
+        .map(|i| (i as u64 + seed).is_multiple_of(2))
+        .collect()
 }
 
 /// E1 — Theorem 2.1(1): without timing failures, every process decides
@@ -30,10 +32,12 @@ pub fn e1() -> Vec<Table> {
         let mut max_rounds = 0;
         for seed in 0..seeds {
             let spec = ConsensusSpec::new(mixed_inputs(n, seed)).with_delta(d.ticks());
-            let result =
-                Sim::new(spec, RunConfig::new(n, d), standard_no_failures(d, seed)).run();
+            let result = Sim::new(spec, RunConfig::new(n, d), standard_no_failures(d, seed)).run();
             let stats = consensus_stats(&result);
-            assert!(stats.agreement, "E1: agreement violated (n={n}, seed={seed})");
+            assert!(
+                stats.agreement,
+                "E1: agreement violated (n={n}, seed={seed})"
+            );
             times.push(stats.all_decided_by.expect("all decide without failures").0);
             max_rounds = max_rounds.max(stats.max_round);
         }
@@ -62,7 +66,13 @@ pub fn e2() -> Vec<Table> {
     let mut t = Table::new(
         "E2",
         "solo fast path (claim: 7 shared accesses, 0 delays, any timing)",
-        &["step duration", "input", "shared accesses", "delays", "decided own input"],
+        &[
+            "step duration",
+            "input",
+            "shared accesses",
+            "delays",
+            "decided own input",
+        ],
     );
     // Step-count analysis is timing-independent: run_solo counts accesses.
     for input in [false, true] {
@@ -81,12 +91,7 @@ pub fn e2() -> Vec<Table> {
     for factor in [1u64, 10, 50] {
         let dur = Ticks(d.ticks().0 * factor);
         let spec = ConsensusSpec::new(vec![true]);
-        let result = Sim::new(
-            spec,
-            RunConfig::new(1, d),
-            Scripted::new(dur),
-        )
-        .run();
+        let result = Sim::new(spec, RunConfig::new(1, d), Scripted::new(dur)).run();
         let stats = consensus_stats(&result);
         t.row(vec![
             format!("{factor}Δ each"),
@@ -108,7 +113,14 @@ pub fn e3() -> Vec<Table> {
     let mut t = Table::new(
         "E3",
         "recovery after a failure window (claim: decide by round r+1)",
-        &["n", "window (Δ)", "runs", "max r at stop", "max decide round", "r+1 bound held"],
+        &[
+            "n",
+            "window (Δ)",
+            "runs",
+            "max r at stop",
+            "max decide round",
+            "r+1 bound held",
+        ],
     );
     for n in [2usize, 4, 8] {
         for window_deltas in [5u64, 20, 60] {
@@ -130,7 +142,10 @@ pub fn e3() -> Vec<Table> {
                 let result = Sim::new(spec, RunConfig::new(n, d), model).run();
                 let stats = consensus_stats(&result);
                 assert!(stats.agreement, "E3: agreement violated");
-                assert!(stats.all_decided_by.is_some(), "E3: no decision after recovery");
+                assert!(
+                    stats.all_decided_by.is_some(),
+                    "E3: no decision after recovery"
+                );
                 // r = highest round in progress when failures stop.
                 let rstop = result
                     .events(|o| match o {
@@ -167,7 +182,12 @@ pub fn e3() -> Vec<Table> {
     let mut adv = Table::new(
         "E3b",
         "adversarially forced conflict rounds, then clean (claim: decide ≤ r+1)",
-        &["forced rounds R", "r (first clean round)", "decide round", "decide ≤ r+1"],
+        &[
+            "forced rounds R",
+            "r (first clean round)",
+            "decide round",
+            "decide ≤ r+1",
+        ],
     );
     for forced in 1u64..=6 {
         let mut model = Scripted::new(Ticks(10));
@@ -178,14 +198,25 @@ pub fn e3() -> Vec<Table> {
                 model = model.set(ProcId(0), 7 * k, tfr_sim::timing::Fate::Take(Ticks(260)));
             }
             model = model
-                .set(ProcId(0), 7 * k + 6, tfr_sim::timing::Fate::Take(Ticks(150)))
-                .set(ProcId(1), 7 * k + 3, tfr_sim::timing::Fate::Take(Ticks(400)));
+                .set(
+                    ProcId(0),
+                    7 * k + 6,
+                    tfr_sim::timing::Fate::Take(Ticks(150)),
+                )
+                .set(
+                    ProcId(1),
+                    7 * k + 3,
+                    tfr_sim::timing::Fate::Take(Ticks(400)),
+                );
         }
         let spec = ConsensusSpec::new(vec![false, true]).with_delta(d.ticks());
         let result = Sim::new(spec, RunConfig::new(2, d), model).run();
         let stats = consensus_stats(&result);
         assert!(stats.agreement, "E3b: agreement violated at R={forced}");
-        assert!(stats.all_decided_by.is_some(), "E3b: no decision at R={forced}");
+        assert!(
+            stats.all_decided_by.is_some(),
+            "E3b: no decision at R={forced}"
+        );
         let r = forced + 1;
         adv.row(vec![
             forced.to_string(),
@@ -206,7 +237,13 @@ pub fn e4() -> Vec<Table> {
     let mut t = Table::new(
         "E4",
         "wait-freedom under crashes (claim: survivors always decide)",
-        &["n", "crashed", "runs", "survivors decided", "max decision time"],
+        &[
+            "n",
+            "crashed",
+            "runs",
+            "survivors decided",
+            "max decision time",
+        ],
     );
     for n in [4usize, 8] {
         for k in [0usize, 1, n / 2, n - 1] {
@@ -217,7 +254,12 @@ pub fn e4() -> Vec<Table> {
                 // Crash the k highest-numbered processes at staggered,
                 // seed-dependent instants (including mid-round).
                 let crashes = (n - k..n)
-                    .map(|i| (ProcId(i), Ticks((seed * 97 + i as u64 * 131) % (d.ticks().0 * 10))))
+                    .map(|i| {
+                        (
+                            ProcId(i),
+                            Ticks((seed * 97 + i as u64 * 131) % (d.ticks().0 * 10)),
+                        )
+                    })
                     .collect();
                 let model = CrashSchedule::new(standard_no_failures(d, seed), crashes);
                 let result = Sim::new(spec, RunConfig::new(n, d), model).run();

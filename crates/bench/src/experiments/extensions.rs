@@ -33,25 +33,30 @@ pub fn e13() -> Vec<Table> {
     let mut t = Table::new(
         "E13",
         "bounded-failure consensus: finite registers suffice when failures last ≤ B",
-        &["B", "rounds R", "registers", "failure window", "runs", "decided in budget", "gave up"],
+        &[
+            "B",
+            "rounds R",
+            "registers",
+            "failure window",
+            "runs",
+            "decided in budget",
+            "gave up",
+        ],
     );
     for bound_deltas in [0u64, 2, 8] {
         let bound = Ticks(d.ticks().0 * bound_deltas);
         // Within the promise, and breaking it (window 4× the bound, plus
         // margin so even B=0 gets a real violation window).
-        for (label, window_end) in
-            [("within B", bound), ("4×B + 2Δ (broken)", Ticks(bound.0 * 4 + 2 * d.ticks().0))]
-        {
+        for (label, window_end) in [
+            ("within B", bound),
+            ("4×B + 2Δ (broken)", Ticks(bound.0 * 4 + 2 * d.ticks().0)),
+        ] {
             let mut decided = 0u64;
             let mut gave_up_runs = 0u64;
             let mut regs = RegisterCount::Finite(0);
             let mut rounds = 0u64;
             for seed in 0..seeds {
-                let spec = BoundedConsensusSpec::new(
-                    vec![seed % 2 == 0, true, false],
-                    bound,
-                    d,
-                );
+                let spec = BoundedConsensusSpec::new(vec![seed % 2 == 0, true, false], bound, d);
                 rounds = spec.rounds();
                 regs = spec.registers();
                 let model = FailureWindows::new(
@@ -105,9 +110,11 @@ pub fn e13() -> Vec<Table> {
             if k > 0 {
                 model = model.set(ProcId(0), 7 * k, Fate::Take(Ticks(260)));
             }
-            model = model
-                .set(ProcId(0), 7 * k + 6, Fate::Take(Ticks(150)))
-                .set(ProcId(1), 7 * k + 3, Fate::Take(Ticks(400)));
+            model = model.set(ProcId(0), 7 * k + 6, Fate::Take(Ticks(150))).set(
+                ProcId(1),
+                7 * k + 3,
+                Fate::Take(Ticks(400)),
+            );
         }
         let result = Sim::new(spec, RunConfig::new(2, d), model).run();
         let stats = consensus_stats(&result);
@@ -124,7 +131,12 @@ pub fn e13() -> Vec<Table> {
             regs.to_string(),
             "scripted 6-round split".into(),
             "1".into(),
-            if stats.all_decided_by.is_some() { "1" } else { "0" }.into(),
+            if stats.all_decided_by.is_some() {
+                "1"
+            } else {
+                "0"
+            }
+            .into(),
             gave_up.to_string(),
         ]);
     }
@@ -143,7 +155,13 @@ pub fn e14() -> Vec<Table> {
     let mut t = Table::new(
         "E14",
         "sensitivity of Algorithm 1 to single transient memory faults",
-        &["corrupted register", "fault value", "runs", "agreement broken", "validity broken"],
+        &[
+            "corrupted register",
+            "fault value",
+            "runs",
+            "agreement broken",
+            "validity broken",
+        ],
     );
     // Register layout of ConsensusSpec: decide = 0; y[r] = 3r;
     // x[r, b] = 3r + 1 + b.
@@ -162,8 +180,11 @@ pub fn e14() -> Vec<Table> {
             // validity violation is visible (any 'true' must come from the
             // fault); the x/y cases use mixed inputs so a corrupted
             // flag/adoption value has a chance to split a real conflict.
-            let inputs =
-                if reg == RegId(0) { vec![false; 3] } else { vec![false, true, false] };
+            let inputs = if reg == RegId(0) {
+                vec![false; 3]
+            } else {
+                vec![false, true, false]
+            };
             let valid: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
             let spec = ConsensusSpec::new(inputs).max_rounds(20);
             let at = Ticks((seed * 37) % (d.ticks().0 * 10));
@@ -203,11 +224,21 @@ pub fn e15() -> Vec<Table> {
     let mut t = Table::new(
         "E15",
         "busy-waiting profile under contention (40 CS entries per process)",
-        &["algorithm", "n", "shared accesses", "polls", "poll %", "longest streak", "polls/entry"],
+        &[
+            "algorithm",
+            "n",
+            "shared accesses",
+            "polls",
+            "poll %",
+            "longest streak",
+            "polls/entry",
+        ],
     );
     fn profile<L: LockSpec>(t: &mut Table, name: &str, lock: L, n: usize) {
         let d = delta();
-        let automaton = LockLoop::new(lock, 40).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30));
+        let automaton = LockLoop::new(lock, 40)
+            .cs_ticks(Ticks(20))
+            .ncs_ticks(Ticks(30));
         let config = RunConfig::new(n, d).record_trace();
         let result = Sim::new(automaton, config, standard_no_failures(d, 23)).run();
         assert!(result.all_halted(), "{name}: profile workload stalled");
@@ -225,7 +256,12 @@ pub fn e15() -> Vec<Table> {
         ]);
     }
     for n in [4usize, 8] {
-        profile(&mut t, "Alg3 (sf-lamport)", standard_resilient_spec(n, 0, d.ticks()), n);
+        profile(
+            &mut t,
+            "Alg3 (sf-lamport)",
+            standard_resilient_spec(n, 0, d.ticks()),
+            n,
+        );
         profile(&mut t, "fischer", FischerSpec::new(n, 0, d.ticks()), n);
         profile(
             &mut t,
@@ -252,7 +288,15 @@ pub fn e17() -> Vec<Table> {
     let mut t = Table::new(
         "E17",
         "the §1.3 resilience assessment across the mutex zoo (n = 4 and 12)",
-        &["algorithm", "n", "ψ", "safe in burst", "live after", "convergence", "resilient"],
+        &[
+            "algorithm",
+            "n",
+            "ψ",
+            "safe in burst",
+            "live after",
+            "convergence",
+            "resilient",
+        ],
     );
     let mut row = |name: &str, n: usize, report: tfr_core::resilience::ResilienceReport| {
         t.row(vec![
@@ -270,11 +314,27 @@ pub fn e17() -> Vec<Table> {
     };
     for n in [4usize, 12] {
         let config = AssessConfig::new(n, d);
-        row("Alg3 (sf-lamport)", n, assess_mutex(|| standard_resilient_spec(n, 0, d.ticks()), &config));
-        row("fischer (Alg 2)", n, assess_mutex(|| FischerSpec::new(n, 0, d.ticks()), &config));
+        row(
+            "Alg3 (sf-lamport)",
+            n,
+            assess_mutex(|| standard_resilient_spec(n, 0, d.ticks()), &config),
+        );
+        row(
+            "fischer (Alg 2)",
+            n,
+            assess_mutex(|| FischerSpec::new(n, 0, d.ticks()), &config),
+        );
         row("bakery", n, assess_mutex(|| BakerySpec::new(n, 0), &config));
-        row("bw-bakery", n, assess_mutex(|| BwBakerySpec::new(n, 0), &config));
-        row("peterson", n, assess_mutex(|| PetersonSpec::new(n, 0), &config));
+        row(
+            "bw-bakery",
+            n,
+            assess_mutex(|| BwBakerySpec::new(n, 0), &config),
+        );
+        row(
+            "peterson",
+            n,
+            assess_mutex(|| PetersonSpec::new(n, 0), &config),
+        );
     }
     t.note("empirical worst-case-over-seeds verdicts; the exhaustive safety side is E5/E6.");
     t.note("Fischer's hazard needs a precisely timed failure — random bursts rarely trigger");

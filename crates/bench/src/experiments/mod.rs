@@ -2,8 +2,8 @@
 //! runners for the harness binary.
 
 pub mod consensus_safety;
-pub mod extensions;
 pub mod consensus_time;
+pub mod extensions;
 pub mod mutex_perf;
 pub mod mutex_safety;
 pub mod objects;
@@ -24,22 +24,90 @@ pub fn delta() -> Delta {
 /// All experiments, in index order: `(id, description, runner)`.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        ("e1", "consensus decision time without failures (Thm 2.1.1, ≤15Δ)", consensus_time::e1),
-        ("e2", "fast path: solo decision in 7 steps (Thm 2.1.4)", consensus_time::e2),
-        ("e3", "recovery: decide by round r+1 after failures stop (Thm 2.1.2)", consensus_time::e3),
-        ("e4", "wait-freedom under crash failures (Thm 2.4)", consensus_time::e4),
-        ("e5", "agreement & validity under all timing failures (Thms 2.2/2.3)", consensus_safety::e5),
-        ("e6", "Fischer breaks under a timing failure; Algorithm 3 does not (§3.1)", mutex_safety::e6),
-        ("e7", "mutex efficiency O(Δ) and convergence (Thm 3.3)", mutex_perf::e7),
-        ("e8", "non-convergence with a deadlock-free inner lock (Thm 3.2)", mutex_perf::e8),
-        ("e9", "register usage vs the n-register lower bound (Thm 3.1)", registers::e9),
-        ("e10", "optimistic(Δ): estimate sweep and AIMD adaptation (§1.2)", optimistic::e10),
-        ("e11", "known Δ vs unknown-bound time-adaptive consensus ([3])", optimistic::e11),
-        ("e12", "wait-free objects from consensus (§1.4, universality)", objects::e12),
-        ("e13", "bounded-failure consensus with finite registers (§2.1 remark)", extensions::e13),
-        ("e14", "memory-fault sensitivity: timing vs memory failures (§4)", extensions::e14),
-        ("e15", "busy-waiting profile — the local-spinning gap (§4)", extensions::e15),
-        ("e16", "heterogeneous per-process optimistic(Δ) estimates (§1.2)", optimistic::e16),
-        ("e17", "the §1.3 resilience definition as an executable verdict", extensions::e17),
+        (
+            "e1",
+            "consensus decision time without failures (Thm 2.1.1, ≤15Δ)",
+            consensus_time::e1,
+        ),
+        (
+            "e2",
+            "fast path: solo decision in 7 steps (Thm 2.1.4)",
+            consensus_time::e2,
+        ),
+        (
+            "e3",
+            "recovery: decide by round r+1 after failures stop (Thm 2.1.2)",
+            consensus_time::e3,
+        ),
+        (
+            "e4",
+            "wait-freedom under crash failures (Thm 2.4)",
+            consensus_time::e4,
+        ),
+        (
+            "e5",
+            "agreement & validity under all timing failures (Thms 2.2/2.3)",
+            consensus_safety::e5,
+        ),
+        (
+            "e6",
+            "Fischer breaks under a timing failure; Algorithm 3 does not (§3.1)",
+            mutex_safety::e6,
+        ),
+        (
+            "e7",
+            "mutex efficiency O(Δ) and convergence (Thm 3.3)",
+            mutex_perf::e7,
+        ),
+        (
+            "e8",
+            "non-convergence with a deadlock-free inner lock (Thm 3.2)",
+            mutex_perf::e8,
+        ),
+        (
+            "e9",
+            "register usage vs the n-register lower bound (Thm 3.1)",
+            registers::e9,
+        ),
+        (
+            "e10",
+            "optimistic(Δ): estimate sweep and AIMD adaptation (§1.2)",
+            optimistic::e10,
+        ),
+        (
+            "e11",
+            "known Δ vs unknown-bound time-adaptive consensus ([3])",
+            optimistic::e11,
+        ),
+        (
+            "e12",
+            "wait-free objects from consensus (§1.4, universality)",
+            objects::e12,
+        ),
+        (
+            "e13",
+            "bounded-failure consensus with finite registers (§2.1 remark)",
+            extensions::e13,
+        ),
+        (
+            "e14",
+            "memory-fault sensitivity: timing vs memory failures (§4)",
+            extensions::e14,
+        ),
+        (
+            "e15",
+            "busy-waiting profile — the local-spinning gap (§4)",
+            extensions::e15,
+        ),
+        (
+            "e16",
+            "heterogeneous per-process optimistic(Δ) estimates (§1.2)",
+            optimistic::e16,
+        ),
+        (
+            "e17",
+            "the §1.3 resilience definition as an executable verdict",
+            extensions::e17,
+        ),
     ]
 }

@@ -6,14 +6,14 @@ use super::delta;
 use crate::table::in_deltas;
 use crate::Table;
 use tfr_asynclock::bakery::BakerySpec;
+use tfr_asynclock::bar_david::StarvationFreeSpec;
 use tfr_asynclock::bw_bakery::BwBakerySpec;
+use tfr_asynclock::lamport_fast::LamportFastSpec;
 use tfr_asynclock::workload::LockLoop;
 use tfr_core::mutex::resilient::{standard_resilient_spec, ResilientMutexSpec};
 use tfr_registers::spec::Obs;
 use tfr_registers::{ProcId, Ticks};
 use tfr_sim::metrics::{convergence_point, mutex_stats};
-use tfr_asynclock::bar_david::StarvationFreeSpec;
-use tfr_asynclock::lamport_fast::LamportFastSpec;
 use tfr_sim::timing::{standard_no_failures, FailureWindows, PerProcess, Window};
 use tfr_sim::{RunConfig, Sim};
 
@@ -78,12 +78,7 @@ pub fn e7() -> Vec<Table> {
                     .run(),
                     Alg::Bw => Sim::new(
                         LockLoop::new(
-                            ResilientMutexSpec::new(
-                                BwBakerySpec::new(n, 1),
-                                n,
-                                0,
-                                d.ticks(),
-                            ),
+                            ResilientMutexSpec::new(BwBakerySpec::new(n, 1), n, 0, d.ticks()),
                             iterations,
                         )
                         .cs_ticks(Ticks(20))
@@ -195,8 +190,14 @@ pub fn e8() -> Vec<Table> {
                 .run()
             };
             let stats = mutex_stats(&result, Ticks::ZERO);
-            assert!(!stats.mutual_exclusion_violated, "E8: safety must hold either way");
-            assert!(result.all_halted(), "E8: the finite workload always completes");
+            assert!(
+                !stats.mutual_exclusion_violated,
+                "E8: safety must hold either way"
+            );
+            assert!(
+                result.all_halted(),
+                "E8: the finite workload always completes"
+            );
 
             let victim_first = result
                 .obs
@@ -212,7 +213,12 @@ pub fn e8() -> Vec<Table> {
                 .max()
                 .unwrap_or(Ticks::ZERO);
             t.row(vec![
-                if sf { "starvation-free (Thm 3.3)" } else { "deadlock-free (Thm 3.2)" }.into(),
+                if sf {
+                    "starvation-free (Thm 3.3)"
+                } else {
+                    "deadlock-free (Thm 3.2)"
+                }
+                .into(),
                 iters.to_string(),
                 in_deltas(victim_first, d),
                 in_deltas(stream_done, d),

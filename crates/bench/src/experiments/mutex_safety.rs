@@ -27,7 +27,13 @@ pub fn e6() -> Vec<Table> {
     let mut t = Table::new(
         "E6",
         "mutual exclusion under timing failures: Fischer vs Algorithm 3",
-        &["algorithm", "method", "timing failures", "ME violated", "detail"],
+        &[
+            "algorithm",
+            "method",
+            "timing failures",
+            "ME violated",
+            "detail",
+        ],
     );
 
     // Fischer on the scripted one-failure schedule.
@@ -80,9 +86,11 @@ pub fn e6() -> Vec<Table> {
         ]);
     }
     {
-        let report =
-            Explorer::new(LockLoop::new(standard_resilient_spec(2, 0, d.ticks()), 1), 2)
-                .check(&SafetySpec::mutex());
+        let report = Explorer::new(
+            LockLoop::new(standard_resilient_spec(2, 0, d.ticks()), 1),
+            2,
+        )
+        .check(&SafetySpec::mutex());
         let detail = if report.proven_safe() {
             format!("proven safe over {} states", report.states_explored)
         } else {

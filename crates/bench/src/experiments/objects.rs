@@ -16,7 +16,14 @@ pub fn e12() -> Vec<Table> {
     let mut t = Table::new(
         "E12",
         "wait-free objects from consensus, on real threads",
-        &["object", "threads", "trials", "property", "violations", "total wall time"],
+        &[
+            "object",
+            "threads",
+            "trials",
+            "property",
+            "violations",
+            "total wall time",
+        ],
     );
     let trials = 15usize;
 
@@ -141,7 +148,9 @@ pub fn e12() -> Vec<Table> {
         let mut violations = 0;
         for trial in 0..trials {
             let mc = Arc::new(MultiConsensus::new(n, 12, D));
-            let inputs: Vec<u64> = (0..n).map(|i| (i as u64 * 59 + trial as u64) % 4096).collect();
+            let inputs: Vec<u64> = (0..n)
+                .map(|i| (i as u64 * 59 + trial as u64) % 4096)
+                .collect();
             let handles: Vec<_> = inputs
                 .iter()
                 .enumerate()
@@ -177,12 +186,16 @@ pub fn e12() -> Vec<Table> {
                 .map(|i| {
                     let obj = Arc::clone(&obj);
                     std::thread::spawn(move || {
-                        (0..per).map(|_| obj.invoke(ProcId(i), 1)).collect::<Vec<u64>>()
+                        (0..per)
+                            .map(|_| obj.invoke(ProcId(i), 1))
+                            .collect::<Vec<u64>>()
                     })
                 })
                 .collect();
-            let mut all: Vec<u64> =
-                handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+            let mut all: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
             all.sort_unstable();
             let expected: Vec<u64> = (1..=(n * per) as u64).collect();
             if all != expected {
@@ -226,19 +239,20 @@ pub fn e12() -> Vec<Table> {
                     std::thread::spawn(move || {
                         (0..per)
                             .filter_map(|_| {
-                                FifoQueue::decode_dequeue(
-                                    obj.invoke(ProcId(i), FifoQueue::DEQUEUE),
-                                )
+                                FifoQueue::decode_dequeue(obj.invoke(ProcId(i), FifoQueue::DEQUEUE))
                             })
                             .collect::<Vec<u32>>()
                     })
                 })
                 .collect();
-            let mut got: Vec<u32> =
-                handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+            let mut got: Vec<u32> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
             got.sort_unstable();
-            let mut want: Vec<u32> =
-                (0..n).flat_map(|i| (0..per).map(move |k| (i * 100 + k) as u32)).collect();
+            let mut want: Vec<u32> = (0..n)
+                .flat_map(|i| (0..per).map(move |k| (i * 100 + k) as u32))
+                .collect();
             want.sort_unstable();
             if got != want {
                 violations += 1;

@@ -25,7 +25,14 @@ pub fn e10() -> Vec<Table> {
     let mut cons = Table::new(
         "E10a",
         "consensus with optimistic delay estimates (true Δ = 100t)",
-        &["estimate", "est/Δ", "mean decision", "max decision", "mean rounds", "agreement ok"],
+        &[
+            "estimate",
+            "est/Δ",
+            "mean decision",
+            "max decision",
+            "mean rounds",
+            "agreement ok",
+        ],
     );
     for est in [10u64, 25, 50, 100, 200, 400] {
         let n = 4;
@@ -34,13 +41,17 @@ pub fn e10() -> Vec<Table> {
         let mut rounds = 0u64;
         let mut safe = true;
         for seed in 0..seeds {
-            let inputs: Vec<bool> = (0..n).map(|i| (i as u64 + seed).is_multiple_of(2)).collect();
+            let inputs: Vec<bool> = (0..n)
+                .map(|i| (i as u64 + seed).is_multiple_of(2))
+                .collect();
             let spec = ConsensusSpec::new(inputs).with_delta(Ticks(est));
-            let result =
-                Sim::new(spec, RunConfig::new(n, d), standard_no_failures(d, seed)).run();
+            let result = Sim::new(spec, RunConfig::new(n, d), standard_no_failures(d, seed)).run();
             let stats = consensus_stats(&result);
             safe &= stats.agreement;
-            let t = stats.all_decided_by.expect("random fair schedules decide").0;
+            let t = stats
+                .all_decided_by
+                .expect("random fair schedules decide")
+                .0;
             total += t;
             max = max.max(t);
             rounds += stats.max_round;
@@ -66,8 +77,7 @@ pub fn e10() -> Vec<Table> {
         let automaton = LockLoop::new(standard_resilient_spec(n, 0, Ticks(est)), 30)
             .cs_ticks(Ticks(20))
             .ncs_ticks(Ticks(30));
-        let result =
-            Sim::new(automaton, RunConfig::new(n, d), standard_no_failures(d, 7)).run();
+        let result = Sim::new(automaton, RunConfig::new(n, d), standard_no_failures(d, 7)).run();
         let stats = mutex_stats(&result, Ticks::ZERO);
         mx.row(vec![
             format!("{est}t"),
@@ -88,7 +98,12 @@ pub fn e10() -> Vec<Table> {
     let mut aimd = Table::new(
         "E10c",
         "AIMD optimistic(Δ) equilibrium vs timing-failure (spike) rate",
-        &["spike rate", "start", "estimate after 5000 ops", "retry rate (last 1000)"],
+        &[
+            "spike rate",
+            "start",
+            "estimate after 5000 ops",
+            "retry rate (last 1000)",
+        ],
     );
     for spike_pct in [0u64, 1, 5, 20] {
         let mut policy = AimdPolicy::new(1_200, 10, 2_400, 25, 8);
@@ -101,7 +116,11 @@ pub fn e10() -> Vec<Table> {
         };
         let mut late_failures = 0u64;
         for op in 0..5_000u64 {
-            let access = if rand() % 100 < spike_pct { 1_200 } else { 20 + rand() % 40 };
+            let access = if rand() % 100 < spike_pct {
+                1_200
+            } else {
+                20 + rand() % 40
+            };
             if access > policy.current() {
                 policy.on_failure();
                 if op >= 4_000 {
@@ -138,7 +157,13 @@ pub fn e11() -> Vec<Table> {
     let mut t = Table::new(
         "E11",
         "legal adversary: known Δ (Alg 1) vs time-adaptive (AAT [3]) vs fixed guess",
-        &["true Δ", "algorithm", "rounds to decide", "decision time", "decided"],
+        &[
+            "true Δ",
+            "algorithm",
+            "rounds to decide",
+            "decision time",
+            "decided",
+        ],
     );
     let round_cap = 200u64;
     for true_delta in [100u64, 200, 400, 800] {
@@ -172,29 +197,30 @@ pub fn e11() -> Vec<Table> {
                 }
                 model = model
                     .set(tfr_registers::ProcId(1), 7 * k + 3, Fate::Take(Ticks(wk)))
-                    .set(tfr_registers::ProcId(0), 7 * (k + 1), Fate::Take(Ticks(40 + dk)));
+                    .set(
+                        tfr_registers::ProcId(0),
+                        7 * (k + 1),
+                        Fate::Take(Ticks(40 + dk)),
+                    );
                 forced += 1;
             }
-            let config = RunConfig::new(n, d).max_steps(500_000).max_time(d.times(100_000));
+            let config = RunConfig::new(n, d)
+                .max_steps(500_000)
+                .max_time(d.times(100_000));
             let stats = match alg {
                 "alg1 (knows Δ)" => {
-                    let spec =
-                        ConsensusSpec::new(vec![false, true]).with_delta(d.ticks());
+                    let spec = ConsensusSpec::new(vec![false, true]).with_delta(d.ticks());
                     consensus_stats(&Sim::new(spec, config, model).run())
                 }
                 "aat (doubling from 5t)" => {
-                    let spec = AatConsensusSpec::new(
-                        vec![false, true],
-                        DelaySchedule::doubling(Ticks(5)),
-                    );
+                    let spec =
+                        AatConsensusSpec::new(vec![false, true], DelaySchedule::doubling(Ticks(5)));
                     consensus_stats(&Sim::new(spec, config, model).run())
                 }
                 _ => {
-                    let spec = AatConsensusSpec::new(
-                        vec![false, true],
-                        DelaySchedule::fixed(Ticks(5)),
-                    )
-                    .max_rounds(round_cap + 10);
+                    let spec =
+                        AatConsensusSpec::new(vec![false, true], DelaySchedule::fixed(Ticks(5)))
+                            .max_rounds(round_cap + 10);
                     consensus_stats(&Sim::new(spec, config, model).run())
                 }
             };
@@ -256,8 +282,16 @@ pub fn e16() -> Vec<Table> {
         ("all 100t (homogeneous)", vec![100; 4], vec![]),
         ("all 10t (all optimistic)", vec![10; 4], vec![0, 1, 2, 3]),
         ("10,10,100,100 (split)", vec![10, 10, 100, 100], vec![0, 1]),
-        ("10,100,100,100 (one optimist)", vec![10, 100, 100, 100], vec![0]),
-        ("10,400,400,400 (optimist vs cautious)", vec![10, 400, 400, 400], vec![0]),
+        (
+            "10,100,100,100 (one optimist)",
+            vec![10, 100, 100, 100],
+            vec![0],
+        ),
+        (
+            "10,400,400,400 (optimist vs cautious)",
+            vec![10, 400, 400, 400],
+            vec![0],
+        ),
     ];
     for (label, estimates, optimists) in configs {
         let mut opt_total = 0u64;
@@ -267,11 +301,12 @@ pub fn e16() -> Vec<Table> {
         let mut rounds = 0u64;
         let mut safe = true;
         for seed in 0..seeds {
-            let inputs: Vec<bool> = (0..n).map(|i| (i as u64 + seed).is_multiple_of(2)).collect();
+            let inputs: Vec<bool> = (0..n)
+                .map(|i| (i as u64 + seed).is_multiple_of(2))
+                .collect();
             let spec = ConsensusSpec::new(inputs)
                 .with_per_process_deltas(estimates.iter().map(|&e| Ticks(e)).collect());
-            let result =
-                Sim::new(spec, RunConfig::new(n, d), standard_no_failures(d, seed)).run();
+            let result = Sim::new(spec, RunConfig::new(n, d), standard_no_failures(d, seed)).run();
             let stats = consensus_stats(&result);
             safe &= stats.agreement;
             rounds += stats.max_round;

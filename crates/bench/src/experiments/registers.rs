@@ -19,7 +19,14 @@ pub fn e9() -> Vec<Table> {
     let mut t = Table::new(
         "E9",
         "registers used vs the n-register lower bound for time-resilient mutexes",
-        &["algorithm", "time-resilient", "n=2", "n=8", "n=32", "≥ n for all n"],
+        &[
+            "algorithm",
+            "time-resilient",
+            "n=2",
+            "n=8",
+            "n=32",
+            "≥ n for all n",
+        ],
     );
 
     let count = |c: RegisterCount| match c {
@@ -28,7 +35,11 @@ pub fn e9() -> Vec<Table> {
     };
     let sizes = [2usize, 8, 32];
 
-    type Entry = (&'static str, &'static str, Box<dyn Fn(usize) -> RegisterCount>);
+    type Entry = (
+        &'static str,
+        &'static str,
+        Box<dyn Fn(usize) -> RegisterCount>,
+    );
     let entries: Vec<Entry> = vec![
         (
             "fischer (Alg 2)",
@@ -45,8 +56,16 @@ pub fn e9() -> Vec<Table> {
             "safety yes, convergence no (Thm 3.2)",
             Box::new(|n| deadlock_free_resilient_spec(n, 0, Ticks(1)).registers()),
         ),
-        ("bakery", "n/a (asynchronous)", Box::new(|n| BakerySpec::new(n, 0).registers())),
-        ("bw-bakery", "n/a (asynchronous)", Box::new(|n| BwBakerySpec::new(n, 0).registers())),
+        (
+            "bakery",
+            "n/a (asynchronous)",
+            Box::new(|n| BakerySpec::new(n, 0).registers()),
+        ),
+        (
+            "bw-bakery",
+            "n/a (asynchronous)",
+            Box::new(|n| BwBakerySpec::new(n, 0).registers()),
+        ),
         (
             "peterson tournament",
             "n/a (asynchronous)",
@@ -60,7 +79,9 @@ pub fn e9() -> Vec<Table> {
         (
             "sf-transform(lamport fast)",
             "n/a (asynchronous)",
-            Box::new(|n| StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(n, 0).registers()),
+            Box::new(|n| {
+                StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(n, 0).registers()
+            }),
         ),
     ];
 

@@ -35,7 +35,12 @@ impl Table {
     ///
     /// Panics if the row arity does not match the columns.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
-        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
         self.rows.push(cells);
         self
     }

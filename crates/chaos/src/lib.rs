@@ -1,0 +1,55 @@
+//! Chaos harness for the native (`real threads + real atomics`) stack:
+//! seeded fault schedules, an invariant-checking nemesis, deterministic
+//! replay, schedule shrinking, and native resilience reports.
+//!
+//! The simulator (`tfr-sim`) and the model checker (`tfr-modelcheck`)
+//! already script adversarial *virtual* schedules. This crate injects the
+//! same adversities — timing failures (stalls) and crash-stops — into the
+//! **native** implementations, through the injection points of
+//! [`tfr_registers::chaos`]:
+//!
+//! * [`schedule`] — fault schedules as pure functions of a seed
+//!   ([`schedule::random_schedule`]), plus greedy shrinking of a failing
+//!   schedule to a minimal one ([`schedule::shrink`]).
+//! * [`nemesis`] — workload drivers with online invariant checking:
+//!   mutual exclusion via an intruder counter
+//!   ([`nemesis::run_mutex_chaos`]), consensus agreement/validity
+//!   ([`nemesis::run_consensus_chaos`]), and the paper's §2 headline as a
+//!   seeded one-liner: [`nemesis::run_fischer_violation`] makes two real
+//!   threads hold Fischer's lock at once by stalling one inside the
+//!   read→write window for longer than Δ. Every experiment is a pure
+//!   function of its seed: print the seed, replay the violation.
+//! * [`assess`] — the §1.3 three-part resilience assessment over native
+//!   runs ([`assess::assess_native_mutex`]), producing the same
+//!   [`tfr_core::resilience::ResilienceReport`] as the simulator
+//!   assessment (1 tick = 1 µs).
+//!
+//! # Example: break Fischer, spare Algorithm 3
+//!
+//! ```
+//! use tfr_chaos::nemesis;
+//!
+//! // Any seed defines a complete experiment; nearly all of them break
+//! // native Fischer.
+//! let (seed, report) = nemesis::hunt_fischer_violation(1, 16).expect("a violating seed");
+//! assert!(report.mutual_exclusion_violated());
+//!
+//! // Replaying the same seed reproduces the violation…
+//! let (_, again) = nemesis::run_fischer_violation(seed);
+//! assert!(again.mutual_exclusion_violated());
+//!
+//! // …while Algorithm 3 shrugs off the same schedule.
+//! let resilient = nemesis::run_resilient_under_violation_schedule(seed);
+//! assert!(!resilient.mutual_exclusion_violated());
+//! ```
+
+pub mod assess;
+pub mod nemesis;
+pub mod schedule;
+
+pub use assess::{assess_native_mutex, NativeAssessConfig};
+pub use nemesis::{
+    hunt_fischer_violation, run_consensus_chaos, run_fischer_violation, run_mutex_chaos,
+    ConsensusChaosReport, MutexChaosConfig, MutexChaosReport, ViolationSetup,
+};
+pub use schedule::{random_schedule, shrink, ScheduleConfig};

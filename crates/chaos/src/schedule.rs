@@ -1,0 +1,308 @@
+//! Fault schedules: seeded random generation and greedy shrinking.
+//!
+//! A schedule is a plain `Vec<Fault>` — the unit the nemesis installs,
+//! replays, and shrinks. Everything here is a pure function of its seed,
+//! so a printed seed *is* the schedule.
+
+use std::time::Duration;
+use tfr_registers::chaos::{points, Fault, FaultAction};
+use tfr_registers::rng::SplitMix64;
+use tfr_registers::ProcId;
+
+/// Shape of a random schedule: which points may stall, which may
+/// crash-stop, how hard and how often.
+#[derive(Debug, Clone)]
+pub struct ScheduleConfig {
+    /// Number of participating processes (faults target pids `0..n`).
+    pub n: usize,
+    /// Number of faults to draw.
+    pub max_faults: usize,
+    /// Points eligible for [`FaultAction::Stall`] faults.
+    pub stall_points: Vec<&'static str>,
+    /// Points eligible for [`FaultAction::Crash`] faults. Empty disables
+    /// crashes entirely.
+    pub crash_points: Vec<&'static str>,
+    /// Visit numbers are drawn from `1..=max_nth`.
+    pub max_nth: u64,
+    /// Stall durations are drawn from `[min_stall, max_stall]`.
+    pub min_stall: Duration,
+    /// See `min_stall`.
+    pub max_stall: Duration,
+    /// Probability that a drawn fault is a crash (when `crash_points` is
+    /// nonempty).
+    pub crash_prob: f64,
+}
+
+impl ScheduleConfig {
+    /// A schedule shape for native mutex workloads under Δ-estimate
+    /// `delta`: stalls of 1–8Δ land in the timing-sensitive windows
+    /// (the Fischer-stage read→write gap, the delay, the raw array ops),
+    /// crash-stops only between iterations ([`points::WORKLOAD_NCS`]) —
+    /// a crash while *holding* a lock blocks every survivor by
+    /// construction, which is not the claim a mutex nemesis tests.
+    pub fn mutex(n: usize, delta: Duration) -> ScheduleConfig {
+        ScheduleConfig {
+            n,
+            max_faults: 4,
+            stall_points: vec![
+                points::FISCHER_WRITE_X,
+                points::FISCHER_CHECK_X,
+                points::RESILIENT_WRITE_X,
+                points::RESILIENT_INNER,
+                points::RESILIENT_EXIT,
+                points::DELAY,
+                points::ARRAY_LOAD,
+                points::ARRAY_STORE,
+                points::WORKLOAD_NCS,
+            ],
+            crash_points: vec![points::WORKLOAD_NCS],
+            max_nth: 4,
+            min_stall: delta,
+            max_stall: delta * 8,
+            crash_prob: 0.2,
+        }
+    }
+
+    /// A schedule shape for native consensus: Algorithm 1 is wait-free,
+    /// so crash-stops are legal *anywhere* — mid-round, even between
+    /// seeing `x[r, v̄] = 0` and writing `decide`.
+    pub fn consensus(n: usize, delta: Duration) -> ScheduleConfig {
+        let anywhere = vec![
+            points::CONSENSUS_ROUND,
+            points::CONSENSUS_DECIDE,
+            points::DELAY,
+            points::ARRAY_LOAD,
+            points::ARRAY_STORE,
+        ];
+        ScheduleConfig {
+            n,
+            max_faults: 6,
+            stall_points: anywhere.clone(),
+            crash_points: anywhere,
+            // Wait-free runs are short — a proposer often decides within a
+            // round or two, so high visit numbers never arrive.
+            max_nth: 2,
+            min_stall: delta,
+            max_stall: delta * 8,
+            crash_prob: 0.3,
+        }
+    }
+}
+
+/// Draws a fault schedule from `seed`. Equal seeds yield equal schedules;
+/// that is the whole replay story.
+///
+/// At most one crash per pid is drawn (a crashed thread cannot crash
+/// again), and duplicate `(pid, point, nth)` triples are dropped.
+pub fn random_schedule(seed: u64, cfg: &ScheduleConfig) -> Vec<Fault> {
+    assert!(cfg.n > 0, "at least one process is required");
+    assert!(!cfg.stall_points.is_empty(), "no stall points to aim at");
+    assert!(cfg.min_stall <= cfg.max_stall, "stall range is inverted");
+    let mut rng = SplitMix64::new(seed);
+    let mut faults: Vec<Fault> = Vec::new();
+    let mut crashed: Vec<usize> = Vec::new();
+    for _ in 0..cfg.max_faults {
+        let pid = rng.index(cfg.n);
+        let crash = !cfg.crash_points.is_empty()
+            && !crashed.contains(&pid)
+            && rng.random_bool(cfg.crash_prob);
+        let (point, action) = if crash {
+            crashed.push(pid);
+            (
+                cfg.crash_points[rng.index(cfg.crash_points.len())],
+                FaultAction::Crash,
+            )
+        } else {
+            let span = (cfg.max_stall - cfg.min_stall).as_micros() as u64;
+            let stall = cfg.min_stall + Duration::from_micros(rng.random_range(0..=span));
+            (
+                cfg.stall_points[rng.index(cfg.stall_points.len())],
+                FaultAction::Stall(stall),
+            )
+        };
+        let nth = rng.random_range(1..=cfg.max_nth);
+        let duplicate = faults
+            .iter()
+            .any(|f| f.pid.0 == pid && f.point == point && f.nth == nth);
+        if !duplicate {
+            faults.push(Fault {
+                pid: ProcId(pid),
+                point,
+                nth,
+                action,
+            });
+        }
+    }
+    faults
+}
+
+/// Greedily shrinks a failing schedule to a (locally) minimal one.
+///
+/// `still_fails` re-runs the experiment with a candidate schedule and
+/// reports whether the violation still occurs. Two passes:
+///
+/// 1. **Remove** faults one at a time, restarting until a fixpoint —
+///    every remaining fault is necessary (removing any one makes the
+///    violation vanish).
+/// 2. **Halve** each remaining stall while the violation persists —
+///    durations end within 2× of the smallest failing stall.
+///
+/// The result is minimal for this greedy order, not globally minimal —
+/// the standard delta-debugging trade.
+pub fn shrink(schedule: Vec<Fault>, mut still_fails: impl FnMut(&[Fault]) -> bool) -> Vec<Fault> {
+    let mut schedule = schedule;
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < schedule.len() {
+            let mut candidate = schedule.clone();
+            candidate.remove(i);
+            if still_fails(&candidate) {
+                schedule = candidate;
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    for i in 0..schedule.len() {
+        while let FaultAction::Stall(d) = schedule[i].action {
+            let halved = d / 2;
+            if halved < Duration::from_micros(50) {
+                break;
+            }
+            let mut candidate = schedule.clone();
+            candidate[i].action = FaultAction::Stall(halved);
+            if still_fails(&candidate) {
+                schedule = candidate;
+            } else {
+                break;
+            }
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_replay_from_their_seed() {
+        let cfg = ScheduleConfig::mutex(4, Duration::from_micros(500));
+        assert_eq!(random_schedule(7, &cfg), random_schedule(7, &cfg));
+        assert_ne!(random_schedule(7, &cfg), random_schedule(8, &cfg));
+    }
+
+    #[test]
+    fn mutex_schedules_crash_only_between_iterations() {
+        let cfg = ScheduleConfig::mutex(4, Duration::from_micros(500));
+        for seed in 0..200 {
+            for f in random_schedule(seed, &cfg) {
+                if f.action == FaultAction::Crash {
+                    assert_eq!(f.point, points::WORKLOAD_NCS, "seed {seed}");
+                }
+                assert!(f.pid.0 < 4 && f.nth >= 1, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_one_crash_per_pid() {
+        let mut cfg = ScheduleConfig::consensus(2, Duration::from_micros(300));
+        cfg.max_faults = 12;
+        cfg.crash_prob = 1.0;
+        for seed in 0..100 {
+            let schedule = random_schedule(seed, &cfg);
+            for pid in 0..2 {
+                let crashes = schedule
+                    .iter()
+                    .filter(|f| f.pid.0 == pid && f.action == FaultAction::Crash)
+                    .count();
+                assert!(
+                    crashes <= 1,
+                    "seed {seed}: pid {pid} crashes {crashes} times"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stall_durations_respect_the_configured_range() {
+        let cfg = ScheduleConfig::mutex(3, Duration::from_micros(400));
+        for seed in 0..100 {
+            for f in random_schedule(seed, &cfg) {
+                if let FaultAction::Stall(d) = f.action {
+                    assert!(
+                        d >= cfg.min_stall && d <= cfg.max_stall,
+                        "seed {seed}: {d:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_removes_irrelevant_faults() {
+        // Oracle: the experiment "fails" iff the schedule contains the one
+        // load-bearing fault (p0 stalls at FISCHER_WRITE_X).
+        let essential = Fault {
+            pid: ProcId(0),
+            point: points::FISCHER_WRITE_X,
+            nth: 1,
+            action: FaultAction::Stall(Duration::from_millis(40)),
+        };
+        let noise: Vec<Fault> = (1..4)
+            .map(|i| Fault {
+                pid: ProcId(i),
+                point: points::DELAY,
+                nth: i as u64,
+                action: FaultAction::Stall(Duration::from_millis(5)),
+            })
+            .collect();
+        let mut schedule = noise.clone();
+        schedule.insert(1, essential);
+        let minimal = shrink(schedule, |s| {
+            s.iter().any(|f| {
+                f.pid == essential.pid
+                    && f.point == essential.point
+                    && matches!(f.action, FaultAction::Stall(d) if d >= Duration::from_millis(10))
+            })
+        });
+        assert_eq!(
+            minimal.len(),
+            1,
+            "only the essential fault survives: {minimal:?}"
+        );
+        assert_eq!(minimal[0].pid, essential.pid);
+        assert_eq!(minimal[0].point, essential.point);
+        // Pass 2 halved the stall down to the smallest still-failing size.
+        match minimal[0].action {
+            FaultAction::Stall(d) => {
+                assert!(
+                    d >= Duration::from_millis(10) && d <= Duration::from_millis(20),
+                    "{d:?}"
+                )
+            }
+            FaultAction::Crash => panic!("stall must stay a stall"),
+        }
+    }
+
+    #[test]
+    fn shrink_of_an_all_essential_schedule_is_identity_sized() {
+        let faults: Vec<Fault> = (0..3)
+            .map(|i| Fault {
+                pid: ProcId(i),
+                point: points::DELAY,
+                nth: 1,
+                action: FaultAction::Crash,
+            })
+            .collect();
+        let n = faults.len();
+        let minimal = shrink(faults, |s| s.len() == n);
+        assert_eq!(minimal.len(), n);
+    }
+}

@@ -88,7 +88,9 @@ impl BoundedConsensusSpec {
     pub fn new(inputs: Vec<bool>, failure_bound: Ticks, delta: Delta) -> BoundedConsensusSpec {
         let rounds = rounds_for_bound(failure_bound, delta);
         BoundedConsensusSpec {
-            inner: ConsensusSpec::new(inputs).max_rounds(rounds).with_delta(delta.ticks()),
+            inner: ConsensusSpec::new(inputs)
+                .max_rounds(rounds)
+                .with_delta(delta.ticks()),
             rounds,
         }
     }
@@ -105,7 +107,11 @@ impl BoundedConsensusSpec {
 
     /// A register-usage report (experiment E13).
     pub fn register_usage(&self, n: usize) -> RegisterUsage {
-        RegisterUsage { algorithm: "bounded-consensus", n, count: self.registers() }
+        RegisterUsage {
+            algorithm: "bounded-consensus",
+            n,
+            count: self.registers(),
+        }
     }
 }
 
@@ -212,7 +218,9 @@ impl BoundedNativeConsensus {
         }
         // One final chance: someone else may have decided in our last round.
         match self.decide.load(Ordering::SeqCst) {
-            0 => Err(BoundExceeded { rounds: self.rounds as u64 }),
+            0 => Err(BoundExceeded {
+                rounds: self.rounds as u64,
+            }),
             d => Ok(d == 2),
         }
     }
@@ -274,7 +282,10 @@ mod tests {
             let result = Sim::new(spec, RunConfig::new(3, d), model).run();
             let stats = consensus_stats(&result);
             assert!(stats.agreement, "seed={seed}");
-            assert!(stats.all_decided_by.is_some(), "seed={seed}: must decide within budget");
+            assert!(
+                stats.all_decided_by.is_some(),
+                "seed={seed}: must decide within budget"
+            );
             let gave_up = result
                 .events(|o| match o {
                     Obs::Note("round-bound-exceeded", r) => Some(*r),
@@ -299,9 +310,11 @@ mod tests {
             if k > 0 {
                 model = model.set(ProcId(0), 7 * k, Fate::Take(Ticks(260)));
             }
-            model = model
-                .set(ProcId(0), 7 * k + 6, Fate::Take(Ticks(150)))
-                .set(ProcId(1), 7 * k + 3, Fate::Take(Ticks(400)));
+            model = model.set(ProcId(0), 7 * k + 6, Fate::Take(Ticks(150))).set(
+                ProcId(1),
+                7 * k + 3,
+                Fate::Take(Ticks(400)),
+            );
         }
         let result = Sim::new(spec, RunConfig::new(2, d), model).run();
         let stats = consensus_stats(&result);
@@ -340,8 +353,10 @@ mod tests {
                     std::thread::spawn(move || c.propose((i + trial) % 2 == 0))
                 })
                 .collect();
-            let outs: Vec<bool> =
-                handles.into_iter().map(|h| h.join().unwrap().expect("within budget")).collect();
+            let outs: Vec<bool> = handles
+                .into_iter()
+                .map(|h| h.join().unwrap().expect("within budget"))
+                .collect();
             assert!(outs.windows(2).all(|w| w[0] == w[1]), "trial {trial}");
         }
     }
@@ -366,7 +381,10 @@ mod tests {
         // BoundExceeded for some processes, but the ones that decide must
         // agree — safety is unconditional.
         for _ in 0..50 {
-            let c = Arc::new(BoundedNativeConsensus::with_rounds(1, Duration::from_nanos(1)));
+            let c = Arc::new(BoundedNativeConsensus::with_rounds(
+                1,
+                Duration::from_nanos(1),
+            ));
             let handles: Vec<_> = (0..2)
                 .map(|i| {
                     let c = Arc::clone(&c);

@@ -38,6 +38,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use tfr_registers::chaos;
 use tfr_registers::native::{precise_delay, UnboundedAtomicArray};
 use tfr_registers::spec::{Action, Automaton, Obs};
 use tfr_registers::{ProcId, RegId, Ticks};
@@ -169,7 +170,12 @@ impl Automaton for ConsensusSpec {
 
     fn init(&self, pid: ProcId) -> Self::State {
         assert!(pid.0 < self.inputs.len(), "pid out of range");
-        ConsensusState { pid, pc: Pc::ReadDecide, v: self.inputs[pid.0], r: 1 }
+        ConsensusState {
+            pid,
+            pc: Pc::ReadDecide,
+            v: self.inputs[pid.0],
+            r: 1,
+        }
     }
 
     fn next_action(&self, s: &Self::State) -> Action {
@@ -257,7 +263,11 @@ impl ConsensusSpec {
     ///
     /// Panics if the length does not match the number of processes.
     pub fn with_per_process_deltas(mut self, deltas: Vec<Ticks>) -> ConsensusSpec {
-        assert_eq!(deltas.len(), self.inputs.len(), "one delay estimate per process");
+        assert_eq!(
+            deltas.len(),
+            self.inputs.len(),
+            "one delay estimate per process"
+        );
         self.per_process_delay = Some(deltas);
         self
     }
@@ -327,6 +337,7 @@ impl NativeConsensus {
         let mut v = input;
         let mut r = 1usize;
         loop {
+            chaos::point(chaos::points::CONSENSUS_ROUND);
             let d = self.decide.load(Ordering::SeqCst);
             if d != 0 {
                 return dec(d);
@@ -336,6 +347,7 @@ impl NativeConsensus {
                 self.y.store(r - 1, enc(v));
             }
             if self.x.load(Self::xi(r, !v)) == 0 {
+                chaos::point(chaos::points::CONSENSUS_DECIDE);
                 self.decide.store(enc(v), Ordering::SeqCst);
                 continue; // the loop check reads `decide` and returns
             }
@@ -387,7 +399,9 @@ mod tests {
         let delta = Delta::from_ticks(1000);
         for n in [2usize, 4, 8] {
             for seed in 0..20 {
-                let inputs: Vec<bool> = (0..n).map(|i| (i + seed as usize).is_multiple_of(2)).collect();
+                let inputs: Vec<bool> = (0..n)
+                    .map(|i| (i + seed as usize).is_multiple_of(2))
+                    .collect();
                 let spec = ConsensusSpec::new(inputs.clone());
                 let result = Sim::new(
                     spec,
@@ -397,9 +411,7 @@ mod tests {
                 .run();
                 let stats = consensus_stats(&result);
                 assert!(stats.agreement, "n={n} seed={seed}");
-                assert!(stats.valid_against(
-                    &inputs.iter().map(|&b| b as u64).collect::<Vec<_>>()
-                ));
+                assert!(stats.valid_against(&inputs.iter().map(|&b| b as u64).collect::<Vec<_>>()));
                 let t = stats.all_decided_by.expect("everyone decides");
                 assert!(
                     t <= delta.times(15),
@@ -414,8 +426,12 @@ mod tests {
         let delta = Delta::from_ticks(1000);
         for input in [false, true] {
             let spec = ConsensusSpec::new(vec![input; 5]);
-            let result =
-                Sim::new(spec, RunConfig::new(5, delta), standard_no_failures(delta, 9)).run();
+            let result = Sim::new(
+                spec,
+                RunConfig::new(5, delta),
+                standard_no_failures(delta, 9),
+            )
+            .run();
             let stats = consensus_stats(&result);
             assert_eq!(stats.decided_value, Some(input as u64));
         }
@@ -459,23 +475,24 @@ mod tests {
     #[test]
     fn modelcheck_two_procs_exhaustive() {
         // Theorems 2.2 + 2.3 for n=2, 3 rounds, ALL interleavings.
-        let report = Explorer::new(
-            ConsensusSpec::new(vec![false, true]).max_rounds(3),
-            2,
-        )
-        .check(&SafetySpec::consensus(vec![0, 1]));
-        assert!(report.proven_safe(), "violation or truncation: {:?}", report.violation);
+        let report = Explorer::new(ConsensusSpec::new(vec![false, true]).max_rounds(3), 2)
+            .check(&SafetySpec::consensus(vec![0, 1]));
+        assert!(
+            report.proven_safe(),
+            "violation or truncation: {:?}",
+            report.violation
+        );
         assert!(report.states_explored > 100);
     }
 
     #[test]
     fn modelcheck_two_procs_same_input() {
-        let report = Explorer::new(
-            ConsensusSpec::new(vec![true, true]).max_rounds(3),
-            2,
-        )
-        .check(&SafetySpec::consensus(vec![1]));
-        assert!(report.proven_safe(), "with equal inputs only that value may be decided");
+        let report = Explorer::new(ConsensusSpec::new(vec![true, true]).max_rounds(3), 2)
+            .check(&SafetySpec::consensus(vec![1]));
+        assert!(
+            report.proven_safe(),
+            "with equal inputs only that value may be decided"
+        );
     }
 
     #[test]
@@ -497,8 +514,7 @@ mod tests {
                     std::thread::spawn(move || c.propose((i + trial) % 2 == 0))
                 })
                 .collect();
-            let decisions: Vec<bool> =
-                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let decisions: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
             assert!(
                 decisions.windows(2).all(|w| w[0] == w[1]),
                 "disagreement in trial {trial}: {decisions:?}"
@@ -535,8 +551,7 @@ mod tests {
                     std::thread::spawn(move || c.propose(i % 2 == 0))
                 })
                 .collect();
-            let decisions: Vec<bool> =
-                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let decisions: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
             assert!(decisions.windows(2).all(|w| w[0] == w[1]));
         }
     }
@@ -547,8 +562,7 @@ mod tests {
         for seed in 0..20 {
             let spec = ConsensusSpec::new(vec![true, false, true, false])
                 .with_per_process_deltas(vec![Ticks(10), Ticks(100), Ticks(400), Ticks(50)]);
-            let result =
-                Sim::new(spec, RunConfig::new(4, d), standard_no_failures(d, seed)).run();
+            let result = Sim::new(spec, RunConfig::new(4, d), standard_no_failures(d, seed)).run();
             let stats = consensus_stats(&result);
             assert!(stats.agreement, "seed={seed}");
             assert!(stats.all_decided_by.is_some(), "seed={seed}");
@@ -579,6 +593,9 @@ mod tests {
         let result = Sim::new(spec, RunConfig::new(2, delta), model).run();
         let stats = consensus_stats(&result);
         assert!(stats.agreement);
-        assert!(stats.all_decided_by.is_some(), "must decide after the window closes");
+        assert!(
+            stats.all_decided_by.is_some(),
+            "must decide after the window closes"
+        );
     }
 }

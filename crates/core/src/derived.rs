@@ -41,7 +41,9 @@ impl LeaderElection {
     /// Panics if `n == 0`.
     pub fn new(n: usize, delta: Duration) -> LeaderElection {
         let width = (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1);
-        LeaderElection { mc: MultiConsensus::new(n, width, delta) }
+        LeaderElection {
+            mc: MultiConsensus::new(n, width, delta),
+        }
     }
 
     /// Participates as `pid`; returns the agreed leader (necessarily a
@@ -74,7 +76,9 @@ impl TestAndSet {
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize, delta: Duration) -> TestAndSet {
-        TestAndSet { election: LeaderElection::new(n, delta) }
+        TestAndSet {
+            election: LeaderElection::new(n, delta),
+        }
     }
 
     /// Atomically tests-and-sets as `pid`: returns the old value —
@@ -101,7 +105,9 @@ impl Renaming {
     /// Panics if `n == 0`.
     pub fn new(n: usize, delta: Duration) -> Renaming {
         assert!(n > 0, "at least one process is required");
-        Renaming { slots: (0..n).map(|_| LeaderElection::new(n, delta)).collect() }
+        Renaming {
+            slots: (0..n).map(|_| LeaderElection::new(n, delta)).collect(),
+        }
     }
 
     /// Acquires a name as `pid`. Call at most once per process.
@@ -140,7 +146,10 @@ impl SetConsensus {
     /// Panics if `k == 0`.
     pub fn new(k: usize, delta: Duration) -> SetConsensus {
         assert!(k > 0, "k must be positive");
-        SetConsensus { groups: (0..k).map(|_| NativeConsensus::new(delta)).collect(), k }
+        SetConsensus {
+            groups: (0..k).map(|_| NativeConsensus::new(delta)).collect(),
+            k,
+        }
     }
 
     /// Proposes `input` as `pid`; returns this process's decision.
@@ -177,7 +186,10 @@ mod tests {
                 })
                 .collect();
             let leaders: Vec<ProcId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-            assert!(leaders.windows(2).all(|w| w[0] == w[1]), "trial {trial}: {leaders:?}");
+            assert!(
+                leaders.windows(2).all(|w| w[0] == w[1]),
+                "trial {trial}: {leaders:?}"
+            );
             assert!(leaders[0].0 < n);
         }
     }
@@ -191,7 +203,10 @@ mod tests {
     #[test]
     fn tas_solo_wins() {
         let t = TestAndSet::new(4, D);
-        assert!(!t.test_and_set(ProcId(1)), "solo caller reads the old value false");
+        assert!(
+            !t.test_and_set(ProcId(1)),
+            "solo caller reads the old value false"
+        );
     }
 
     #[test]
@@ -224,8 +239,15 @@ mod tests {
                 .collect();
             let names: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
             let distinct: HashSet<usize> = names.iter().copied().collect();
-            assert_eq!(distinct.len(), n, "trial {trial}: duplicate names: {names:?}");
-            assert!(names.iter().all(|&m| m < n), "trial {trial}: name out of range");
+            assert_eq!(
+                distinct.len(),
+                n,
+                "trial {trial}: duplicate names: {names:?}"
+            );
+            assert!(
+                names.iter().all(|&m| m < n),
+                "trial {trial}: name out of range"
+            );
         }
     }
 
@@ -240,7 +262,10 @@ mod tests {
         assert_ne!(a, b);
         assert!(a < 5 && b < 5);
         // With 2 participants and slot-order walking, both names are 0/1.
-        assert!(a.max(b) <= 1, "2 participants must occupy the first two slots: {a} {b}");
+        assert!(
+            a.max(b) <= 1,
+            "2 participants must occupy the first two slots: {a} {b}"
+        );
     }
 
     #[test]
@@ -257,7 +282,10 @@ mod tests {
                 .collect();
             let decisions: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
             let distinct: HashSet<bool> = decisions.iter().copied().collect();
-            assert!(distinct.len() <= k, "trial {trial}: more than k distinct decisions");
+            assert!(
+                distinct.len() <= k,
+                "trial {trial}: more than k distinct decisions"
+            );
         }
     }
 

@@ -56,7 +56,13 @@ impl ElectionSpec {
     pub fn new(n: usize, base: u64, delta: Ticks) -> ElectionSpec {
         assert!(n > 0, "at least one process is required");
         let width = (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1);
-        ElectionSpec { n, width, base, delta, inner_rounds: Self::INNER_ROUNDS }
+        ElectionSpec {
+            n,
+            width,
+            base,
+            delta,
+            inner_rounds: Self::INNER_ROUNDS,
+        }
     }
 
     /// Overrides the per-instance round cap (the model checker uses a
@@ -91,7 +97,10 @@ enum Pc {
     /// `announce[i] := i + 1`.
     Announce,
     /// Driving consensus instance `k` with the inner state.
-    Bit { k: u32, inner: <ConsensusSpec as Automaton>::State },
+    Bit {
+        k: u32,
+        inner: <ConsensusSpec as Automaton>::State,
+    },
     /// Adoption scan after instance `k` decided `bit`: looking for an
     /// announced id matching `prefix` (the decided bits from the top down
     /// through `k`).
@@ -128,7 +137,11 @@ impl Automaton for ElectionSpec {
 
     fn init(&self, pid: ProcId) -> Self::State {
         assert!(pid.0 < self.n, "pid out of range");
-        ElectionState { pid, pc: Pc::Announce, candidate: pid.0 as u64 }
+        ElectionState {
+            pid,
+            pc: Pc::Announce,
+            candidate: pid.0 as u64,
+        }
     }
 
     fn next_action(&self, s: &Self::State) -> Action {
@@ -220,8 +233,12 @@ mod tests {
         for n in [1usize, 2, 5, 8] {
             for pid in [0, n - 1] {
                 let mut bank = ArrayBank::new();
-                let run =
-                    run_solo(&ElectionSpec::new(n, 0, Ticks(100)), ProcId(pid), &mut bank, 500);
+                let run = run_solo(
+                    &ElectionSpec::new(n, 0, Ticks(100)),
+                    ProcId(pid),
+                    &mut bank,
+                    500,
+                );
                 assert_eq!(run.decision(), Some(pid as u64), "n={n} pid={pid}");
             }
         }
@@ -278,8 +295,7 @@ mod tests {
         // someone is a fixed participant.
         let d = Delta::from_ticks(100);
         let spec = ElectionSpec::new(2, 0, d.ticks());
-        let model =
-            CrashSchedule::new(standard_no_failures(d, 3), vec![(ProcId(1), Ticks(150))]);
+        let model = CrashSchedule::new(standard_no_failures(d, 3), vec![(ProcId(1), Ticks(150))]);
         let result = Sim::new(spec, RunConfig::new(2, d), model).run();
         let (_, v) = result.decision_of(ProcId(0)).expect("survivor elects");
         assert!(v < 2);
@@ -295,8 +311,16 @@ mod tests {
         let run_a = run_solo(&a, ProcId(0), &mut bank, 500);
         let run_b = run_solo(&b, ProcId(1), &mut bank, 500);
         assert_eq!(run_a.decision(), Some(0));
-        assert_eq!(run_b.decision(), Some(1), "second election must not see the first's state");
+        assert_eq!(
+            run_b.decision(),
+            Some(1),
+            "second election must not see the first's state"
+        );
         assert_ne!(bank.read(RegId(0)), 0, "announce of election A present");
-        assert_ne!(bank.read(RegId(10_001)), 0, "announce of election B present");
+        assert_ne!(
+            bank.read(RegId(10_001)),
+            0,
+            "announce of election B present"
+        );
     }
 }

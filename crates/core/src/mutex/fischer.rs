@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tfr_asynclock::{LockSpec, LockStep, Progress, RawLock};
 use tfr_registers::accounting::RegisterCount;
+use tfr_registers::chaos;
 use tfr_registers::native::precise_delay;
 use tfr_registers::spec::Action;
 use tfr_registers::{ProcId, RegId, Ticks};
@@ -188,7 +189,11 @@ impl Fischer<Duration> {
     /// Panics if `n == 0`.
     pub fn new(n: usize, delta: Duration) -> Fischer<Duration> {
         assert!(n > 0, "at least one process is required");
-        Fischer { n, x: AtomicU64::new(0), delay: delta }
+        Fischer {
+            n,
+            x: AtomicU64::new(0),
+            delay: delta,
+        }
     }
 }
 
@@ -201,7 +206,11 @@ impl<D: DelaySource> Fischer<D> {
     /// Panics if `n == 0`.
     pub fn with_delay_source(n: usize, source: D) -> Fischer<D> {
         assert!(n > 0, "at least one process is required");
-        Fischer { n, x: AtomicU64::new(0), delay: source }
+        Fischer {
+            n,
+            x: AtomicU64::new(0),
+            delay: source,
+        }
     }
 }
 
@@ -213,8 +222,12 @@ impl<D: DelaySource> RawLock for Fischer<D> {
             while self.x.load(Ordering::SeqCst) != 0 {
                 std::thread::yield_now();
             }
+            // The read→write window: a stall injected here models the
+            // §3.1 timing failure that breaks Fischer's argument.
+            chaos::point(chaos::points::FISCHER_WRITE_X);
             self.x.store(tok, Ordering::SeqCst);
             precise_delay(self.delay.current_delay());
+            chaos::point(chaos::points::FISCHER_CHECK_X);
             if self.x.load(Ordering::SeqCst) == tok {
                 self.delay.on_uncontended();
                 return;
@@ -224,6 +237,7 @@ impl<D: DelaySource> RawLock for Fischer<D> {
     }
 
     fn unlock(&self, _pid: ProcId) {
+        chaos::point(chaos::points::FISCHER_EXIT);
         self.x.store(0, Ordering::SeqCst);
     }
 
@@ -245,7 +259,7 @@ mod tests {
     use tfr_registers::spec::{run_solo, Obs};
     use tfr_registers::Delta;
     use tfr_sim::metrics::mutex_stats;
-    use tfr_sim::timing::{Fate, Scripted, standard_no_failures};
+    use tfr_sim::timing::{standard_no_failures, Fate, Scripted};
     use tfr_sim::{RunConfig, Sim};
 
     #[test]
@@ -309,7 +323,11 @@ mod tests {
         assert!(
             stats.mutual_exclusion_violated,
             "the scripted timing failure must break Fischer; events: {:?}",
-            result.obs.iter().filter(|e| !matches!(e.obs, Obs::Note(..))).collect::<Vec<_>>()
+            result
+                .obs
+                .iter()
+                .filter(|e| !matches!(e.obs, Obs::Note(..)))
+                .collect::<Vec<_>>()
         );
         assert!(result.timing_failures > 0);
     }
@@ -361,7 +379,10 @@ mod tests {
 
     #[test]
     fn register_count_is_one() {
-        assert_eq!(FischerSpec::new(8, 0, Ticks(1)).registers(), RegisterCount::Finite(1));
+        assert_eq!(
+            FischerSpec::new(8, 0, Ticks(1)).registers(),
+            RegisterCount::Finite(1)
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ use tfr_asynclock::bar_david::{StarvationFree, StarvationFreeSpec};
 use tfr_asynclock::lamport_fast::{LamportFast, LamportFastSpec};
 use tfr_asynclock::{LockSpec, LockStep, Progress, RawLock};
 use tfr_registers::accounting::RegisterCount;
+use tfr_registers::chaos;
 use tfr_registers::native::precise_delay;
 use tfr_registers::spec::Action;
 use tfr_registers::{ProcId, RegId, Ticks};
@@ -89,8 +90,17 @@ impl<A: LockSpec> ResilientMutexSpec<A> {
     /// Panics if `n == 0` or `inner.n() != n`.
     pub fn new(inner: A, n: usize, base: u64, delta: Ticks) -> ResilientMutexSpec<A> {
         assert!(n > 0, "at least one process is required");
-        assert_eq!(inner.n(), n, "inner lock must be configured for the same process count");
-        ResilientMutexSpec { inner, n, base, delta }
+        assert_eq!(
+            inner.n(),
+            n,
+            "inner lock must be configured for the same process count"
+        );
+        ResilientMutexSpec {
+            inner,
+            n,
+            base,
+            delta,
+        }
     }
 
     /// Fischer's register.
@@ -139,7 +149,11 @@ impl<A: LockSpec> LockSpec for ResilientMutexSpec<A> {
 
     fn init(&self, pid: ProcId) -> Self::State {
         assert!(pid.0 < self.n, "pid out of range");
-        ResilientMutexState { pid, pc: Pc::Idle, inner: self.inner.init(pid) }
+        ResilientMutexState {
+            pid,
+            pc: Pc::Idle,
+            inner: self.inner.init(pid),
+        }
     }
 
     fn start_entry(&self, s: &mut Self::State) {
@@ -313,8 +327,17 @@ impl<A: RawLock, D: DelaySource> ResilientMutex<A, D> {
     /// Panics if `n == 0` or `inner.n() != n`.
     pub fn with_delay_source(inner: A, n: usize, source: D) -> ResilientMutex<A, D> {
         assert!(n > 0, "at least one process is required");
-        assert_eq!(inner.n(), n, "inner lock must be configured for the same process count");
-        ResilientMutex { inner, n, x: AtomicU64::new(0), delay: source }
+        assert_eq!(
+            inner.n(),
+            n,
+            "inner lock must be configured for the same process count"
+        );
+        ResilientMutex {
+            inner,
+            n,
+            x: AtomicU64::new(0),
+            delay: source,
+        }
     }
 }
 
@@ -326,6 +349,9 @@ impl<A: RawLock, D: DelaySource> RawLock for ResilientMutex<A, D> {
             while self.x.load(Ordering::SeqCst) != 0 {
                 std::thread::yield_now();
             }
+            // Same read→write window as plain Fischer — a stall here must
+            // NOT break mutual exclusion (that is what resilience means).
+            chaos::point(chaos::points::RESILIENT_WRITE_X);
             self.x.store(tok, Ordering::SeqCst);
             precise_delay(self.delay.current_delay());
             if self.x.load(Ordering::SeqCst) == tok {
@@ -334,11 +360,13 @@ impl<A: RawLock, D: DelaySource> RawLock for ResilientMutex<A, D> {
             }
             self.delay.on_contended();
         }
+        chaos::point(chaos::points::RESILIENT_INNER);
         self.inner.lock(pid);
     }
 
     fn unlock(&self, pid: ProcId) {
         self.inner.unlock(pid);
+        chaos::point(chaos::points::RESILIENT_EXIT);
         // Line 8: conditional reset — of all processes stranded in A by a
         // timing failure, at most one reopens the wrapper.
         if self.x.load(Ordering::SeqCst) == pid.token() {
@@ -395,7 +423,9 @@ mod tests {
         let delta = Delta::from_ticks(100);
         for n in [1usize, 2, 4, 8] {
             let spec = standard_resilient_spec(n, 0, delta.ticks());
-            let automaton = LockLoop::new(spec, 5).cs_ticks(Ticks(20)).ncs_ticks(Ticks(50));
+            let automaton = LockLoop::new(spec, 5)
+                .cs_ticks(Ticks(20))
+                .ncs_ticks(Ticks(50));
             let result = Sim::new(
                 automaton,
                 RunConfig::new(n, delta),
@@ -418,7 +448,9 @@ mod tests {
         let delta = Delta::from_ticks(100);
         for seed in 0..10 {
             let spec = standard_resilient_spec(3, 0, delta.ticks());
-            let automaton = LockLoop::new(spec, 5).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30));
+            let automaton = LockLoop::new(spec, 5)
+                .cs_ticks(Ticks(20))
+                .ncs_ticks(Ticks(30));
             let model = UniformAccess::new(Ticks(10), Ticks(500), seed);
             let result = Sim::new(automaton, RunConfig::new(3, delta), model).run();
             assert!(result.all_halted(), "seed={seed}");
@@ -437,7 +469,11 @@ mod tests {
         // holder's exit code plus the Fischer handover, so ψ itself is a
         // double-digit multiple of Δ — still O(Δ), independent of n).
         let delta = Delta::from_ticks(100);
-        let workload = |spec| LockLoop::new(spec, 40).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30));
+        let workload = |spec| {
+            LockLoop::new(spec, 40)
+                .cs_ticks(Ticks(20))
+                .ncs_ticks(Ticks(30))
+        };
 
         let baseline = Sim::new(
             workload(standard_resilient_spec(4, 0, delta.ticks())),
@@ -454,7 +490,12 @@ mod tests {
         let burst_end = Ticks(3_000);
         let model = FailureWindows::new(
             standard_no_failures(delta, 5),
-            vec![Window { from: Ticks(0), to: burst_end, pids: None, inflated: Ticks(450) }],
+            vec![Window {
+                from: Ticks(0),
+                to: burst_end,
+                pids: None,
+                inflated: Ticks(450),
+            }],
         );
         let result = Sim::new(
             workload(standard_resilient_spec(4, 0, delta.ticks())),

@@ -114,6 +114,15 @@ impl fmt::Display for ResilienceReport {
     }
 }
 
+/// The convergence tolerance band: the metric counts as back-to-normal
+/// when it is within `num/den · ψ + Δ`. Shared by the simulator
+/// assessment ([`assess_mutex`]) and the native one
+/// (`tfr-chaos::assess_native_mutex`), so both judge convergence by the
+/// same yardstick.
+pub fn convergence_target(psi: Ticks, delta: Delta, num: u64, den: u64) -> Ticks {
+    Ticks(psi.0 * num / den.max(1) + delta.ticks().0)
+}
+
 /// Runs the §1.3 assessment protocol on a mutual exclusion algorithm.
 ///
 /// `make_lock` is called once per run (the two runs need fresh lock
@@ -128,7 +137,9 @@ pub fn assess_mutex<L: LockSpec>(
     config: &AssessConfig,
 ) -> ResilienceReport {
     let workload = |lock: L, cfg: &AssessConfig| {
-        LockLoop::new(lock, cfg.iterations).cs_ticks(cfg.cs_ticks).ncs_ticks(cfg.ncs_ticks)
+        LockLoop::new(lock, cfg.iterations)
+            .cs_ticks(cfg.cs_ticks)
+            .ncs_ticks(cfg.ncs_ticks)
     };
 
     let mut psi = Ticks::ZERO;
@@ -146,7 +157,10 @@ pub fn assess_mutex<L: LockSpec>(
         .run();
         assert!(clean.all_halted(), "the failure-free run must complete");
         let clean_stats = mutex_stats(&clean, Ticks::ZERO);
-        assert!(!clean_stats.mutual_exclusion_violated, "unsafe without failures");
+        assert!(
+            !clean_stats.mutual_exclusion_violated,
+            "unsafe without failures"
+        );
         psi = Ticks(psi.0.max(clean_stats.longest_starved_interval.0));
     }
 
@@ -156,8 +170,9 @@ pub fn assess_mutex<L: LockSpec>(
         // because a uniform slowdown preserves relative timing and is the
         // kindest possible failure; timing failures in the wild hit some
         // processes and not others.
-        let slow: Vec<tfr_registers::ProcId> =
-            (0..config.n.div_ceil(2)).map(tfr_registers::ProcId).collect();
+        let slow: Vec<tfr_registers::ProcId> = (0..config.n.div_ceil(2))
+            .map(tfr_registers::ProcId)
+            .collect();
         let model = FailureWindows::new(
             standard_no_failures(config.delta, seed),
             vec![Window {
@@ -176,8 +191,12 @@ pub fn assess_mutex<L: LockSpec>(
         let burst_stats = mutex_stats(&burst, Ticks::ZERO);
         safe &= !burst_stats.mutual_exclusion_violated;
         live &= burst.all_halted();
-        let target =
-            Ticks(psi.0 * config.tolerance_num / config.tolerance_den + config.delta.ticks().0);
+        let target = convergence_target(
+            psi,
+            config.delta,
+            config.tolerance_num,
+            config.tolerance_den,
+        );
         let this = convergence_point(&burst, config.burst_end, target)
             .map(|t| t.saturating_sub(config.burst_end));
         convergence = match (convergence, this) {
@@ -186,7 +205,12 @@ pub fn assess_mutex<L: LockSpec>(
         };
     }
 
-    ResilienceReport { psi, safe_during_failures: safe, live_after_failures: live, convergence }
+    ResilienceReport {
+        psi,
+        safe_during_failures: safe,
+        live_after_failures: live,
+        convergence,
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +225,11 @@ mod tests {
         let config = AssessConfig::new(4, d);
         let report = assess_mutex(|| standard_resilient_spec(4, 0, d.ticks()), &config);
         assert!(report.resilient(), "{report}");
-        assert!(report.psi <= d.times(20), "ψ must be a small multiple of Δ: {}", report.psi);
+        assert!(
+            report.psi <= d.times(20),
+            "ψ must be a small multiple of Δ: {}",
+            report.psi
+        );
         assert!(!report.to_string().is_empty());
     }
 
@@ -227,9 +255,14 @@ mod tests {
     #[test]
     fn alg3_psi_is_n_independent_in_the_assessment() {
         let d = Delta::from_ticks(100);
-        let r2 = assess_mutex(|| standard_resilient_spec(2, 0, d.ticks()), &AssessConfig::new(2, d));
-        let r12 =
-            assess_mutex(|| standard_resilient_spec(12, 0, d.ticks()), &AssessConfig::new(12, d));
+        let r2 = assess_mutex(
+            || standard_resilient_spec(2, 0, d.ticks()),
+            &AssessConfig::new(2, d),
+        );
+        let r12 = assess_mutex(
+            || standard_resilient_spec(12, 0, d.ticks()),
+            &AssessConfig::new(12, d),
+        );
         assert!(
             r12.psi.0 <= r2.psi.0 * 2,
             "Alg 3's ψ must not scale with n: n=2 → {}, n=12 → {}",

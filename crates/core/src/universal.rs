@@ -194,8 +194,12 @@ impl<T: Sequential> Universal<T> {
             object,
             n,
             capacity,
-            slots: (0..capacity).map(|_| MultiConsensus::new(n, width, delta)).collect(),
-            ops: (0..n).map(|_| UnboundedAtomicArray::with_capacity(16)).collect(),
+            slots: (0..capacity)
+                .map(|_| MultiConsensus::new(n, width, delta))
+                .collect(),
+            ops: (0..n)
+                .map(|_| UnboundedAtomicArray::with_capacity(16))
+                .collect(),
             announced: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -225,7 +229,10 @@ impl<T: Sequential> Universal<T> {
         // Announce: payload first, then the sequence counter, so any
         // process that reads the counter can read the payload.
         let seq = self.announced[pid.0].load(Ordering::SeqCst);
-        assert!(seq < (1 << SEQ_BITS) - 1, "per-process operation budget exhausted");
+        assert!(
+            seq < (1 << SEQ_BITS) - 1,
+            "per-process operation budget exhausted"
+        );
         self.ops[pid.0].store(seq as usize, op + 1);
         self.announced[pid.0].store(seq + 1, Ordering::SeqCst);
 
@@ -240,8 +247,7 @@ impl<T: Sequential> Universal<T> {
                     // s mod n; propose its oldest unserved announced op if
                     // it has one, else our own.
                     let q = s % self.n;
-                    let proposal = if self.announced[q].load(Ordering::SeqCst) > committed[q]
-                    {
+                    let proposal = if self.announced[q].load(Ordering::SeqCst) > committed[q] {
                         Self::pack(q, committed[q])
                     } else {
                         mine
@@ -367,8 +373,14 @@ mod tests {
                 })
                 .collect();
             let outs: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-            assert!(outs.windows(2).all(|w| w[0] == w[1]), "trial {trial}: {outs:?}");
-            assert!(inputs.contains(&outs[0]), "trial {trial}: decided a non-input");
+            assert!(
+                outs.windows(2).all(|w| w[0] == w[1]),
+                "trial {trial}: {outs:?}"
+            );
+            assert!(
+                inputs.contains(&outs[0]),
+                "trial {trial}: decided a non-input"
+            );
         }
     }
 
@@ -429,11 +441,16 @@ mod tests {
             .map(|i| {
                 let obj = Arc::clone(&obj);
                 std::thread::spawn(move || {
-                    (0..per).map(|_| obj.invoke(ProcId(i), 1)).collect::<Vec<u64>>()
+                    (0..per)
+                        .map(|_| obj.invoke(ProcId(i), 1))
+                        .collect::<Vec<u64>>()
                 })
             })
             .collect();
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         let expected: Vec<u64> = (1..=(n * per) as u64).collect();
         assert_eq!(all, expected, "responses must form a dense linearization");
@@ -484,10 +501,14 @@ mod tests {
                 })
             })
             .collect();
-        let mut got: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut got: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         got.sort_unstable();
-        let mut want: Vec<u32> =
-            (0..n).flat_map(|i| (0..per).map(move |k| (i * 100 + k) as u32)).collect();
+        let mut want: Vec<u32> = (0..n)
+            .flat_map(|i| (0..per).map(move |k| (i * 100 + k) as u32))
+            .collect();
         want.sort_unstable();
         assert_eq!(got, want, "every enqueued value dequeued exactly once");
     }

@@ -64,12 +64,20 @@ pub struct SafetySpec {
 impl SafetySpec {
     /// Agreement + validity against the given admissible inputs.
     pub fn consensus(inputs: Vec<u64>) -> SafetySpec {
-        SafetySpec { agreement: true, validity: Some(inputs), mutual_exclusion: false }
+        SafetySpec {
+            agreement: true,
+            validity: Some(inputs),
+            mutual_exclusion: false,
+        }
     }
 
     /// Mutual exclusion only.
     pub fn mutex() -> SafetySpec {
-        SafetySpec { agreement: false, validity: None, mutual_exclusion: true }
+        SafetySpec {
+            agreement: false,
+            validity: None,
+            mutual_exclusion: true,
+        }
     }
 }
 
@@ -101,13 +109,21 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::Disagreement { a, b } => {
-                write!(f, "disagreement: {} decided {}, {} decided {}", a.0, a.1, b.0, b.1)
+                write!(
+                    f,
+                    "disagreement: {} decided {}, {} decided {}",
+                    a.0, a.1, b.0, b.1
+                )
             }
             Violation::InvalidDecision { pid, value } => {
                 write!(f, "invalid decision: {pid} decided {value}, not an input")
             }
             Violation::MutualExclusion { pids } => {
-                write!(f, "mutual exclusion violated: {} and {} in CS", pids.0, pids.1)
+                write!(
+                    f,
+                    "mutual exclusion violated: {} and {} in CS",
+                    pids.0, pids.1
+                )
             }
         }
     }
@@ -167,7 +183,10 @@ struct Monitor {
 
 impl Monitor {
     fn new(n: usize) -> Monitor {
-        Monitor { decided: vec![None; n], in_cs: vec![false; n] }
+        Monitor {
+            decided: vec![None; n],
+            in_cs: vec![false; n],
+        }
     }
 
     fn observe(&mut self, pid: ProcId, obs: &[Obs], spec: &SafetySpec) -> Option<Violation> {
@@ -239,7 +258,12 @@ impl<A: Automaton> Explorer<A> {
     /// Panics if `n == 0`.
     pub fn new(automaton: A, n: usize) -> Explorer<A> {
         assert!(n > 0, "at least one process is required");
-        Explorer { automaton, n, max_depth: 10_000, max_states: 5_000_000 }
+        Explorer {
+            automaton,
+            n,
+            max_depth: 10_000,
+            max_states: 5_000_000,
+        }
     }
 
     /// Overrides the depth bound (schedule length).
@@ -258,7 +282,9 @@ impl<A: Automaton> Explorer<A> {
     /// after each transition.
     pub fn check(&self, spec: &SafetySpec) -> Report {
         let init = Global {
-            procs: (0..self.n).map(|i| self.automaton.init(ProcId(i))).collect(),
+            procs: (0..self.n)
+                .map(|i| self.automaton.init(ProcId(i)))
+                .collect(),
             bank: MapBank::new(),
             monitor: Monitor::new(self.n),
         };
@@ -276,7 +302,11 @@ impl<A: Automaton> Explorer<A> {
             next_pid: usize,
         }
         let mut schedule: Vec<(ProcId, Action)> = Vec::new();
-        let mut stack = vec![Frame { state: init.clone(), depth: 0, next_pid: 0 }];
+        let mut stack = vec![Frame {
+            state: init.clone(),
+            depth: 0,
+            next_pid: 0,
+        }];
         seen.insert(init, 0);
 
         let mut obs_buf: Vec<Obs> = Vec::new();
@@ -310,7 +340,8 @@ impl<A: Automaton> Explorer<A> {
                 Action::Halt => unreachable!(),
             };
             obs_buf.clear();
-            self.automaton.apply(&mut next.procs[pid], observed, &mut obs_buf);
+            self.automaton
+                .apply(&mut next.procs[pid], observed, &mut obs_buf);
             let violation = next.monitor.observe(ProcId(pid), &obs_buf, spec);
             let depth = frame.depth + 1;
             schedule.push((ProcId(pid), action));
@@ -319,7 +350,10 @@ impl<A: Automaton> Explorer<A> {
                 return Report {
                     states_explored: seen.len(),
                     transitions,
-                    violation: Some(Counterexample { violation: v, schedule }),
+                    violation: Some(Counterexample {
+                        violation: v,
+                        schedule,
+                    }),
                     truncated,
                 };
             }
@@ -344,13 +378,22 @@ impl<A: Automaton> Explorer<A> {
                 }
             };
             if expand {
-                stack.push(Frame { state: next, depth, next_pid: 0 });
+                stack.push(Frame {
+                    state: next,
+                    depth,
+                    next_pid: 0,
+                });
             } else {
                 schedule.pop();
             }
         }
 
-        Report { states_explored: seen.len(), transitions, violation: None, truncated }
+        Report {
+            states_explored: seen.len(),
+            transitions,
+            violation: None,
+            truncated,
+        }
     }
 }
 
@@ -417,7 +460,9 @@ mod tests {
             validity: None,
             mutual_exclusion: false,
         });
-        let cex = report.violation.expect("the write race is a real disagreement");
+        let cex = report
+            .violation
+            .expect("the write race is a real disagreement");
         assert!(matches!(cex.violation, Violation::Disagreement { .. }));
         assert!(!cex.schedule.is_empty());
         assert!(!cex.to_string().is_empty());
@@ -456,7 +501,10 @@ mod tests {
     fn validity_violation_detected() {
         let report = Explorer::new(Const9, 2).check(&SafetySpec::consensus(vec![1, 2]));
         let cex = report.violation.expect("9 is not an admissible input");
-        assert!(matches!(cex.violation, Violation::InvalidDecision { value: 9, .. }));
+        assert!(matches!(
+            cex.violation,
+            Violation::InvalidDecision { value: 9, .. }
+        ));
     }
 
     /// Both processes walk straight into the critical section — mutual
@@ -499,7 +547,9 @@ mod tests {
 
     #[test]
     fn depth_bound_marks_truncated() {
-        let report = Explorer::new(Const9, 2).max_depth(1).check(&SafetySpec::mutex());
+        let report = Explorer::new(Const9, 2)
+            .max_depth(1)
+            .check(&SafetySpec::mutex());
         assert!(report.truncated);
         assert!(report.violation.is_none());
         assert!(!report.proven_safe());
@@ -510,8 +560,11 @@ mod tests {
         // Replay the schedule by hand and confirm the final decisions
         // disagree — validates that reported schedules are real.
         let automaton = AdoptFirst { inputs: vec![3, 7] };
-        let report = Explorer::new(AdoptFirst { inputs: vec![3, 7] }, 2)
-            .check(&SafetySpec { agreement: true, validity: None, mutual_exclusion: false });
+        let report = Explorer::new(AdoptFirst { inputs: vec![3, 7] }, 2).check(&SafetySpec {
+            agreement: true,
+            validity: None,
+            mutual_exclusion: false,
+        });
         let cex = report.violation.unwrap();
 
         let mut bank = MapBank::new();
@@ -535,6 +588,9 @@ mod tests {
             }
         }
         let (a, b) = (decided[0], decided[1]);
-        assert!(a.is_some() && b.is_some() && a != b, "replayed schedule must disagree: {a:?} {b:?}");
+        assert!(
+            a.is_some() && b.is_some() && a != b,
+            "replayed schedule must disagree: {a:?} {b:?}"
+        );
     }
 }

@@ -42,12 +42,20 @@ pub struct RegisterUsage {
 impl RegisterUsage {
     /// Creates a finite-count report.
     pub fn finite(algorithm: &'static str, n: usize, count: u64) -> RegisterUsage {
-        RegisterUsage { algorithm, n, count: RegisterCount::Finite(count) }
+        RegisterUsage {
+            algorithm,
+            n,
+            count: RegisterCount::Finite(count),
+        }
     }
 
     /// Creates an unbounded report.
     pub fn unbounded(algorithm: &'static str, n: usize) -> RegisterUsage {
-        RegisterUsage { algorithm, n, count: RegisterCount::Unbounded }
+        RegisterUsage {
+            algorithm,
+            n,
+            count: RegisterCount::Unbounded,
+        }
     }
 
     /// Whether the usage satisfies the Theorem 3.1 lower bound of `n`
@@ -62,7 +70,11 @@ impl RegisterUsage {
 
 impl fmt::Display for RegisterUsage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (n={}): {} registers", self.algorithm, self.n, self.count)
+        write!(
+            f,
+            "{} (n={}): {} registers",
+            self.algorithm, self.n, self.count
+        )
     }
 }
 
@@ -84,7 +96,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(RegisterUsage::finite("bakery", 3, 6).to_string(), "bakery (n=3): 6 registers");
+        assert_eq!(
+            RegisterUsage::finite("bakery", 3, 6).to_string(),
+            "bakery (n=3): 6 registers"
+        );
         assert_eq!(
             RegisterUsage::unbounded("alg1", 2).to_string(),
             "alg1 (n=2): unbounded registers"

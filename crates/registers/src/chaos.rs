@@ -1,0 +1,529 @@
+//! Native fault injection: timing failures and crash-stops on real threads.
+//!
+//! The simulator can script any adversarial schedule, but the paper's
+//! headline claims are about *real* executions: Fischer's lock loses mutual
+//! exclusion when a store to `x` outlasts Δ (§2), while Algorithm 1 and
+//! Algorithm 3 keep their safety under the same failures (§2, §3). This
+//! module makes those failures injectable into the native
+//! (`std::sync::atomic` + real threads) stack:
+//!
+//! * **Injection points** — named places in the native protocol code
+//!   ([`points`]) where a registered thread consults the active
+//!   [`FaultInjector`]. When chaos is off (the common case) a point is a
+//!   single relaxed atomic load.
+//! * **Stalls** — [`FaultAction::Stall`] freezes the thread at the point
+//!   for a chosen duration, simulating preemption or a page fault: exactly
+//!   the "timing failure" of §1.3. Stalling a thread at
+//!   [`points::FISCHER_WRITE_X`] for longer than Δ reproduces the paper's
+//!   mutual exclusion violation on real hardware.
+//! * **Crash-stops** — [`FaultAction::Crash`] stops the thread mid-protocol
+//!   by unwinding with a private [`CrashToken`] payload that
+//!   [`run_as`] catches. The thread performs *no further shared-memory
+//!   operations*; whatever it already wrote stays (the paper's crash
+//!   model). No locks are poisoned: all protocol state is atomics, and
+//!   points are never hit while an internal lock is held.
+//! * **Determinism** — a fault fires at the *n-th* visit of a given point
+//!   by a given process, not at a wall-clock time, so a schedule replays
+//!   identically regardless of machine speed.
+//!
+//! Faults are described by [`Fault`] records and installed for the
+//! duration of a [`ChaosSession`]. Sessions are process-global and
+//! serialized (tests in one binary cannot interfere); threads opt in with
+//! [`run_as`], so unrelated threads in the same process are never affected.
+//!
+//! The `tfr-chaos` crate builds the nemesis on top: seeded random
+//! schedules, invariant-checked workloads, shrinking, and native
+//! resilience reports.
+
+use crate::ProcId;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// The vocabulary of injection points threaded through the native stack.
+///
+/// Names are dotted `layer.step` identifiers. The list is the contract
+/// between the protocol code (which hits the points) and the nemesis
+/// (which aims faults at them); [`points::ALL`] enumerates them for
+/// random schedule generation.
+pub mod points {
+    /// `UnboundedAtomicArray::load`, before the read.
+    pub const ARRAY_LOAD: &str = "array.load";
+    /// `UnboundedAtomicArray::store`, before the write.
+    pub const ARRAY_STORE: &str = "array.store";
+    /// `precise_delay`, before the wait begins (a stall here models a
+    /// preemption that makes the delay overshoot — harmless by §1.2).
+    pub const DELAY: &str = "delay.pre";
+    /// Fischer's read→write window: after `await x = 0` observed 0, before
+    /// `x := i`. A stall here longer than Δ breaks mutual exclusion — the
+    /// paper's §2 violation.
+    pub const FISCHER_WRITE_X: &str = "fischer.write-x";
+    /// Fischer, before the `until x = i` check read.
+    pub const FISCHER_CHECK_X: &str = "fischer.check-x";
+    /// Fischer's exit, before `x := 0`.
+    pub const FISCHER_EXIT: &str = "fischer.exit";
+    /// Algorithm 3's Fischer-stage read→write window (same hazard window
+    /// as [`FISCHER_WRITE_X`], but wrapped by the asynchronous inner lock).
+    pub const RESILIENT_WRITE_X: &str = "resilient.write-x";
+    /// Algorithm 3, after winning the Fischer stage, before entering the
+    /// inner lock `A`.
+    pub const RESILIENT_INNER: &str = "resilient.inner-entry";
+    /// Algorithm 3's exit, before the line-8 conditional reset of `x`.
+    pub const RESILIENT_EXIT: &str = "resilient.exit";
+    /// Algorithm 1, top of the round loop (before reading `decide`).
+    pub const CONSENSUS_ROUND: &str = "consensus.round";
+    /// Algorithm 1, after seeing `x[r, v̄] = 0`, before `decide := v`.
+    pub const CONSENSUS_DECIDE: &str = "consensus.write-decide";
+    /// `AdaptiveDelta::on_contended` — the estimate-doubling feedback path.
+    pub const ADAPTIVE_CONTENDED: &str = "adaptive.on-contended";
+    /// `AdaptiveDelta::on_uncontended` — the streak/decrease feedback path.
+    pub const ADAPTIVE_UNCONTENDED: &str = "adaptive.on-uncontended";
+    /// Nemesis workload, between iterations (the thread holds nothing) —
+    /// the safe place to crash-stop a mutex workload thread.
+    pub const WORKLOAD_NCS: &str = "workload.ncs";
+
+    /// Every injection point, for schedule generators.
+    pub const ALL: &[&str] = &[
+        ARRAY_LOAD,
+        ARRAY_STORE,
+        DELAY,
+        FISCHER_WRITE_X,
+        FISCHER_CHECK_X,
+        FISCHER_EXIT,
+        RESILIENT_WRITE_X,
+        RESILIENT_INNER,
+        RESILIENT_EXIT,
+        CONSENSUS_ROUND,
+        CONSENSUS_DECIDE,
+        ADAPTIVE_CONTENDED,
+        ADAPTIVE_UNCONTENDED,
+        WORKLOAD_NCS,
+    ];
+}
+
+/// What happens to the thread that trips a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Freeze the thread for this long (a timing failure: models
+    /// preemption, a page fault, GC, SMI, ...).
+    Stall(Duration),
+    /// Crash-stop the thread: it performs no further shared-memory
+    /// operations. Implemented as an unwind caught by [`run_as`].
+    Crash,
+}
+
+/// One scheduled fault: `pid`'s `nth` visit (1-based) to `point` triggers
+/// `action`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The victim process.
+    pub pid: ProcId,
+    /// The injection point name (see [`points`]).
+    pub point: &'static str,
+    /// Fires on the n-th visit of `point` by `pid` (1-based).
+    pub nth: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.action {
+            FaultAction::Stall(d) => {
+                write!(
+                    f,
+                    "{} stalls {:?} at {}#{}",
+                    self.pid, d, self.point, self.nth
+                )
+            }
+            FaultAction::Crash => {
+                write!(f, "{} crashes at {}#{}", self.pid, self.point, self.nth)
+            }
+        }
+    }
+}
+
+/// A fault that actually fired during a session, with when it did.
+#[derive(Debug, Clone, Copy)]
+pub struct FiredFault {
+    /// The scheduled fault.
+    pub fault: Fault,
+    /// When it fired. For a stall, the instant the stall *ended* — the
+    /// moment from which "failures have stopped" convergence clocks run.
+    pub at: Instant,
+}
+
+/// The process-global fault plan: routes each (pid, point, visit-count)
+/// triple to an action and records what fired.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: HashMap<(usize, &'static str), Vec<(u64, FaultAction)>>,
+    fired: Mutex<Vec<FiredFault>>,
+}
+
+impl FaultInjector {
+    fn new(faults: &[Fault]) -> FaultInjector {
+        let mut plan: HashMap<(usize, &'static str), Vec<(u64, FaultAction)>> = HashMap::new();
+        for f in faults {
+            plan.entry((f.pid.0, f.point))
+                .or_default()
+                .push((f.nth, f.action));
+        }
+        FaultInjector {
+            plan,
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn action_for(&self, pid: usize, point: &'static str, visit: u64) -> Option<FaultAction> {
+        self.plan
+            .get(&(pid, point))?
+            .iter()
+            .find(|(nth, _)| *nth == visit)
+            .map(|(_, action)| *action)
+    }
+
+    fn record(&self, fault: Fault) {
+        self.fired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(FiredFault {
+                fault,
+                at: Instant::now(),
+            });
+    }
+
+    /// Every fault that fired so far, in firing order.
+    pub fn fired(&self) -> Vec<FiredFault> {
+        self.fired.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The instant the last fault finished firing, if any fired — the
+    /// "failures stop" reference point for convergence measurements.
+    pub fn last_fired_at(&self) -> Option<Instant> {
+        self.fired().last().map(|f| f.at)
+    }
+}
+
+// --------------------------------------------------------------------
+// Global session state
+// --------------------------------------------------------------------
+
+/// Fast-path gate: points return immediately unless a session is active.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn active_cell() -> &'static RwLock<Option<Arc<FaultInjector>>> {
+    static ACTIVE: OnceLock<RwLock<Option<Arc<FaultInjector>>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| RwLock::new(None))
+}
+
+fn session_mutex() -> &'static Mutex<()> {
+    static SESSION: OnceLock<Mutex<()>> = OnceLock::new();
+    SESSION.get_or_init(|| Mutex::new(()))
+}
+
+thread_local! {
+    static THREAD_CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+struct ThreadCtx {
+    pid: usize,
+    visits: HashMap<&'static str, u64>,
+}
+
+/// An installed fault plan; dropping it disarms every point.
+///
+/// Sessions are serialized process-wide: `install` blocks until any other
+/// session (e.g. a concurrently running chaos test) has been dropped.
+/// Every nemesis run — including fault-free baseline runs — should hold a
+/// session so that its registered threads can never observe another run's
+/// plan.
+#[must_use = "the session disarms when dropped"]
+pub struct ChaosSession {
+    injector: Arc<FaultInjector>,
+    _serialize: MutexGuard<'static, ()>,
+}
+
+impl ChaosSession {
+    /// Installs `faults` as the process-global plan and arms the points.
+    pub fn install(faults: &[Fault]) -> ChaosSession {
+        silence_crash_unwinds();
+        let guard = session_mutex().lock().unwrap_or_else(|e| e.into_inner());
+        let injector = Arc::new(FaultInjector::new(faults));
+        *active_cell().write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&injector));
+        ENABLED.store(true, Ordering::SeqCst);
+        ChaosSession {
+            injector,
+            _serialize: guard,
+        }
+    }
+
+    /// The live injector, for firing statistics.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+}
+
+impl Drop for ChaosSession {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        *active_cell().write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// The unwind payload of a crash-stop. Private to the mechanism: it only
+/// exists between the point that fires the crash and the [`run_as`] frame
+/// that absorbs it.
+pub struct CrashToken;
+
+/// Suppress the default "thread panicked" noise for crash-stop unwinds
+/// while keeping it for genuine panics (e.g. failing assertions).
+fn silence_crash_unwinds() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashToken>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// How a [`run_as`] thread ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadOutcome<T> {
+    /// The closure ran to completion.
+    Completed(T),
+    /// The thread was crash-stopped by a [`FaultAction::Crash`] fault.
+    Crashed,
+}
+
+impl<T> ThreadOutcome<T> {
+    /// `true` if the thread was crash-stopped.
+    pub fn crashed(&self) -> bool {
+        matches!(self, ThreadOutcome::Crashed)
+    }
+
+    /// The completion value, if the thread completed.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            ThreadOutcome::Completed(v) => Some(v),
+            ThreadOutcome::Crashed => None,
+        }
+    }
+}
+
+/// Runs `f` as process `pid` under the chaos regime: injection points hit
+/// by this thread consult the active session's plan, and a
+/// [`FaultAction::Crash`] fault stops `f` right there.
+///
+/// Genuine panics (assertion failures, bugs) propagate unchanged.
+pub fn run_as<T>(pid: ProcId, f: impl FnOnce() -> T) -> ThreadOutcome<T> {
+    THREAD_CTX.with(|ctx| {
+        *ctx.borrow_mut() = Some(ThreadCtx {
+            pid: pid.0,
+            visits: HashMap::new(),
+        });
+    });
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    THREAD_CTX.with(|ctx| {
+        *ctx.borrow_mut() = None;
+    });
+    match result {
+        Ok(v) => ThreadOutcome::Completed(v),
+        Err(payload) if payload.is::<CrashToken>() => ThreadOutcome::Crashed,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// An injection point. Protocol code calls this at its named steps; the
+/// cost with no active session is one relaxed atomic load.
+#[inline]
+pub fn point(name: &'static str) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    point_armed(name);
+}
+
+#[cold]
+fn point_armed(name: &'static str) {
+    // Count the visit (only registered threads participate).
+    let hit = THREAD_CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        let ctx = ctx.as_mut()?;
+        let visit = ctx.visits.entry(name).or_insert(0);
+        *visit += 1;
+        Some((ctx.pid, *visit))
+    });
+    let Some((pid, visit)) = hit else { return };
+    let Some(injector) = active_cell()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+    else {
+        return;
+    };
+    let Some(action) = injector.action_for(pid, name, visit) else {
+        return;
+    };
+    let fault = Fault {
+        pid: ProcId(pid),
+        point: name,
+        nth: visit,
+        action,
+    };
+    match action {
+        FaultAction::Stall(d) => {
+            stall_for(d);
+            injector.record(fault);
+        }
+        FaultAction::Crash => {
+            injector.record(fault);
+            panic::panic_any(CrashToken);
+        }
+    }
+}
+
+/// Freeze the calling thread for at least `d`. Deliberately point-free
+/// (it must not recurse into the injector) and deliberately *blocking*:
+/// the stalled thread, like a preempted one, makes no progress at all.
+fn stall_for(d: Duration) {
+    let deadline = Instant::now() + d;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(200) {
+            std::thread::sleep(remaining - Duration::from_micros(100));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn points_are_inert_without_a_session() {
+        // No session, not even registered: must be a no-op.
+        point(points::ARRAY_LOAD);
+        let out = run_as(ProcId(0), || {
+            point(points::ARRAY_LOAD);
+            7
+        });
+        assert_eq!(out, ThreadOutcome::Completed(7));
+    }
+
+    #[test]
+    fn stall_fires_on_the_scheduled_visit_only() {
+        let session = ChaosSession::install(&[Fault {
+            pid: ProcId(0),
+            point: points::DELAY,
+            nth: 2,
+            action: FaultAction::Stall(Duration::from_millis(20)),
+        }]);
+        let elapsed = run_as(ProcId(0), || {
+            let t0 = Instant::now();
+            point(points::DELAY); // visit 1: no fault
+            let first = t0.elapsed();
+            let t1 = Instant::now();
+            point(points::DELAY); // visit 2: 20ms stall
+            (first, t1.elapsed())
+        })
+        .completed()
+        .expect("no crash scheduled");
+        assert!(
+            elapsed.0 < Duration::from_millis(10),
+            "visit 1 stalled: {:?}",
+            elapsed.0
+        );
+        assert!(
+            elapsed.1 >= Duration::from_millis(20),
+            "visit 2 not stalled: {:?}",
+            elapsed.1
+        );
+        assert_eq!(session.injector().fired().len(), 1);
+        assert!(session.injector().last_fired_at().is_some());
+    }
+
+    #[test]
+    fn crash_stops_the_thread_without_poisoning() {
+        let counter = AtomicU64::new(0);
+        let session = ChaosSession::install(&[Fault {
+            pid: ProcId(1),
+            point: points::WORKLOAD_NCS,
+            nth: 3,
+            action: FaultAction::Crash,
+        }]);
+        let out = run_as(ProcId(1), || {
+            for _ in 0..10 {
+                point(points::WORKLOAD_NCS);
+                counter.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(out.crashed());
+        // Two full iterations ran; the third visit crashed before the add.
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        let fired = session.injector().fired();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fault.action, FaultAction::Crash);
+        drop(session);
+        // The mechanism is fully disarmed afterwards.
+        let out = run_as(ProcId(1), || {
+            point(points::WORKLOAD_NCS);
+            1
+        });
+        assert_eq!(out, ThreadOutcome::Completed(1));
+    }
+
+    #[test]
+    fn faults_are_per_pid() {
+        let _session = ChaosSession::install(&[Fault {
+            pid: ProcId(0),
+            point: points::ARRAY_STORE,
+            nth: 1,
+            action: FaultAction::Crash,
+        }]);
+        // A different pid sails through.
+        let out = run_as(ProcId(1), || {
+            point(points::ARRAY_STORE);
+            42
+        });
+        assert_eq!(out, ThreadOutcome::Completed(42));
+    }
+
+    #[test]
+    fn genuine_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            run_as(ProcId(0), || panic!("real bug"));
+        });
+        assert!(result.is_err(), "non-crash panics must not be swallowed");
+    }
+
+    #[test]
+    fn fault_display_names_the_parties() {
+        let f = Fault {
+            pid: ProcId(2),
+            point: points::FISCHER_WRITE_X,
+            nth: 1,
+            action: FaultAction::Stall(Duration::from_millis(5)),
+        };
+        let s = f.to_string();
+        assert!(s.contains("p2") && s.contains("fischer.write-x"), "{s}");
+        let c = Fault {
+            action: FaultAction::Crash,
+            ..f
+        };
+        assert!(c.to_string().contains("crashes"));
+    }
+}

@@ -18,6 +18,11 @@
 //!   (real `std::sync::atomic` registers on real threads), most notably the
 //!   unbounded atomic arrays that Algorithm 1's infinite `x[1..∞, 0..1]` and
 //!   `y[1..∞]` arrays require.
+//! * [`chaos`] — native fault injection: named injection points threaded
+//!   through the native stack, at which a registered thread can be stalled
+//!   (a timing failure) or crash-stopped, deterministically by visit count.
+//! * [`rng`] — a tiny seedable PRNG (SplitMix64) for reproducible timing
+//!   models, fault schedules, and randomized tests.
 //! * [`accounting`] — static register-usage reports (experiment E9, the
 //!   Burns–Lynch / Lynch–Shavit n-register lower bound of Theorem 3.1).
 //!
@@ -35,7 +40,9 @@
 
 pub mod accounting;
 pub mod bank;
+pub mod chaos;
 pub mod native;
+pub mod rng;
 pub mod spec;
 mod time;
 
@@ -139,6 +146,9 @@ mod tests {
     fn ids_are_ordered_and_hashable() {
         use std::collections::BTreeSet;
         let set: BTreeSet<RegId> = [RegId(3), RegId(1), RegId(2)].into_iter().collect();
-        assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![RegId(1), RegId(2), RegId(3)]);
+        assert_eq!(
+            set.into_iter().collect::<Vec<_>>(),
+            vec![RegId(1), RegId(2), RegId(3)]
+        );
     }
 }

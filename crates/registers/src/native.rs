@@ -12,10 +12,18 @@
 //!
 //! [`precise_delay`] implements the `delay(d)` statement for native runs: a
 //! hybrid sleep/spin wait that does not return before the deadline.
+//!
+//! Both primitives carry [`crate::chaos`] injection points
+//! ([`crate::chaos::points::ARRAY_LOAD`], [`ARRAY_STORE`][apt],
+//! [`DELAY`][dpt]), so the chaos harness can stall or crash-stop a thread
+//! at any shared-memory access of the native stack.
+//!
+//! [apt]: crate::chaos::points::ARRAY_STORE
+//! [dpt]: crate::chaos::points::DELAY
 
-use parking_lot::RwLock;
+use crate::chaos;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// Number of registers per chunk (must be a power of two).
@@ -28,7 +36,9 @@ struct Chunk {
 impl Chunk {
     fn new() -> Arc<Chunk> {
         let cells: Vec<AtomicU64> = (0..CHUNK_LEN).map(|_| AtomicU64::new(0)).collect();
-        Arc::new(Chunk { cells: cells.into_boxed_slice() })
+        Arc::new(Chunk {
+            cells: cells.into_boxed_slice(),
+        })
     }
 }
 
@@ -40,6 +50,10 @@ impl Chunk {
 /// * Cells never move once allocated, so loads and stores are genuine
 ///   single-register atomic operations (`SeqCst`, matching the atomic
 ///   register model).
+///
+/// The internal `RwLock` guards only the chunk *directory*; it is never
+/// held across an injection point or user-visible call, so a crash-stopped
+/// thread cannot poison it (and a poisoned guard is recovered anyway).
 ///
 /// # Example
 ///
@@ -58,18 +72,26 @@ pub struct UnboundedAtomicArray {
 impl UnboundedAtomicArray {
     /// Creates an empty array (no chunks allocated).
     pub fn new() -> UnboundedAtomicArray {
-        UnboundedAtomicArray { chunks: RwLock::new(Vec::new()) }
+        UnboundedAtomicArray {
+            chunks: RwLock::new(Vec::new()),
+        }
     }
 
     /// Creates an array with capacity for `n` registers pre-allocated, so
     /// the first `n` accesses never take the exclusive lock.
     pub fn with_capacity(n: usize) -> UnboundedAtomicArray {
         let chunks = (0..n.div_ceil(CHUNK_LEN)).map(|_| Chunk::new()).collect();
-        UnboundedAtomicArray { chunks: RwLock::new(chunks) }
+        UnboundedAtomicArray {
+            chunks: RwLock::new(chunks),
+        }
     }
 
     fn chunk_for(&self, index: usize) -> Option<Arc<Chunk>> {
-        self.chunks.read().get(index / CHUNK_LEN).cloned()
+        self.chunks
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(index / CHUNK_LEN)
+            .cloned()
     }
 
     fn ensure_chunk(&self, index: usize) -> Arc<Chunk> {
@@ -77,7 +99,7 @@ impl UnboundedAtomicArray {
             return c;
         }
         let want = index / CHUNK_LEN;
-        let mut chunks = self.chunks.write();
+        let mut chunks = self.chunks.write().unwrap_or_else(|e| e.into_inner());
         while chunks.len() <= want {
             chunks.push(Chunk::new());
         }
@@ -86,6 +108,7 @@ impl UnboundedAtomicArray {
 
     /// Atomically reads register `index` (0 if never stored).
     pub fn load(&self, index: usize) -> u64 {
+        chaos::point(chaos::points::ARRAY_LOAD);
         match self.chunk_for(index) {
             Some(chunk) => chunk.cells[index % CHUNK_LEN].load(Ordering::SeqCst),
             None => 0,
@@ -95,13 +118,23 @@ impl UnboundedAtomicArray {
     /// Atomically writes `value` to register `index`, allocating its chunk
     /// if needed.
     pub fn store(&self, index: usize, value: u64) {
+        chaos::point(chaos::points::ARRAY_STORE);
         let chunk = self.ensure_chunk(index);
         chunk.cells[index % CHUNK_LEN].store(value, Ordering::SeqCst);
     }
 
     /// Number of registers currently backed by allocated chunks.
     pub fn capacity(&self) -> usize {
-        self.chunks.read().len() * CHUNK_LEN
+        self.chunks.read().unwrap_or_else(|e| e.into_inner()).len() * CHUNK_LEN
+    }
+
+    /// The stable address of the cell backing `index`, if its chunk is
+    /// allocated. A register that moved would not be a register: this is
+    /// the observable contract the growth path must preserve, and the
+    /// stress tests pin it down.
+    pub fn cell_addr(&self, index: usize) -> Option<*const AtomicU64> {
+        self.chunk_for(index)
+            .map(|c| &c.cells[index % CHUNK_LEN] as *const AtomicU64)
     }
 }
 
@@ -113,7 +146,9 @@ impl Default for UnboundedAtomicArray {
 
 impl std::fmt::Debug for UnboundedAtomicArray {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("UnboundedAtomicArray").field("capacity", &self.capacity()).finish()
+        f.debug_struct("UnboundedAtomicArray")
+            .field("capacity", &self.capacity())
+            .finish()
     }
 }
 
@@ -125,9 +160,26 @@ impl std::fmt::Debug for UnboundedAtomicArray {
 /// and spin only the final stretch. Overshoot is harmless in the paper's
 /// model (`delay(d)` waits *at least* `d`); undershoot would be a
 /// correctness bug for timing-based algorithms, hence the explicit deadline
-/// check.
+/// check. Delays too large to express as a deadline (`now + d` overflows
+/// `Instant`) sleep in bounded slices instead — they still never return
+/// early.
 pub fn precise_delay(d: Duration) {
-    let deadline = Instant::now() + d;
+    chaos::point(chaos::points::DELAY);
+    if d.is_zero() {
+        return;
+    }
+    let Some(deadline) = Instant::now().checked_add(d) else {
+        // Absurdly large delay: no representable deadline. Sleep in slices;
+        // each iteration re-checks so the total wait is still ≥ d.
+        let mut remaining = d;
+        while !remaining.is_zero() {
+            let slice = remaining.min(Duration::from_secs(3600));
+            let start = Instant::now();
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(start.elapsed());
+        }
+        return;
+    };
     // Sleep for the coarse part, leaving a spin margin for timer slop.
     const SPIN_MARGIN: Duration = Duration::from_micros(200);
     loop {
@@ -154,6 +206,7 @@ mod tests {
         assert_eq!(arr.load(0), 0);
         assert_eq!(arr.load(12345678), 0);
         assert_eq!(arr.capacity(), 0, "loads must not allocate");
+        assert!(arr.cell_addr(0).is_none(), "no chunk, no address");
     }
 
     #[test]
@@ -177,10 +230,10 @@ mod tests {
         let arr = UnboundedAtomicArray::new();
         let threads = 8;
         let per_thread = 2000usize;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..threads {
                 let arr = &arr;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..per_thread {
                         let idx = i * threads + t;
                         arr.store(idx, (idx as u64) + 1);
@@ -188,10 +241,67 @@ mod tests {
                     }
                 });
             }
-        })
-        .expect("threads join cleanly");
+        });
         for idx in 0..threads * per_thread {
             assert_eq!(arr.load(idx), (idx as u64) + 1);
+        }
+    }
+
+    /// Chunk-growth stress: many threads hammer *distinct high indices*
+    /// so nearly every store races the directory-growth path against
+    /// other writers and readers. No write may be lost, and no cell may
+    /// move (its address before and after arbitrary growth is identical).
+    #[test]
+    fn growth_stress_no_lost_writes_and_stable_addresses() {
+        let arr = UnboundedAtomicArray::new();
+        let threads = 8usize;
+        let per_thread = 500usize;
+        // Spread indices across many chunks: stride well past CHUNK_LEN.
+        let index_of = |t: usize, i: usize| (i * threads + t) * 37 + t * 13;
+
+        // Pin some early cells and record their addresses before the storm.
+        arr.store(index_of(0, 0), u64::MAX);
+        let pinned: Vec<(usize, *const AtomicU64)> = (0..threads)
+            .map(|t| {
+                let idx = index_of(t, 0);
+                arr.store(idx, 999);
+                (idx, arr.cell_addr(idx).expect("just stored"))
+            })
+            .collect();
+        let pinned_addrs: Vec<(usize, usize)> =
+            pinned.iter().map(|(i, p)| (*i, *p as usize)).collect();
+
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let arr = &arr;
+                s.spawn(move || {
+                    for i in 1..per_thread {
+                        let idx = index_of(t, i);
+                        arr.store(idx, idx as u64 + 1);
+                        // Immediate read-back through the directory.
+                        assert_eq!(arr.load(idx), idx as u64 + 1, "lost write at {idx}");
+                    }
+                });
+            }
+        });
+
+        // Every write from every thread is still there.
+        for t in 0..threads {
+            for i in 1..per_thread {
+                let idx = index_of(t, i);
+                assert_eq!(arr.load(idx), idx as u64 + 1, "lost write at {idx}");
+            }
+        }
+        // The pre-growth cells neither moved nor changed.
+        for (idx, addr) in pinned_addrs {
+            assert_eq!(
+                arr.cell_addr(idx).expect("chunk exists") as usize,
+                addr,
+                "cell {idx} was relocated by growth"
+            );
+            if idx != index_of(0, 0) {
+                assert_eq!(arr.load(idx), 999);
+            }
         }
     }
 
@@ -202,6 +312,35 @@ mod tests {
             let start = Instant::now();
             precise_delay(d);
             assert!(start.elapsed() >= d, "delay({micros}µs) returned early");
+        }
+    }
+
+    /// The §1.2 guarantee the chaos harness leans on: `delay(d)` never
+    /// undershoots, including the degenerate durations a nemesis schedule
+    /// or an adaptive estimator can produce (zero, a single nanosecond,
+    /// sub-millisecond values below the sleep granularity).
+    #[test]
+    fn precise_delay_never_early_for_degenerate_durations() {
+        // Zero must return (quickly) and trivially satisfies the bound.
+        let start = Instant::now();
+        precise_delay(Duration::ZERO);
+        assert!(
+            start.elapsed() < Duration::from_millis(50),
+            "zero delay must not block"
+        );
+
+        for d in [
+            Duration::from_nanos(1),
+            Duration::from_nanos(100),
+            Duration::from_micros(1),
+            Duration::from_micros(999),
+            Duration::from_millis(1) - Duration::from_nanos(1),
+        ] {
+            for _ in 0..10 {
+                let start = Instant::now();
+                precise_delay(d);
+                assert!(start.elapsed() >= d, "delay({d:?}) returned early");
+            }
         }
     }
 

@@ -1,0 +1,146 @@
+//! A tiny, dependency-free, seedable PRNG for simulations and tests.
+//!
+//! The workspace needs reproducible randomness in three places: the
+//! simulator's timing models, the chaos harness's fault schedules, and the
+//! randomized tests. All three require *determinism across runs and
+//! toolchains* — a printed seed must replay the exact same schedule years
+//! later — which rules out `std`'s hasher-based randomness and makes an
+//! external crate an unnecessary liability. [`SplitMix64`] (Steele,
+//! Lea & Flood 2014) is the standard answer: 64 bits of state, full
+//! period, passes BigCrush, and is four lines of code.
+//!
+//! The API mirrors the small subset of `rand` the workspace used:
+//! [`SplitMix64::random_range`] and [`SplitMix64::random_bool`].
+
+use std::ops::RangeInclusive;
+
+/// SplitMix64: a fast, full-period, seedable 64-bit PRNG.
+///
+/// # Example
+///
+/// ```
+/// use tfr_registers::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly random value in the inclusive range.
+    ///
+    /// Uses rejection-free multiply-shift mapping; the bias for ranges far
+    /// below 2⁶⁴ is negligible for simulation purposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (`start > end`).
+    pub fn random_range(&mut self, range: RangeInclusive<u64>) -> u64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo; // inclusive span − 1
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        // 53 uniform mantissa bits, the standard float-in-[0,1) trick.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A uniformly random `usize` in `[0, n)` — handy for indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot index an empty collection");
+        self.random_range(0..=(n as u64 - 1)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(SplitMix64::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = SplitMix64::new(123);
+        for _ in 0..1000 {
+            let v = r.random_range(10..=20);
+            assert!((10..=20).contains(&v));
+        }
+        assert_eq!(r.random_range(5..=5), 5);
+    }
+
+    #[test]
+    fn full_range_supported() {
+        let mut r = SplitMix64::new(9);
+        let _ = r.random_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn bool_extremes() {
+        let mut r = SplitMix64::new(1);
+        assert!(!r.random_bool(0.0));
+        assert!(r.random_bool(1.0));
+        let heads = (0..1000).filter(|_| r.random_bool(0.5)).count();
+        assert!(
+            (300..700).contains(&heads),
+            "suspiciously biased: {heads}/1000"
+        );
+    }
+
+    #[test]
+    fn index_in_bounds() {
+        let mut r = SplitMix64::new(2);
+        for _ in 0..100 {
+            assert!(r.index(3) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = SplitMix64::new(0).random_range(5..=4);
+    }
+}

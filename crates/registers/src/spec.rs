@@ -164,7 +164,11 @@ pub fn run_solo<A: Automaton>(
     for _ in 0..step_limit {
         match automaton.next_action(&state) {
             Action::Halt => {
-                return SoloRun { obs, shared_accesses, delays };
+                return SoloRun {
+                    obs,
+                    shared_accesses,
+                    delays,
+                };
             }
             Action::Read(r) => {
                 shared_accesses += 1;

@@ -128,7 +128,9 @@ impl RunResult {
         &'a self,
         mut f: impl FnMut(&Obs) -> Option<T> + 'a,
     ) -> impl Iterator<Item = (Ticks, ProcId, T)> + 'a {
-        self.obs.iter().filter_map(move |e| f(&e.obs).map(|t| (e.time, e.pid, t)))
+        self.obs
+            .iter()
+            .filter_map(move |e| f(&e.obs).map(|t| (e.time, e.pid, t)))
     }
 
     /// The value process `pid` decided, with the decision instant.
@@ -190,7 +192,12 @@ pub struct Sim<A, M> {
 impl<A: Automaton, M: TimingModel> Sim<A, M> {
     /// Creates the simulation; nothing runs until [`Sim::run`].
     pub fn new(automaton: A, config: RunConfig, model: M) -> Sim<A, M> {
-        Sim { automaton, config, model, faults: Vec::new() }
+        Sim {
+            automaton,
+            config,
+            model,
+            faults: Vec::new(),
+        }
     }
 
     /// Injects transient register corruptions (sorted internally by
@@ -289,7 +296,9 @@ impl<A: Automaton, M: TimingModel> Sim<A, M> {
             }
             end_time = now;
             steps += 1;
-            let action = pending[pid].take().expect("completion without pending action");
+            let action = pending[pid]
+                .take()
+                .expect("completion without pending action");
             // Linearize the action at its completion instant.
             let observed = match action {
                 Action::Read(r) => Some(bank.read(r)),
@@ -309,9 +318,14 @@ impl<A: Automaton, M: TimingModel> Sim<A, M> {
                 });
             }
             obs_buf.clear();
-            self.automaton.apply(&mut states[pid], observed, &mut obs_buf);
+            self.automaton
+                .apply(&mut states[pid], observed, &mut obs_buf);
             for &o in obs_buf.iter() {
-                obs_out.push(TimedObs { time: now, pid: ProcId(pid), obs: o });
+                obs_out.push(TimedObs {
+                    time: now,
+                    pid: ProcId(pid),
+                    obs: o,
+                });
             }
             issue!(pid, now);
         }
@@ -353,7 +367,10 @@ mod tests {
     impl Automaton for Counter {
         type State = CounterState;
         fn init(&self, _pid: ProcId) -> CounterState {
-            CounterState { left: self.rounds, seen: None }
+            CounterState {
+                left: self.rounds,
+                seen: None,
+            }
         }
         fn next_action(&self, s: &CounterState) -> Action {
             if s.left == 0 {
@@ -402,7 +419,11 @@ mod tests {
             .set(ProcId(1), 1, Fate::Take(Ticks(10))); // write 1 at t=25
         let config = RunConfig::new(2, Delta::from_ticks(100));
         let result = Sim::new(Counter { rounds: 1 }, config, model).run();
-        assert_eq!(result.final_bank.read(RegId(0)), 1, "second write overwrites the first");
+        assert_eq!(
+            result.final_bank.read(RegId(0)),
+            1,
+            "second write overwrites the first"
+        );
     }
 
     #[test]
@@ -421,7 +442,11 @@ mod tests {
         let result = Sim::new(Counter { rounds: 1 }, config, model).run();
         assert!(result.crashed[0]);
         assert!(!result.halted[0]);
-        assert_eq!(result.final_bank.read(RegId(0)), 0, "crashed write must not linearize");
+        assert_eq!(
+            result.final_bank.read(RegId(0)),
+            0,
+            "crashed write must not linearize"
+        );
     }
 
     #[test]
@@ -505,7 +530,11 @@ mod fault_tests {
     fn faults_strike_at_their_instant() {
         let config = RunConfig::new(1, Delta::from_ticks(1000));
         let result = Sim::new(TwoReads, config, Fixed::new(Ticks(10)))
-            .with_faults(vec![RegisterFault { at: Ticks(50), reg: RegId(0), value: 77 }])
+            .with_faults(vec![RegisterFault {
+                at: Ticks(50),
+                reg: RegId(0),
+                value: 77,
+            }])
             .run();
         let reads: Vec<u64> = result
             .events(|o| match o {
@@ -514,7 +543,11 @@ mod fault_tests {
             })
             .map(|(_, _, v)| v)
             .collect();
-        assert_eq!(reads, vec![0, 77], "first read pre-fault, second post-fault");
+        assert_eq!(
+            reads,
+            vec![0, 77],
+            "first read pre-fault, second post-fault"
+        );
     }
 
     #[test]
@@ -522,8 +555,16 @@ mod fault_tests {
         let config = RunConfig::new(1, Delta::from_ticks(1000));
         let result = Sim::new(TwoReads, config, Fixed::new(Ticks(10)))
             .with_faults(vec![
-                RegisterFault { at: Ticks(60), reg: RegId(0), value: 2 },
-                RegisterFault { at: Ticks(40), reg: RegId(0), value: 1 },
+                RegisterFault {
+                    at: Ticks(60),
+                    reg: RegId(0),
+                    value: 2,
+                },
+                RegisterFault {
+                    at: Ticks(40),
+                    reg: RegId(0),
+                    value: 1,
+                },
             ])
             .run();
         let reads: Vec<u64> = result
@@ -533,7 +574,11 @@ mod fault_tests {
             })
             .map(|(_, _, v)| v)
             .collect();
-        assert_eq!(reads, vec![0, 2], "both faults land before the second read; last wins");
+        assert_eq!(
+            reads,
+            vec![0, 2],
+            "both faults land before the second read; last wins"
+        );
     }
 
     #[test]
@@ -563,7 +608,11 @@ mod fault_tests {
         let config = RunConfig::new(1, Delta::from_ticks(1000));
         // Fault at t=5 (before the write lands at t=10): overwritten.
         let result = Sim::new(WriteRead, config, Fixed::new(Ticks(10)))
-            .with_faults(vec![RegisterFault { at: Ticks(5), reg: RegId(0), value: 99 }])
+            .with_faults(vec![RegisterFault {
+                at: Ticks(5),
+                reg: RegId(0),
+                value: 99,
+            }])
             .run();
         let reads: Vec<u64> = result
             .events(|o| match o {

@@ -33,7 +33,11 @@ pub struct ConsensusStats {
 pub fn consensus_stats(result: &RunResult) -> ConsensusStats {
     let decisions = result.decisions();
     let agreement = decisions.windows(2).all(|w| w[0].2 == w[1].2);
-    let decided_value = if agreement { decisions.first().map(|d| d.2) } else { None };
+    let decided_value = if agreement {
+        decisions.first().map(|d| d.2)
+    } else {
+        None
+    };
     let max_round = result
         .events(|o| match o {
             Obs::StartedRound(r) => Some(*r),
@@ -124,15 +128,14 @@ pub fn mutex_stats(result: &RunResult, from: Ticks) -> MutexStats {
         let p = e.pid.0;
         debug_assert!(p < n, "event from unknown process");
         match e.obs {
-            Obs::EnterTrying
-                if phase[p] == Phase::Remainder => {
-                    phase[p] = Phase::Trying;
-                    trying += 1;
-                    trying_since[p] = e.time;
-                    if in_cs == 0 && starved_since.is_none() {
-                        starved_since = Some(e.time);
-                    }
+            Obs::EnterTrying if phase[p] == Phase::Remainder => {
+                phase[p] = Phase::Trying;
+                trying += 1;
+                trying_since[p] = e.time;
+                if in_cs == 0 && starved_since.is_none() {
+                    starved_since = Some(e.time);
                 }
+            }
             Obs::EnterCritical => {
                 if phase[p] == Phase::Trying {
                     trying -= 1;
@@ -151,24 +154,22 @@ pub fn mutex_stats(result: &RunResult, from: Ticks) -> MutexStats {
                     }
                 }
             }
-            Obs::ExitCritical
-                if phase[p] == Phase::Critical => {
-                    phase[p] = Phase::Exiting;
-                    in_cs -= 1;
-                    if in_cs == 0 && trying > 0 && starved_since.is_none() {
-                        starved_since = Some(e.time);
+            Obs::ExitCritical if phase[p] == Phase::Critical => {
+                phase[p] = Phase::Exiting;
+                in_cs -= 1;
+                if in_cs == 0 && trying > 0 && starved_since.is_none() {
+                    starved_since = Some(e.time);
+                }
+            }
+            Obs::EnterRemainder if (phase[p] == Phase::Exiting || phase[p] == Phase::Trying) => {
+                if phase[p] == Phase::Trying {
+                    trying -= 1;
+                    if trying == 0 && in_cs == 0 {
+                        close_starved(&mut starved_since, e.time, &mut longest_starved);
                     }
                 }
-            Obs::EnterRemainder
-                if (phase[p] == Phase::Exiting || phase[p] == Phase::Trying) => {
-                    if phase[p] == Phase::Trying {
-                        trying -= 1;
-                        if trying == 0 && in_cs == 0 {
-                            close_starved(&mut starved_since, e.time, &mut longest_starved);
-                        }
-                    }
-                    phase[p] = Phase::Remainder;
-                }
+                phase[p] = Phase::Remainder;
+            }
             _ => {}
         }
     }
@@ -198,7 +199,11 @@ mod tests {
             delta: Delta::from_ticks(100),
             obs: obs
                 .into_iter()
-                .map(|(t, p, o)| TimedObs { time: Ticks(t), pid: ProcId(p), obs: o })
+                .map(|(t, p, o)| TimedObs {
+                    time: Ticks(t),
+                    pid: ProcId(p),
+                    obs: o,
+                })
                 .collect(),
             trace: vec![],
             steps: 0,
@@ -233,7 +238,11 @@ mod tests {
 
     #[test]
     fn consensus_stats_detects_disagreement() {
-        let r = run_with(2, vec![(10, 0, Obs::Decided(0)), (20, 1, Obs::Decided(1))], 20);
+        let r = run_with(
+            2,
+            vec![(10, 0, Obs::Decided(0)), (20, 1, Obs::Decided(1))],
+            20,
+        );
         let s = consensus_stats(&r);
         assert!(!s.agreement);
         assert_eq!(s.decided_value, None);
@@ -486,7 +495,10 @@ mod spin_tests {
         );
         let s = spin_stats(&r);
         assert_eq!(s.shared_accesses, 6);
-        assert_eq!(s.polls, 2, "two repeats of r0; r1 and post-write r0 are fresh");
+        assert_eq!(
+            s.polls, 2,
+            "two repeats of r0; r1 and post-write r0 are fresh"
+        );
         assert_eq!(s.longest_streak, 2);
         assert!((s.poll_fraction() - 2.0 / 6.0).abs() < 1e-9);
     }
@@ -503,7 +515,11 @@ mod spin_tests {
             ],
         );
         let s = spin_stats(&r);
-        assert_eq!(s.polls_per_proc, vec![1, 1], "interleaving does not hide per-proc repeats");
+        assert_eq!(
+            s.polls_per_proc,
+            vec![1, 1],
+            "interleaving does not hide per-proc repeats"
+        );
     }
 
     #[test]
@@ -517,14 +533,21 @@ mod spin_tests {
             ],
         );
         let s = spin_stats(&r);
-        assert_eq!(s.polls, 1, "Fischer-style delay-then-recheck is still a poll");
+        assert_eq!(
+            s.polls, 1,
+            "Fischer-style delay-then-recheck is still a poll"
+        );
     }
 
     #[test]
     fn convergence_point_finds_the_calm_suffix() {
         use tfr_registers::spec::Obs;
         // One long starved interval (10..200), then short ones.
-        let mk = |t: u64, p: usize, o: Obs| TimedObs { time: Ticks(t), pid: ProcId(p), obs: o };
+        let mk = |t: u64, p: usize, o: Obs| TimedObs {
+            time: Ticks(t),
+            pid: ProcId(p),
+            obs: o,
+        };
         let r = RunResult {
             n: 2,
             delta: Delta::from_ticks(100),
@@ -551,13 +574,22 @@ mod spin_tests {
         // suffix metric counts only interval portions ≥ the start, so the
         // first qualifying start clips the long interval to ≤ 50.
         let p = convergence_point(&r, Ticks::ZERO, Ticks(50)).expect("converges");
-        assert!(p >= Ticks(150), "starts before 150 still see > 50t of starvation, got {p}");
-        assert!(p <= Ticks(220), "by 220 only the 20t interval remains, got {p}");
+        assert!(
+            p >= Ticks(150),
+            "starts before 150 still see > 50t of starvation, got {p}"
+        );
+        assert!(
+            p <= Ticks(220),
+            "by 220 only the 20t interval remains, got {p}"
+        );
         // An impossible target: a waiter that never enters keeps every
         // suffix starved through the end of the run.
         let mut starved_tail = r.clone();
         starved_tail.obs.push(mk(256, 0, Obs::EnterTrying));
         starved_tail.end_time = Ticks(300);
-        assert_eq!(convergence_point(&starved_tail, Ticks::ZERO, Ticks(0)), None);
+        assert_eq!(
+            convergence_point(&starved_tail, Ticks::ZERO, Ticks(0)),
+            None
+        );
     }
 }

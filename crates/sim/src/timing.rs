@@ -10,9 +10,8 @@
 //! adversarial constructions (the Fischer violation of E6, the starvation
 //! schedule of E8).
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
+use tfr_registers::rng::SplitMix64;
 use tfr_registers::spec::Action;
 use tfr_registers::{Delta, ProcId, Ticks};
 
@@ -97,7 +96,7 @@ impl TimingModel for Fixed {
 pub struct UniformAccess {
     lo: u64,
     hi: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
 }
 
 impl UniformAccess {
@@ -109,7 +108,11 @@ impl UniformAccess {
     pub fn new(lo: Ticks, hi: Ticks, seed: u64) -> UniformAccess {
         assert!(lo.0 > 0, "access durations must be positive");
         assert!(lo <= hi, "lo must not exceed hi");
-        UniformAccess { lo: lo.0, hi: hi.0, rng: SmallRng::seed_from_u64(seed) }
+        UniformAccess {
+            lo: lo.0,
+            hi: hi.0,
+            rng: SplitMix64::new(seed),
+        }
     }
 }
 
@@ -133,7 +136,7 @@ pub struct HeavyTail {
     hi: u64,
     spike_prob: f64,
     spike_factor: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
 }
 
 impl HeavyTail {
@@ -145,9 +148,18 @@ impl HeavyTail {
     /// `spike_factor == 0`.
     pub fn new(lo: Ticks, hi: Ticks, spike_prob: f64, spike_factor: u64, seed: u64) -> HeavyTail {
         assert!(lo.0 > 0 && lo <= hi, "invalid duration range");
-        assert!((0.0..=1.0).contains(&spike_prob), "spike_prob must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&spike_prob),
+            "spike_prob must be a probability"
+        );
         assert!(spike_factor > 0, "spike_factor must be positive");
-        HeavyTail { lo: lo.0, hi: hi.0, spike_prob, spike_factor, rng: SmallRng::seed_from_u64(seed) }
+        HeavyTail {
+            lo: lo.0,
+            hi: hi.0,
+            spike_prob,
+            spike_factor,
+            rng: SplitMix64::new(seed),
+        }
     }
 }
 
@@ -243,7 +255,11 @@ impl<M: TimingModel> CrashSchedule<M> {
 
 impl<M: TimingModel> TimingModel for CrashSchedule<M> {
     fn fate(&mut self, ctx: StepCtx) -> Fate {
-        if self.crashes.iter().any(|&(p, t)| p == ctx.pid && ctx.now >= t) {
+        if self
+            .crashes
+            .iter()
+            .any(|&(p, t)| p == ctx.pid && ctx.now >= t)
+        {
             return Fate::Crash;
         }
         self.base.fate(ctx)
@@ -266,7 +282,10 @@ impl Scripted {
     /// All unscripted shared-memory accesses take `default` ticks; delays
     /// take their requested length.
     pub fn new(default: Ticks) -> Scripted {
-        Scripted { default, script: HashMap::new() }
+        Scripted {
+            default,
+            script: HashMap::new(),
+        }
     }
 
     /// Scripts the fate of process `pid`'s `proc_step`-th action
@@ -310,7 +329,10 @@ impl PerProcess {
     /// Panics if `durations` is empty or contains a zero duration.
     pub fn new(durations: Vec<Ticks>) -> PerProcess {
         assert!(!durations.is_empty(), "at least one duration is required");
-        assert!(durations.iter().all(|d| d.0 > 0), "durations must be positive");
+        assert!(
+            durations.iter().all(|d| d.0 > 0),
+            "durations must be positive"
+        );
         PerProcess { durations }
     }
 }
@@ -351,7 +373,12 @@ impl<M: TimingModel> Bursts<M> {
     /// Panics if either phase is zero-length.
     pub fn new(base: M, good: Ticks, bad: Ticks, inflated: Ticks) -> Bursts<M> {
         assert!(good.0 > 0 && bad.0 > 0, "phases must be nonempty");
-        Bursts { base, good, bad, inflated }
+        Bursts {
+            base,
+            good,
+            bad,
+            inflated,
+        }
     }
 
     fn in_burst(&self, now: Ticks) -> bool {
@@ -384,14 +411,26 @@ mod tests {
     use super::*;
 
     fn ctx(pid: usize, step: u64, now: u64, action: Action) -> StepCtx {
-        StepCtx { pid: ProcId(pid), action, now: Ticks(now), global_step: step, proc_step: step }
+        StepCtx {
+            pid: ProcId(pid),
+            action,
+            now: Ticks(now),
+            global_step: step,
+            proc_step: step,
+        }
     }
 
     #[test]
     fn fixed_durations() {
         let mut m = Fixed::new(Ticks(7));
-        assert_eq!(m.fate(ctx(0, 0, 0, Action::Read(tfr_registers::RegId(0)))), Fate::Take(Ticks(7)));
-        assert_eq!(m.fate(ctx(0, 1, 0, Action::Delay(Ticks(100)))), Fate::Take(Ticks(100)));
+        assert_eq!(
+            m.fate(ctx(0, 0, 0, Action::Read(tfr_registers::RegId(0)))),
+            Fate::Take(Ticks(7))
+        );
+        assert_eq!(
+            m.fate(ctx(0, 1, 0, Action::Delay(Ticks(100)))),
+            Fate::Take(Ticks(100))
+        );
     }
 
     #[test]
@@ -414,23 +453,55 @@ mod tests {
         let base = Fixed::new(Ticks(5));
         let mut m = FailureWindows::new(
             base,
-            vec![Window { from: Ticks(100), to: Ticks(200), pids: Some(vec![ProcId(1)]), inflated: Ticks(999) }],
+            vec![Window {
+                from: Ticks(100),
+                to: Ticks(200),
+                pids: Some(vec![ProcId(1)]),
+                inflated: Ticks(999),
+            }],
         );
         let read = Action::Read(tfr_registers::RegId(0));
-        assert_eq!(m.fate(ctx(1, 0, 150, read)), Fate::Take(Ticks(999)), "inside window, matching pid");
-        assert_eq!(m.fate(ctx(0, 0, 150, read)), Fate::Take(Ticks(5)), "inside window, other pid");
-        assert_eq!(m.fate(ctx(1, 0, 250, read)), Fate::Take(Ticks(5)), "after window");
-        assert_eq!(m.fate(ctx(1, 0, 99, read)), Fate::Take(Ticks(5)), "before window");
+        assert_eq!(
+            m.fate(ctx(1, 0, 150, read)),
+            Fate::Take(Ticks(999)),
+            "inside window, matching pid"
+        );
+        assert_eq!(
+            m.fate(ctx(0, 0, 150, read)),
+            Fate::Take(Ticks(5)),
+            "inside window, other pid"
+        );
+        assert_eq!(
+            m.fate(ctx(1, 0, 250, read)),
+            Fate::Take(Ticks(5)),
+            "after window"
+        );
+        assert_eq!(
+            m.fate(ctx(1, 0, 99, read)),
+            Fate::Take(Ticks(5)),
+            "before window"
+        );
     }
 
     #[test]
     fn windows_stretch_delays_but_never_shorten() {
         let mut m = FailureWindows::new(
             Fixed::new(Ticks(5)),
-            vec![Window { from: Ticks(0), to: Ticks(10), pids: None, inflated: Ticks(50) }],
+            vec![Window {
+                from: Ticks(0),
+                to: Ticks(10),
+                pids: None,
+                inflated: Ticks(50),
+            }],
         );
-        assert_eq!(m.fate(ctx(0, 0, 5, Action::Delay(Ticks(100)))), Fate::Take(Ticks(100)));
-        assert_eq!(m.fate(ctx(0, 0, 5, Action::Delay(Ticks(10)))), Fate::Take(Ticks(50)));
+        assert_eq!(
+            m.fate(ctx(0, 0, 5, Action::Delay(Ticks(100)))),
+            Fate::Take(Ticks(100))
+        );
+        assert_eq!(
+            m.fate(ctx(0, 0, 5, Action::Delay(Ticks(10)))),
+            Fate::Take(Ticks(50))
+        );
     }
 
     #[test]
@@ -450,7 +521,13 @@ mod tests {
             .set(ProcId(1), 0, Fate::Crash);
         let read = Action::Read(tfr_registers::RegId(0));
         assert_eq!(m.fate(ctx(0, 0, 0, read)), Fate::Take(Ticks(3)));
-        let c = StepCtx { pid: ProcId(0), action: read, now: Ticks(0), global_step: 9, proc_step: 2 };
+        let c = StepCtx {
+            pid: ProcId(0),
+            action: read,
+            now: Ticks(0),
+            global_step: 9,
+            proc_step: 2,
+        };
         assert_eq!(m.fate(c), Fate::Take(Ticks(5000)));
         assert_eq!(m.fate(ctx(1, 0, 0, read)), Fate::Crash);
     }
@@ -467,19 +544,46 @@ mod tests {
                 }
             }
         }
-        assert!(saw_spike, "with p=0.5 over 200 steps a spike is (overwhelmingly) expected");
+        assert!(
+            saw_spike,
+            "with p=0.5 over 200 steps a spike is (overwhelmingly) expected"
+        );
     }
 
     #[test]
     fn bursts_alternate_phases() {
         let mut m = Bursts::new(Fixed::new(Ticks(5)), Ticks(100), Ticks(50), Ticks(999));
         let read = Action::Read(tfr_registers::RegId(0));
-        assert_eq!(m.fate(ctx(0, 0, 0, read)), Fate::Take(Ticks(5)), "good phase");
-        assert_eq!(m.fate(ctx(0, 0, 99, read)), Fate::Take(Ticks(5)), "end of good phase");
-        assert_eq!(m.fate(ctx(0, 0, 100, read)), Fate::Take(Ticks(999)), "burst");
-        assert_eq!(m.fate(ctx(0, 0, 149, read)), Fate::Take(Ticks(999)), "end of burst");
-        assert_eq!(m.fate(ctx(0, 0, 150, read)), Fate::Take(Ticks(5)), "next good phase");
-        assert_eq!(m.fate(ctx(0, 0, 250, read)), Fate::Take(Ticks(999)), "periodic");
+        assert_eq!(
+            m.fate(ctx(0, 0, 0, read)),
+            Fate::Take(Ticks(5)),
+            "good phase"
+        );
+        assert_eq!(
+            m.fate(ctx(0, 0, 99, read)),
+            Fate::Take(Ticks(5)),
+            "end of good phase"
+        );
+        assert_eq!(
+            m.fate(ctx(0, 0, 100, read)),
+            Fate::Take(Ticks(999)),
+            "burst"
+        );
+        assert_eq!(
+            m.fate(ctx(0, 0, 149, read)),
+            Fate::Take(Ticks(999)),
+            "end of burst"
+        );
+        assert_eq!(
+            m.fate(ctx(0, 0, 150, read)),
+            Fate::Take(Ticks(5)),
+            "next good phase"
+        );
+        assert_eq!(
+            m.fate(ctx(0, 0, 250, read)),
+            Fate::Take(Ticks(999)),
+            "periodic"
+        );
         assert_eq!(
             m.fate(ctx(0, 0, 120, Action::Delay(Ticks(2000)))),
             Fate::Take(Ticks(2000)),
@@ -493,8 +597,15 @@ mod tests {
         let read = Action::Read(tfr_registers::RegId(0));
         assert_eq!(m.fate(ctx(0, 0, 0, read)), Fate::Take(Ticks(10)));
         assert_eq!(m.fate(ctx(1, 0, 0, read)), Fate::Take(Ticks(100)));
-        assert_eq!(m.fate(ctx(7, 0, 0, read)), Fate::Take(Ticks(100)), "last entry extends");
-        assert_eq!(m.fate(ctx(0, 0, 0, Action::Delay(Ticks(5)))), Fate::Take(Ticks(5)));
+        assert_eq!(
+            m.fate(ctx(7, 0, 0, read)),
+            Fate::Take(Ticks(100)),
+            "last entry extends"
+        );
+        assert_eq!(
+            m.fate(ctx(0, 0, 0, Action::Delay(Ticks(5)))),
+            Fate::Take(Ticks(5))
+        );
     }
 
     #[test]

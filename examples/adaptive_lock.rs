@@ -63,7 +63,10 @@ fn measure(lock: Arc<dyn RawLock>, n: usize) -> u64 {
 
 fn main() {
     let n = 3;
-    println!("{:<28} {:>14} {:>12}", "Δ estimate", "acquisitions", "per second");
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "Δ estimate", "acquisitions", "per second"
+    );
 
     // 1. The sound-but-pessimistic configuration.
     let pessimistic: Arc<dyn RawLock> =
@@ -96,8 +99,11 @@ fn main() {
         Duration::from_millis(2),  // ceiling
     ));
     let inner = StarvationFree::over_lamport_fast(n);
-    let adaptive: Arc<dyn RawLock> =
-        Arc::new(ResilientMutex::with_delay_source(inner, n, Arc::clone(&estimator)));
+    let adaptive: Arc<dyn RawLock> = Arc::new(ResilientMutex::with_delay_source(
+        inner,
+        n,
+        Arc::clone(&estimator),
+    ));
     let acq = measure(adaptive, n);
     println!(
         "{:<28} {:>14} {:>12.0}",

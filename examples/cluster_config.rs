@@ -53,17 +53,33 @@ fn main() {
                 let epoch = epoch_consensus.propose(me, 100 + i as u64);
                 // 3. Claim a shard slot (distinct small names).
                 let shard = renaming.rename(me);
-                Some(Assignment { worker: i, leader, epoch, shard })
+                Some(Assignment {
+                    worker: i,
+                    leader,
+                    epoch,
+                    shard,
+                })
             })
         })
         .collect();
 
-    let assignments: Vec<Assignment> =
-        workers.into_iter().filter_map(|h| h.join().unwrap()).collect();
+    let assignments: Vec<Assignment> = workers
+        .into_iter()
+        .filter_map(|h| h.join().unwrap())
+        .collect();
 
-    println!("{:<8} {:<8} {:<7} {:<6}", "worker", "leader", "epoch", "shard");
+    println!(
+        "{:<8} {:<8} {:<7} {:<6}",
+        "worker", "leader", "epoch", "shard"
+    );
     for a in &assignments {
-        println!("{:<8} {:<8} {:<7} {:<6}", a.worker, a.leader.to_string(), a.epoch, a.shard);
+        println!(
+            "{:<8} {:<8} {:<7} {:<6}",
+            a.worker,
+            a.leader.to_string(),
+            a.epoch,
+            a.shard
+        );
     }
 
     // The guarantees, checked:

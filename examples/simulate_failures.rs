@@ -12,7 +12,7 @@ use tfr::core::mutex::resilient::standard_resilient_spec;
 use tfr::registers::spec::Obs;
 use tfr::registers::{Delta, ProcId, Ticks};
 use tfr::sim::metrics::mutex_stats;
-use tfr::sim::timing::{standard_no_failures, Fate, FailureWindows, Scripted, Window};
+use tfr::sim::timing::{standard_no_failures, FailureWindows, Fate, Scripted, Window};
 use tfr::sim::{RunConfig, Sim};
 
 fn main() {
@@ -35,7 +35,10 @@ fn main() {
         }
     }
     let stats = mutex_stats(&result, Ticks::ZERO);
-    println!("  mutual exclusion violated: {}\n", stats.mutual_exclusion_violated);
+    println!(
+        "  mutual exclusion violated: {}\n",
+        stats.mutual_exclusion_violated
+    );
     assert!(stats.mutual_exclusion_violated);
 
     // --- Part 2: Algorithm 3 on the same schedule --------------------

@@ -22,6 +22,10 @@
 //!   fast, bakery variants, tournament) used as the inner lock `A` of
 //!   Algorithm 3 and as baselines.
 //! * [`baselines`] — consensus baselines (time-adaptive, unknown-Δ).
+//! * [`chaos`] — the native chaos harness: seeded fault schedules injected
+//!   into the real-thread stack (stalls and crash-stops at named points),
+//!   deterministic replay, schedule shrinking, and native §1.3 resilience
+//!   reports.
 //!
 //! # Quickstart
 //!
@@ -45,6 +49,7 @@
 
 pub use tfr_asynclock as asynclock;
 pub use tfr_baselines as baselines;
+pub use tfr_chaos as chaos;
 pub use tfr_core as core;
 pub use tfr_modelcheck as modelcheck;
 pub use tfr_registers as registers;

@@ -25,7 +25,10 @@ fn spec_and_native_agree_on_solo_behaviour() {
         let native_decision = native.propose(input);
         assert_eq!(run.decision(), Some(input as u64));
         assert_eq!(native_decision, input);
-        assert_eq!(run.shared_accesses, 7, "the fast path is 7 steps in both forms");
+        assert_eq!(
+            run.shared_accesses, 7,
+            "the fast path is 7 steps in both forms"
+        );
     }
 }
 
@@ -67,14 +70,15 @@ fn agreement_under_heavy_failures_and_crashes_combined() {
     let d = Delta::from_ticks(100);
     for seed in 0..30 {
         let n = 5;
-        let inputs: Vec<bool> = (0..n).map(|i| (i as u64 + seed).is_multiple_of(2)).collect();
+        let inputs: Vec<bool> = (0..n)
+            .map(|i| (i as u64 + seed).is_multiple_of(2))
+            .collect();
         let valid: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
         let base = UniformAccess::new(Ticks(10), Ticks(800), seed);
         let model =
             CrashSchedule::new(base, vec![(ProcId(2), Ticks(300)), (ProcId(4), Ticks(900))]);
         let config = RunConfig::new(n, d).max_steps(100_000);
-        let result =
-            Sim::new(ConsensusSpec::new(inputs).max_rounds(40), config, model).run();
+        let result = Sim::new(ConsensusSpec::new(inputs).max_rounds(40), config, model).run();
         let stats = consensus_stats(&result);
         assert!(stats.agreement, "seed={seed}");
         assert!(stats.valid_against(&valid), "seed={seed}");
@@ -112,34 +116,42 @@ fn forced_conflict_rounds_then_recovery_bound() {
             if k > 0 {
                 model = model.set(ProcId(0), 7 * k, Fate::Take(Ticks(260)));
             }
-            model = model
-                .set(ProcId(0), 7 * k + 6, Fate::Take(Ticks(150)))
-                .set(ProcId(1), 7 * k + 3, Fate::Take(Ticks(400)));
+            model = model.set(ProcId(0), 7 * k + 6, Fate::Take(Ticks(150))).set(
+                ProcId(1),
+                7 * k + 3,
+                Fate::Take(Ticks(400)),
+            );
         }
         let spec = ConsensusSpec::new(vec![false, true]).with_delta(d.ticks());
         let result = Sim::new(spec, RunConfig::new(2, d), model).run();
         let stats = consensus_stats(&result);
         assert!(stats.agreement, "R={forced}");
-        assert!(stats.all_decided_by.is_some(), "R={forced}: must decide after failures stop");
+        assert!(
+            stats.all_decided_by.is_some(),
+            "R={forced}: must decide after failures stop"
+        );
         assert!(
             stats.max_round > forced,
             "R={forced}: the adversary must actually force {forced} conflict rounds \
              (reached only {})",
             stats.max_round
         );
-        assert!(stats.max_round <= forced + 2, "R={forced}: Theorem 2.1(2) bound violated");
+        assert!(
+            stats.max_round <= forced + 2,
+            "R={forced}: Theorem 2.1(2) bound violated"
+        );
     }
 }
 
 #[test]
 fn modelcheck_three_processes_exhaustive() {
-    let report = Explorer::new(
-        ConsensusSpec::new(vec![true, false, true]).max_rounds(2),
-        3,
-    )
-    .check(&SafetySpec::consensus(vec![0, 1]));
+    let report = Explorer::new(ConsensusSpec::new(vec![true, false, true]).max_rounds(2), 3)
+        .check(&SafetySpec::consensus(vec![0, 1]));
     assert!(report.proven_safe(), "{:?}", report.violation);
-    assert!(report.states_explored > 10_000, "the space must be nontrivial");
+    assert!(
+        report.states_explored > 10_000,
+        "the space must be nontrivial"
+    );
 }
 
 #[test]
@@ -150,5 +162,9 @@ fn native_decision_visible_to_non_proposers() {
     let h = std::thread::spawn(move || c2.propose(false));
     let decided = h.join().unwrap();
     assert!(!decided);
-    assert_eq!(c.decision(), Some(false), "observers read the decision wait-free");
+    assert_eq!(
+        c.decision(),
+        Some(false),
+        "observers read the decision wait-free"
+    );
 }

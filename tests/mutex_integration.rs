@@ -27,7 +27,10 @@ use tfr::sim::{RunConfig, Sim};
 fn fischer_is_unsafe_and_alg3_safe_under_the_same_exploration() {
     let fischer = LockLoop::new(FischerSpec::new(2, 0, Ticks(100)), 1);
     let report = Explorer::new(fischer, 2).check(&SafetySpec::mutex());
-    assert!(report.violation.is_some(), "Fischer must have a reachable ME violation");
+    assert!(
+        report.violation.is_some(),
+        "Fischer must have a reachable ME violation"
+    );
 
     let alg3 = LockLoop::new(standard_resilient_spec(2, 0, Ticks(100)), 1);
     let report = Explorer::new(alg3, 2).check(&SafetySpec::mutex());
@@ -44,7 +47,10 @@ fn alg3_safe_with_every_inner_lock_modelchecked() {
         assert!(report.proven_safe(), "{name}: {:?}", report.violation);
     }
     check("lamport-fast", LamportFastSpec::new(2, 1));
-    check("sf-lamport", StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(2, 1));
+    check(
+        "sf-lamport",
+        StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(2, 1),
+    );
     check("bakery", BakerySpec::new(2, 1));
     check("bw-bakery", BwBakerySpec::new(2, 1));
     check("peterson", PetersonSpec::new(2, 1));
@@ -56,7 +62,9 @@ fn alg3_live_under_constant_timing_failures_with_every_inner_lock() {
     fn run<A: LockSpec>(name: &str, inner: A, n: usize, seed: u64) {
         let d = Delta::from_ticks(100);
         let spec = ResilientMutexSpec::new(inner, n, 0, d.ticks());
-        let automaton = LockLoop::new(spec, 5).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30));
+        let automaton = LockLoop::new(spec, 5)
+            .cs_ticks(Ticks(20))
+            .ncs_ticks(Ticks(30));
         let model = UniformAccess::new(Ticks(10), Ticks(500), seed);
         let result = Sim::new(automaton, RunConfig::new(n, d), model).run();
         assert!(result.all_halted(), "{name}: stalled under failures");
@@ -65,7 +73,12 @@ fn alg3_live_under_constant_timing_failures_with_every_inner_lock() {
         assert_eq!(stats.cs_entries, n as u64 * 5, "{name}");
     }
     let _ = d;
-    run("sf-lamport", StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(3, 1), 3, 1);
+    run(
+        "sf-lamport",
+        StarvationFreeSpec::<LamportFastSpec>::over_lamport_fast(3, 1),
+        3,
+        1,
+    );
     run("bakery", BakerySpec::new(3, 1), 3, 2);
     run("bw-bakery", BwBakerySpec::new(3, 1), 3, 3);
     run("peterson", PetersonSpec::new(3, 1), 3, 4);
@@ -122,14 +135,20 @@ fn starvation_contrast_deadlock_free_vs_starvation_free() {
     // scales with the stream length.
     let (df_20, done_20) = first_entry(false, 20);
     let (df_40, done_40) = first_entry(false, 40);
-    assert!(df_20 >= done_20, "victim must be served only after the stream");
+    assert!(
+        df_20 >= done_20,
+        "victim must be served only after the stream"
+    );
     assert!(df_40 >= done_40);
     assert!(df_40 > df_20, "victim wait must grow with the stream");
 
     // Starvation-free: constant, stream-independent wait.
     let (sf_20, _) = first_entry(true, 20);
     let (sf_40, _) = first_entry(true, 40);
-    assert_eq!(sf_20, sf_40, "victim wait must not depend on the stream length");
+    assert_eq!(
+        sf_20, sf_40,
+        "victim wait must not depend on the stream length"
+    );
     assert!(sf_20 < df_20);
 }
 
@@ -140,7 +159,9 @@ fn convergence_of_the_generic_composition_with_peterson_inner() {
     let d = Delta::from_ticks(100);
     let mk = || ResilientMutexSpec::new(PetersonSpec::new(4, 1), 4, 0, d.ticks());
     let clean = Sim::new(
-        LockLoop::new(mk(), 30).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30)),
+        LockLoop::new(mk(), 30)
+            .cs_ticks(Ticks(20))
+            .ncs_ticks(Ticks(30)),
         RunConfig::new(4, d),
         standard_no_failures(d, 9),
     )
@@ -158,7 +179,9 @@ fn convergence_of_the_generic_composition_with_peterson_inner() {
         }],
     );
     let burst = Sim::new(
-        LockLoop::new(mk(), 30).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30)),
+        LockLoop::new(mk(), 30)
+            .cs_ticks(Ticks(20))
+            .ncs_ticks(Ticks(30)),
         RunConfig::new(4, d),
         model,
     )
@@ -202,15 +225,27 @@ fn native_resilient_mutex_with_every_inner_lock() {
     let n = 4;
     hammer(Arc::new(ResilientMutex::standard(n, delta)), n);
     hammer(
-        Arc::new(ResilientMutex::new(tfr::asynclock::bakery::Bakery::new(n), n, delta)),
+        Arc::new(ResilientMutex::new(
+            tfr::asynclock::bakery::Bakery::new(n),
+            n,
+            delta,
+        )),
         n,
     );
     hammer(
-        Arc::new(ResilientMutex::new(tfr::asynclock::bw_bakery::BwBakery::new(n), n, delta)),
+        Arc::new(ResilientMutex::new(
+            tfr::asynclock::bw_bakery::BwBakery::new(n),
+            n,
+            delta,
+        )),
         n,
     );
     hammer(
-        Arc::new(ResilientMutex::new(tfr::asynclock::peterson::Peterson::new(n), n, delta)),
+        Arc::new(ResilientMutex::new(
+            tfr::asynclock::peterson::Peterson::new(n),
+            n,
+            delta,
+        )),
         n,
     );
 }
@@ -220,7 +255,9 @@ fn deadlock_free_variant_is_safe_even_if_not_convergent() {
     let d = Delta::from_ticks(100);
     for seed in 0..10 {
         let spec = deadlock_free_resilient_spec(3, 0, d.ticks());
-        let automaton = LockLoop::new(spec, 5).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30));
+        let automaton = LockLoop::new(spec, 5)
+            .cs_ticks(Ticks(20))
+            .ncs_ticks(Ticks(30));
         let model = UniformAccess::new(Ticks(10), Ticks(500), seed);
         let result = Sim::new(automaton, RunConfig::new(3, d), model).run();
         let stats = mutex_stats(&result, Ticks::ZERO);
@@ -236,7 +273,9 @@ fn long_lived_stability_under_periodic_bursts() {
     use tfr::sim::timing::Bursts;
     let d = Delta::from_ticks(100);
     let spec = standard_resilient_spec(4, 0, d.ticks());
-    let automaton = LockLoop::new(spec, 80).cs_ticks(Ticks(20)).ncs_ticks(Ticks(30));
+    let automaton = LockLoop::new(spec, 80)
+        .cs_ticks(Ticks(20))
+        .ncs_ticks(Ticks(30));
     let model = Bursts::new(
         standard_no_failures(d, 13),
         Ticks(5_000),
@@ -244,7 +283,10 @@ fn long_lived_stability_under_periodic_bursts() {
         Ticks(450),
     );
     let result = Sim::new(automaton, RunConfig::new(4, d), model).run();
-    assert!(result.all_halted(), "periodic bursts must not wedge the lock");
+    assert!(
+        result.all_halted(),
+        "periodic bursts must not wedge the lock"
+    );
     let stats = mutex_stats(&result, Ticks::ZERO);
     assert!(!stats.mutual_exclusion_violated);
     assert_eq!(stats.cs_entries, 4 * 80);

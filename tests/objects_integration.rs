@@ -27,7 +27,11 @@ fn multivalued_one_bit_and_wide_values() {
 fn multivalued_stress_many_widths() {
     for width in [2u32, 5, 9, 17, 33] {
         let n = 5;
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let mc = Arc::new(MultiConsensus::new(n, width, D));
         let inputs: Vec<u64> = (0..n).map(|i| (i as u64 * 0x9E37_79B9) & mask).collect();
         let handles: Vec<_> = inputs
@@ -47,7 +51,13 @@ fn multivalued_stress_many_widths() {
 #[test]
 fn election_partial_participation_any_subset() {
     // Whatever subset participates, they agree on a member of the subset.
-    for subset in [vec![0usize], vec![3], vec![0, 5], vec![1, 2, 4], vec![0, 1, 2, 3, 4, 5]] {
+    for subset in [
+        vec![0usize],
+        vec![3],
+        vec![0, 5],
+        vec![1, 2, 4],
+        vec![0, 1, 2, 3, 4, 5],
+    ] {
         let e = Arc::new(LeaderElection::new(6, D));
         let handles: Vec<_> = subset
             .iter()
@@ -57,8 +67,14 @@ fn election_partial_participation_any_subset() {
             })
             .collect();
         let leaders: Vec<ProcId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        assert!(leaders.windows(2).all(|w| w[0] == w[1]), "subset {subset:?}");
-        assert!(subset.contains(&leaders[0].0), "leader must participate: {subset:?}");
+        assert!(
+            leaders.windows(2).all(|w| w[0] == w[1]),
+            "subset {subset:?}"
+        );
+        assert!(
+            subset.contains(&leaders[0].0),
+            "leader must participate: {subset:?}"
+        );
     }
 }
 
@@ -150,7 +166,10 @@ fn universal_counter_helping_under_asymmetric_load() {
     };
     heavy.join().unwrap();
     let light_resp = light.join().unwrap();
-    assert!(light_resp >= 100, "light op linearized somewhere: {light_resp}");
+    assert!(
+        light_resp >= 100,
+        "light op linearized somewhere: {light_resp}"
+    );
     assert_eq!(obj.snapshot(), 120);
 }
 

@@ -1,7 +1,10 @@
 //! Property-based tests over the whole stack: randomized timing models,
 //! inputs, and workloads must never shake a safety property loose.
+//!
+//! Each test draws its cases from a fixed-seed [`SplitMix64`] stream, so
+//! any failure replays exactly; the case index is included in assertion
+//! messages for bisection.
 
-use proptest::prelude::*;
 use tfr::asynclock::bakery::BakerySpec;
 use tfr::asynclock::bar_david::StarvationFreeSpec;
 use tfr::asynclock::bw_bakery::BwBakerySpec;
@@ -10,26 +13,29 @@ use tfr::asynclock::peterson::PetersonSpec;
 use tfr::asynclock::workload::LockLoop;
 use tfr::core::consensus::ConsensusSpec;
 use tfr::core::mutex::resilient::standard_resilient_spec;
+use tfr::registers::rng::SplitMix64;
 use tfr::registers::spec::Obs;
 use tfr::registers::{Delta, ProcId, Ticks};
 use tfr::sim::metrics::{consensus_stats, mutex_stats};
 use tfr::sim::timing::{CrashSchedule, UniformAccess};
 use tfr::sim::{RunConfig, Sim};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Agreement and validity of Algorithm 1 hold for arbitrary process
-    /// counts, inputs, timing distributions (including failure-heavy
-    /// ones), and crash schedules.
-    #[test]
-    fn consensus_safety_under_arbitrary_timing_and_crashes(
-        n in 1usize..6,
-        inputs_seed in any::<u64>(),
-        timing_seed in any::<u64>(),
-        hi in 20u64..1000,
-        crash in proptest::option::of((0usize..6, 0u64..2000)),
-    ) {
+/// Agreement and validity of Algorithm 1 hold for arbitrary process
+/// counts, inputs, timing distributions (including failure-heavy ones),
+/// and crash schedules.
+#[test]
+fn consensus_safety_under_arbitrary_timing_and_crashes() {
+    let mut rng = SplitMix64::new(0x5EED_0001);
+    for case in 0..64 {
+        let n = rng.random_range(1..=5) as usize;
+        let inputs_seed = rng.next_u64();
+        let timing_seed = rng.next_u64();
+        let hi = rng.random_range(20..=999);
+        let crash = if rng.random_bool(0.5) {
+            Some((rng.random_range(0..=5) as usize, rng.random_range(0..=1999)))
+        } else {
+            None
+        };
         let d = Delta::from_ticks(100);
         let inputs: Vec<bool> = (0..n).map(|i| (inputs_seed >> (i % 64)) & 1 == 1).collect();
         let valid: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
@@ -43,18 +49,23 @@ proptest! {
         let config = RunConfig::new(n, d).max_steps(50_000);
         let result = Sim::new(ConsensusSpec::new(inputs).max_rounds(30), config, model).run();
         let stats = consensus_stats(&result);
-        prop_assert!(stats.agreement);
-        prop_assert!(stats.valid_against(&valid));
+        assert!(stats.agreement, "case {case}: agreement violated");
+        assert!(
+            stats.valid_against(&valid),
+            "case {case}: validity violated"
+        );
     }
+}
 
-    /// When the timing constraints hold (durations ≤ Δ), Algorithm 1
-    /// always terminates within the 15Δ bound.
-    #[test]
-    fn consensus_terminates_within_bound_when_constraints_hold(
-        n in 1usize..8,
-        inputs_seed in any::<u64>(),
-        timing_seed in any::<u64>(),
-    ) {
+/// When the timing constraints hold (durations ≤ Δ), Algorithm 1 always
+/// terminates within the 15Δ bound.
+#[test]
+fn consensus_terminates_within_bound_when_constraints_hold() {
+    let mut rng = SplitMix64::new(0x5EED_0002);
+    for case in 0..64 {
+        let n = rng.random_range(1..=7) as usize;
+        let inputs_seed = rng.next_u64();
+        let timing_seed = rng.next_u64();
         let d = Delta::from_ticks(100);
         let inputs: Vec<bool> = (0..n).map(|i| (inputs_seed >> (i % 64)) & 1 == 1).collect();
         let model = UniformAccess::new(Ticks(1), d.ticks(), timing_seed);
@@ -62,35 +73,48 @@ proptest! {
             ConsensusSpec::new(inputs).with_delta(d.ticks()),
             RunConfig::new(n, d),
             model,
-        ).run();
+        )
+        .run();
         let stats = consensus_stats(&result);
-        prop_assert!(stats.agreement);
+        assert!(stats.agreement, "case {case}: agreement violated");
         let t = stats.all_decided_by;
-        prop_assert!(t.is_some(), "must decide without failures");
-        prop_assert!(t.unwrap() <= d.times(15), "decided at {} > 15Δ", t.unwrap());
+        assert!(t.is_some(), "case {case}: must decide without failures");
+        assert!(
+            t.unwrap() <= d.times(15),
+            "case {case}: decided at {} > 15Δ",
+            t.unwrap()
+        );
     }
+}
 
-    /// Mutual exclusion of Algorithm 3 holds under arbitrary random
-    /// timing, and so does the per-process workload event discipline
-    /// (trying → critical → exit → remainder, cyclically).
-    #[test]
-    fn resilient_mutex_safety_and_event_discipline(
-        n in 1usize..5,
-        timing_seed in any::<u64>(),
-        hi in 20u64..600,
-        cs in 1u64..60,
-        ncs in 1u64..60,
-    ) {
+/// Mutual exclusion of Algorithm 3 holds under arbitrary random timing,
+/// and so does the per-process workload event discipline
+/// (trying → critical → exit → remainder, cyclically).
+#[test]
+fn resilient_mutex_safety_and_event_discipline() {
+    let mut rng = SplitMix64::new(0x5EED_0003);
+    for case in 0..64 {
+        let n = rng.random_range(1..=4) as usize;
+        let timing_seed = rng.next_u64();
+        let hi = rng.random_range(20..=599);
+        let cs = rng.random_range(1..=59);
+        let ncs = rng.random_range(1..=59);
         let d = Delta::from_ticks(100);
         let automaton = LockLoop::new(standard_resilient_spec(n, 0, d.ticks()), 3)
             .cs_ticks(Ticks(cs))
             .ncs_ticks(Ticks(ncs));
         let model = UniformAccess::new(Ticks(10), Ticks(hi), timing_seed);
         let result = Sim::new(automaton, RunConfig::new(n, d), model).run();
-        prop_assert!(result.all_halted(), "random fair schedules must complete");
+        assert!(
+            result.all_halted(),
+            "case {case}: random fair schedules must complete"
+        );
         let stats = mutex_stats(&result, Ticks::ZERO);
-        prop_assert!(!stats.mutual_exclusion_violated);
-        prop_assert_eq!(stats.cs_entries, n as u64 * 3);
+        assert!(
+            !stats.mutual_exclusion_violated,
+            "case {case}: mutex violated"
+        );
+        assert_eq!(stats.cs_entries, n as u64 * 3, "case {case}");
 
         // Event discipline per process.
         for p in 0..n {
@@ -98,10 +122,15 @@ proptest! {
                 .obs
                 .iter()
                 .filter(|e| e.pid == ProcId(p))
-                .filter(|e| matches!(
-                    e.obs,
-                    Obs::EnterTrying | Obs::EnterCritical | Obs::ExitCritical | Obs::EnterRemainder
-                ))
+                .filter(|e| {
+                    matches!(
+                        e.obs,
+                        Obs::EnterTrying
+                            | Obs::EnterCritical
+                            | Obs::ExitCritical
+                            | Obs::EnterRemainder
+                    )
+                })
                 .map(|e| e.obs)
                 .collect();
             let expected = [
@@ -110,22 +139,28 @@ proptest! {
                 Obs::ExitCritical,
                 Obs::EnterRemainder,
             ];
-            prop_assert_eq!(seq.len(), 12, "3 iterations × 4 phase events");
+            assert_eq!(seq.len(), 12, "case {case}: 3 iterations × 4 phase events");
             for (i, o) in seq.iter().enumerate() {
-                prop_assert_eq!(*o, expected[i % 4], "process {} event {} out of phase", p, i);
+                assert_eq!(
+                    *o,
+                    expected[i % 4],
+                    "case {case}: process {p} event {i} out of phase"
+                );
             }
         }
     }
+}
 
-    /// Every asynchronous lock in the zoo is safe and live under arbitrary
-    /// random timing (they make no timing assumptions at all).
-    #[test]
-    fn async_lock_zoo_safety(
-        which in 0usize..5,
-        n in 1usize..5,
-        timing_seed in any::<u64>(),
-        hi in 20u64..600,
-    ) {
+/// Every asynchronous lock in the zoo is safe and live under arbitrary
+/// random timing (they make no timing assumptions at all).
+#[test]
+fn async_lock_zoo_safety() {
+    let mut rng = SplitMix64::new(0x5EED_0004);
+    for case in 0..64 {
+        let which = rng.index(5);
+        let n = rng.random_range(1..=4) as usize;
+        let timing_seed = rng.next_u64();
+        let hi = rng.random_range(20..=599);
         let d = Delta::from_ticks(100);
         let model = UniformAccess::new(Ticks(10), Ticks(hi), timing_seed);
         let config = RunConfig::new(n, d);
@@ -144,15 +179,23 @@ proptest! {
             )
             .run(),
         };
-        prop_assert!(result.all_halted());
+        assert!(result.all_halted(), "case {case} (lock {which})");
         let stats = mutex_stats(&result, Ticks::ZERO);
-        prop_assert!(!stats.mutual_exclusion_violated);
-        prop_assert_eq!(stats.cs_entries, n as u64 * 3);
+        assert!(
+            !stats.mutual_exclusion_violated,
+            "case {case} (lock {which})"
+        );
+        assert_eq!(stats.cs_entries, n as u64 * 3, "case {case} (lock {which})");
     }
+}
 
-    /// Simulation runs are exactly reproducible from their seed.
-    #[test]
-    fn simulation_is_deterministic(n in 1usize..5, seed in any::<u64>()) {
+/// Simulation runs are exactly reproducible from their seed.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SplitMix64::new(0x5EED_0005);
+    for case in 0..64 {
+        let n = rng.random_range(1..=4) as usize;
+        let seed = rng.next_u64();
         let d = Delta::from_ticks(100);
         let run = || {
             let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
@@ -161,31 +204,30 @@ proptest! {
                 ConsensusSpec::new(inputs).max_rounds(30),
                 RunConfig::new(n, d).max_steps(50_000),
                 model,
-            ).run()
+            )
+            .run()
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.obs, b.obs);
-        prop_assert_eq!(a.steps, b.steps);
-        prop_assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.obs, b.obs, "case {case}");
+        assert_eq!(a.steps, b.steps, "case {case}");
+        assert_eq!(a.end_time, b.end_time, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Bounded-failure consensus: whenever the failure window actually
-    /// respects the promised bound B, every process decides within the
-    /// finite round/register budget.
-    #[test]
-    fn bounded_consensus_decides_within_promise(
-        bound_deltas in 0u64..6,
-        inputs_seed in any::<u64>(),
-        timing_seed in any::<u64>(),
-        slow_pid in 0usize..3,
-    ) {
-        use tfr::core::bounded::BoundedConsensusSpec;
-        use tfr::sim::timing::{FailureWindows, Window};
+/// Bounded-failure consensus: whenever the failure window actually
+/// respects the promised bound B, every process decides within the
+/// finite round/register budget.
+#[test]
+fn bounded_consensus_decides_within_promise() {
+    use tfr::core::bounded::BoundedConsensusSpec;
+    use tfr::sim::timing::{FailureWindows, Window};
+    let mut rng = SplitMix64::new(0x5EED_0006);
+    for case in 0..48 {
+        let bound_deltas = rng.random_range(0..=5);
+        let inputs_seed = rng.next_u64();
+        let timing_seed = rng.next_u64();
+        let slow_pid = rng.index(3);
         let d = Delta::from_ticks(100);
         let bound = Ticks(d.ticks().0 * bound_deltas);
         let inputs: Vec<bool> = (0..3).map(|i| (inputs_seed >> i) & 1 == 1).collect();
@@ -201,10 +243,10 @@ proptest! {
         );
         let result = Sim::new(spec, RunConfig::new(3, d), model).run();
         let stats = consensus_stats(&result);
-        prop_assert!(stats.agreement);
-        prop_assert!(
+        assert!(stats.agreement, "case {case}");
+        assert!(
             stats.all_decided_by.is_some(),
-            "failures within the bound ⇒ the finite budget must suffice"
+            "case {case}: failures within the bound ⇒ the finite budget must suffice"
         );
         let gave_up = result
             .events(|o| match o {
@@ -212,50 +254,57 @@ proptest! {
                 _ => None,
             })
             .count();
-        prop_assert_eq!(gave_up, 0);
+        assert_eq!(gave_up, 0, "case {case}");
     }
+}
 
-    /// Spec-form leader election: under arbitrary random timing (failures
-    /// included), whoever elects agrees on one real participant.
-    #[test]
-    fn election_spec_safety(
-        n in 1usize..5,
-        timing_seed in any::<u64>(),
-        hi in 20u64..600,
-    ) {
-        use tfr::core::election_spec::ElectionSpec;
+/// Spec-form leader election: under arbitrary random timing (failures
+/// included), whoever elects agrees on one real participant.
+#[test]
+fn election_spec_safety() {
+    use tfr::core::election_spec::ElectionSpec;
+    let mut rng = SplitMix64::new(0x5EED_0007);
+    for case in 0..48 {
+        let n = rng.random_range(1..=4) as usize;
+        let timing_seed = rng.next_u64();
+        let hi = rng.random_range(20..=599);
         let d = Delta::from_ticks(100);
         let spec = ElectionSpec::new(n, 0, d.ticks()).inner_rounds(30);
         let model = UniformAccess::new(Ticks(10), Ticks(hi), timing_seed);
         let config = RunConfig::new(n, d).max_steps(300_000);
         let result = Sim::new(spec, config, model).run();
         let stats = consensus_stats(&result);
-        prop_assert!(stats.agreement);
+        assert!(stats.agreement, "case {case}");
         if let Some(leader) = stats.decided_value {
-            prop_assert!(leader < n as u64, "the leader must be a participant");
+            assert!(
+                leader < n as u64,
+                "case {case}: the leader must be a participant"
+            );
         }
     }
+}
 
-    /// AAT baseline safety matches Algorithm 1 under the same adversaries.
-    #[test]
-    fn aat_safety_under_arbitrary_timing(
-        n in 1usize..5,
-        inputs_seed in any::<u64>(),
-        timing_seed in any::<u64>(),
-        hi in 20u64..800,
-        initial in 1u64..200,
-    ) {
-        use tfr::baselines::aat::{AatConsensusSpec, DelaySchedule};
+/// AAT baseline safety matches Algorithm 1 under the same adversaries.
+#[test]
+fn aat_safety_under_arbitrary_timing() {
+    use tfr::baselines::aat::{AatConsensusSpec, DelaySchedule};
+    let mut rng = SplitMix64::new(0x5EED_0008);
+    for case in 0..48 {
+        let n = rng.random_range(1..=4) as usize;
+        let inputs_seed = rng.next_u64();
+        let timing_seed = rng.next_u64();
+        let hi = rng.random_range(20..=799);
+        let initial = rng.random_range(1..=199);
         let d = Delta::from_ticks(100);
         let inputs: Vec<bool> = (0..n).map(|i| (inputs_seed >> (i % 64)) & 1 == 1).collect();
         let valid: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
-        let spec = AatConsensusSpec::new(inputs, DelaySchedule::doubling(Ticks(initial)))
-            .max_rounds(30);
+        let spec =
+            AatConsensusSpec::new(inputs, DelaySchedule::doubling(Ticks(initial))).max_rounds(30);
         let model = UniformAccess::new(Ticks(10), Ticks(hi), timing_seed);
         let config = RunConfig::new(n, d).max_steps(100_000);
         let result = Sim::new(spec, config, model).run();
         let stats = consensus_stats(&result);
-        prop_assert!(stats.agreement);
-        prop_assert!(stats.valid_against(&valid));
+        assert!(stats.agreement, "case {case}");
+        assert!(stats.valid_against(&valid), "case {case}");
     }
 }
