@@ -149,6 +149,26 @@ fn convergence_from_samples(
 /// Panics if the fault-free run violates mutual exclusion or fails to
 /// complete — an algorithm that cannot run clean is outside the
 /// definition's scope.
+///
+/// # Example
+///
+/// Algorithm 3 passes the safety and liveness parts of the definition
+/// under a burst of 8Δ stalls (convergence is a *measurement* on real
+/// hardware, so the doctest does not pin it):
+///
+/// ```
+/// use std::time::Duration;
+/// use tfr_chaos::{assess_native_mutex, NativeAssessConfig};
+/// use tfr_core::mutex::resilient::ResilientMutex;
+///
+/// let delta = Duration::from_micros(100);
+/// let mut cfg = NativeAssessConfig::new(2, delta);
+/// cfg.iterations = 10; // a quick smoke-sized assessment
+/// let report = assess_native_mutex(|| ResilientMutex::standard(2, delta), &cfg);
+/// assert!(report.safe_during_failures, "exclusive even mid-burst");
+/// assert!(report.live_after_failures, "every thread finishes");
+/// assert!(report.psi.0 >= 1, "ψ is a measured, positive latency");
+/// ```
 pub fn assess_native_mutex<L: RawLock>(
     mut make_lock: impl FnMut() -> L,
     cfg: &NativeAssessConfig,

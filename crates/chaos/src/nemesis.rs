@@ -53,6 +53,16 @@ pub struct MutexChaosConfig {
 impl MutexChaosConfig {
     /// A short default workload: `n` threads × 20 acquisitions with
     /// microsecond dwell times.
+    ///
+    /// All fields are public — tune the shape after construction:
+    ///
+    /// ```
+    /// use tfr_chaos::MutexChaosConfig;
+    ///
+    /// let mut cfg = MutexChaosConfig::new(3);
+    /// assert_eq!((cfg.n, cfg.iterations), (3, 20));
+    /// cfg.iterations = 5; // a quicker smoke run
+    /// ```
     pub fn new(n: usize) -> MutexChaosConfig {
         MutexChaosConfig {
             n,
@@ -120,6 +130,35 @@ impl MutexChaosReport {
 /// [`points::WORKLOAD_NCS`]: a thread crash-stopped while *holding* a
 /// blocking lock would wedge every survivor by construction — that
 /// schedule tests nothing about the algorithm.
+///
+/// # Example
+///
+/// Algorithm 3 under a stall longer than Δ in its hazardous read→write
+/// window — the exact failure that breaks Fischer — stays exclusive:
+///
+/// ```
+/// use std::time::Duration;
+/// use tfr_chaos::{run_mutex_chaos, MutexChaosConfig};
+/// use tfr_core::mutex::resilient::ResilientMutex;
+/// use tfr_registers::chaos::{points, Fault, FaultAction};
+/// use tfr_registers::ProcId;
+///
+/// let delta = Duration::from_micros(100);
+/// let lock = ResilientMutex::standard(2, delta);
+/// let faults = [Fault {
+///     pid: ProcId(0),
+///     point: points::RESILIENT_WRITE_X,
+///     nth: 1,
+///     action: FaultAction::Stall(delta * 10),
+/// }];
+/// let mut cfg = MutexChaosConfig::new(2);
+/// cfg.iterations = 3;
+/// let report = run_mutex_chaos(&lock, &cfg, &faults);
+/// assert!(!report.mutual_exclusion_violated());
+/// assert_eq!(report.max_in_cs, 1);
+/// assert_eq!(report.completed.len(), 2, "stalls never kill a thread");
+/// assert_eq!(report.entries.len(), 2 * 3);
+/// ```
 pub fn run_mutex_chaos<L: RawLock>(
     lock: &L,
     cfg: &MutexChaosConfig,
@@ -223,6 +262,29 @@ pub struct ConsensusChaosReport {
 /// `faults`. Algorithm 1 is wait-free, so — unlike the mutex nemesis —
 /// crash-stops are legal at *any* point, including between observing
 /// `x[r, v̄] = 0` and writing `decide`.
+///
+/// # Example
+///
+/// Crash one of three proposers mid-round: the survivors still agree on
+/// somebody's input, and the report names the casualty.
+///
+/// ```
+/// use std::time::Duration;
+/// use tfr_chaos::run_consensus_chaos;
+/// use tfr_registers::chaos::{points, Fault, FaultAction};
+/// use tfr_registers::ProcId;
+///
+/// let faults = [Fault {
+///     pid: ProcId(2),
+///     point: points::CONSENSUS_ROUND,
+///     nth: 1,
+///     action: FaultAction::Crash,
+/// }];
+/// let report = run_consensus_chaos(Duration::from_micros(50), &[true, false, true], &faults);
+/// assert!(report.agreement && report.validity);
+/// assert_eq!(report.crashed, vec![ProcId(2)]);
+/// assert_eq!(report.decisions.len(), 2, "the two survivors return");
+/// ```
 pub fn run_consensus_chaos(
     delta: Duration,
     inputs: &[bool],
@@ -300,6 +362,28 @@ pub struct ViolationSetup {
 /// covers the stall) when the victim wakes, writes its stale token,
 /// delays Δ, reads its own token back and walks in: two threads in the
 /// critical section.
+///
+/// # Example
+///
+/// ```
+/// use tfr_chaos::nemesis::violation_setup_from_seed;
+///
+/// let setup = violation_setup_from_seed(7);
+/// assert_eq!(setup.faults, violation_setup_from_seed(7).faults, "pure in the seed");
+/// assert_eq!(setup.config.n, 2);
+/// // The victim's in-window stall dwarfs the Δ estimate — a real timing
+/// // failure, not a borderline one.
+/// let longest = setup
+///     .faults
+///     .iter()
+///     .map(|f| match f.action {
+///         tfr_registers::chaos::FaultAction::Stall(d) => d,
+///         tfr_registers::chaos::FaultAction::Crash => unreachable!(),
+///     })
+///     .max()
+///     .unwrap();
+/// assert!(longest > 10 * setup.delta);
+/// ```
 pub fn violation_setup_from_seed(seed: u64) -> ViolationSetup {
     let mut rng = SplitMix64::new(seed);
     let delta_us = rng.random_range(200..=800);

@@ -87,6 +87,44 @@ impl ScheduleConfig {
             crash_prob: 0.3,
         }
     }
+
+    /// A schedule shape for the derived wait-free objects (election,
+    /// test-and-set, renaming, set consensus, universal objects): they
+    /// bottom out in Algorithm 1 instances, so the consensus points are
+    /// the timing-sensitive ones, and — being wait-free — crash-stops are
+    /// legal anywhere. Visit numbers range higher than for bare consensus
+    /// because one object operation drives many consensus instances.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use tfr_chaos::{random_schedule, ScheduleConfig};
+    ///
+    /// let cfg = ScheduleConfig::objects(3, Duration::from_micros(50));
+    /// let schedule = random_schedule(42, &cfg);
+    /// assert_eq!(schedule, random_schedule(42, &cfg), "seed determines all");
+    /// assert!(schedule.iter().all(|f| f.pid.0 < 3));
+    /// ```
+    pub fn objects(n: usize, delta: Duration) -> ScheduleConfig {
+        let anywhere = vec![
+            points::CONSENSUS_ROUND,
+            points::CONSENSUS_DECIDE,
+            points::DELAY,
+            points::ARRAY_LOAD,
+            points::ARRAY_STORE,
+        ];
+        ScheduleConfig {
+            n,
+            max_faults: 5,
+            stall_points: anywhere.clone(),
+            crash_points: anywhere,
+            max_nth: 6,
+            min_stall: delta,
+            max_stall: delta * 8,
+            crash_prob: 0.25,
+        }
+    }
 }
 
 /// Draws a fault schedule from `seed`. Equal seeds yield equal schedules;

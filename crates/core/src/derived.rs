@@ -10,7 +10,9 @@
 //! liveness resumes when timing constraints hold.
 
 use crate::consensus::NativeConsensus;
+use crate::probe::{OpProbe, Probe};
 use crate::universal::MultiConsensus;
+use std::sync::Arc;
 use std::time::Duration;
 use tfr_registers::ProcId;
 
@@ -31,6 +33,7 @@ use tfr_registers::ProcId;
 #[derive(Debug)]
 pub struct LeaderElection {
     mc: MultiConsensus,
+    probe: Probe,
 }
 
 impl LeaderElection {
@@ -43,13 +46,24 @@ impl LeaderElection {
         let width = (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1);
         LeaderElection {
             mc: MultiConsensus::new(n, width, delta),
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches an operation probe; `elect` records an invoke/response
+    /// pair (op = caller pid, response = leader pid) around its work.
+    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> LeaderElection {
+        self.probe = Probe::attached(probe);
+        self
     }
 
     /// Participates as `pid`; returns the agreed leader (necessarily a
     /// participant). Call at most once per process.
     pub fn elect(&self, pid: ProcId) -> ProcId {
-        ProcId(self.mc.propose(pid, pid.0 as u64) as usize)
+        let token = self.probe.begin(pid, pid.0 as u64);
+        let leader = ProcId(self.mc.propose(pid, pid.0 as u64) as usize);
+        self.probe.end(pid, token, leader.0 as u64);
+        leader
     }
 
     /// The elected leader, if the election has concluded.
@@ -67,6 +81,7 @@ impl LeaderElection {
 #[derive(Debug)]
 pub struct TestAndSet {
     election: LeaderElection,
+    probe: Probe,
 }
 
 impl TestAndSet {
@@ -78,14 +93,25 @@ impl TestAndSet {
     pub fn new(n: usize, delta: Duration) -> TestAndSet {
         TestAndSet {
             election: LeaderElection::new(n, delta),
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches an operation probe; `test_and_set` records an
+    /// invoke/response pair (op = 0, response = old value as 0/1).
+    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> TestAndSet {
+        self.probe = Probe::attached(probe);
+        self
     }
 
     /// Atomically tests-and-sets as `pid`: returns the old value —
     /// `false` for the unique winner, `true` for everyone else. Call at
     /// most once per process.
     pub fn test_and_set(&self, pid: ProcId) -> bool {
-        self.election.elect(pid) != pid
+        let token = self.probe.begin(pid, 0);
+        let old = self.election.elect(pid) != pid;
+        self.probe.end(pid, token, old as u64);
+        old
     }
 }
 
@@ -95,6 +121,7 @@ impl TestAndSet {
 #[derive(Debug)]
 pub struct Renaming {
     slots: Vec<LeaderElection>,
+    probe: Probe,
 }
 
 impl Renaming {
@@ -107,7 +134,15 @@ impl Renaming {
         assert!(n > 0, "at least one process is required");
         Renaming {
             slots: (0..n).map(|_| LeaderElection::new(n, delta)).collect(),
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches an operation probe; `rename` records an invoke/response
+    /// pair (op = 0, response = the acquired name).
+    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> Renaming {
+        self.probe = Probe::attached(probe);
+        self
     }
 
     /// Acquires a name as `pid`. Call at most once per process.
@@ -116,8 +151,10 @@ impl Renaming {
     /// lose at most `n − 1` slots (each to a distinct winner), so the walk
     /// terminates with a unique name `< n`.
     pub fn rename(&self, pid: ProcId) -> usize {
+        let token = self.probe.begin(pid, 0);
         for (name, slot) in self.slots.iter().enumerate() {
             if slot.elect(pid) == pid {
+                self.probe.end(pid, token, name as u64);
                 return name;
             }
         }
@@ -136,6 +173,7 @@ impl Renaming {
 pub struct SetConsensus {
     groups: Vec<NativeConsensus>,
     k: usize,
+    probe: Probe,
 }
 
 impl SetConsensus {
@@ -149,12 +187,23 @@ impl SetConsensus {
         SetConsensus {
             groups: (0..k).map(|_| NativeConsensus::new(delta)).collect(),
             k,
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches an operation probe; `propose` records an invoke/response
+    /// pair (op = input as 0/1, response = decision as 0/1).
+    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> SetConsensus {
+        self.probe = Probe::attached(probe);
+        self
     }
 
     /// Proposes `input` as `pid`; returns this process's decision.
     pub fn propose(&self, pid: ProcId, input: bool) -> bool {
-        self.groups[pid.0 % self.k].propose(input)
+        let token = self.probe.begin(pid, input as u64);
+        let decision = self.groups[pid.0 % self.k].propose(input);
+        self.probe.end(pid, token, decision as u64);
+        decision
     }
 }
 

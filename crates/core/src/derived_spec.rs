@@ -1,0 +1,426 @@
+//! The derived objects of §1.4 in **specification form**: test-and-set,
+//! n-renaming, and k-set consensus as register automata, built on the
+//! same embedded-instance technique as [`crate::election_spec`].
+//!
+//! Each automaton runs one operation per process (the objects are
+//! one-shot) and announces the operation's *linearization response* with
+//! an [`Obs::Note`] tagged [`LIN_RESP`] — the hook `tfr-linearize` uses to
+//! convert a simulator [`RunResult`](../../tfr_sim/struct.RunResult.html)
+//! trace into a checkable concurrent history. A process that exhausts its
+//! inner round budget (possible only under pathological timing-failure
+//! lengths) halts *without* a response: its operation stays pending,
+//! exactly like a crashed native thread.
+
+use crate::consensus::ConsensusSpec;
+use crate::election_spec::ElectionSpec;
+use tfr_registers::spec::{Action, Automaton, Obs};
+use tfr_registers::{ProcId, RegId, Ticks};
+
+/// Tag of the [`Obs::Note`] carrying an operation's linearization
+/// response. The note's value is the encoded response (same encoding as
+/// the native object's probe).
+pub const LIN_RESP: &str = "lin.resp";
+
+/// Register region reserved for one embedded election (announce array +
+/// bit instances). Ample for `n ≤ 128`: an election needs
+/// `n + ⌈log₂ n⌉ · 193` registers.
+const SLOT_REGION: u64 = 4096;
+
+// ---------------------------------------------------------------------
+// Test-and-set
+// ---------------------------------------------------------------------
+
+/// One-shot test-and-set as a register automaton: a leader election whose
+/// winner responds `0` (the old value) and whose losers respond `1`.
+#[derive(Debug, Clone)]
+pub struct TasSpec {
+    inner: ElectionSpec,
+}
+
+impl TasSpec {
+    /// A test-and-set among `n` processes, registers from `base`,
+    /// `delay(Δ)` estimate `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, base: u64, delta: Ticks) -> TasSpec {
+        TasSpec {
+            inner: ElectionSpec::new(n, base, delta),
+        }
+    }
+
+    /// Overrides the embedded election's per-instance round cap.
+    pub fn inner_rounds(mut self, r: u64) -> TasSpec {
+        self.inner = self.inner.inner_rounds(r);
+        self
+    }
+}
+
+/// Per-process state of [`TasSpec`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TasState {
+    pid: ProcId,
+    inner: <ElectionSpec as Automaton>::State,
+    done: bool,
+}
+
+impl Automaton for TasSpec {
+    type State = TasState;
+
+    fn init(&self, pid: ProcId) -> TasState {
+        TasState {
+            pid,
+            inner: self.inner.init(pid),
+            done: false,
+        }
+    }
+
+    fn next_action(&self, s: &TasState) -> Action {
+        if s.done {
+            Action::Halt
+        } else {
+            self.inner.next_action(&s.inner)
+        }
+    }
+
+    fn apply(&self, s: &mut TasState, observed: Option<u64>, obs: &mut Vec<Obs>) {
+        let mut inner_obs = Vec::new();
+        self.inner.apply(&mut s.inner, observed, &mut inner_obs);
+        for o in inner_obs {
+            match o {
+                Obs::Decided(leader) => {
+                    let old = (leader != s.pid.0 as u64) as u64;
+                    obs.push(Obs::Note(LIN_RESP, old));
+                    s.done = true;
+                }
+                Obs::Note(tag, v) => {
+                    // Inner round budget exhausted: give up, response
+                    // pending.
+                    obs.push(Obs::Note(tag, v));
+                    s.done = true;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Renaming
+// ---------------------------------------------------------------------
+
+/// One-shot n-renaming as a register automaton: walk election slots in
+/// order; winning slot `s` means taking name `s`.
+///
+/// Register layout (from `base`): slot `s`'s election occupies
+/// `base + s · 4096`.
+#[derive(Debug, Clone)]
+pub struct RenamingSpec {
+    n: usize,
+    base: u64,
+    delta: Ticks,
+    inner_rounds: u64,
+}
+
+impl RenamingSpec {
+    /// A renaming object for up to `n` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 128` (the per-slot register region).
+    pub fn new(n: usize, base: u64, delta: Ticks) -> RenamingSpec {
+        assert!(n > 0, "at least one process is required");
+        assert!(n <= 128, "slot register regions assume n ≤ 128");
+        RenamingSpec {
+            n,
+            base,
+            delta,
+            inner_rounds: ElectionSpec::INNER_ROUNDS,
+        }
+    }
+
+    /// Overrides the per-instance round cap of every slot election.
+    pub fn inner_rounds(mut self, r: u64) -> RenamingSpec {
+        self.inner_rounds = r;
+        self
+    }
+
+    fn slot_spec(&self, slot: usize) -> ElectionSpec {
+        ElectionSpec::new(self.n, self.base + slot as u64 * SLOT_REGION, self.delta)
+            .inner_rounds(self.inner_rounds)
+    }
+}
+
+/// Per-process state of [`RenamingSpec`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RenamingState {
+    pid: ProcId,
+    slot: usize,
+    inner: Option<<ElectionSpec as Automaton>::State>,
+}
+
+impl Automaton for RenamingSpec {
+    type State = RenamingState;
+
+    fn init(&self, pid: ProcId) -> RenamingState {
+        RenamingState {
+            pid,
+            slot: 0,
+            inner: Some(self.slot_spec(0).init(pid)),
+        }
+    }
+
+    fn next_action(&self, s: &RenamingState) -> Action {
+        match &s.inner {
+            Some(inner) => self.slot_spec(s.slot).next_action(inner),
+            None => Action::Halt,
+        }
+    }
+
+    fn apply(&self, s: &mut RenamingState, observed: Option<u64>, obs: &mut Vec<Obs>) {
+        let Some(inner) = s.inner.as_mut() else {
+            unreachable!("halted process stepped");
+        };
+        let mut inner_obs = Vec::new();
+        self.slot_spec(s.slot)
+            .apply(inner, observed, &mut inner_obs);
+        for o in inner_obs {
+            match o {
+                Obs::Decided(leader) => {
+                    if leader == s.pid.0 as u64 {
+                        // Won slot `slot`: that's our name.
+                        obs.push(Obs::Note(LIN_RESP, s.slot as u64));
+                        s.inner = None;
+                    } else if s.slot + 1 >= self.n {
+                        // Unreachable for live processes (at most n−1
+                        // distinct winners can beat us); halt defensively.
+                        s.inner = None;
+                    } else {
+                        s.slot += 1;
+                        s.inner = Some(self.slot_spec(s.slot).init(s.pid));
+                    }
+                    return;
+                }
+                Obs::Note(tag, v) => {
+                    obs.push(Obs::Note(tag, v));
+                    s.inner = None;
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// k-set consensus
+// ---------------------------------------------------------------------
+
+/// Register region reserved per set-consensus group: one Algorithm 1
+/// instance (3 registers per round up to 64 rounds, plus the decide
+/// register).
+const GROUP_REGION: u64 = 3 * 64 + 1;
+
+/// One-shot k-set consensus as a register automaton: processes partition
+/// into `k` groups (`pid mod k`), each group running its own Algorithm 1
+/// instance — at most `k` distinct decisions.
+#[derive(Debug, Clone)]
+pub struct SetConsensusSpec {
+    n: usize,
+    k: usize,
+    inputs: Vec<bool>,
+    base: u64,
+    delta: Ticks,
+    max_rounds: u64,
+}
+
+impl SetConsensusSpec {
+    /// A k-set consensus object for `inputs.len()` processes with the
+    /// given boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `inputs` is empty.
+    pub fn new(k: usize, inputs: Vec<bool>, base: u64, delta: Ticks) -> SetConsensusSpec {
+        assert!(k > 0, "k must be positive");
+        assert!(!inputs.is_empty(), "at least one process is required");
+        SetConsensusSpec {
+            n: inputs.len(),
+            k,
+            inputs,
+            base,
+            delta,
+            max_rounds: 64,
+        }
+    }
+
+    /// Overrides the round cap of every group instance (≤ 64, the
+    /// register budget per group).
+    pub fn max_rounds(mut self, r: u64) -> SetConsensusSpec {
+        assert!(r <= 64, "group register regions assume ≤ 64 rounds");
+        self.max_rounds = r;
+        self
+    }
+
+    fn group_spec(&self, pid: ProcId) -> ConsensusSpec {
+        let group = pid.0 % self.k;
+        // The acting process inits the instance at index 0 with its own
+        // input — same single-input embedding as `ElectionSpec`.
+        ConsensusSpec::new(vec![self.inputs[pid.0]])
+            .with_base(self.base + group as u64 * GROUP_REGION)
+            .max_rounds(self.max_rounds)
+            .with_delta(self.delta)
+    }
+}
+
+/// Per-process state of [`SetConsensusSpec`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SetConsensusState {
+    pid: ProcId,
+    inner: Option<<ConsensusSpec as Automaton>::State>,
+}
+
+impl Automaton for SetConsensusSpec {
+    type State = SetConsensusState;
+
+    fn init(&self, pid: ProcId) -> SetConsensusState {
+        assert!(pid.0 < self.n, "pid out of range");
+        SetConsensusState {
+            pid,
+            inner: Some(self.group_spec(pid).init(ProcId(0))),
+        }
+    }
+
+    fn next_action(&self, s: &SetConsensusState) -> Action {
+        match &s.inner {
+            Some(inner) => self.group_spec(s.pid).next_action(inner),
+            None => Action::Halt,
+        }
+    }
+
+    fn apply(&self, s: &mut SetConsensusState, observed: Option<u64>, obs: &mut Vec<Obs>) {
+        let Some(inner) = s.inner.as_mut() else {
+            unreachable!("halted process stepped");
+        };
+        let mut inner_obs = Vec::new();
+        self.group_spec(s.pid)
+            .apply(inner, observed, &mut inner_obs);
+        for o in inner_obs {
+            match o {
+                Obs::Decided(b) => {
+                    obs.push(Obs::Note(LIN_RESP, b));
+                    s.inner = None;
+                    return;
+                }
+                Obs::Note(tag, v) => {
+                    obs.push(Obs::Note(tag, v));
+                    s.inner = None;
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// `RegId` of the group-decision register for documentation/testing.
+pub fn set_consensus_group_base(base: u64, group: usize) -> RegId {
+    RegId(base + group as u64 * GROUP_REGION)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfr_registers::bank::ArrayBank;
+    use tfr_registers::spec::run_solo;
+    use tfr_registers::Delta;
+    use tfr_sim::timing::standard_no_failures;
+    use tfr_sim::{RunConfig, Sim};
+
+    fn resp_of(run: &tfr_registers::spec::SoloRun) -> Option<u64> {
+        run.obs.iter().find_map(|o| match o {
+            Obs::Note(tag, v) if *tag == LIN_RESP => Some(*v),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn tas_solo_wins_with_old_value_false() {
+        let mut bank = ArrayBank::new();
+        let run = run_solo(&TasSpec::new(3, 0, Ticks(100)), ProcId(1), &mut bank, 500);
+        assert_eq!(resp_of(&run), Some(0), "solo caller sees old value 0");
+    }
+
+    #[test]
+    fn tas_sim_exactly_one_winner() {
+        let d = Delta::from_ticks(100);
+        for seed in 0..10 {
+            let spec = TasSpec::new(3, 0, d.ticks());
+            let result = Sim::new(spec, RunConfig::new(3, d), standard_no_failures(d, seed)).run();
+            let winners = result
+                .obs
+                .iter()
+                .filter(|e| matches!(e.obs, Obs::Note(tag, 0) if tag == LIN_RESP))
+                .count();
+            assert_eq!(winners, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn renaming_solo_takes_name_zero() {
+        let mut bank = ArrayBank::new();
+        let run = run_solo(
+            &RenamingSpec::new(4, 0, Ticks(100)),
+            ProcId(3),
+            &mut bank,
+            2000,
+        );
+        assert_eq!(resp_of(&run), Some(0));
+    }
+
+    #[test]
+    fn renaming_sim_names_distinct_and_in_range() {
+        let d = Delta::from_ticks(100);
+        for seed in 0..10 {
+            let n = 3;
+            let spec = RenamingSpec::new(n, 0, d.ticks());
+            let config = RunConfig::new(n, d).max_steps(100_000);
+            let result = Sim::new(spec, config, standard_no_failures(d, seed)).run();
+            let names: Vec<u64> = result
+                .obs
+                .iter()
+                .filter_map(|e| match e.obs {
+                    Obs::Note(tag, v) if tag == LIN_RESP => Some(v),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(names.len(), n, "seed {seed}: everyone gets a name");
+            let distinct: std::collections::HashSet<u64> = names.iter().copied().collect();
+            assert_eq!(distinct.len(), n, "seed {seed}: distinct");
+            assert!(names.iter().all(|&m| m < n as u64), "seed {seed}: in range");
+        }
+    }
+
+    #[test]
+    fn set_consensus_sim_at_most_k_values_all_inputs() {
+        let d = Delta::from_ticks(100);
+        for seed in 0..10 {
+            let inputs = vec![true, false, true, false];
+            let spec = SetConsensusSpec::new(2, inputs.clone(), 0, d.ticks());
+            let config = RunConfig::new(4, d).max_steps(100_000);
+            let result = Sim::new(spec, config, standard_no_failures(d, seed)).run();
+            let decisions: Vec<u64> = result
+                .obs
+                .iter()
+                .filter_map(|e| match e.obs {
+                    Obs::Note(tag, v) if tag == LIN_RESP => Some(v),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(decisions.len(), 4, "seed {seed}");
+            let distinct: std::collections::HashSet<u64> = decisions.iter().copied().collect();
+            assert!(distinct.len() <= 2, "seed {seed}: at most k distinct");
+        }
+    }
+}

@@ -46,6 +46,11 @@
 //! * [`universal`] — multivalued consensus and a Herlihy-style universal
 //!   construction: a wait-free, time-resilient implementation of *any*
 //!   sequential object from atomic registers (§1.4).
+//! * [`derived_spec`] / [`universal_spec`] — the derived objects and the
+//!   universal construction as register automata, emitting per-operation
+//!   linearization responses for history checking (`tfr-linearize`).
+//! * [`probe`] — invoke/response hooks on the native objects, so a
+//!   recorder can capture concurrent histories.
 //! * [`resilience`] — §1.3's three-part definition (stabilization,
 //!   efficiency, convergence) as an executable assessment protocol.
 //!
@@ -77,7 +82,10 @@ pub mod adaptive;
 pub mod bounded;
 pub mod consensus;
 pub mod derived;
+pub mod derived_spec;
 pub mod election_spec;
 pub mod mutex;
+pub mod probe;
 pub mod resilience;
 pub mod universal;
+pub mod universal_spec;

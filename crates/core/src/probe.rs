@@ -1,0 +1,133 @@
+//! Operation probes: invoke/response hooks on the derived objects and the
+//! universal construction, so an external observer (the `tfr-linearize`
+//! history recorder) can capture concurrent histories without the objects
+//! knowing anything about it.
+//!
+//! Every probed object carries a [`Probe`], which is disabled by default:
+//! the only cost on the hot path is one `Option` check per operation. An
+//! observer attaches via the object's `with_probe` builder.
+//!
+//! # Contract
+//!
+//! * [`OpProbe::begin`] is called on the invoking thread *before* the
+//!   operation's first shared-memory access, and returns an opaque token.
+//! * [`OpProbe::end`] is called on the same thread *after* the operation's
+//!   last shared-memory access, with that token and the encoded response.
+//! * If the invoking thread dies mid-operation (a chaos crash fault),
+//!   `end` is never called — the recorded operation stays *pending*,
+//!   exactly what a linearizability checker needs to see.
+
+use std::fmt;
+use std::sync::Arc;
+use tfr_registers::ProcId;
+
+/// Receiver of operation invoke/response events.
+///
+/// Implementations must be thread-safe: operations on a shared object are
+/// invoked from many threads at once. `begin`'s return value is threaded
+/// back into the matching `end` call, so recorders can pair events without
+/// any per-thread bookkeeping.
+pub trait OpProbe: fmt::Debug + Send + Sync {
+    /// An operation with encoded payload `op` is about to start as `pid`.
+    /// Returns a token identifying the invocation.
+    fn begin(&self, pid: ProcId, op: u64) -> u64;
+
+    /// The operation identified by `token` completed with encoded
+    /// response `resp`.
+    fn end(&self, pid: ProcId, token: u64, resp: u64);
+}
+
+/// An optional [`OpProbe`] attachment point: disabled (and free) unless an
+/// observer installs one.
+#[derive(Clone, Default)]
+pub struct Probe(Option<Arc<dyn OpProbe>>);
+
+impl Probe {
+    /// The disabled probe — what every object starts with.
+    pub const fn disabled() -> Probe {
+        Probe(None)
+    }
+
+    /// A probe forwarding to `observer`.
+    pub fn attached(observer: Arc<dyn OpProbe>) -> Probe {
+        Probe(Some(observer))
+    }
+
+    /// Whether an observer is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records an invocation; returns the pairing token (or `None` when
+    /// disabled).
+    #[inline]
+    pub fn begin(&self, pid: ProcId, op: u64) -> Option<u64> {
+        self.0.as_ref().map(|p| p.begin(pid, op))
+    }
+
+    /// Records the response paired with `token`.
+    #[inline]
+    pub fn end(&self, pid: ProcId, token: Option<u64>, resp: u64) {
+        if let (Some(p), Some(t)) = (self.0.as_ref(), token) {
+            p.end(pid, t, resp);
+        }
+    }
+}
+
+impl fmt::Debug for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("Probe(attached)"),
+            None => f.write_str("Probe(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Debug, Default)]
+    struct CountingProbe {
+        begins: AtomicU64,
+        ends: AtomicU64,
+    }
+
+    impl OpProbe for CountingProbe {
+        fn begin(&self, _pid: ProcId, op: u64) -> u64 {
+            self.begins.fetch_add(1, Ordering::SeqCst);
+            op + 100
+        }
+        fn end(&self, _pid: ProcId, token: u64, _resp: u64) {
+            self.ends.fetch_add(token, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn disabled_probe_is_inert() {
+        let p = Probe::disabled();
+        assert!(!p.is_enabled());
+        assert_eq!(p.begin(ProcId(0), 7), None);
+        p.end(ProcId(0), None, 9); // no-op, must not panic
+    }
+
+    #[test]
+    fn attached_probe_threads_tokens() {
+        let counter = Arc::new(CountingProbe::default());
+        let p = Probe::attached(Arc::clone(&counter) as Arc<dyn OpProbe>);
+        assert!(p.is_enabled());
+        let t = p.begin(ProcId(1), 5);
+        assert_eq!(t, Some(105));
+        p.end(ProcId(1), t, 0);
+        assert_eq!(counter.begins.load(Ordering::SeqCst), 1);
+        assert_eq!(counter.ends.load(Ordering::SeqCst), 105);
+    }
+
+    #[test]
+    fn debug_formats_both_states() {
+        assert_eq!(format!("{:?}", Probe::disabled()), "Probe(disabled)");
+        let p = Probe::attached(Arc::new(CountingProbe::default()));
+        assert_eq!(format!("{p:?}"), "Probe(attached)");
+    }
+}

@@ -28,7 +28,9 @@
 //! any announced operation can be bypassed — wait-freedom.
 
 use crate::consensus::NativeConsensus;
+use crate::probe::{OpProbe, Probe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use tfr_registers::native::UnboundedAtomicArray;
 use tfr_registers::ProcId;
@@ -175,6 +177,7 @@ pub struct Universal<T: Sequential> {
     ops: Vec<UnboundedAtomicArray>,
     /// Number of operations process `i` has announced.
     announced: Vec<AtomicU64>,
+    probe: Probe,
 }
 
 const SEQ_BITS: u32 = 24;
@@ -201,7 +204,16 @@ impl<T: Sequential> Universal<T> {
                 .map(|_| UnboundedAtomicArray::with_capacity(16))
                 .collect(),
             announced: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches an operation probe; `invoke` records an invoke/response
+    /// pair (op = the raw payload, response = the raw response) around
+    /// each operation.
+    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> Universal<T> {
+        self.probe = Probe::attached(probe);
+        self
     }
 
     #[inline]
@@ -226,6 +238,7 @@ impl<T: Sequential> Universal<T> {
     /// is exhausted.
     pub fn invoke(&self, pid: ProcId, op: u64) -> u64 {
         assert!(pid.0 < self.n, "pid out of range");
+        let token = self.probe.begin(pid, op);
         // Announce: payload first, then the sequence counter, so any
         // process that reads the counter can read the payload.
         let seq = self.announced[pid.0].load(Ordering::SeqCst);
@@ -261,6 +274,7 @@ impl<T: Sequential> Universal<T> {
             debug_assert!(payload != 0, "decided op must have been announced");
             let response = self.object.apply(&mut state, payload - 1);
             if decided == mine {
+                self.probe.end(pid, token, response);
                 return response;
             }
         }

@@ -1,0 +1,332 @@
+//! A Wing–Gong linearizability checker with Lowe's memoized state
+//! caching and P-compositionality partitioning.
+//!
+//! # Algorithm
+//!
+//! Depth-first search over *configurations* `(linearized-set, sequential
+//! state)`: at each step the checker picks a not-yet-linearized operation
+//! that is **minimal** — no other unlinearized *completed* operation
+//! responded before it was invoked — and asks the sequential model
+//! whether the recorded response is legal from the current state. A
+//! configuration seen once is never explored again (Lowe's optimization:
+//! two interleavings reaching the same linearized-set and state have
+//! identical futures). The history is linearizable iff some path
+//! linearizes every *completed* operation.
+//!
+//! Pending operations (invokes whose thread crashed before responding)
+//! may take effect at any point after their invoke — with an unknown
+//! response — or never; [`SeqSpec::step_unknown`] enumerates their
+//! possible successor states.
+//!
+//! # P-compositionality
+//!
+//! A history over several objects is linearizable iff each per-object
+//! subhistory is (Herlihy & Wing's locality theorem), so
+//! [`check_history`] partitions by object id and checks each partition
+//! independently — an exponential saving over checking the merged
+//! history.
+
+use crate::history::{History, Operation};
+use crate::models::SeqSpec;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// A compact set of operation indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BitSet(Vec<u64>);
+
+impl BitSet {
+    fn new(n: usize) -> BitSet {
+        BitSet(vec![0; n.div_ceil(64)])
+    }
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] >> (i % 64) & 1 == 1
+    }
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.0[i / 64] &= !(1 << (i % 64));
+    }
+    /// Whether every bit of `other` is also set in `self`.
+    fn contains_all(&self, other: &BitSet) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a & b == *b)
+    }
+}
+
+/// Successful check of one per-object partition.
+#[derive(Debug, Clone)]
+pub struct ObjectReport {
+    /// The object id.
+    pub obj: u64,
+    /// A witness linearization: indices into the partition's `ops`, in
+    /// linearization order (completed operations only — pending ones that
+    /// were linearized are included too).
+    pub order: Vec<usize>,
+    /// Configurations cached during the search (a cost/coverage metric).
+    pub configs_explored: usize,
+}
+
+/// Successful check of a whole history.
+#[derive(Debug, Clone, Default)]
+pub struct LinReport {
+    /// One report per object partition, in object-id order.
+    pub objects: Vec<ObjectReport>,
+}
+
+impl LinReport {
+    /// Total configurations explored across all partitions.
+    pub fn configs_explored(&self) -> usize {
+        self.objects.iter().map(|o| o.configs_explored).sum()
+    }
+}
+
+/// Evidence that a (per-object) history is **not** linearizable.
+///
+/// `Display` prints the minimal non-linearizable window: the frontier of
+/// the deepest configuration the search reached — the operations that
+/// overlap in real time yet admit no legal linearization order.
+#[derive(Debug, Clone)]
+pub struct NonLinearizable {
+    /// The object whose partition failed.
+    pub obj: u64,
+    /// All operations of the failing partition.
+    pub ops: Vec<Operation>,
+    /// Operation descriptions from the model (same indices as `ops`).
+    pub described: Vec<String>,
+    /// How many completed operations the deepest search path linearized.
+    pub deepest: usize,
+    /// The stuck frontier at the deepest configuration: indices of the
+    /// unlinearized operations that are concurrent with the earliest
+    /// unlinearized response — the minimal window no order can explain.
+    pub window: Vec<usize>,
+}
+
+impl fmt::Display for NonLinearizable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "history of object {} is not linearizable: {} of {} completed \
+             operations linearized before the search got stuck",
+            self.obj,
+            self.deepest,
+            self.ops.iter().filter(|o| o.is_complete()).count()
+        )?;
+        writeln!(f, "minimal non-linearizable window:")?;
+        for &i in &self.window {
+            let op = &self.ops[i];
+            let end = if op.resp_ts == u64::MAX {
+                "pending".to_string()
+            } else {
+                format!("{}", op.resp_ts)
+            };
+            writeln!(
+                f,
+                "  p{} {:<24} [{}, {}]",
+                op.pid.0, self.described[i], op.invoke_ts, end
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for NonLinearizable {}
+
+/// Checks a (possibly multi-object) history against a sequential model.
+///
+/// Every object partition is checked independently
+/// (P-compositionality). Returns a witness linearization per object, or
+/// the first failing partition's [`NonLinearizable`] evidence.
+pub fn check_history<M: SeqSpec>(
+    history: &History,
+    model: &M,
+) -> Result<LinReport, NonLinearizable> {
+    let mut report = LinReport::default();
+    for (obj, part) in history.split_objects() {
+        report.objects.push(check_object(obj, &part.ops, model)?);
+    }
+    Ok(report)
+}
+
+/// Checks a single object's operations (all `ops` must share one object
+/// id; use [`check_history`] for mixed histories).
+pub fn check_object<M: SeqSpec>(
+    obj: u64,
+    ops: &[Operation],
+    model: &M,
+) -> Result<ObjectReport, NonLinearizable> {
+    let mut search = Search {
+        ops,
+        model,
+        cache: HashSet::new(),
+        completed: {
+            let mut m = BitSet::new(ops.len());
+            for (i, o) in ops.iter().enumerate() {
+                if o.is_complete() {
+                    m.set(i);
+                }
+            }
+            m
+        },
+        deepest: 0,
+        deepest_window: Vec::new(),
+    };
+    let mut lin = BitSet::new(ops.len());
+    let mut order = Vec::new();
+    let init = model.initial();
+    if search.dfs(&mut lin, &mut order, &init) {
+        Ok(ObjectReport {
+            obj,
+            order,
+            configs_explored: search.cache.len(),
+        })
+    } else {
+        Err(NonLinearizable {
+            obj,
+            ops: ops.to_vec(),
+            described: ops.iter().map(|o| model.describe(o.op, o.resp)).collect(),
+            deepest: search.deepest,
+            window: search.deepest_window,
+        })
+    }
+}
+
+struct Search<'a, M: SeqSpec> {
+    ops: &'a [Operation],
+    model: &'a M,
+    cache: HashSet<(BitSet, M::State)>,
+    completed: BitSet,
+    deepest: usize,
+    deepest_window: Vec<usize>,
+}
+
+impl<M: SeqSpec> Search<'_, M> {
+    fn dfs(&mut self, lin: &mut BitSet, order: &mut Vec<usize>, state: &M::State) -> bool {
+        if lin.contains_all(&self.completed) {
+            return true;
+        }
+        // The earliest response among unlinearized completed operations:
+        // anything invoked after it cannot be linearized next (the
+        // completed op precedes it in real time).
+        let min_resp = self
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| !lin.get(*i) && o.is_complete())
+            .map(|(_, o)| o.resp_ts)
+            .min()
+            .expect("some completed op is unlinearized");
+
+        let completed_done = order.iter().filter(|&&i| self.ops[i].is_complete()).count();
+        if completed_done >= self.deepest {
+            self.deepest = completed_done;
+            self.deepest_window = (0..self.ops.len())
+                .filter(|&i| !lin.get(i) && self.ops[i].invoke_ts <= min_resp)
+                .collect();
+        }
+
+        for i in 0..self.ops.len() {
+            if lin.get(i) || self.ops[i].invoke_ts > min_resp {
+                continue;
+            }
+            let op = &self.ops[i];
+            let successors: Vec<M::State> = match op.resp {
+                Some(resp) => self.model.step(state, op.op, resp).into_iter().collect(),
+                None => self.model.step_unknown(state, op.op),
+            };
+            for next in successors {
+                lin.set(i);
+                if self.cache.insert((lin.clone(), next.clone())) {
+                    order.push(i);
+                    if self.dfs(lin, order, &next) {
+                        return true;
+                    }
+                    order.pop();
+                }
+                lin.clear(i);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+    use crate::models::{CounterModel, TasModel};
+    use tfr_registers::ProcId;
+
+    fn op(pid: usize, o: u64, resp: u64, inv: u64, r: u64) -> Operation {
+        Operation {
+            pid: ProcId(pid),
+            obj: 0,
+            op: o,
+            resp: Some(resp),
+            invoke_ts: inv,
+            resp_ts: r,
+        }
+    }
+
+    #[test]
+    fn sequential_counter_accepts() {
+        let h = History::from_ops(vec![op(0, 5, 5, 1, 2), op(1, 3, 8, 3, 4)]);
+        let report = check_history(&h, &CounterModel).expect("linearizable");
+        assert_eq!(report.objects[0].order, vec![0, 1]);
+    }
+
+    #[test]
+    fn concurrent_counter_reorders_as_needed() {
+        // Recorded responses only make sense if op B linearizes first,
+        // even though A was invoked earlier (they overlap).
+        let h = History::from_ops(vec![op(0, 5, 8, 1, 10), op(1, 3, 3, 2, 9)]);
+        let report = check_history(&h, &CounterModel).expect("linearizable");
+        assert_eq!(report.objects[0].order, vec![1, 0]);
+    }
+
+    #[test]
+    fn real_time_precedence_is_enforced() {
+        // A completed strictly before B was invoked, but the responses
+        // require B first: must be rejected.
+        let h = History::from_ops(vec![op(0, 5, 8, 1, 2), op(1, 3, 3, 5, 6)]);
+        let err = check_history(&h, &CounterModel).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("not linearizable"), "{msg}");
+        assert!(msg.contains("window"), "{msg}");
+    }
+
+    #[test]
+    fn two_tas_winners_rejected() {
+        let h = History::from_ops(vec![
+            op(0, 0, 0, 1, 2), // winner
+            op(1, 0, 0, 3, 4), // second "winner": impossible
+        ]);
+        let err = check_history(&h, &TasModel).unwrap_err();
+        assert_eq!(err.deepest, 1);
+        assert!(err.window.contains(&1));
+    }
+
+    #[test]
+    fn pending_op_may_linearize_or_not() {
+        // A pending add(10) explains the second completed response 15.
+        let mut pending = op(1, 10, 0, 2, 0);
+        pending.resp = None;
+        pending.resp_ts = u64::MAX;
+        let h = History::from_ops(vec![op(0, 5, 5, 1, 3), pending, op(0, 0, 15, 4, 5)]);
+        check_history(&h, &CounterModel).expect("pending op fills the gap");
+
+        // Without the pending op the same history must fail.
+        let h2 = History::from_ops(vec![op(0, 5, 5, 1, 3), op(0, 0, 15, 4, 5)]);
+        assert!(check_history(&h2, &CounterModel).is_err());
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let report = check_history(&History::default(), &CounterModel).unwrap();
+        assert!(report.objects.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Linearizability checking for the derived wait-free objects: record
+//! concurrent histories from native threads or simulator traces, then
+//! verify them against sequential models.
+//!
+//! The paper's §1.4 claim is *universality*: consensus makes every object
+//! with a sequential specification wait-free and time-resilient. This
+//! crate is the generic oracle for that claim — instead of per-algorithm
+//! invariants (agreement, mutual exclusion), it checks the one property
+//! that defines "behaves like its sequential specification under
+//! concurrency and failures": **linearizability**.
+//!
+//! # Pieces
+//!
+//! * [`history`] — a lock-free [`Recorder`](history::Recorder)
+//!   (per-process single-writer buffers + one global atomic clock) and
+//!   the [`History`](history::History) it merges at quiescence. Attaches
+//!   to any probed object via [`ObjectProbe`](history::ObjectProbe).
+//! * [`checker`] — a Wing–Gong depth-first search with Lowe's memoized
+//!   configuration cache and P-compositionality partitioning;
+//!   [`check_history`](checker::check_history) returns a witness
+//!   linearization or a [`NonLinearizable`](checker::NonLinearizable)
+//!   error whose `Display` prints the minimal non-linearizable window.
+//! * [`models`] — pluggable [`SeqSpec`](models::SeqSpec) sequential
+//!   models for test-and-set, leader election, renaming, set consensus,
+//!   counter, and FIFO queue.
+//! * [`native`] — chaos drivers: run an object on real threads under a
+//!   seeded fault schedule ([`record_chaos`](native::record_chaos)) and
+//!   capture its history, crash faults leaving pending operations.
+//! * [`simconv`] — convert a one-shot simulator
+//!   [`RunResult`](tfr_sim::RunResult) into a checkable history.
+//! * [`mutants`] — deliberately broken objects (a non-atomic
+//!   test-and-set, a queue that drops an element under a stall fault)
+//!   whose histories the checker provably rejects.
+//!
+//! # Checking a chaos-scheduled test-and-set run
+//!
+//! ```
+//! use std::time::Duration;
+//! use tfr_chaos::{random_schedule, ScheduleConfig};
+//! use tfr_linearize::checker::check_history;
+//! use tfr_linearize::models::TasModel;
+//! use tfr_linearize::native::record_tas;
+//!
+//! let delta = Duration::from_micros(20);
+//! let faults = random_schedule(7, &ScheduleConfig::objects(3, delta));
+//! let history = record_tas(3, delta, &faults);
+//! let report = check_history(&history, &TasModel).expect("TAS is linearizable");
+//! println!(
+//!     "ok: {} ops, witness order {:?}",
+//!     history.len(),
+//!     report.objects[0].order
+//! );
+//! ```
+//!
+//! # The oracle has teeth
+//!
+//! ```
+//! use tfr_linearize::checker::check_history;
+//! use tfr_linearize::models::TasModel;
+//! use tfr_linearize::mutants::record_mutant_tas;
+//!
+//! let history = record_mutant_tas(); // a non-atomic test-and-set race
+//! let err = check_history(&history, &TasModel).expect_err("two winners");
+//! println!("{err}"); // prints the minimal non-linearizable window
+//! ```
+
+pub mod checker;
+pub mod history;
+pub mod models;
+pub mod mutants;
+pub mod native;
+pub mod simconv;
+
+pub use checker::{check_history, check_object, LinReport, NonLinearizable, ObjectReport};
+pub use history::{History, ObjectProbe, Operation, Recorder};
+pub use models::{
+    CounterModel, ElectionModel, QueueModel, RenamingModel, SeqSpec, SetConsensusModel, TasModel,
+};
+pub use native::{record_chaos, ObjectKind};
+pub use simconv::history_from_run;

@@ -1,0 +1,324 @@
+//! Pluggable sequential specifications for the checker, one per derived
+//! object, using the same `u64` operation/response encodings as the
+//! native objects' probes (see `tfr_core::probe`).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::hash::Hash;
+
+/// A sequential object specification driving the checker.
+///
+/// Unlike `tfr_core::universal::Sequential` (which *computes* responses),
+/// a `SeqSpec` *validates* recorded responses: [`SeqSpec::step`] answers
+/// "from this state, can `op` legally return `resp`, and what state
+/// follows?".
+pub trait SeqSpec {
+    /// Sequential state. `Clone + Eq + Hash` so configurations can be
+    /// memoized.
+    type State: Clone + Eq + Hash;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// The successor state if `op` may return `resp` from `state`, else
+    /// `None`.
+    fn step(&self, state: &Self::State, op: u64, resp: u64) -> Option<Self::State>;
+
+    /// Possible successor states of `op` when its response is unknown
+    /// (the invoking thread crashed). Defaults to "crashed operations
+    /// never take effect"; override for objects whose pending operations
+    /// other processes can observe (all of ours — consensus helps crashed
+    /// proposals to completion).
+    fn step_unknown(&self, state: &Self::State, op: u64) -> Vec<Self::State> {
+        let _ = (state, op);
+        Vec::new()
+    }
+
+    /// Human-readable rendering of an operation, for failure windows.
+    fn describe(&self, op: u64, resp: Option<u64>) -> String {
+        match resp {
+            Some(r) => format!("op({op}) → {r}"),
+            None => format!("op({op}) → ?"),
+        }
+    }
+}
+
+/// Test-and-set: the first linearized call returns the old value `0`,
+/// every later call returns `1`. State: whether the flag is set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TasModel;
+
+impl SeqSpec for TasModel {
+    type State = bool;
+    fn initial(&self) -> bool {
+        false
+    }
+    fn step(&self, state: &bool, _op: u64, resp: u64) -> Option<bool> {
+        (resp == *state as u64).then_some(true)
+    }
+    fn step_unknown(&self, _state: &bool, _op: u64) -> Vec<bool> {
+        vec![true]
+    }
+    fn describe(&self, _op: u64, resp: Option<u64>) -> String {
+        match resp {
+            Some(r) => format!("test_and_set() → {}", r == 1),
+            None => "test_and_set() → ?".to_string(),
+        }
+    }
+}
+
+/// Leader election: `op` is the caller's pid; every call returns the same
+/// leader, and the leader is some caller. State: the elected leader.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElectionModel;
+
+impl SeqSpec for ElectionModel {
+    type State = Option<u64>;
+    fn initial(&self) -> Option<u64> {
+        None
+    }
+    fn step(&self, state: &Option<u64>, op: u64, resp: u64) -> Option<Option<u64>> {
+        match state {
+            // The first linearized participant fixes the leader; validity
+            // requires the leader to be a participant, and the only
+            // participant so far is the caller itself.
+            None => (resp == op).then_some(Some(op)),
+            Some(leader) => (resp == *leader).then_some(Some(*leader)),
+        }
+    }
+    fn step_unknown(&self, state: &Option<u64>, op: u64) -> Vec<Option<u64>> {
+        match state {
+            None => vec![Some(op)],
+            Some(leader) => vec![Some(*leader)],
+        }
+    }
+    fn describe(&self, op: u64, resp: Option<u64>) -> String {
+        match resp {
+            Some(r) => format!("elect(p{op}) → p{r}"),
+            None => format!("elect(p{op}) → ?"),
+        }
+    }
+}
+
+/// n-renaming: every call returns a distinct name `< n`. State: the
+/// taken names.
+#[derive(Debug, Clone)]
+pub struct RenamingModel {
+    /// Size of the target namespace (`names < n`).
+    pub n: u64,
+}
+
+impl SeqSpec for RenamingModel {
+    type State = BTreeSet<u64>;
+    fn initial(&self) -> BTreeSet<u64> {
+        BTreeSet::new()
+    }
+    fn step(&self, state: &BTreeSet<u64>, _op: u64, resp: u64) -> Option<BTreeSet<u64>> {
+        if resp < self.n && !state.contains(&resp) {
+            let mut next = state.clone();
+            next.insert(resp);
+            Some(next)
+        } else {
+            None
+        }
+    }
+    fn step_unknown(&self, state: &BTreeSet<u64>, _op: u64) -> Vec<BTreeSet<u64>> {
+        (0..self.n)
+            .filter(|name| !state.contains(name))
+            .map(|name| {
+                let mut next = state.clone();
+                next.insert(name);
+                next
+            })
+            .collect()
+    }
+    fn describe(&self, _op: u64, resp: Option<u64>) -> String {
+        match resp {
+            Some(r) => format!("rename() → {r}"),
+            None => "rename() → ?".to_string(),
+        }
+    }
+}
+
+/// k-set consensus: every decision is some proposed value, and at most
+/// `k` distinct values are decided. State: (proposed, decided) sets.
+#[derive(Debug, Clone)]
+pub struct SetConsensusModel {
+    /// Maximum number of distinct decisions.
+    pub k: usize,
+}
+
+impl SeqSpec for SetConsensusModel {
+    type State = (BTreeSet<u64>, BTreeSet<u64>);
+    fn initial(&self) -> Self::State {
+        (BTreeSet::new(), BTreeSet::new())
+    }
+    fn step(&self, state: &Self::State, op: u64, resp: u64) -> Option<Self::State> {
+        let (mut proposed, mut decided) = state.clone();
+        proposed.insert(op);
+        if !proposed.contains(&resp) {
+            return None; // validity: decide only proposed values
+        }
+        decided.insert(resp);
+        (decided.len() <= self.k).then_some((proposed, decided))
+    }
+    fn step_unknown(&self, state: &Self::State, op: u64) -> Vec<Self::State> {
+        let mut proposed = state.0.clone();
+        proposed.insert(op);
+        proposed
+            .iter()
+            .filter_map(|&d| {
+                let mut decided = state.1.clone();
+                decided.insert(d);
+                (decided.len() <= self.k).then_some((proposed.clone(), decided))
+            })
+            .collect()
+    }
+    fn describe(&self, op: u64, resp: Option<u64>) -> String {
+        match resp {
+            Some(r) => format!("propose({op}) → {r}"),
+            None => format!("propose({op}) → ?"),
+        }
+    }
+}
+
+/// Counter: `op` is the amount added, the response is the new total.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterModel;
+
+impl SeqSpec for CounterModel {
+    type State = u64;
+    fn initial(&self) -> u64 {
+        0
+    }
+    fn step(&self, state: &u64, op: u64, resp: u64) -> Option<u64> {
+        (state + op == resp).then_some(resp)
+    }
+    fn step_unknown(&self, state: &u64, op: u64) -> Vec<u64> {
+        vec![state + op]
+    }
+    fn describe(&self, op: u64, resp: Option<u64>) -> String {
+        match resp {
+            Some(r) => format!("add({op}) → {r}"),
+            None => format!("add({op}) → ?"),
+        }
+    }
+}
+
+/// FIFO queue with the `tfr_core::universal::FifoQueue` encoding:
+/// `enqueue(v)` is `(v << 1) | 1` responding `0`; `dequeue` is `0`
+/// responding `value + 1`, or `0` when empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueModel;
+
+impl SeqSpec for QueueModel {
+    type State = VecDeque<u64>;
+    fn initial(&self) -> VecDeque<u64> {
+        VecDeque::new()
+    }
+    fn step(&self, state: &VecDeque<u64>, op: u64, resp: u64) -> Option<VecDeque<u64>> {
+        let mut next = state.clone();
+        if op & 1 == 1 {
+            // enqueue
+            if resp != 0 {
+                return None;
+            }
+            next.push_back(op >> 1);
+            Some(next)
+        } else {
+            // dequeue
+            match next.pop_front() {
+                Some(front) => (resp == front + 1).then_some(next),
+                None => (resp == 0).then_some(next),
+            }
+        }
+    }
+    fn step_unknown(&self, state: &VecDeque<u64>, op: u64) -> Vec<VecDeque<u64>> {
+        let mut next = state.clone();
+        if op & 1 == 1 {
+            next.push_back(op >> 1);
+        } else {
+            next.pop_front();
+        }
+        vec![next]
+    }
+    fn describe(&self, op: u64, resp: Option<u64>) -> String {
+        if op & 1 == 1 {
+            match resp {
+                Some(_) => format!("enqueue({})", op >> 1),
+                None => format!("enqueue({}) → ?", op >> 1),
+            }
+        } else {
+            match resp {
+                Some(0) => "dequeue() → empty".to_string(),
+                Some(r) => format!("dequeue() → {}", r - 1),
+                None => "dequeue() → ?".to_string(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tas_first_wins_then_losers() {
+        let m = TasModel;
+        let s = m.initial();
+        let s = m.step(&s, 0, 0).expect("first call returns old 0");
+        assert!(m.step(&s, 0, 0).is_none(), "no second winner");
+        assert!(m.step(&s, 0, 1).is_some());
+    }
+
+    #[test]
+    fn election_validity_and_agreement() {
+        let m = ElectionModel;
+        let s = m.initial();
+        assert!(m.step(&s, 3, 4).is_none(), "first leader must be a caller");
+        let s = m.step(&s, 3, 3).unwrap();
+        assert!(m.step(&s, 1, 1).is_none(), "later callers adopt the leader");
+        assert!(m.step(&s, 1, 3).is_some());
+    }
+
+    #[test]
+    fn renaming_distinct_and_bounded() {
+        let m = RenamingModel { n: 2 };
+        let s = m.initial();
+        let s = m.step(&s, 0, 1).unwrap();
+        assert!(m.step(&s, 0, 1).is_none(), "duplicate name");
+        assert!(m.step(&s, 0, 2).is_none(), "name out of range");
+        assert!(m.step(&s, 0, 0).is_some());
+        assert_eq!(m.step_unknown(&s, 0).len(), 1, "only name 0 left");
+    }
+
+    #[test]
+    fn set_consensus_validity_and_k_bound() {
+        let m = SetConsensusModel { k: 1 };
+        let s = m.initial();
+        assert!(m.step(&s, 0, 1).is_none(), "1 was never proposed");
+        let s = m.step(&s, 1, 1).unwrap();
+        assert!(m.step(&s, 0, 0).is_none(), "second distinct decision");
+        assert!(m.step(&s, 0, 1).is_some());
+    }
+
+    #[test]
+    fn queue_fifo_order_and_empty() {
+        let m = QueueModel;
+        let s = m.initial();
+        let s = m.step(&s, (5 << 1) | 1, 0).unwrap();
+        let s = m.step(&s, (9 << 1) | 1, 0).unwrap();
+        assert!(m.step(&s, 0, 9 + 1).is_none(), "9 is not the front");
+        let s = m.step(&s, 0, 5 + 1).unwrap();
+        let s = m.step(&s, 0, 9 + 1).unwrap();
+        assert!(m.step(&s, 0, 1).is_none(), "empty queue yields 0");
+        assert!(m.step(&s, 0, 0).is_some());
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(QueueModel.describe(0, Some(0)), "dequeue() → empty");
+        assert_eq!(QueueModel.describe((7 << 1) | 1, Some(0)), "enqueue(7)");
+        assert_eq!(TasModel.describe(0, Some(1)), "test_and_set() → true");
+        assert_eq!(CounterModel.describe(5, None), "add(5) → ?");
+    }
+}

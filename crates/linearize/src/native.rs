@@ -1,0 +1,222 @@
+//! Native recording drivers: run each derived object on real threads
+//! under an installed chaos fault schedule and capture the concurrent
+//! history.
+//!
+//! Every driver installs a [`ChaosSession`], spawns one thread per
+//! process inside [`chaos::run_as`] (so crash faults stop a thread
+//! mid-operation, leaving its history entry pending), and merges the
+//! recorder at quiescence. [`record_chaos`] is the one-call form used by
+//! the nemesis and CI smoke: object kind + seed → checkable history.
+
+use crate::history::{History, ObjectProbe, Recorder};
+use std::sync::Arc;
+use std::time::Duration;
+use tfr_chaos::{random_schedule, ScheduleConfig};
+use tfr_core::derived::{LeaderElection, Renaming, SetConsensus, TestAndSet};
+use tfr_core::universal::{Counter, FifoQueue, Universal};
+use tfr_registers::chaos::{self, ChaosSession, Fault};
+use tfr_registers::ProcId;
+
+/// The six derived objects the checker ships sequential models for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// [`LeaderElection`], checked by `ElectionModel`.
+    Election,
+    /// [`TestAndSet`], checked by `TasModel`.
+    TestAndSet,
+    /// [`Renaming`], checked by `RenamingModel`.
+    Renaming,
+    /// [`SetConsensus`] with `k = 2`, checked by `SetConsensusModel`.
+    SetConsensus,
+    /// [`Universal`]`<Counter>`, checked by `CounterModel`.
+    Counter,
+    /// [`Universal`]`<FifoQueue>`, checked by `QueueModel`.
+    Queue,
+}
+
+impl ObjectKind {
+    /// All six kinds, for sweeps.
+    pub const ALL: [ObjectKind; 6] = [
+        ObjectKind::Election,
+        ObjectKind::TestAndSet,
+        ObjectKind::Renaming,
+        ObjectKind::SetConsensus,
+        ObjectKind::Counter,
+        ObjectKind::Queue,
+    ];
+
+    /// A short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectKind::Election => "election",
+            ObjectKind::TestAndSet => "test-and-set",
+            ObjectKind::Renaming => "renaming",
+            ObjectKind::SetConsensus => "set-consensus",
+            ObjectKind::Counter => "counter",
+            ObjectKind::Queue => "queue",
+        }
+    }
+}
+
+fn recorder_for(n: usize) -> (Arc<Recorder>, Arc<ObjectProbe>) {
+    let rec = Arc::new(Recorder::new(n));
+    let probe = Arc::new(ObjectProbe::new(Arc::clone(&rec), 0));
+    (rec, probe)
+}
+
+/// Records a [`LeaderElection`] run: each of `n` threads elects once.
+pub fn record_election(n: usize, delta: Duration, faults: &[Fault]) -> History {
+    let _session = ChaosSession::install(faults);
+    let (rec, probe) = recorder_for(n);
+    let obj = Arc::new(LeaderElection::new(n, delta).with_probe(probe));
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let obj = Arc::clone(&obj);
+            scope.spawn(move || chaos::run_as(ProcId(i), move || obj.elect(ProcId(i))));
+        }
+    });
+    rec.history()
+}
+
+/// Records a [`TestAndSet`] run: each of `n` threads calls once.
+pub fn record_tas(n: usize, delta: Duration, faults: &[Fault]) -> History {
+    let _session = ChaosSession::install(faults);
+    let (rec, probe) = recorder_for(n);
+    let obj = Arc::new(TestAndSet::new(n, delta).with_probe(probe));
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let obj = Arc::clone(&obj);
+            scope.spawn(move || chaos::run_as(ProcId(i), move || obj.test_and_set(ProcId(i))));
+        }
+    });
+    rec.history()
+}
+
+/// Records a [`Renaming`] run: each of `n` threads takes a name.
+pub fn record_renaming(n: usize, delta: Duration, faults: &[Fault]) -> History {
+    let _session = ChaosSession::install(faults);
+    let (rec, probe) = recorder_for(n);
+    let obj = Arc::new(Renaming::new(n, delta).with_probe(probe));
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let obj = Arc::clone(&obj);
+            scope.spawn(move || chaos::run_as(ProcId(i), move || obj.rename(ProcId(i))));
+        }
+    });
+    rec.history()
+}
+
+/// Records a `k = 2` [`SetConsensus`] run over `inputs.len()` threads.
+pub fn record_set_consensus(inputs: &[bool], delta: Duration, faults: &[Fault]) -> History {
+    let _session = ChaosSession::install(faults);
+    let n = inputs.len();
+    let (rec, probe) = recorder_for(n);
+    let obj = Arc::new(SetConsensus::new(2, delta).with_probe(probe));
+    std::thread::scope(|scope| {
+        for (i, &input) in inputs.iter().enumerate() {
+            let obj = Arc::clone(&obj);
+            scope.spawn(move || chaos::run_as(ProcId(i), move || obj.propose(ProcId(i), input)));
+        }
+    });
+    rec.history()
+}
+
+/// Records a [`Universal`]`<Counter>` run: thread `i` adds `i + 1`,
+/// `per` times.
+pub fn record_counter(n: usize, per: usize, delta: Duration, faults: &[Fault]) -> History {
+    let _session = ChaosSession::install(faults);
+    let (rec, probe) = recorder_for(n);
+    let obj = Arc::new(Universal::new(Counter, n, n * per + 4, delta).with_probe(probe));
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let obj = Arc::clone(&obj);
+            scope.spawn(move || {
+                chaos::run_as(ProcId(i), move || {
+                    for _ in 0..per {
+                        obj.invoke(ProcId(i), i as u64 + 1);
+                    }
+                })
+            });
+        }
+    });
+    rec.history()
+}
+
+/// Records a [`Universal`]`<FifoQueue>` run: even threads enqueue `per`
+/// distinct values, odd threads dequeue `per` times (empty dequeues
+/// included — they are operations too).
+pub fn record_queue(n: usize, per: usize, delta: Duration, faults: &[Fault]) -> History {
+    let _session = ChaosSession::install(faults);
+    let (rec, probe) = recorder_for(n);
+    let obj = Arc::new(Universal::new(FifoQueue, n, n * per + 4, delta).with_probe(probe));
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let obj = Arc::clone(&obj);
+            scope.spawn(move || {
+                chaos::run_as(ProcId(i), move || {
+                    for k in 0..per {
+                        let op = if i % 2 == 0 {
+                            FifoQueue::enqueue_op((i * 100 + k) as u32)
+                        } else {
+                            FifoQueue::DEQUEUE
+                        };
+                        obj.invoke(ProcId(i), op);
+                    }
+                })
+            });
+        }
+    });
+    rec.history()
+}
+
+/// Records one chaos-scheduled run of `kind` with `n` processes: the
+/// fault schedule is [`ScheduleConfig::objects`] drawn from `seed`, so a
+/// printed `(kind, n, seed)` triple replays the exact run shape.
+pub fn record_chaos(kind: ObjectKind, n: usize, delta: Duration, seed: u64) -> History {
+    let faults = random_schedule(seed, &ScheduleConfig::objects(n, delta));
+    match kind {
+        ObjectKind::Election => record_election(n, delta, &faults),
+        ObjectKind::TestAndSet => record_tas(n, delta, &faults),
+        ObjectKind::Renaming => record_renaming(n, delta, &faults),
+        ObjectKind::SetConsensus => {
+            let inputs: Vec<bool> = (0..n)
+                .map(|i| (i + seed as usize).is_multiple_of(2))
+                .collect();
+            record_set_consensus(&inputs, delta, &faults)
+        }
+        ObjectKind::Counter => record_counter(n, 3, delta, &faults),
+        ObjectKind::Queue => record_queue(n, 3, delta, &faults),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_history;
+    use crate::models::{ElectionModel, TasModel};
+
+    const D: Duration = Duration::from_micros(5);
+
+    #[test]
+    fn fault_free_election_history_is_complete_and_linearizable() {
+        let h = record_election(3, D, &[]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.completed(), 3);
+        check_history(&h, &ElectionModel).expect("linearizable");
+    }
+
+    #[test]
+    fn crashed_thread_leaves_a_pending_op() {
+        use tfr_registers::chaos::{points, FaultAction};
+        let faults = [Fault {
+            pid: ProcId(1),
+            point: points::CONSENSUS_ROUND,
+            nth: 1,
+            action: FaultAction::Crash,
+        }];
+        let h = record_tas(2, D, &faults);
+        assert_eq!(h.len(), 2, "both invokes recorded");
+        assert!(h.completed() < 2, "the crashed thread never responds");
+        check_history(&h, &TasModel).expect("pending op is fine");
+    }
+}

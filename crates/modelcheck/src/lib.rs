@@ -232,6 +232,56 @@ impl Monitor {
     }
 }
 
+/// Deterministically replays a schedule — typically a
+/// [`Counterexample::schedule`] — from fresh initial state and returns
+/// the first violation the safety monitor observes, or `None` if the
+/// schedule completes cleanly.
+///
+/// Replay recomputes every step from the automaton itself and
+/// cross-checks it against the recorded action, so a schedule from a
+/// different automaton or configuration fails loudly instead of
+/// silently diverging. Since both the explorer and this function are
+/// deterministic, replaying the same schedule twice must yield the
+/// identical violation — the property the regression tests pin down.
+///
+/// # Panics
+///
+/// Panics if a scheduled `(pid, action)` does not match what the
+/// automaton would do at that point, or if `pid` is out of range.
+pub fn replay_schedule<A: Automaton>(
+    automaton: &A,
+    n: usize,
+    spec: &SafetySpec,
+    schedule: &[(ProcId, Action)],
+) -> Option<Violation> {
+    let mut bank = MapBank::new();
+    let mut procs: Vec<A::State> = (0..n).map(|i| automaton.init(ProcId(i))).collect();
+    let mut monitor = Monitor::new(n);
+    let mut obs = Vec::new();
+    for (i, &(pid, action)) in schedule.iter().enumerate() {
+        let expected = automaton.next_action(&procs[pid.0]);
+        assert_eq!(
+            action, expected,
+            "replay step {i}: schedule has {pid} take {action}, automaton would {expected}"
+        );
+        let observed = match action {
+            Action::Read(r) => Some(bank.read(r)),
+            Action::Write(r, v) => {
+                bank.write(r, v);
+                None
+            }
+            Action::Delay(_) => None,
+            Action::Halt => panic!("replay step {i}: a halted process was scheduled"),
+        };
+        obs.clear();
+        automaton.apply(&mut procs[pid.0], observed, &mut obs);
+        if let Some(v) = monitor.observe(pid, &obs, spec) {
+            return Some(v);
+        }
+    }
+    None
+}
+
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct Global<S> {
     procs: Vec<S>,
@@ -553,6 +603,54 @@ mod tests {
         assert!(report.truncated);
         assert!(report.violation.is_none());
         assert!(!report.proven_safe());
+    }
+
+    #[test]
+    fn counterexample_replays_to_the_identical_violation_twice() {
+        let spec = SafetySpec {
+            agreement: true,
+            validity: None,
+            mutual_exclusion: false,
+        };
+        // Exploration itself is deterministic: two runs, one counterexample.
+        let c1 = Explorer::new(AdoptFirst { inputs: vec![3, 7] }, 2)
+            .check(&spec)
+            .violation
+            .unwrap();
+        let c2 = Explorer::new(AdoptFirst { inputs: vec![3, 7] }, 2)
+            .check(&spec)
+            .violation
+            .unwrap();
+        assert_eq!(c1.violation, c2.violation);
+        assert_eq!(c1.schedule, c2.schedule);
+
+        // And replay is deterministic: the same schedule reproduces the
+        // same violation, twice.
+        let automaton = AdoptFirst { inputs: vec![3, 7] };
+        let first = replay_schedule(&automaton, 2, &spec, &c1.schedule);
+        let second = replay_schedule(&automaton, 2, &spec, &c1.schedule);
+        assert_eq!(first, Some(c1.violation.clone()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn replay_of_a_clean_prefix_finds_nothing() {
+        let spec = SafetySpec {
+            agreement: true,
+            validity: None,
+            mutual_exclusion: false,
+        };
+        let cex = Explorer::new(AdoptFirst { inputs: vec![3, 7] }, 2)
+            .check(&spec)
+            .violation
+            .unwrap();
+        let automaton = AdoptFirst { inputs: vec![3, 7] };
+        let prefix = &cex.schedule[..cex.schedule.len() - 1];
+        assert_eq!(
+            replay_schedule(&automaton, 2, &spec, prefix),
+            None,
+            "the violation happens on the last step, not before"
+        );
     }
 
     #[test]

@@ -75,6 +75,37 @@ impl SplitMix64 {
         unit < p
     }
 
+    /// Re-seeds the generator in place; the subsequent stream is exactly
+    /// `SplitMix64::new(seed)`'s, regardless of prior draws.
+    pub fn reseed(&mut self, seed: u64) {
+        self.state = seed;
+    }
+
+    /// Splits off an independent child generator, advancing `self` by one
+    /// draw (this is the "split" SplitMix64 is named for).
+    ///
+    /// The child is seeded from the parent's output run through a second
+    /// mixing constant, so parent and child streams are statistically
+    /// independent and forking at different points yields distinct
+    /// children — use it to give each simulated process or fault
+    /// schedule its own reproducible stream from one master seed.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tfr_registers::rng::SplitMix64;
+    ///
+    /// let mut master = SplitMix64::new(42);
+    /// let mut child_a = master.fork();
+    /// let mut child_b = master.fork();
+    /// assert_ne!(child_a.next_u64(), child_b.next_u64());
+    /// ```
+    pub fn fork(&mut self) -> SplitMix64 {
+        // The golden-gamma odd constant keeps the child seed off the
+        // parent's own state trajectory.
+        SplitMix64::new(self.next_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
     /// A uniformly random `usize` in `[0, n)` — handy for indexing.
     ///
     /// # Panics
@@ -135,6 +166,28 @@ mod tests {
         for _ in 0..100 {
             assert!(r.index(3) < 3);
         }
+    }
+
+    #[test]
+    fn reseed_restarts_the_stream() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10 {
+            r.next_u64();
+        }
+        r.reseed(3);
+        assert_eq!(r, SplitMix64::new(3));
+        assert_eq!(r.next_u64(), SplitMix64::new(3).next_u64());
+    }
+
+    #[test]
+    fn fork_advances_the_parent_deterministically() {
+        let mut a = SplitMix64::new(11);
+        let mut b = SplitMix64::new(11);
+        let ca = a.fork();
+        let cb = b.fork();
+        assert_eq!(ca, cb, "same parent state, same child");
+        assert_eq!(a, b, "fork advances both parents identically");
+        assert_ne!(a.fork(), ca, "successive forks differ");
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!   into the real-thread stack (stalls and crash-stops at named points),
 //!   deterministic replay, schedule shrinking, and native §1.3 resilience
 //!   reports.
+//! * [`linearize`] — the linearizability layer: a lock-free concurrent
+//!   history recorder, a Wing–Gong/Lowe checker with memoization and
+//!   per-object partitioning, sequential models for all derived objects,
+//!   chaos-scheduled native recording drivers, simulator-trace
+//!   conversion, and seeded mutants proving the oracle rejects broken
+//!   objects.
 //!
 //! # Quickstart
 //!
@@ -51,6 +57,7 @@ pub use tfr_asynclock as asynclock;
 pub use tfr_baselines as baselines;
 pub use tfr_chaos as chaos;
 pub use tfr_core as core;
+pub use tfr_linearize as linearize;
 pub use tfr_modelcheck as modelcheck;
 pub use tfr_registers as registers;
 pub use tfr_sim as sim;

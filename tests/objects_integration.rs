@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use tfr::core::derived::{LeaderElection, Renaming, SetConsensus, TestAndSet};
 use tfr::core::universal::{Counter, FifoQueue, MultiConsensus, Sequential, Universal};
+use tfr::registers::chaos::{self, ChaosSession, Fault, FaultAction};
 use tfr::registers::ProcId;
 
 const D: Duration = Duration::from_micros(3);
@@ -203,4 +204,112 @@ fn universal_queue_interleaved_enq_deq() {
     let got = consumer.join().unwrap();
     // FIFO per producer: the consumer sees 0..10 in order.
     assert_eq!(got, (0..10).collect::<Vec<u32>>());
+}
+
+#[test]
+fn universal_queue_dequeue_on_empty() {
+    let obj = Universal::new(FifoQueue, 2, 16, D);
+    // Empty from the start: dequeues miss, and they are real operations —
+    // they consume log slots and linearize against later enqueues.
+    assert_eq!(
+        FifoQueue::decode_dequeue(obj.invoke(ProcId(0), FifoQueue::DEQUEUE)),
+        None
+    );
+    assert_eq!(
+        FifoQueue::decode_dequeue(obj.invoke(ProcId(1), FifoQueue::DEQUEUE)),
+        None
+    );
+    obj.invoke(ProcId(0), FifoQueue::enqueue_op(42));
+    assert_eq!(
+        FifoQueue::decode_dequeue(obj.invoke(ProcId(1), FifoQueue::DEQUEUE)),
+        Some(42),
+        "the earlier empty dequeues must not eat the later enqueue"
+    );
+    // Drained again: back to empty.
+    assert_eq!(
+        FifoQueue::decode_dequeue(obj.invoke(ProcId(0), FifoQueue::DEQUEUE)),
+        None
+    );
+}
+
+#[test]
+#[should_panic(expected = "capacity exhausted")]
+fn universal_queue_capacity_exhaustion_panics() {
+    // Capacity counts *operations* (empty dequeues included), not queue
+    // length: a capacity-3 queue admits exactly three invocations.
+    let obj = Universal::new(FifoQueue, 1, 3, D);
+    obj.invoke(ProcId(0), FifoQueue::enqueue_op(1));
+    obj.invoke(ProcId(0), FifoQueue::DEQUEUE);
+    obj.invoke(ProcId(0), FifoQueue::DEQUEUE); // empty, still a slot
+    obj.invoke(ProcId(0), FifoQueue::enqueue_op(2)); // one too many
+}
+
+#[test]
+fn renaming_names_in_range_under_chaos_stalls() {
+    use tfr::chaos::{random_schedule, ScheduleConfig};
+    let delta = Duration::from_micros(20);
+    let n = 4;
+    for seed in [1u64, 2, 3] {
+        // Stalls only (no crashes): every thread must finish, and the
+        // names must still be distinct and inside 0..n.
+        let mut cfg = ScheduleConfig::objects(n, delta);
+        cfg.crash_prob = 0.0;
+        let faults = random_schedule(seed, &cfg);
+        assert!(faults
+            .iter()
+            .all(|f| matches!(f.action, FaultAction::Stall(_))));
+        let _session = ChaosSession::install(&faults);
+        let r = Arc::new(Renaming::new(n, delta));
+        let names: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let r = Arc::clone(&r);
+                    scope.spawn(move || chaos::run_as(ProcId(i), move || r.rename(ProcId(i))))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap().completed().expect("stalls never kill"))
+                .collect()
+        });
+        assert!(
+            names.iter().all(|&name| name < n),
+            "seed {seed}: name out of range: {names:?}"
+        );
+        let distinct: HashSet<usize> = names.iter().copied().collect();
+        assert_eq!(distinct.len(), n, "seed {seed}: duplicate names: {names:?}");
+    }
+}
+
+#[test]
+fn renaming_single_stalled_straggler_gets_a_valid_name() {
+    // A targeted stall on one participant mid-consensus: the others race
+    // ahead; the straggler must still come back with an unused in-range
+    // name (no name is ever reused, even when the taker was parked).
+    use tfr::registers::chaos::points;
+    let delta = Duration::from_micros(20);
+    let n = 3;
+    let faults = [Fault {
+        pid: ProcId(0),
+        point: points::CONSENSUS_ROUND,
+        nth: 1,
+        action: FaultAction::Stall(Duration::from_millis(1)),
+    }];
+    let _session = ChaosSession::install(&faults);
+    let r = Arc::new(Renaming::new(n, delta));
+    let names: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                scope.spawn(move || chaos::run_as(ProcId(i), move || r.rename(ProcId(i))))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap().completed().expect("stalls never kill"))
+            .collect()
+    });
+    let distinct: HashSet<usize> = names.iter().copied().collect();
+    assert_eq!(distinct.len(), n, "duplicate names: {names:?}");
+    assert!(names.iter().all(|&name| name < n), "{names:?}");
 }
