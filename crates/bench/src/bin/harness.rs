@@ -3,18 +3,37 @@
 //! ```text
 //! cargo run --release -p tfr-bench --bin harness -- all
 //! cargo run --release -p tfr-bench --bin harness -- e1 e7
+//! cargo run --release -p tfr-bench --bin harness -- --json-dir out all
 //! cargo run --release -p tfr-bench --bin harness -- list
 //! ```
+//!
+//! With `--json-dir <dir>`, every selected experiment also writes a
+//! machine-readable `BENCH_<id>.json` into `<dir>` alongside the terminal
+//! tables, so CI and plotting scripts never have to scrape the markdown.
 
+use std::path::PathBuf;
 use std::time::Instant;
 use tfr_bench::experiments;
+use tfr_telemetry::Json;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let registry = experiments::registry();
 
+    // `--json-dir <dir>` may appear anywhere; strip it out of the
+    // positional experiment selection.
+    let mut json_dir: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--json-dir") {
+        if i + 1 >= args.len() {
+            eprintln!("--json-dir needs a directory argument");
+            std::process::exit(2);
+        }
+        json_dir = Some(PathBuf::from(args.remove(i + 1)));
+        args.remove(i);
+    }
+
     if args.is_empty() || args[0] == "help" {
-        eprintln!("usage: harness <all | list | e1 e2 ...>");
+        eprintln!("usage: harness [--json-dir <dir>] <all | list | e1 e2 ...>");
         eprintln!("experiments:");
         for (id, desc, _) in &registry {
             eprintln!("  {id:4} {desc}");
@@ -45,12 +64,35 @@ fn main() {
         sel
     };
 
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
     for (id, desc, run) in selected {
         let start = Instant::now();
         eprintln!("[{id}] {desc} ...");
         let tables = run();
         for table in &tables {
             println!("{table}");
+        }
+        if let Some(dir) = &json_dir {
+            let doc = Json::obj([
+                ("experiment", Json::str(*id)),
+                ("description", Json::str(*desc)),
+                (
+                    "tables",
+                    Json::Arr(tables.iter().map(|t| t.to_json()).collect()),
+                ),
+            ]);
+            let path = dir.join(format!("BENCH_{id}.json"));
+            if let Err(e) = std::fs::write(&path, doc.to_string()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[{id}] wrote {}", path.display());
         }
         eprintln!("[{id}] done in {:.1?}\n", start.elapsed());
     }

@@ -1,6 +1,7 @@
 //! Plain-text result tables, aligned for terminals and EXPERIMENTS.md.
 
 use std::fmt;
+use tfr_telemetry::Json;
 
 /// One experiment's result table.
 #[derive(Debug, Clone)]
@@ -49,6 +50,63 @@ impl Table {
     pub fn note(&mut self, note: impl Into<String>) -> &mut Table {
         self.notes.push(note.into());
         self
+    }
+
+    /// The table as a machine-readable JSON value.
+    ///
+    /// Rows become objects keyed by the column headers, so downstream
+    /// tooling does not need to track column order. Cells that parse as
+    /// numbers are emitted as numbers; everything else stays a string.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tfr_bench::table::Table;
+    /// use tfr_telemetry::Json;
+    ///
+    /// let mut t = Table::new("E0", "demo", &["n", "ψ"]);
+    /// t.row(vec!["2".into(), "1.00".into()]);
+    /// let json = t.to_json();
+    /// let rows = json.get("rows").unwrap().as_arr().unwrap();
+    /// assert_eq!(rows[0].get("n").unwrap().as_num(), Some(2.0));
+    /// // The output is valid JSON: it parses back to the same value.
+    /// assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::Obj(
+                    self.columns
+                        .iter()
+                        .zip(row)
+                        .map(|(col, cell)| (col.clone(), cell_to_json(cell)))
+                        .collect(),
+                )
+            })
+            .collect();
+        Json::obj([
+            ("id", Json::str(self.id)),
+            ("title", Json::str(self.title.clone())),
+            (
+                "columns",
+                Json::Arr(self.columns.iter().map(Json::str).collect()),
+            ),
+            ("rows", Json::Arr(rows)),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+}
+
+/// Numeric-looking cells become JSON numbers; all others stay strings.
+fn cell_to_json(cell: &str) -> Json {
+    match cell.parse::<f64>() {
+        Ok(n) if n.is_finite() => Json::Num(n),
+        _ => Json::str(cell),
     }
 }
 
@@ -120,5 +178,21 @@ mod tests {
     #[test]
     fn delta_formatting() {
         assert_eq!(in_deltas(Ticks(1500), Delta::from_ticks(1000)), "1.50Δ");
+    }
+
+    #[test]
+    fn json_keeps_strings_and_numbers_apart() {
+        let mut t = Table::new("E9", "json demo", &["algo", "ticks"]);
+        t.row(vec!["fischer".into(), "1500".into()]);
+        t.row(vec!["resilient".into(), "2.50Δ".into()]);
+        t.note("a note");
+        let json = t.to_json();
+        assert_eq!(json.get("id").unwrap().as_str(), Some("E9"));
+        let rows = json.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].get("algo").unwrap().as_str(), Some("fischer"));
+        assert_eq!(rows[0].get("ticks").unwrap().as_num(), Some(1500.0));
+        // "2.50Δ" is not a number: it survives as a string.
+        assert_eq!(rows[1].get("ticks").unwrap().as_str(), Some("2.50Δ"));
+        assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
     }
 }

@@ -8,13 +8,15 @@
 //! [`convergence_target`] — so a simulator report and a native report for
 //! the same algorithm are directly comparable.
 
-use crate::nemesis::{run_mutex_chaos, EntrySample, MutexChaosConfig};
+use crate::nemesis::{run_mutex_chaos, run_mutex_chaos_traced, EntrySample, MutexChaosConfig};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tfr_asynclock::RawLock;
 use tfr_core::resilience::{convergence_target, ResilienceReport};
 use tfr_registers::chaos::{points, Fault, FaultAction};
 use tfr_registers::rng::SplitMix64;
 use tfr_registers::{Delta, ProcId, Ticks};
+use tfr_telemetry::{convergence_from_events, ConvergenceReport, Trace, Tracer};
 
 /// Parameters of a native resilience assessment.
 #[derive(Debug, Clone)]
@@ -208,6 +210,72 @@ pub fn assess_native_mutex<L: RawLock>(
     }
 }
 
+/// A [`assess_native_mutex_traced`] result: the standard three-part
+/// report plus the event-stream convergence measurement and the target it
+/// was measured against.
+#[derive(Debug)]
+pub struct TracedAssessment {
+    /// The §1.3 report, identical in meaning to [`assess_native_mutex`]'s.
+    pub report: ResilienceReport,
+    /// Convergence measured from the burst run's telemetry events: time
+    /// from the last fired fault to the first acquisition whose traced
+    /// entry wait meets the target.
+    pub event_convergence: ConvergenceReport,
+    /// The entry-wait target used, in nanoseconds
+    /// (`convergence_target(ψ, Δ, num, den)` converted from µs ticks).
+    pub target_wait_ns: u64,
+}
+
+/// [`assess_native_mutex`] with the burst run traced: `make_lock`
+/// receives the [`Trace`] to build into the lock (disabled for the clean
+/// ψ-measurement run, attached to `tracer` for the burst run), and the
+/// convergence time is *also* measured from the event stream — the
+/// trace-level counterpart of the sample-based measurement, directly
+/// exportable next to the timeline it was read off.
+pub fn assess_native_mutex_traced<L: RawLock>(
+    mut make_lock: impl FnMut(Trace) -> L,
+    cfg: &NativeAssessConfig,
+    tracer: &Arc<Tracer>,
+) -> TracedAssessment {
+    let clean = run_mutex_chaos(&make_lock(Trace::disabled()), &cfg.workload(), &[]);
+    assert!(
+        !clean.mutual_exclusion_violated() && clean.crashed.is_empty(),
+        "the fault-free run must be clean"
+    );
+    assert_eq!(
+        clean.completed.len(),
+        cfg.n,
+        "the fault-free run must complete"
+    );
+    let psi = Ticks(
+        clean
+            .max_latency()
+            .map_or(1, |d| d.as_micros() as u64)
+            .max(1),
+    );
+
+    let burst_lock = make_lock(Trace::attached(Arc::clone(tracer)));
+    let burst = run_mutex_chaos_traced(&burst_lock, &cfg.workload(), &burst_schedule(cfg), tracer);
+    let safe_during_failures = !burst.mutual_exclusion_violated();
+    let live_after_failures = burst.completed.len() == cfg.n;
+    let delta = Delta::from_ticks((cfg.delta.as_micros() as u64).max(1));
+    let target = convergence_target(psi, delta, cfg.tolerance_num, cfg.tolerance_den);
+    let convergence = convergence_from_samples(&burst.entries, burst.last_fault_at, target);
+    let target_wait_ns = target.0.saturating_mul(1_000);
+    let event_convergence = convergence_from_events(&tracer.events(), target_wait_ns);
+
+    TracedAssessment {
+        report: ResilienceReport {
+            psi,
+            safe_during_failures,
+            live_after_failures,
+            convergence,
+        },
+        event_convergence,
+        target_wait_ns,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +316,30 @@ mod tests {
         let entries = vec![mk(50, 900), mk(80, 10), mk(120, 12)];
         let c = convergence_from_samples(&entries, Some(stop), Ticks(100));
         assert_eq!(c, Some(Ticks(80)));
+    }
+
+    #[test]
+    fn traced_assessment_measures_convergence_from_events() {
+        use tfr_core::mutex::resilient::ResilientMutex;
+        let delta = Duration::from_micros(100);
+        let mut cfg = NativeAssessConfig::new(2, delta);
+        cfg.iterations = 10;
+        let tracer = Arc::new(Tracer::new(2));
+        let a = assess_native_mutex_traced(
+            |trace| ResilientMutex::standard(2, delta).with_trace(trace),
+            &cfg,
+            &tracer,
+        );
+        assert!(a.report.safe_during_failures && a.report.live_after_failures);
+        assert!(a.report.psi.0 >= 1);
+        assert!(
+            a.event_convergence.faults >= 1,
+            "the burst must fire at least one fault into the trace"
+        );
+        assert!(a.target_wait_ns >= 1_000, "target is ψ-derived, in ns");
+        // The event stream carries the acquisitions the samples were
+        // computed from.
+        assert!(!tracer.events().is_empty());
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   [`tfr_core::resilience::ResilienceReport`] as the simulator
 //!   assessment (1 tick = 1 µs).
 //!
+//! Every run has a traced variant (`run_mutex_chaos_traced`,
+//! `run_consensus_chaos_traced`, `assess_native_mutex_traced`) feeding a
+//! `tfr_telemetry::Tracer`: injection points double as trace points, fired
+//! faults become timeline events, and the assessment also reports its
+//! convergence time measured off the event stream.
+//!
 //! # Example: break Fischer, spare Algorithm 3
 //!
 //! ```
@@ -47,9 +53,12 @@ pub mod assess;
 pub mod nemesis;
 pub mod schedule;
 
-pub use assess::{assess_native_mutex, NativeAssessConfig};
+pub use assess::{
+    assess_native_mutex, assess_native_mutex_traced, NativeAssessConfig, TracedAssessment,
+};
 pub use nemesis::{
-    hunt_fischer_violation, run_consensus_chaos, run_fischer_violation, run_mutex_chaos,
-    ConsensusChaosReport, MutexChaosConfig, MutexChaosReport, ViolationSetup,
+    hunt_fischer_violation, run_consensus_chaos, run_consensus_chaos_traced, run_fischer_violation,
+    run_mutex_chaos, run_mutex_chaos_traced, ConsensusChaosReport, MutexChaosConfig,
+    MutexChaosReport, ViolationSetup,
 };
 pub use schedule::{random_schedule, shrink, ScheduleConfig};

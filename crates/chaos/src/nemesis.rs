@@ -15,14 +15,17 @@
 
 use crate::schedule::{random_schedule, ScheduleConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tfr_asynclock::RawLock;
 use tfr_core::consensus::NativeConsensus;
 use tfr_core::mutex::fischer::Fischer;
-use tfr_registers::chaos::{self, points, ChaosSession, Fault, FaultAction, FiredFault};
+use tfr_registers::chaos::{
+    self, install_point_observer, points, ChaosSession, Fault, FaultAction, FiredFault,
+};
 use tfr_registers::rng::SplitMix64;
 use tfr_registers::ProcId;
+use tfr_telemetry::{with_pid, ChaosTraceObserver, Trace, Tracer};
 
 /// Busy-holds the calling thread for `d` without touching any injection
 /// point (the workload's own dwell times must not perturb fault visit
@@ -164,6 +167,32 @@ pub fn run_mutex_chaos<L: RawLock>(
     cfg: &MutexChaosConfig,
     faults: &[Fault],
 ) -> MutexChaosReport {
+    run_mutex_chaos_inner(lock, cfg, faults, None)
+}
+
+/// [`run_mutex_chaos`] with telemetry: workers register with
+/// `tfr_telemetry::with_pid` (so `emit_current`-based layers like
+/// `AdaptiveDelta` attribute events correctly) and a
+/// [`ChaosTraceObserver`] is installed for the run, turning every
+/// injection-point visit and fired fault into trace events in `tracer`.
+///
+/// Build the lock with its own `with_trace(Trace::attached(...))` on the
+/// same tracer to get lock-level spans on the same timeline.
+pub fn run_mutex_chaos_traced<L: RawLock>(
+    lock: &L,
+    cfg: &MutexChaosConfig,
+    faults: &[Fault],
+    tracer: &Arc<Tracer>,
+) -> MutexChaosReport {
+    run_mutex_chaos_inner(lock, cfg, faults, Some(tracer))
+}
+
+fn run_mutex_chaos_inner<L: RawLock>(
+    lock: &L,
+    cfg: &MutexChaosConfig,
+    faults: &[Fault],
+    tracer: Option<&Arc<Tracer>>,
+) -> MutexChaosReport {
     assert!(
         cfg.n > 0 && cfg.n <= lock.n(),
         "workload size exceeds the lock's capacity"
@@ -175,6 +204,10 @@ pub fn run_mutex_chaos<L: RawLock>(
         );
     }
     let session = ChaosSession::install(faults);
+    // Installed after the session (and dropped before it): the observer
+    // rides inside the session's process-wide serialization.
+    let _observer =
+        tracer.map(|t| install_point_observer(Arc::new(ChaosTraceObserver::new(Arc::clone(t)))));
     let in_cs = AtomicU64::new(0);
     let max_in_cs = AtomicU64::new(0);
     let intrusions = AtomicU64::new(0);
@@ -188,30 +221,33 @@ pub fn run_mutex_chaos<L: RawLock>(
                 let (in_cs, max_in_cs, intrusions, entries) =
                     (&in_cs, &max_in_cs, &intrusions, &entries);
                 s.spawn(move || {
+                    // Registering the pid is cheap and harmless untraced;
+                    // doing it unconditionally keeps one worker body.
                     chaos::run_as(ProcId(i), || {
-                        for _ in 0..cfg.iterations {
-                            chaos::point(points::WORKLOAD_NCS);
-                            hold(cfg.ncs_hold);
-                            let t0 = Instant::now();
-                            lock.lock(ProcId(i));
-                            let entered_at = Instant::now();
-                            let now_inside = in_cs.fetch_add(1, Ordering::SeqCst) + 1;
-                            if now_inside > 1 {
-                                intrusions.fetch_add(1, Ordering::SeqCst);
+                        with_pid(ProcId(i), || {
+                            for _ in 0..cfg.iterations {
+                                chaos::point(points::WORKLOAD_NCS);
+                                hold(cfg.ncs_hold);
+                                let t0 = Instant::now();
+                                lock.lock(ProcId(i));
+                                let entered_at = Instant::now();
+                                let now_inside = in_cs.fetch_add(1, Ordering::SeqCst) + 1;
+                                if now_inside > 1 {
+                                    intrusions.fetch_add(1, Ordering::SeqCst);
+                                }
+                                max_in_cs.fetch_max(now_inside, Ordering::SeqCst);
+                                entries.lock().unwrap_or_else(|e| e.into_inner()).push(
+                                    EntrySample {
+                                        pid: ProcId(i),
+                                        entered_at,
+                                        latency: entered_at - t0,
+                                    },
+                                );
+                                hold(cfg.cs_hold);
+                                in_cs.fetch_sub(1, Ordering::SeqCst);
+                                lock.unlock(ProcId(i));
                             }
-                            max_in_cs.fetch_max(now_inside, Ordering::SeqCst);
-                            entries
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .push(EntrySample {
-                                    pid: ProcId(i),
-                                    entered_at,
-                                    latency: entered_at - t0,
-                                });
-                            hold(cfg.cs_hold);
-                            in_cs.fetch_sub(1, Ordering::SeqCst);
-                            lock.unlock(ProcId(i));
-                        }
+                        })
                     })
                 })
             })
@@ -290,9 +326,37 @@ pub fn run_consensus_chaos(
     inputs: &[bool],
     faults: &[Fault],
 ) -> ConsensusChaosReport {
+    run_consensus_chaos_inner(delta, inputs, faults, None)
+}
+
+/// [`run_consensus_chaos`] with telemetry: the consensus object is built
+/// with a trace on `tracer`, proposers register with
+/// `tfr_telemetry::with_pid` (Algorithm 1's `propose` carries no process
+/// id), and a [`ChaosTraceObserver`] turns injection-point traffic and
+/// fired faults into events on the same timeline.
+pub fn run_consensus_chaos_traced(
+    delta: Duration,
+    inputs: &[bool],
+    faults: &[Fault],
+    tracer: &Arc<Tracer>,
+) -> ConsensusChaosReport {
+    run_consensus_chaos_inner(delta, inputs, faults, Some(tracer))
+}
+
+fn run_consensus_chaos_inner(
+    delta: Duration,
+    inputs: &[bool],
+    faults: &[Fault],
+    tracer: Option<&Arc<Tracer>>,
+) -> ConsensusChaosReport {
     assert!(!inputs.is_empty(), "at least one proposer is required");
     let session = ChaosSession::install(faults);
-    let cons = NativeConsensus::new(delta);
+    let _observer =
+        tracer.map(|t| install_point_observer(Arc::new(ChaosTraceObserver::new(Arc::clone(t)))));
+    let mut cons = NativeConsensus::new(delta);
+    if let Some(t) = tracer {
+        cons = cons.with_trace(Trace::attached(Arc::clone(t)));
+    }
 
     let mut decisions = Vec::new();
     let mut crashed = Vec::new();
@@ -302,7 +366,11 @@ pub fn run_consensus_chaos(
             .enumerate()
             .map(|(i, &input)| {
                 let cons = &cons;
-                s.spawn(move || chaos::run_as(ProcId(i), move || cons.propose(input)))
+                s.spawn(move || {
+                    chaos::run_as(ProcId(i), move || {
+                        with_pid(ProcId(i), || cons.propose(input))
+                    })
+                })
             })
             .collect();
         for (i, h) in handles.into_iter().enumerate() {
@@ -528,5 +596,71 @@ mod tests {
         assert_eq!(report.final_decision, Some(true));
         assert!(report.agreement && report.validity);
         assert!(report.crashed.is_empty());
+    }
+
+    #[test]
+    fn traced_mutex_run_records_faults_and_lock_events() {
+        use tfr_telemetry::EventKind;
+        let tracer = Arc::new(Tracer::new(2));
+        let delta = Duration::from_micros(100);
+        let lock =
+            ResilientMutex::standard(2, delta).with_trace(Trace::attached(Arc::clone(&tracer)));
+        let faults = [Fault {
+            pid: ProcId(0),
+            point: points::RESILIENT_WRITE_X,
+            nth: 1,
+            action: FaultAction::Stall(delta * 10),
+        }];
+        let mut cfg = MutexChaosConfig::new(2);
+        cfg.iterations = 3;
+        let report = run_mutex_chaos_traced(&lock, &cfg, &faults, &tracer);
+        assert!(!report.mutual_exclusion_violated());
+        let events = tracer.events();
+        let fired: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FaultFired { .. }))
+            .collect();
+        assert_eq!(fired.len(), 1, "the scheduled stall appears in the trace");
+        assert_eq!(fired[0].pid, ProcId(0));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::LockAcquired { .. }))
+                .count(),
+            2 * 3,
+            "every acquisition is a traced event"
+        );
+        assert!(
+            events.iter().any(
+                |e| matches!(e.kind, EventKind::PointHit { point } if point == points::WORKLOAD_NCS)
+            ),
+            "injection points double as trace points"
+        );
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn traced_consensus_run_records_rounds_and_decision() {
+        use tfr_telemetry::EventKind;
+        let tracer = Arc::new(Tracer::new(3));
+        let report = run_consensus_chaos_traced(
+            Duration::from_micros(50),
+            &[true, false, true],
+            &[],
+            &tracer,
+        );
+        assert!(report.agreement && report.validity);
+        let events = tracer.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RoundStart { .. })));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Decided { .. }))
+                .count(),
+            3,
+            "every completing proposer traces its decision"
+        );
     }
 }

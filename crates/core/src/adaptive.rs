@@ -19,6 +19,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tfr_registers::chaos;
+use tfr_telemetry::{EventKind, Trace};
 
 /// Where a native timing-based algorithm gets its `delay(Δ)` from.
 ///
@@ -158,6 +159,7 @@ pub struct AdaptiveDelta {
     step_ns: u64,
     streak_needed: u32,
     streak: AtomicU64,
+    trace: Trace,
 }
 
 impl AdaptiveDelta {
@@ -182,7 +184,16 @@ impl AdaptiveDelta {
             step_ns: min_ns,
             streak_needed: Self::DEFAULT_STREAK,
             streak: AtomicU64::new(0),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attaches a telemetry trace: every estimate change emits an
+    /// [`EventKind::DeltaChanged`] event (attributed to the calling
+    /// thread's registered pid, see `tfr_telemetry::with_pid`).
+    pub fn with_trace(mut self, trace: Trace) -> AdaptiveDelta {
+        self.trace = trace;
+        self
     }
 
     /// Current estimate in nanoseconds (for telemetry/tests).
@@ -202,8 +213,12 @@ impl DelaySource for AdaptiveDelta {
         // Double, clamped. A racy double-double under concurrent feedback
         // only makes the estimate more conservative — safe.
         let cur = self.current_ns.load(Ordering::Relaxed);
-        self.current_ns
-            .store(cur.saturating_mul(2).min(self.max_ns), Ordering::Relaxed);
+        let next = cur.saturating_mul(2).min(self.max_ns);
+        self.current_ns.store(next, Ordering::Relaxed);
+        self.trace.emit_current(EventKind::DeltaChanged {
+            estimate_ns: next,
+            contended: true,
+        });
     }
 
     fn on_uncontended(&self) {
@@ -213,8 +228,12 @@ impl DelaySource for AdaptiveDelta {
             self.streak.store(0, Ordering::Relaxed);
             let cur = self.current_ns.load(Ordering::Relaxed);
             let step = (cur / 8).max(self.step_ns);
-            self.current_ns
-                .store(cur.saturating_sub(step).max(self.min_ns), Ordering::Relaxed);
+            let next = cur.saturating_sub(step).max(self.min_ns);
+            self.current_ns.store(next, Ordering::Relaxed);
+            self.trace.emit_current(EventKind::DeltaChanged {
+                estimate_ns: next,
+                contended: false,
+            });
         }
     }
 }

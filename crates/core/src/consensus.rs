@@ -42,6 +42,7 @@ use tfr_registers::chaos;
 use tfr_registers::native::{precise_delay, UnboundedAtomicArray};
 use tfr_registers::spec::{Action, Automaton, Obs};
 use tfr_registers::{ProcId, RegId, Ticks};
+use tfr_telemetry::{EventKind, Trace};
 
 /// Encodes a boolean consensus value into a register (`⊥` is 0).
 #[inline]
@@ -311,6 +312,7 @@ pub struct NativeConsensus {
     x: UnboundedAtomicArray,
     /// `y[r]` at index `r − 1`.
     y: UnboundedAtomicArray,
+    trace: Trace,
 }
 
 impl NativeConsensus {
@@ -321,7 +323,17 @@ impl NativeConsensus {
             decide: AtomicU64::new(0),
             x: UnboundedAtomicArray::with_capacity(64),
             y: UnboundedAtomicArray::with_capacity(32),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attaches a telemetry trace: round starts, `delay(Δ)` spans and the
+    /// decision become events. `propose` takes no process id, so events
+    /// are attributed to the calling thread's registered pid (see
+    /// `tfr_telemetry::with_pid`); unregistered callers emit nothing.
+    pub fn with_trace(mut self, trace: Trace) -> NativeConsensus {
+        self.trace = trace;
+        self
     }
 
     #[inline]
@@ -340,8 +352,14 @@ impl NativeConsensus {
             chaos::point(chaos::points::CONSENSUS_ROUND);
             let d = self.decide.load(Ordering::SeqCst);
             if d != 0 {
-                return dec(d);
+                let value = dec(d);
+                self.trace.emit_current(EventKind::Decided {
+                    value: value as u64,
+                });
+                return value;
             }
+            self.trace
+                .emit_current(EventKind::RoundStart { round: r as u64 });
             self.x.store(Self::xi(r, v), 1);
             if self.y.load(r - 1) == 0 {
                 self.y.store(r - 1, enc(v));
@@ -351,7 +369,11 @@ impl NativeConsensus {
                 self.decide.store(enc(v), Ordering::SeqCst);
                 continue; // the loop check reads `decide` and returns
             }
+            self.trace.emit_current(EventKind::DelayStart {
+                requested_ns: self.delta.as_nanos() as u64,
+            });
             precise_delay(self.delta);
+            self.trace.emit_current(EventKind::DelayEnd);
             let raw = self.y.load(r - 1);
             if raw != 0 {
                 v = dec(raw);

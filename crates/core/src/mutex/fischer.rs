@@ -27,6 +27,7 @@ use tfr_registers::chaos;
 use tfr_registers::native::precise_delay;
 use tfr_registers::spec::Action;
 use tfr_registers::{ProcId, RegId, Ticks};
+use tfr_telemetry::{EventKind, Trace};
 
 // ---------------------------------------------------------------------
 // Specification form
@@ -179,6 +180,7 @@ pub struct Fischer<D = Duration> {
     n: usize,
     x: AtomicU64,
     delay: D,
+    trace: Trace,
 }
 
 impl Fischer<Duration> {
@@ -193,6 +195,7 @@ impl Fischer<Duration> {
             n,
             x: AtomicU64::new(0),
             delay: delta,
+            trace: Trace::disabled(),
         }
     }
 }
@@ -210,7 +213,15 @@ impl<D: DelaySource> Fischer<D> {
             n,
             x: AtomicU64::new(0),
             delay: source,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attaches a telemetry trace: entry waits, `delay(Δ)` spans, retries
+    /// and acquire/release become events on the calling process's track.
+    pub fn with_trace(mut self, trace: Trace) -> Fischer<D> {
+        self.trace = trace;
+        self
     }
 }
 
@@ -218,6 +229,10 @@ impl<D: DelaySource> RawLock for Fischer<D> {
     fn lock(&self, pid: ProcId) {
         assert!(pid.0 < self.n, "pid out of range");
         let tok = pid.token();
+        // `wait_t0` is Some only when tracing, so the disabled cost stays
+        // at one Option check per hook.
+        let wait_t0 = self.trace.now_ns();
+        self.trace.emit(pid, EventKind::LockWaitStart);
         loop {
             while self.x.load(Ordering::SeqCst) != 0 {
                 std::thread::yield_now();
@@ -226,19 +241,43 @@ impl<D: DelaySource> RawLock for Fischer<D> {
             // §3.1 timing failure that breaks Fischer's argument.
             chaos::point(chaos::points::FISCHER_WRITE_X);
             self.x.store(tok, Ordering::SeqCst);
-            precise_delay(self.delay.current_delay());
+            let d = self.delay.current_delay();
+            self.trace.emit(
+                pid,
+                EventKind::DelayStart {
+                    requested_ns: d.as_nanos() as u64,
+                },
+            );
+            precise_delay(d);
+            self.trace.emit(pid, EventKind::DelayEnd);
             chaos::point(chaos::points::FISCHER_CHECK_X);
             if self.x.load(Ordering::SeqCst) == tok {
                 self.delay.on_uncontended();
+                if let Some(t0) = wait_t0 {
+                    let now = self.trace.now_ns().unwrap_or(t0);
+                    self.trace.emit(
+                        pid,
+                        EventKind::LockAcquired {
+                            wait_ns: now.saturating_sub(t0),
+                        },
+                    );
+                }
                 return;
             }
+            self.trace.emit(
+                pid,
+                EventKind::Retry {
+                    point: chaos::points::FISCHER_CHECK_X,
+                },
+            );
             self.delay.on_contended();
         }
     }
 
-    fn unlock(&self, _pid: ProcId) {
+    fn unlock(&self, pid: ProcId) {
         chaos::point(chaos::points::FISCHER_EXIT);
         self.x.store(0, Ordering::SeqCst);
+        self.trace.emit(pid, EventKind::LockReleased);
     }
 
     fn n(&self) -> usize {

@@ -42,6 +42,7 @@ use tfr_registers::chaos;
 use tfr_registers::native::precise_delay;
 use tfr_registers::spec::Action;
 use tfr_registers::{ProcId, RegId, Ticks};
+use tfr_telemetry::{EventKind, Trace};
 
 // ---------------------------------------------------------------------
 // Specification form
@@ -294,6 +295,7 @@ pub struct ResilientMutex<A, D = Duration> {
     n: usize,
     x: AtomicU64,
     delay: D,
+    trace: Trace,
 }
 
 impl ResilientMutex<StarvationFree<LamportFast>, Duration> {
@@ -337,7 +339,16 @@ impl<A: RawLock, D: DelaySource> ResilientMutex<A, D> {
             n,
             x: AtomicU64::new(0),
             delay: source,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attaches a telemetry trace: entry waits, `delay(Δ)` spans, Fischer
+    /// retries and acquire/release become events on the calling process's
+    /// track.
+    pub fn with_trace(mut self, trace: Trace) -> ResilientMutex<A, D> {
+        self.trace = trace;
+        self
     }
 }
 
@@ -345,6 +356,10 @@ impl<A: RawLock, D: DelaySource> RawLock for ResilientMutex<A, D> {
     fn lock(&self, pid: ProcId) {
         assert!(pid.0 < self.n, "pid out of range");
         let tok = pid.token();
+        // `wait_t0` is Some only when tracing, so the disabled cost stays
+        // at one Option check per hook.
+        let wait_t0 = self.trace.now_ns();
+        self.trace.emit(pid, EventKind::LockWaitStart);
         loop {
             while self.x.load(Ordering::SeqCst) != 0 {
                 std::thread::yield_now();
@@ -353,15 +368,38 @@ impl<A: RawLock, D: DelaySource> RawLock for ResilientMutex<A, D> {
             // NOT break mutual exclusion (that is what resilience means).
             chaos::point(chaos::points::RESILIENT_WRITE_X);
             self.x.store(tok, Ordering::SeqCst);
-            precise_delay(self.delay.current_delay());
+            let d = self.delay.current_delay();
+            self.trace.emit(
+                pid,
+                EventKind::DelayStart {
+                    requested_ns: d.as_nanos() as u64,
+                },
+            );
+            precise_delay(d);
+            self.trace.emit(pid, EventKind::DelayEnd);
             if self.x.load(Ordering::SeqCst) == tok {
                 self.delay.on_uncontended();
                 break;
             }
+            self.trace.emit(
+                pid,
+                EventKind::Retry {
+                    point: chaos::points::RESILIENT_WRITE_X,
+                },
+            );
             self.delay.on_contended();
         }
         chaos::point(chaos::points::RESILIENT_INNER);
         self.inner.lock(pid);
+        if let Some(t0) = wait_t0 {
+            let now = self.trace.now_ns().unwrap_or(t0);
+            self.trace.emit(
+                pid,
+                EventKind::LockAcquired {
+                    wait_ns: now.saturating_sub(t0),
+                },
+            );
+        }
     }
 
     fn unlock(&self, pid: ProcId) {
@@ -372,6 +410,7 @@ impl<A: RawLock, D: DelaySource> RawLock for ResilientMutex<A, D> {
         if self.x.load(Ordering::SeqCst) == pid.token() {
             self.x.store(0, Ordering::SeqCst);
         }
+        self.trace.emit(pid, EventKind::LockReleased);
     }
 
     fn n(&self) -> usize {

@@ -1,0 +1,223 @@
+//! Exact Δ-estimate trajectories for the `optimistic(Δ)` tuners (§3.3),
+//! with the telemetry event stream as the oracle for [`AdaptiveDelta`]:
+//! every estimate change must land on the trace, in order, with the exact
+//! new value — so the trace is a faithful replay of the tuner's history,
+//! not an approximation of it.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tfr_core::adaptive::{AdaptiveDelta, AimdPolicy, DelaySource};
+use tfr_registers::rng::SplitMix64;
+use tfr_registers::ProcId;
+use tfr_telemetry::{with_pid, EventKind, Trace, Tracer};
+
+/// The pure policy follows the exact multiplicative-increase /
+/// additive-decrease recurrence, step by step.
+#[test]
+fn aimd_policy_exact_trajectory() {
+    // initial 100, bounds [10, 1000], step 30, streak 2.
+    let mut p = AimdPolicy::new(100, 10, 1000, 30, 2);
+    let script: [(bool, u64); 10] = [
+        (false, 200),  // ×2
+        (false, 400),  // ×2
+        (true, 400),   // streak 1/2: unchanged
+        (true, 370),   // streak 2/2: −30
+        (true, 370),   // streak restarts: 1/2
+        (false, 740),  // failure resets the streak and doubles
+        (true, 740),   // 1/2 again — the pre-failure streak is gone
+        (true, 710),   // 2/2: −30
+        (false, 1000), // 710×2 = 1420, clamped at max
+        (true, 1000),  // 1/2
+    ];
+    for (i, (success, expect)) in script.iter().enumerate() {
+        if *success {
+            p.on_success();
+        } else {
+            p.on_failure();
+        }
+        assert_eq!(
+            p.current(),
+            *expect,
+            "step {i} diverged from the recurrence"
+        );
+    }
+}
+
+/// What [`AdaptiveDelta`] must do, re-derived independently: doubling on
+/// contention (clamped at `max`), and after every `streak` clean ops a
+/// proportional decrease of `max(current/8, min)` (clamped at `min`).
+struct ModelDelta {
+    current: u64,
+    min: u64,
+    max: u64,
+    streak: u32,
+}
+
+impl ModelDelta {
+    /// Applies one feedback op; returns the emitted estimate if the
+    /// tuner's value changed (i.e. if a `DeltaChanged` event is due).
+    fn apply(&mut self, contended: bool) -> Option<(u64, bool)> {
+        if contended {
+            self.streak = 0;
+            self.current = self.current.saturating_mul(2).min(self.max);
+            Some((self.current, true))
+        } else {
+            self.streak += 1;
+            if self.streak >= 8 {
+                self.streak = 0;
+                let step = (self.current / 8).max(self.min);
+                self.current = self.current.saturating_sub(step).max(self.min);
+                Some((self.current, false))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Deterministic script: the event stream carries the exact estimate
+/// trajectory — values, direction flags, and order.
+#[test]
+fn adaptive_delta_event_stream_matches_exact_trajectory() {
+    let tracer = Arc::new(Tracer::new(1));
+    let est = AdaptiveDelta::new(
+        Duration::from_micros(100),
+        Duration::from_micros(10),
+        Duration::from_millis(10),
+    )
+    .with_trace(Trace::attached(Arc::clone(&tracer)));
+
+    with_pid(ProcId(0), || {
+        est.on_contended(); // 100µs → 200µs
+        est.on_contended(); // → 400µs
+        for _ in 0..8 {
+            est.on_uncontended(); // streak fires: 400µs − 400µs/8 = 350µs
+        }
+        for _ in 0..8 {
+            est.on_uncontended(); // 350µs − 43.75µs = 306.25µs
+        }
+        est.on_contended(); // → 612.5µs
+        for _ in 0..7 {
+            est.on_uncontended(); // incomplete streak: no event
+        }
+    });
+
+    let trajectory: Vec<(u64, bool)> = tracer
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::DeltaChanged {
+                estimate_ns,
+                contended,
+            } => Some((estimate_ns, contended)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        trajectory,
+        vec![
+            (200_000, true),
+            (400_000, true),
+            (350_000, false),
+            (306_250, false),
+            (612_500, true),
+        ],
+        "the trace must replay the tuner's exact history"
+    );
+    assert_eq!(
+        est.current_ns(),
+        612_500,
+        "final state agrees with the trace"
+    );
+    assert_eq!(tracer.dropped(), 0, "the oracle must be lossless");
+}
+
+/// Randomized single-threaded agreement: for any seeded feedback
+/// sequence, the event stream equals the independent model's prediction
+/// event-for-event, and the live estimate tracks the last event.
+#[test]
+fn adaptive_delta_event_stream_matches_model_on_random_scripts() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xDE17_A000 + case);
+        let tracer = Arc::new(Tracer::new(1));
+        let est = AdaptiveDelta::new(
+            Duration::from_micros(50),
+            Duration::from_micros(5),
+            Duration::from_micros(800),
+        )
+        .with_trace(Trace::attached(Arc::clone(&tracer)));
+        let mut model = ModelDelta {
+            current: 50_000,
+            min: 5_000,
+            max: 800_000,
+            streak: 0,
+        };
+
+        let mut expected = Vec::new();
+        with_pid(ProcId(0), || {
+            for _ in 0..rng.random_range(1..=400) {
+                let contended = rng.random_bool(0.25);
+                if contended {
+                    est.on_contended();
+                } else {
+                    est.on_uncontended();
+                }
+                if let Some(change) = model.apply(contended) {
+                    expected.push(change);
+                }
+            }
+        });
+
+        let got: Vec<(u64, bool)> = tracer
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::DeltaChanged {
+                    estimate_ns,
+                    contended,
+                } => Some((estimate_ns, contended)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(got, expected, "case {case}: trace diverged from the model");
+        assert_eq!(
+            est.current_ns(),
+            model.current,
+            "case {case}: final estimate diverged"
+        );
+        assert_eq!(tracer.dropped(), 0, "case {case}: oracle dropped events");
+    }
+}
+
+/// A detached trace changes nothing about the trajectory itself: the same
+/// script lands on the same final estimate with and without telemetry.
+#[test]
+fn tracing_does_not_perturb_the_trajectory() {
+    let tracer = Arc::new(Tracer::new(1));
+    let traced = AdaptiveDelta::new(
+        Duration::from_micros(100),
+        Duration::from_micros(10),
+        Duration::from_millis(1),
+    )
+    .with_trace(Trace::attached(Arc::clone(&tracer)));
+    let plain = AdaptiveDelta::new(
+        Duration::from_micros(100),
+        Duration::from_micros(10),
+        Duration::from_millis(1),
+    );
+
+    let mut rng = SplitMix64::new(0xDE17_AFFF);
+    with_pid(ProcId(0), || {
+        for _ in 0..500 {
+            if rng.random_bool(0.4) {
+                traced.on_contended();
+                plain.on_contended();
+            } else {
+                traced.on_uncontended();
+                plain.on_uncontended();
+            }
+            assert_eq!(traced.current_ns(), plain.current_ns());
+        }
+    });
+    assert_eq!(traced.current_delay(), plain.current_delay());
+}

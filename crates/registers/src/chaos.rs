@@ -39,7 +39,7 @@ use crate::ProcId;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
@@ -212,12 +212,23 @@ impl FaultInjector {
 // Global session state
 // --------------------------------------------------------------------
 
-/// Fast-path gate: points return immediately unless a session is active.
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Fast-path gate: points return immediately while this is zero. Bit 0 is
+/// set while a [`ChaosSession`] is installed; bit 1 while a
+/// [`PointObserver`] is installed. Keeping both consumers behind one byte
+/// keeps the disarmed cost of [`point`] at a single relaxed load.
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+
+const FLAG_CHAOS: u8 = 1 << 0;
+const FLAG_OBSERVER: u8 = 1 << 1;
 
 fn active_cell() -> &'static RwLock<Option<Arc<FaultInjector>>> {
     static ACTIVE: OnceLock<RwLock<Option<Arc<FaultInjector>>>> = OnceLock::new();
     ACTIVE.get_or_init(|| RwLock::new(None))
+}
+
+fn observer_cell() -> &'static RwLock<Option<Arc<dyn PointObserver>>> {
+    static OBSERVER: OnceLock<RwLock<Option<Arc<dyn PointObserver>>>> = OnceLock::new();
+    OBSERVER.get_or_init(|| RwLock::new(None))
 }
 
 fn session_mutex() -> &'static Mutex<()> {
@@ -254,7 +265,7 @@ impl ChaosSession {
         let guard = session_mutex().lock().unwrap_or_else(|e| e.into_inner());
         let injector = Arc::new(FaultInjector::new(faults));
         *active_cell().write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&injector));
-        ENABLED.store(true, Ordering::SeqCst);
+        FLAGS.fetch_or(FLAG_CHAOS, Ordering::SeqCst);
         ChaosSession {
             injector,
             _serialize: guard,
@@ -269,9 +280,63 @@ impl ChaosSession {
 
 impl Drop for ChaosSession {
     fn drop(&mut self) {
-        ENABLED.store(false, Ordering::SeqCst);
+        FLAGS.fetch_and(!FLAG_CHAOS, Ordering::SeqCst);
         *active_cell().write().unwrap_or_else(|e| e.into_inner()) = None;
     }
+}
+
+/// A passive listener on the injection-point stream.
+///
+/// Observers see every point visit by [`run_as`]-registered threads and
+/// every fault that fires, *on the visiting thread itself* — so a
+/// per-process single-writer recorder (like `tfr-telemetry`'s tracer) can
+/// consume the callbacks without extra synchronization. Unregistered
+/// threads never reach an observer.
+///
+/// Callbacks run inside protocol hot paths; implementations should be
+/// wait-free and must not themselves hit injection points.
+pub trait PointObserver: Send + Sync {
+    /// A registered thread reached `point` (fires whether or not a fault
+    /// is scheduled there).
+    fn point_hit(&self, pid: ProcId, point: &'static str);
+
+    /// A fault fired at `point`. For stalls, the callback runs after the
+    /// stall completes and `stalled` is its duration; for crash-stops it
+    /// runs just before the unwind with `crashed = true`.
+    fn fault_fired(&self, pid: ProcId, point: &'static str, stalled: Duration, crashed: bool);
+}
+
+/// Keeps a [`PointObserver`] installed; dropping it disarms the callbacks.
+#[must_use = "the observer disarms when dropped"]
+pub struct ObserverGuard {
+    _private: (),
+}
+
+impl Drop for ObserverGuard {
+    fn drop(&mut self) {
+        FLAGS.fetch_and(!FLAG_OBSERVER, Ordering::SeqCst);
+        *observer_cell().write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// Installs `observer` as the process-global point listener. At most one
+/// observer is active at a time; installing replaces the current one.
+/// Observers work with or without a [`ChaosSession`], but callers that
+/// want exclusivity should hold a session (sessions are serialized).
+pub fn install_point_observer(observer: Arc<dyn PointObserver>) -> ObserverGuard {
+    *observer_cell().write().unwrap_or_else(|e| e.into_inner()) = Some(observer);
+    FLAGS.fetch_or(FLAG_OBSERVER, Ordering::SeqCst);
+    ObserverGuard { _private: () }
+}
+
+fn current_observer() -> Option<Arc<dyn PointObserver>> {
+    if FLAGS.load(Ordering::Relaxed) & FLAG_OBSERVER == 0 {
+        return None;
+    }
+    observer_cell()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
 }
 
 /// The unwind payload of a crash-stop. Private to the mechanism: it only
@@ -341,10 +406,10 @@ pub fn run_as<T>(pid: ProcId, f: impl FnOnce() -> T) -> ThreadOutcome<T> {
 }
 
 /// An injection point. Protocol code calls this at its named steps; the
-/// cost with no active session is one relaxed atomic load.
+/// cost with no active session or observer is one relaxed atomic load.
 #[inline]
 pub fn point(name: &'static str) {
-    if !ENABLED.load(Ordering::Relaxed) {
+    if FLAGS.load(Ordering::Relaxed) == 0 {
         return;
     }
     point_armed(name);
@@ -361,6 +426,13 @@ fn point_armed(name: &'static str) {
         Some((ctx.pid, *visit))
     });
     let Some((pid, visit)) = hit else { return };
+    let observer = current_observer();
+    if let Some(obs) = &observer {
+        obs.point_hit(ProcId(pid), name);
+    }
+    if FLAGS.load(Ordering::Relaxed) & FLAG_CHAOS == 0 {
+        return;
+    }
     let Some(injector) = active_cell()
         .read()
         .unwrap_or_else(|e| e.into_inner())
@@ -381,9 +453,15 @@ fn point_armed(name: &'static str) {
         FaultAction::Stall(d) => {
             stall_for(d);
             injector.record(fault);
+            if let Some(obs) = &observer {
+                obs.fault_fired(ProcId(pid), name, d, false);
+            }
         }
         FaultAction::Crash => {
             injector.record(fault);
+            if let Some(obs) = &observer {
+                obs.fault_fired(ProcId(pid), name, Duration::ZERO, true);
+            }
             panic::panic_any(CrashToken);
         }
     }
@@ -508,6 +586,59 @@ mod tests {
             run_as(ProcId(0), || panic!("real bug"));
         });
         assert!(result.is_err(), "non-crash panics must not be swallowed");
+    }
+
+    #[test]
+    fn observer_sees_hits_and_faults_until_disarmed() {
+        struct Rec {
+            hits: Mutex<Vec<(usize, &'static str)>>,
+            faults: Mutex<Vec<(&'static str, Duration, bool)>>,
+        }
+        impl PointObserver for Rec {
+            fn point_hit(&self, pid: ProcId, point: &'static str) {
+                self.hits.lock().unwrap().push((pid.0, point));
+            }
+            fn fault_fired(
+                &self,
+                _pid: ProcId,
+                point: &'static str,
+                stalled: Duration,
+                crashed: bool,
+            ) {
+                self.faults.lock().unwrap().push((point, stalled, crashed));
+            }
+        }
+        // Hold a session throughout: sessions serialize chaos tests, so no
+        // other test's registered threads can reach our observer.
+        let _session = ChaosSession::install(&[Fault {
+            pid: ProcId(0),
+            point: points::DELAY,
+            nth: 2,
+            action: FaultAction::Stall(Duration::from_millis(1)),
+        }]);
+        let rec = Arc::new(Rec {
+            hits: Mutex::new(Vec::new()),
+            faults: Mutex::new(Vec::new()),
+        });
+        let guard = install_point_observer(rec.clone());
+        // Unregistered threads never reach the observer.
+        point(points::DELAY);
+        run_as(ProcId(0), || {
+            point(points::DELAY);
+            point(points::DELAY);
+        });
+        assert_eq!(
+            *rec.hits.lock().unwrap(),
+            vec![(0, points::DELAY), (0, points::DELAY)]
+        );
+        let faults = rec.faults.lock().unwrap().clone();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].0, points::DELAY);
+        assert_eq!(faults[0].1, Duration::from_millis(1));
+        assert!(!faults[0].2);
+        drop(guard);
+        run_as(ProcId(0), || point(points::DELAY));
+        assert_eq!(rec.hits.lock().unwrap().len(), 2, "disarmed after drop");
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Emits the Trace Event Format (the `{"traceEvents": [...]}` JSON that
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev) load
+//! directly): one *trace process* per added run, one *trace thread* per
+//! [`ProcId`], complete (`"X"`) spans for delays / entry sections /
+//! critical sections, instant (`"i"`) markers for retries, faults,
+//! decisions and point hits, and a counter (`"C"`) track following the
+//! AIMD Δ estimate over time.
+//!
+//! Timestamps in the format are microseconds; events carry nanoseconds,
+//! so exported `ts` values are fractional µs (allowed by the format).
+
+use crate::event::{Event, EventKind};
+use crate::json::Json;
+use std::collections::BTreeMap;
+use tfr_registers::ProcId;
+
+fn us(ts_ns: u64) -> Json {
+    Json::Num(ts_ns as f64 / 1_000.0)
+}
+
+fn base(name: String, ph: &str, pid: u64, tid: usize, ts_ns: u64) -> Vec<(String, Json)> {
+    vec![
+        ("name".to_string(), Json::Str(name)),
+        ("ph".to_string(), Json::str(ph)),
+        ("pid".to_string(), Json::Num(pid as f64)),
+        ("tid".to_string(), Json::Num(tid as f64)),
+        ("ts".to_string(), us(ts_ns)),
+    ]
+}
+
+fn complete(name: String, pid: u64, tid: usize, start_ns: u64, end_ns: u64, args: Json) -> Json {
+    let mut ev = base(name, "X", pid, tid, start_ns);
+    ev.push(("dur".to_string(), us(end_ns.saturating_sub(start_ns))));
+    ev.push(("args".to_string(), args));
+    Json::Obj(ev)
+}
+
+fn instant(name: String, pid: u64, tid: usize, ts_ns: u64, args: Json) -> Json {
+    let mut ev = base(name, "i", pid, tid, ts_ns);
+    ev.push(("s".to_string(), Json::str("t")));
+    ev.push(("args".to_string(), args));
+    Json::Obj(ev)
+}
+
+fn metadata(name: &str, pid: u64, tid: usize, label: String) -> Json {
+    let mut ev = base(name.to_string(), "M", pid, tid, 0);
+    ev.push(("args".to_string(), Json::obj([("name", Json::Str(label))])));
+    Json::Obj(ev)
+}
+
+/// Builds one combined Chrome trace out of any number of runs — native
+/// and simulated timelines side by side in one viewer.
+///
+/// # Example
+///
+/// ```
+/// use tfr_telemetry::chrome::ChromeTraceBuilder;
+/// use tfr_telemetry::json::Json;
+/// use tfr_telemetry::{Event, EventKind};
+/// use tfr_registers::ProcId;
+///
+/// let events = [
+///     Event { ts_ns: 0, pid: ProcId(0), kind: EventKind::LockWaitStart },
+///     Event { ts_ns: 2_000, pid: ProcId(0), kind: EventKind::LockAcquired { wait_ns: 2_000 } },
+///     Event { ts_ns: 5_000, pid: ProcId(0), kind: EventKind::LockReleased },
+/// ];
+/// let mut builder = ChromeTraceBuilder::new();
+/// builder.add_run("native resilient-mutex", &events);
+/// let text = builder.render();
+/// // The export is valid JSON with a non-empty traceEvents array.
+/// let parsed = Json::parse(&text).unwrap();
+/// assert!(!parsed.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<Json>,
+    next_pid: u64,
+}
+
+impl ChromeTraceBuilder {
+    /// An empty builder.
+    pub fn new() -> ChromeTraceBuilder {
+        ChromeTraceBuilder::default()
+    }
+
+    /// Adds one run as its own trace process named `name`. Events must be
+    /// a merged timeline (sorted by `ts_ns`, as [`crate::Tracer::events`]
+    /// returns).
+    pub fn add_run(&mut self, name: &str, events: &[Event]) -> &mut ChromeTraceBuilder {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.events
+            .push(metadata("process_name", pid, 0, name.to_string()));
+
+        let mut seen_tids: BTreeMap<usize, ()> = BTreeMap::new();
+        // Per-process open spans, closed by the matching end event.
+        let mut delay_open: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+        let mut wait_open: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut cs_open: BTreeMap<usize, u64> = BTreeMap::new();
+
+        for e in events {
+            let ProcId(tid) = e.pid;
+            if seen_tids.insert(tid, ()).is_none() {
+                self.events
+                    .push(metadata("thread_name", pid, tid, format!("p{tid}")));
+            }
+            match e.kind {
+                EventKind::DelayStart { requested_ns } => {
+                    delay_open.insert(tid, (e.ts_ns, requested_ns));
+                }
+                EventKind::DelayEnd => {
+                    if let Some((start, requested_ns)) = delay_open.remove(&tid) {
+                        self.events.push(complete(
+                            "delay(Δ)".to_string(),
+                            pid,
+                            tid,
+                            start,
+                            e.ts_ns,
+                            Json::obj([("requested_ns", Json::Num(requested_ns as f64))]),
+                        ));
+                    }
+                }
+                EventKind::LockWaitStart => {
+                    wait_open.insert(tid, e.ts_ns);
+                }
+                EventKind::LockAcquired { wait_ns } => {
+                    let start = wait_open
+                        .remove(&tid)
+                        .unwrap_or(e.ts_ns.saturating_sub(wait_ns));
+                    self.events.push(complete(
+                        "entry".to_string(),
+                        pid,
+                        tid,
+                        start,
+                        e.ts_ns,
+                        Json::obj([("wait_ns", Json::Num(wait_ns as f64))]),
+                    ));
+                    cs_open.insert(tid, e.ts_ns);
+                }
+                EventKind::LockReleased => {
+                    if let Some(start) = cs_open.remove(&tid) {
+                        self.events.push(complete(
+                            "critical section".to_string(),
+                            pid,
+                            tid,
+                            start,
+                            e.ts_ns,
+                            Json::obj([] as [(&str, Json); 0]),
+                        ));
+                    }
+                }
+                EventKind::DeltaChanged {
+                    estimate_ns,
+                    contended,
+                } => {
+                    // An instant marker on the thread's own track…
+                    self.events.push(instant(
+                        e.kind.label(),
+                        pid,
+                        tid,
+                        e.ts_ns,
+                        Json::obj([
+                            ("estimate_ns", Json::Num(estimate_ns as f64)),
+                            ("contended", Json::Bool(contended)),
+                        ]),
+                    ));
+                    // …and a counter sample so Perfetto draws the estimate
+                    // as a curve over time.
+                    let mut ev = base("Δ estimate (ns)".to_string(), "C", pid, tid, e.ts_ns);
+                    ev.push((
+                        "args".to_string(),
+                        Json::obj([("estimate_ns", Json::Num(estimate_ns as f64))]),
+                    ));
+                    self.events.push(Json::Obj(ev));
+                }
+                EventKind::FaultFired {
+                    point,
+                    stall_ns,
+                    crashed,
+                } => {
+                    self.events.push(instant(
+                        e.kind.label(),
+                        pid,
+                        tid,
+                        e.ts_ns,
+                        Json::obj([
+                            ("point", Json::str(point)),
+                            ("stall_ns", Json::Num(stall_ns as f64)),
+                            ("crashed", Json::Bool(crashed)),
+                        ]),
+                    ));
+                }
+                EventKind::RegRead { .. }
+                | EventKind::RegWrite { .. }
+                | EventKind::RegCas { .. }
+                | EventKind::Retry { .. }
+                | EventKind::RoundStart { .. }
+                | EventKind::Decided { .. }
+                | EventKind::PointHit { .. }
+                | EventKind::Mark { .. } => {
+                    self.events.push(instant(
+                        e.kind.label(),
+                        pid,
+                        tid,
+                        e.ts_ns,
+                        Json::obj([] as [(&str, Json); 0]),
+                    ));
+                }
+            }
+        }
+
+        // A crash-stopped thread can leave spans open; render them as
+        // zero-length markers so nothing silently disappears.
+        for (tid, (start, _)) in delay_open {
+            self.events.push(instant(
+                "delay (unfinished)".to_string(),
+                pid,
+                tid,
+                start,
+                Json::obj([] as [(&str, Json); 0]),
+            ));
+        }
+        for (tid, start) in wait_open {
+            self.events.push(instant(
+                "entry (unfinished)".to_string(),
+                pid,
+                tid,
+                start,
+                Json::obj([] as [(&str, Json); 0]),
+            ));
+        }
+        for (tid, start) in cs_open {
+            self.events.push(instant(
+                "critical section (unfinished)".to_string(),
+                pid,
+                tid,
+                start,
+                Json::obj([] as [(&str, Json); 0]),
+            ));
+        }
+        self
+    }
+
+    /// Number of emitted trace records so far (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The trace as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("traceEvents", Json::Arr(self.events.clone())),
+            ("displayTimeUnit", Json::str("ns")),
+        ])
+    }
+
+    /// The trace serialized for writing to a `.json` file.
+    pub fn render(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: u64, pid: usize, kind: EventKind) -> Event {
+        Event {
+            ts_ns,
+            pid: ProcId(pid),
+            kind,
+        }
+    }
+
+    fn events_named<'a>(json: &'a Json, name: &str) -> Vec<&'a Json> {
+        json.get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .collect()
+    }
+
+    #[test]
+    fn runs_become_separate_trace_processes() {
+        let mut b = ChromeTraceBuilder::new();
+        b.add_run("native", &[ev(0, 0, EventKind::LockWaitStart)]);
+        b.add_run("sim", &[ev(0, 0, EventKind::RoundStart { round: 1 })]);
+        let json = b.to_json();
+        let meta = events_named(&json, "process_name");
+        assert_eq!(meta.len(), 2);
+        let pids: Vec<f64> = meta
+            .iter()
+            .map(|m| m.get("pid").unwrap().as_num().unwrap())
+            .collect();
+        assert_ne!(pids[0], pids[1]);
+    }
+
+    #[test]
+    fn spans_pair_start_and_end() {
+        let mut b = ChromeTraceBuilder::new();
+        b.add_run(
+            "r",
+            &[
+                ev(1_000, 0, EventKind::DelayStart { requested_ns: 500 }),
+                ev(3_000, 0, EventKind::DelayEnd),
+            ],
+        );
+        let json = b.to_json();
+        let spans = events_named(&json, "delay(Δ)");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(spans[0].get("ts").unwrap().as_num(), Some(1.0));
+        assert_eq!(spans[0].get("dur").unwrap().as_num(), Some(2.0));
+    }
+
+    #[test]
+    fn cs_span_runs_from_acquire_to_release() {
+        let mut b = ChromeTraceBuilder::new();
+        b.add_run(
+            "r",
+            &[
+                ev(0, 1, EventKind::LockWaitStart),
+                ev(4_000, 1, EventKind::LockAcquired { wait_ns: 4_000 }),
+                ev(9_000, 1, EventKind::LockReleased),
+            ],
+        );
+        let json = b.to_json();
+        assert_eq!(events_named(&json, "entry").len(), 1);
+        let cs = events_named(&json, "critical section");
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].get("dur").unwrap().as_num(), Some(5.0));
+    }
+
+    #[test]
+    fn delta_changes_get_a_counter_track() {
+        let mut b = ChromeTraceBuilder::new();
+        b.add_run(
+            "r",
+            &[ev(
+                100,
+                0,
+                EventKind::DeltaChanged {
+                    estimate_ns: 2_000,
+                    contended: true,
+                },
+            )],
+        );
+        let json = b.to_json();
+        let counters = events_named(&json, "Δ estimate (ns)");
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].get("ph").unwrap().as_str(), Some("C"));
+    }
+
+    #[test]
+    fn unfinished_spans_surface_as_markers() {
+        let mut b = ChromeTraceBuilder::new();
+        b.add_run("r", &[ev(0, 0, EventKind::LockWaitStart)]);
+        let json = b.to_json();
+        assert_eq!(events_named(&json, "entry (unfinished)").len(), 1);
+    }
+
+    #[test]
+    fn render_parses_back() {
+        let mut b = ChromeTraceBuilder::new();
+        b.add_run(
+            "r",
+            &[ev(
+                10,
+                0,
+                EventKind::FaultFired {
+                    point: "delay.pre",
+                    stall_ns: 7,
+                    crashed: false,
+                },
+            )],
+        );
+        let parsed = Json::parse(&b.render()).unwrap();
+        assert!(!parsed
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! The typed event schema shared by the native and simulated stacks.
+//!
+//! Every event is a `(timestamp, process, kind)` triple. Timestamps are
+//! nanoseconds from the owning [`crate::Tracer`]'s epoch for native runs,
+//! and `tick × 1000` for simulator runs (the workspace convention is
+//! 1 tick = 1 µs, so both stacks land on the same scale and can share one
+//! timeline in a trace viewer).
+
+use tfr_registers::ProcId;
+
+/// One traced occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds from the tracer's epoch (native) or `tick × 1000`
+    /// (simulator).
+    pub ts_ns: u64,
+    /// The process the event belongs to.
+    pub pid: ProcId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The vocabulary of traced occurrences across every layer.
+///
+/// The schema is deliberately small and `Copy`: an event must fit in a
+/// fixed-size ring-buffer slot, so payloads are ids and integers, never
+/// heap data. Point and mark names are `&'static str` — the same interned
+/// names the chaos layer already uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A shared register was read.
+    RegRead {
+        /// The register id.
+        reg: u64,
+    },
+    /// A shared register was written.
+    RegWrite {
+        /// The register id.
+        reg: u64,
+        /// The value written.
+        value: u64,
+    },
+    /// A compare-and-swap on a shared register (reserved: the paper's
+    /// model is read/write registers, but derived objects may grow CAS).
+    RegCas {
+        /// The register id.
+        reg: u64,
+        /// Whether the CAS succeeded.
+        ok: bool,
+    },
+    /// A `delay(d)` statement started.
+    DelayStart {
+        /// The requested duration in nanoseconds.
+        requested_ns: u64,
+    },
+    /// The matching `delay(d)` finished (on real hardware, possibly much
+    /// later than requested — that overshoot *is* a timing failure).
+    DelayEnd,
+    /// A protocol retried: a lost Fischer check, an extra pass of a loop.
+    Retry {
+        /// The protocol step that failed (a [`tfr_registers::chaos::points`] name).
+        point: &'static str,
+    },
+    /// A consensus participant started round `round` (1-based).
+    RoundStart {
+        /// The round number.
+        round: u64,
+    },
+    /// A consensus participant decided.
+    Decided {
+        /// The decided value.
+        value: u64,
+    },
+    /// A mutex participant entered its entry section (started trying).
+    LockWaitStart,
+    /// A mutex participant acquired the lock.
+    LockAcquired {
+        /// Entry-section latency in nanoseconds (wait start → acquisition).
+        wait_ns: u64,
+    },
+    /// A mutex participant released the lock.
+    LockReleased,
+    /// An `optimistic(Δ)` estimator changed its estimate.
+    DeltaChanged {
+        /// The new Δ estimate in nanoseconds.
+        estimate_ns: u64,
+        /// `true` for a multiplicative increase (contention observed),
+        /// `false` for a clean-streak decrease.
+        contended: bool,
+    },
+    /// An injected chaos fault fired on this process.
+    FaultFired {
+        /// The injection point the fault was aimed at.
+        point: &'static str,
+        /// Stall duration in nanoseconds (0 for a crash-stop).
+        stall_ns: u64,
+        /// Whether the fault crash-stopped the process.
+        crashed: bool,
+    },
+    /// A chaos injection point was visited (trace points and injection
+    /// points are the same vocabulary).
+    PointHit {
+        /// The point name.
+        point: &'static str,
+    },
+    /// A free-form annotation (mirrors `Obs::Note` of the spec layer).
+    Mark {
+        /// The annotation name.
+        name: &'static str,
+        /// An annotation payload.
+        value: u64,
+    },
+}
+
+impl EventKind {
+    /// A short, stable display name for exporters.
+    pub fn label(&self) -> String {
+        match self {
+            EventKind::RegRead { reg } => format!("R r{reg}"),
+            EventKind::RegWrite { reg, value } => format!("W r{reg}={value}"),
+            EventKind::RegCas { reg, ok } => {
+                format!("CAS r{reg} {}", if *ok { "ok" } else { "fail" })
+            }
+            EventKind::DelayStart { .. } => "delay(Δ)".to_string(),
+            EventKind::DelayEnd => "delay-end".to_string(),
+            EventKind::Retry { point } => format!("retry {point}"),
+            EventKind::RoundStart { round } => format!("round {round}"),
+            EventKind::Decided { value } => format!("decided {value}"),
+            EventKind::LockWaitStart => "entry".to_string(),
+            EventKind::LockAcquired { .. } => "acquired".to_string(),
+            EventKind::LockReleased => "released".to_string(),
+            EventKind::DeltaChanged {
+                estimate_ns,
+                contended,
+            } => {
+                format!("Δ{}{}ns", if *contended { "↑" } else { "↓" }, estimate_ns)
+            }
+            EventKind::FaultFired { point, crashed, .. } => {
+                format!("{} @{point}", if *crashed { "crash" } else { "fault" })
+            }
+            EventKind::PointHit { point } => point.to_string(),
+            EventKind::Mark { name, value } => format!("{name}={value}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(EventKind::RegRead { reg: 3 }.label(), "R r3");
+        assert_eq!(EventKind::RegWrite { reg: 1, value: 7 }.label(), "W r1=7");
+        assert_eq!(
+            EventKind::DeltaChanged {
+                estimate_ns: 500,
+                contended: true
+            }
+            .label(),
+            "Δ↑500ns"
+        );
+        assert!(EventKind::FaultFired {
+            point: "delay.pre",
+            stall_ns: 10,
+            crashed: false
+        }
+        .label()
+        .contains("delay.pre"));
+    }
+
+    #[test]
+    fn events_are_small_copy_values() {
+        // The ring buffer stores events inline; keep the slot size honest.
+        assert!(
+            std::mem::size_of::<Event>() <= 64,
+            "event slot grew past a cache line"
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Simulator-run conversion: a `tfr_sim::RunResult` as a telemetry event
+//! stream, so virtual-time and native timelines share one schema (and one
+//! trace viewer).
+//!
+//! The workspace convention is **1 tick = 1 µs**, so a virtual instant
+//! `Ticks(t)` becomes `t × 1000` nanoseconds — directly comparable with
+//! native timestamps.
+
+use crate::event::{Event, EventKind};
+use std::collections::BTreeMap;
+use tfr_registers::spec::{Action, Obs};
+use tfr_registers::Ticks;
+use tfr_sim::RunResult;
+
+const NS_PER_TICK: u64 = 1_000;
+
+fn ns(t: Ticks) -> u64 {
+    t.0.saturating_mul(NS_PER_TICK)
+}
+
+/// Converts a simulation run into a merged, timestamp-sorted event
+/// stream.
+///
+/// Observable events (`Obs`) always convert; the register/delay level is
+/// only present when the run was made with
+/// `tfr_sim::RunConfig::record_trace` (otherwise `run.trace` is empty and
+/// the stream contains just the protocol-level events).
+///
+/// # Example
+///
+/// Any simulated automaton converts; here a one-process protocol that
+/// writes a register, delays, and decides:
+///
+/// ```
+/// use tfr_registers::spec::{Action, Automaton, Obs};
+/// use tfr_registers::{Delta, ProcId, RegId, Ticks};
+/// use tfr_sim::timing::standard_no_failures;
+/// use tfr_sim::{RunConfig, Sim};
+/// use tfr_telemetry::sim::events_from_run;
+/// use tfr_telemetry::EventKind;
+///
+/// # #[derive(Debug, Clone)]
+/// # struct Decider;
+/// # impl Automaton for Decider {
+/// #     type State = u8;
+/// #     fn init(&self, _pid: ProcId) -> u8 { 0 }
+/// #     fn next_action(&self, s: &u8) -> Action {
+/// #         match s {
+/// #             0 => Action::Write(RegId(0), 1),
+/// #             1 => Action::Delay(Ticks(50)),
+/// #             _ => Action::Halt,
+/// #         }
+/// #     }
+/// #     fn apply(&self, s: &mut u8, _observed: Option<u64>, obs: &mut Vec<Obs>) {
+/// #         if *s == 1 { obs.push(Obs::Decided(1)); }
+/// #         *s += 1;
+/// #     }
+/// # }
+/// let delta = Delta::from_ticks(100);
+/// let run = Sim::new(
+///     Decider,
+///     RunConfig::new(1, delta).record_trace(),
+///     standard_no_failures(delta, 1),
+/// )
+/// .run();
+///
+/// let events = events_from_run(&run);
+/// assert!(events.iter().any(|e| matches!(e.kind, EventKind::Decided { .. })));
+/// assert!(events.iter().any(|e| matches!(e.kind, EventKind::RegWrite { .. })));
+/// assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+/// ```
+pub fn events_from_run(run: &RunResult) -> Vec<Event> {
+    let mut events = Vec::new();
+    // Entry-wait bookkeeping: the last EnterTrying per process.
+    let mut trying_since: BTreeMap<usize, u64> = BTreeMap::new();
+
+    for step in &run.trace {
+        match step.action {
+            Action::Read(reg) => events.push(Event {
+                ts_ns: ns(step.completed),
+                pid: step.pid,
+                kind: EventKind::RegRead { reg: reg.0 },
+            }),
+            Action::Write(reg, value) => events.push(Event {
+                ts_ns: ns(step.completed),
+                pid: step.pid,
+                kind: EventKind::RegWrite { reg: reg.0, value },
+            }),
+            Action::Delay(d) => {
+                events.push(Event {
+                    ts_ns: ns(step.issued),
+                    pid: step.pid,
+                    kind: EventKind::DelayStart {
+                        requested_ns: ns(d),
+                    },
+                });
+                events.push(Event {
+                    ts_ns: ns(step.completed),
+                    pid: step.pid,
+                    kind: EventKind::DelayEnd,
+                });
+            }
+            Action::Halt => events.push(Event {
+                ts_ns: ns(step.completed),
+                pid: step.pid,
+                kind: EventKind::Mark {
+                    name: "halt",
+                    value: 0,
+                },
+            }),
+        }
+    }
+
+    for obs in &run.obs {
+        let ts_ns = ns(obs.time);
+        let kind = match obs.obs {
+            Obs::Decided(v) => EventKind::Decided { value: v },
+            Obs::StartedRound(r) => EventKind::RoundStart { round: r },
+            Obs::EnterTrying => {
+                trying_since.insert(obs.pid.0, ts_ns);
+                EventKind::LockWaitStart
+            }
+            Obs::EnterCritical => EventKind::LockAcquired {
+                wait_ns: ts_ns - trying_since.get(&obs.pid.0).copied().unwrap_or(ts_ns),
+            },
+            Obs::ExitCritical => EventKind::LockReleased,
+            Obs::EnterRemainder => EventKind::Mark {
+                name: "remainder",
+                value: 0,
+            },
+            Obs::Note(name, value) => EventKind::Mark { name, value },
+        };
+        events.push(Event {
+            ts_ns,
+            pid: obs.pid,
+            kind,
+        });
+    }
+
+    // One merged timeline; stable sort keeps issue order within a tick.
+    events.sort_by_key(|e| e.ts_ns);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfr_registers::Delta;
+    use tfr_sim::timing::standard_no_failures;
+    use tfr_sim::{RunConfig, Sim};
+
+    // A tiny in-crate automaton: one process does read, write, delay, halt
+    // while emitting the mutex observables (avoids a dev-dependency on
+    // tfr-core for the conversion tests).
+    #[derive(Debug, Clone)]
+    struct Tiny;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct TinyState {
+        step: u8,
+    }
+
+    impl tfr_registers::spec::Automaton for Tiny {
+        type State = TinyState;
+        fn init(&self, _pid: tfr_registers::ProcId) -> TinyState {
+            TinyState { step: 0 }
+        }
+        fn next_action(&self, s: &TinyState) -> Action {
+            match s.step {
+                0 => Action::Read(tfr_registers::RegId(0)),
+                1 => Action::Write(tfr_registers::RegId(0), 7),
+                2 => Action::Delay(Ticks(50)),
+                _ => Action::Halt,
+            }
+        }
+        fn apply(&self, s: &mut TinyState, _observed: Option<u64>, obs: &mut Vec<Obs>) {
+            match s.step {
+                0 => obs.push(Obs::EnterTrying),
+                1 => obs.push(Obs::EnterCritical),
+                2 => obs.push(Obs::ExitCritical),
+                _ => {}
+            }
+            s.step += 1;
+        }
+    }
+
+    fn tiny_run(record_trace: bool) -> RunResult {
+        let delta = Delta::from_ticks(100);
+        let mut cfg = RunConfig::new(1, delta);
+        if record_trace {
+            cfg = cfg.record_trace();
+        }
+        Sim::new(Tiny, cfg, standard_no_failures(delta, 1)).run()
+    }
+
+    #[test]
+    fn obs_map_to_protocol_events_with_microsecond_ticks() {
+        let events = events_from_run(&tiny_run(false));
+        let acquired = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::LockAcquired { .. }))
+            .expect("EnterCritical converts");
+        // Virtual instants are tick × 1000 ns.
+        assert_eq!(acquired.ts_ns % 1_000, 0);
+        let EventKind::LockAcquired { wait_ns } = acquired.kind else {
+            unreachable!()
+        };
+        assert!(wait_ns > 0, "entry wait spans the trying phase");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::LockReleased)));
+    }
+
+    #[test]
+    fn trace_steps_convert_only_when_recorded() {
+        let without = events_from_run(&tiny_run(false));
+        assert!(!without
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RegRead { .. })));
+        let with = events_from_run(&tiny_run(true));
+        assert!(with
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RegRead { .. })));
+        assert!(with
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RegWrite { reg: 0, value: 7 })));
+        let starts: Vec<_> = with
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::DelayStart {
+                        requested_ns: 50_000
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(starts.len(), 1, "delay(50 ticks) → 50 µs request");
+        assert!(with.iter().any(|e| matches!(e.kind, EventKind::DelayEnd)));
+    }
+
+    #[test]
+    fn stream_is_sorted() {
+        let events = events_from_run(&tiny_run(true));
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+}

@@ -1,0 +1,228 @@
+//! Convergence measurement and the machine-readable run summary
+//! (`BENCH_telemetry.json`).
+//!
+//! The §1.3 convergence clock starts when the **last timing failure
+//! stops** and stops at the **first clean fast-path operation** — here,
+//! the first lock acquisition after the last [`EventKind::FaultFired`]
+//! whose entry wait meets the target. This turns "converges eventually"
+//! (Theorem 3.3) into a number with a unit.
+
+use crate::event::{Event, EventKind};
+use crate::json::Json;
+use crate::metrics::MetricsRegistry;
+
+/// The measured convergence of one traced run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Number of injected faults that fired.
+    pub faults: u64,
+    /// Timestamp of the last fired fault (ns from the trace epoch), if
+    /// any fired. For stalls this is the stall's *end* — the instant
+    /// failures stopped.
+    pub last_fault_ns: Option<u64>,
+    /// Timestamp of the first clean fast-path acquisition after the last
+    /// fault, if one happened.
+    pub first_clean_ns: Option<u64>,
+    /// `first_clean_ns − last_fault_ns`: the convergence time. `Some(0)`
+    /// when no fault fired (the run never left the ψ regime); `None` when
+    /// faults fired but no clean acquisition followed before the trace
+    /// ended.
+    pub convergence_ns: Option<u64>,
+}
+
+/// Measures convergence over a merged event stream: the time from the
+/// last [`EventKind::FaultFired`] to the first [`EventKind::LockAcquired`]
+/// at or after it with `wait_ns ≤ target_wait_ns`.
+///
+/// # Example
+///
+/// ```
+/// use tfr_telemetry::summary::convergence_from_events;
+/// use tfr_telemetry::{Event, EventKind};
+/// use tfr_registers::ProcId;
+///
+/// let e = |ts_ns, kind| Event { ts_ns, pid: ProcId(0), kind };
+/// let events = [
+///     e(100, EventKind::FaultFired { point: "delay.pre", stall_ns: 50, crashed: false }),
+///     e(150, EventKind::LockAcquired { wait_ns: 900 }), // still storming
+///     e(400, EventKind::LockAcquired { wait_ns: 20 }),  // first clean entry
+/// ];
+/// let report = convergence_from_events(&events, 100);
+/// assert_eq!(report.convergence_ns, Some(300));
+/// assert_eq!(report.faults, 1);
+/// ```
+pub fn convergence_from_events(events: &[Event], target_wait_ns: u64) -> ConvergenceReport {
+    let mut faults = 0;
+    let mut last_fault_ns = None;
+    for e in events {
+        if let EventKind::FaultFired { .. } = e.kind {
+            faults += 1;
+            last_fault_ns = Some(e.ts_ns);
+        }
+    }
+    let Some(stop) = last_fault_ns else {
+        return ConvergenceReport {
+            faults: 0,
+            last_fault_ns: None,
+            first_clean_ns: None,
+            convergence_ns: Some(0),
+        };
+    };
+    let first_clean_ns = events
+        .iter()
+        .filter(|e| e.ts_ns >= stop)
+        .find_map(|e| match e.kind {
+            EventKind::LockAcquired { wait_ns } if wait_ns <= target_wait_ns => Some(e.ts_ns),
+            _ => None,
+        });
+    ConvergenceReport {
+        faults,
+        last_fault_ns,
+        first_clean_ns,
+        convergence_ns: first_clean_ns.map(|t| t - stop),
+    }
+}
+
+impl ConvergenceReport {
+    /// The report as JSON (`convergence_ns` is `null` when not converged).
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<u64>| v.map_or(Json::Null, |v| Json::Num(v as f64));
+        Json::obj([
+            ("faults", Json::Num(self.faults as f64)),
+            ("last_fault_ns", opt(self.last_fault_ns)),
+            ("first_clean_ns", opt(self.first_clean_ns)),
+            ("convergence_ns", opt(self.convergence_ns)),
+        ])
+    }
+}
+
+/// Assembles the machine-readable summary of one traced run: identity,
+/// convergence, and the standard metrics derived from the event stream —
+/// the payload of `BENCH_telemetry.json`.
+///
+/// # Example
+///
+/// ```
+/// use tfr_telemetry::json::Json;
+/// use tfr_telemetry::summary::{convergence_from_events, run_summary_json};
+/// use tfr_telemetry::{Event, EventKind};
+/// use tfr_registers::ProcId;
+///
+/// let events = [Event { ts_ns: 5, pid: ProcId(0), kind: EventKind::LockAcquired { wait_ns: 5 } }];
+/// let convergence = convergence_from_events(&events, 100);
+/// let summary = run_summary_json("native resilient-mutex", 2, 100_000, 100, &events, &convergence);
+/// // It round-trips through the JSON parser and names the run.
+/// let parsed = Json::parse(&summary.to_string()).unwrap();
+/// assert_eq!(parsed.get("run").unwrap().as_str(), Some("native resilient-mutex"));
+/// assert_eq!(parsed.get("convergence").unwrap().get("convergence_ns").unwrap().as_num(), Some(0.0));
+/// ```
+pub fn run_summary_json(
+    run: &str,
+    n: usize,
+    delta_ns: u64,
+    target_wait_ns: u64,
+    events: &[Event],
+    convergence: &ConvergenceReport,
+) -> Json {
+    let metrics = MetricsRegistry::from_events(events);
+    Json::obj([
+        ("run", Json::str(run)),
+        ("n", Json::Num(n as f64)),
+        ("delta_ns", Json::Num(delta_ns as f64)),
+        ("target_wait_ns", Json::Num(target_wait_ns as f64)),
+        ("events", Json::Num(events.len() as f64)),
+        ("convergence", convergence.to_json()),
+        ("metrics", metrics.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfr_registers::ProcId;
+
+    fn e(ts_ns: u64, kind: EventKind) -> Event {
+        Event {
+            ts_ns,
+            pid: ProcId(0),
+            kind,
+        }
+    }
+
+    #[test]
+    fn no_faults_means_zero_convergence() {
+        let events = [e(10, EventKind::LockAcquired { wait_ns: 5 })];
+        let r = convergence_from_events(&events, 100);
+        assert_eq!(r.convergence_ns, Some(0));
+        assert_eq!(r.faults, 0);
+        assert_eq!(r.last_fault_ns, None);
+    }
+
+    #[test]
+    fn clock_runs_from_the_last_fault() {
+        let events = [
+            e(
+                100,
+                EventKind::FaultFired {
+                    point: "a",
+                    stall_ns: 1,
+                    crashed: false,
+                },
+            ),
+            e(200, EventKind::LockAcquired { wait_ns: 10 }), // clean, but pre-last-fault
+            e(
+                300,
+                EventKind::FaultFired {
+                    point: "b",
+                    stall_ns: 1,
+                    crashed: false,
+                },
+            ),
+            e(450, EventKind::LockAcquired { wait_ns: 10 }),
+        ];
+        let r = convergence_from_events(&events, 100);
+        assert_eq!(r.faults, 2);
+        assert_eq!(r.last_fault_ns, Some(300));
+        assert_eq!(r.convergence_ns, Some(150));
+    }
+
+    #[test]
+    fn unconverged_run_reports_none() {
+        let events = [
+            e(
+                100,
+                EventKind::FaultFired {
+                    point: "a",
+                    stall_ns: 1,
+                    crashed: false,
+                },
+            ),
+            e(200, EventKind::LockAcquired { wait_ns: 9_999 }),
+        ];
+        let r = convergence_from_events(&events, 100);
+        assert_eq!(r.convergence_ns, None);
+        assert_eq!(r.to_json().get("convergence_ns"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn summary_embeds_derived_metrics() {
+        let events = [
+            e(
+                5,
+                EventKind::Retry {
+                    point: "fischer.check-x",
+                },
+            ),
+            e(9, EventKind::LockAcquired { wait_ns: 9 }),
+        ];
+        let convergence = convergence_from_events(&events, 100);
+        let s = run_summary_json("r", 3, 1_000, 100, &events, &convergence);
+        let retries = s
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("retries"))
+            .and_then(Json::as_num);
+        assert_eq!(retries, Some(1.0));
+        assert_eq!(s.get("n").and_then(Json::as_num), Some(3.0));
+    }
+}

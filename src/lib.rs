@@ -32,6 +32,11 @@
 //!   chaos-scheduled native recording drivers, simulator-trace
 //!   conversion, and seeded mutants proving the oracle rejects broken
 //!   objects.
+//! * [`telemetry`] — the unified telemetry layer: lock-free per-process
+//!   event tracing with zero-cost-when-disabled hooks across both
+//!   execution stacks, a metrics registry (counters, log-bucketed
+//!   histograms), and Chrome-trace/Perfetto JSON plus machine-readable
+//!   summary export with the measured §1.3 convergence time.
 //!
 //! # Quickstart
 //!
@@ -61,3 +66,4 @@ pub use tfr_linearize as linearize;
 pub use tfr_modelcheck as modelcheck;
 pub use tfr_registers as registers;
 pub use tfr_sim as sim;
+pub use tfr_telemetry as telemetry;
