@@ -6,6 +6,7 @@ pub mod consensus_time;
 pub mod extensions;
 pub mod mutex_perf;
 pub mod mutex_safety;
+pub mod net;
 pub mod objects;
 pub mod optimistic;
 pub mod registers;
@@ -108,6 +109,11 @@ pub fn registry() -> Vec<Experiment> {
             "e17",
             "the §1.3 resilience definition as an executable verdict",
             extensions::e17,
+        ),
+        (
+            "net",
+            "quorum-register stack: ABD round-trip costs and partition-heal convergence",
+            net::net,
         ),
     ]
 }

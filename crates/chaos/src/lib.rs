@@ -23,6 +23,12 @@
 //!   runs ([`assess::assess_native_mutex`]), producing the same
 //!   [`tfr_core::resilience::ResilienceReport`] as the simulator
 //!   assessment (1 tick = 1 µs).
+//! * [`netfault`] — the network nemesis for the quorum stack: seeded
+//!   schedules of delay spikes, message drops, partitions, and heals
+//!   ([`netfault::random_net_schedule`]) applied through a
+//!   [`tfr_net::NetControl`] handle while algorithms run unchanged over
+//!   `tfr_net::QuorumSpace`. Every schedule ends healed, so experiments
+//!   finish on a connected network and convergence can be measured.
 //!
 //! Every run has a traced variant (`run_mutex_chaos_traced`,
 //! `run_consensus_chaos_traced`, `assess_native_mutex_traced`) feeding a
@@ -51,6 +57,7 @@
 
 pub mod assess;
 pub mod nemesis;
+pub mod netfault;
 pub mod schedule;
 
 pub use assess::{
@@ -60,5 +67,8 @@ pub use nemesis::{
     hunt_fischer_violation, run_consensus_chaos, run_consensus_chaos_traced, run_fischer_violation,
     run_mutex_chaos, run_mutex_chaos_traced, ConsensusChaosReport, MutexChaosConfig,
     MutexChaosReport, ViolationSetup,
+};
+pub use netfault::{
+    apply_net_op, apply_net_schedule, random_net_schedule, NetFaultOp, NetFaultStep,
 };
 pub use schedule::{random_schedule, shrink, ScheduleConfig};

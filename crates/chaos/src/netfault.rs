@@ -1,0 +1,185 @@
+//! The network nemesis: seeded fault schedules for the quorum stack.
+//!
+//! The thread nemesis ([`crate::nemesis`]) injects stalls and crash-stops
+//! into *shared-memory* algorithms through injection points. The network
+//! nemesis attacks the **message-passing** stack instead: it drives a
+//! [`tfr_net::NetControl`] handle through a seeded sequence of delay
+//! spikes, drop-probability changes, partitions, and heals, while the
+//! algorithms under test run unchanged over [`tfr_net::QuorumSpace`].
+//!
+//! Schedules are pure functions of their seed (print the seed, replay the
+//! run) and always end with [`NetFaultOp::Heal`], so every experiment
+//! finishes on a connected network — the interesting question is what
+//! happened *in between* and how fast the system converges afterwards.
+
+use std::time::Duration;
+use tfr_net::{NetConfig, NetControl};
+use tfr_registers::rng::SplitMix64;
+
+/// One network-level fault operation, applied through a
+/// [`NetControl`] handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFaultOp {
+    /// Add a uniform extra delay to every in-flight link.
+    DelaySpike(Duration),
+    /// Set the per-message drop probability, in percent (`0..=100`).
+    /// Stored as an integer so schedules stay `Eq`/hashable.
+    DropPercent(u8),
+    /// Isolate replicas `0..k` from everyone else. With
+    /// `k ≤ R − majority(R)` the far side keeps a majority and operations
+    /// keep completing; larger `k` stalls every quorum.
+    PartitionMinority(usize),
+    /// Put all clients plus replicas `0..k` on one side. With
+    /// `k < majority(R)` every client operation stalls until heal.
+    PartitionClients(usize),
+    /// Reconnect everything and clear drop/delay overrides.
+    Heal,
+}
+
+/// A fault operation with its dwell: apply `op`, then let the network run
+/// for `dwell` before the next step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetFaultStep {
+    /// The operation to apply.
+    pub op: NetFaultOp,
+    /// How long the fault regime holds before the next step.
+    pub dwell: Duration,
+}
+
+/// Applies one operation to the network.
+pub fn apply_net_op(control: &NetControl, op: &NetFaultOp) {
+    match *op {
+        NetFaultOp::DelaySpike(d) => control.delay_spike(d),
+        NetFaultOp::DropPercent(pct) => control.set_drop(f64::from(pct) / 100.0),
+        NetFaultOp::PartitionMinority(k) => control.partition_minority(k),
+        NetFaultOp::PartitionClients(k) => control.isolate_clients_with(k),
+        NetFaultOp::Heal => control.heal(),
+    }
+}
+
+/// Applies a whole schedule, sleeping each step's dwell after applying
+/// its operation. Blocks for the schedule's total duration — run it from
+/// a dedicated thread while the workload executes:
+///
+/// ```
+/// use std::sync::Arc;
+/// use tfr_chaos::netfault::{apply_net_schedule, random_net_schedule};
+/// use tfr_net::{NetConfig, Network};
+///
+/// let cfg = NetConfig::new(2, 5, 7);
+/// let schedule = random_net_schedule(7, &cfg);
+/// let net = Arc::new(Network::new(cfg));
+/// let control = net.control();
+/// let nemesis = std::thread::spawn(move || apply_net_schedule(&control, &schedule));
+/// // ... drive a workload over net.space() here ...
+/// nemesis.join().unwrap();
+/// ```
+pub fn apply_net_schedule(control: &NetControl, schedule: &[NetFaultStep]) {
+    for step in schedule {
+        apply_net_op(control, &step.op);
+        std::thread::sleep(step.dwell);
+    }
+}
+
+/// Draws a network fault schedule from `seed`. Equal seeds yield equal
+/// schedules. The result always ends with a [`NetFaultOp::Heal`] step, and
+/// partition sizes are drawn to respect `cfg`:
+///
+/// * minority partitions isolate at most `R − majority(R)` replicas, so
+///   the far side keeps a working quorum;
+/// * client-side partitions take fewer than `majority(R)` replicas with
+///   them, so client operations genuinely stall until heal.
+///
+/// ```
+/// use tfr_chaos::netfault::{random_net_schedule, NetFaultOp};
+/// use tfr_net::NetConfig;
+///
+/// let cfg = NetConfig::new(2, 5, 0);
+/// let schedule = random_net_schedule(42, &cfg);
+/// assert_eq!(schedule, random_net_schedule(42, &cfg), "seed determines all");
+/// assert_eq!(schedule.last().unwrap().op, NetFaultOp::Heal);
+/// ```
+pub fn random_net_schedule(seed: u64, cfg: &NetConfig) -> Vec<NetFaultStep> {
+    let mut rng = SplitMix64::new(seed);
+    let spare = cfg.replicas - cfg.majority(); // replicas a quorum can lose
+    let mut steps = Vec::new();
+    let dwell = |rng: &mut SplitMix64| Duration::from_micros(rng.random_range(300..=1_500));
+    for _ in 0..rng.random_range(2..=4) {
+        let op = match rng.index(5) {
+            0 => NetFaultOp::DelaySpike(Duration::from_micros(rng.random_range(100..=800))),
+            1 => NetFaultOp::DropPercent(rng.random_range(5..=40) as u8),
+            2 if spare > 0 => NetFaultOp::PartitionMinority(1 + rng.index(spare)),
+            3 => NetFaultOp::PartitionClients(rng.index(cfg.majority())),
+            _ => NetFaultOp::Heal,
+        };
+        // A partition while another cut is in place would re-group from
+        // scratch anyway (NetControl::partition replaces the groups), but
+        // an explicit heal between regimes keeps each fault's effect
+        // attributable in the trace.
+        let partition = matches!(
+            op,
+            NetFaultOp::PartitionMinority(_) | NetFaultOp::PartitionClients(_)
+        );
+        steps.push(NetFaultStep {
+            op,
+            dwell: dwell(&mut rng),
+        });
+        if partition {
+            steps.push(NetFaultStep {
+                op: NetFaultOp::Heal,
+                dwell: dwell(&mut rng),
+            });
+        }
+    }
+    steps.push(NetFaultStep {
+        op: NetFaultOp::Heal,
+        dwell: Duration::ZERO,
+    });
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tfr_net::Network;
+    use tfr_registers::space::RegisterSpace;
+
+    #[test]
+    fn schedules_are_seed_deterministic_and_end_healed() {
+        let cfg = NetConfig::new(2, 5, 0);
+        for seed in 0..64 {
+            let a = random_net_schedule(seed, &cfg);
+            let b = random_net_schedule(seed, &cfg);
+            assert_eq!(a, b, "seed {seed} is not deterministic");
+            assert_eq!(a.last().unwrap().op, NetFaultOp::Heal);
+            for step in &a {
+                match step.op {
+                    NetFaultOp::PartitionMinority(k) => {
+                        assert!(k <= cfg.replicas - cfg.majority(), "quorum-killing cut")
+                    }
+                    NetFaultOp::PartitionClients(k) => {
+                        assert!(k < cfg.majority(), "cut that would not stall clients")
+                    }
+                    NetFaultOp::DropPercent(p) => assert!(p <= 100),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn applying_a_schedule_leaves_the_network_usable() {
+        let cfg = NetConfig::new(1, 3, 0xFA17);
+        let mut schedule = random_net_schedule(0xFA17, &cfg);
+        // Compress the dwells: this test checks end-state, not timing.
+        for step in &mut schedule {
+            step.dwell = Duration::from_micros(50);
+        }
+        let net = Arc::new(Network::new(cfg));
+        apply_net_schedule(&net.control(), &schedule);
+        let space = net.space();
+        space.write(0, 17);
+        assert_eq!(space.read(0), 17, "the healed network serves quorums");
+    }
+}

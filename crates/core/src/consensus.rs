@@ -36,10 +36,10 @@
 //! * the number of participants is unbounded (the native form's `propose`
 //!   does not even take a process id).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tfr_registers::chaos;
-use tfr_registers::native::{precise_delay, UnboundedAtomicArray};
+use tfr_registers::native::precise_delay;
+use tfr_registers::space::{NativeSpace, RegisterSpace};
 use tfr_registers::spec::{Action, Automaton, Obs};
 use tfr_registers::{ProcId, RegId, Ticks};
 use tfr_telemetry::{EventKind, Trace};
@@ -285,12 +285,20 @@ impl ConsensusSpec {
 // Native form
 // ---------------------------------------------------------------------
 
-/// Algorithm 1 over real atomics and threads.
+/// Algorithm 1 over a [`RegisterSpace`] — real atomics by default, any
+/// other backend (the `tfr-net` quorum emulation, a wrapped/recorded
+/// space) by construction with [`NativeConsensus::on`]. The algorithm
+/// text is identical either way: it only ever reads and writes single
+/// registers, which is the whole point of the paper's model.
 ///
 /// `propose` takes no process id and any number of threads may call it —
 /// the algorithm supports unboundedly many participants (Theorem 2.1).
 /// The `delta` given at construction is the `delay(Δ)` estimate; an
 /// under-estimate can cost extra rounds but never safety.
+///
+/// Register layout (in its space): `decide` at 0; for round `r ≥ 1`,
+/// `y[r]` at `3r`, `x[r, v]` at `3r + 1 + v` — the same sparse layout as
+/// [`ConsensusSpec`].
 ///
 /// # Example
 ///
@@ -304,25 +312,29 @@ impl ConsensusSpec {
 /// assert_eq!(decided, true, "a solo proposer decides its own value");
 /// assert_eq!(c.decision(), Some(true));
 /// ```
-#[derive(Debug)]
-pub struct NativeConsensus {
+pub struct NativeConsensus<S: RegisterSpace = NativeSpace> {
     delta: Duration,
-    decide: AtomicU64,
-    /// `x[r, b]` at index `2(r−1) + b`.
-    x: UnboundedAtomicArray,
-    /// `y[r]` at index `r − 1`.
-    y: UnboundedAtomicArray,
+    space: S,
     trace: Trace,
 }
 
 impl NativeConsensus {
-    /// A fresh consensus object with `delay(Δ)` duration `delta`.
+    /// A fresh consensus object over shared memory with `delay(Δ)`
+    /// duration `delta`.
     pub fn new(delta: Duration) -> NativeConsensus {
+        NativeConsensus::on(NativeSpace::with_capacity(128), delta)
+    }
+}
+
+impl<S: RegisterSpace> NativeConsensus<S> {
+    /// Algorithm 1 over an arbitrary register space (which must be fresh
+    /// — the instance owns registers `0..` of it; use
+    /// [`tfr_registers::space::SubSpace`] to carve a region out of a
+    /// shared space).
+    pub fn on(space: S, delta: Duration) -> NativeConsensus<S> {
         NativeConsensus {
             delta,
-            decide: AtomicU64::new(0),
-            x: UnboundedAtomicArray::with_capacity(64),
-            y: UnboundedAtomicArray::with_capacity(32),
+            space,
             trace: Trace::disabled(),
         }
     }
@@ -331,26 +343,38 @@ impl NativeConsensus {
     /// decision become events. `propose` takes no process id, so events
     /// are attributed to the calling thread's registered pid (see
     /// `tfr_telemetry::with_pid`); unregistered callers emit nothing.
-    pub fn with_trace(mut self, trace: Trace) -> NativeConsensus {
+    pub fn with_trace(mut self, trace: Trace) -> NativeConsensus<S> {
         self.trace = trace;
         self
     }
 
+    const DECIDE: u64 = 0;
+
     #[inline]
-    fn xi(r: usize, v: bool) -> usize {
-        2 * (r - 1) + v as usize
+    fn y_idx(r: u64) -> u64 {
+        3 * r
+    }
+
+    #[inline]
+    fn x_idx(r: u64, v: bool) -> u64 {
+        3 * r + 1 + v as u64
     }
 
     /// Proposes `input`; blocks until a decision is reached and returns it.
     ///
     /// Wait-free once timing constraints hold: no other thread can block
     /// this one indefinitely, and crashes of other proposers are harmless.
+    ///
+    /// Chaos injection fires [`chaos::points::ARRAY_STORE`] /
+    /// `ARRAY_LOAD` before each `x`/`y` access at this layer (not inside
+    /// the space), so the schedule of injection points is the same on
+    /// every backend.
     pub fn propose(&self, input: bool) -> bool {
         let mut v = input;
-        let mut r = 1usize;
+        let mut r = 1u64;
         loop {
             chaos::point(chaos::points::CONSENSUS_ROUND);
-            let d = self.decide.load(Ordering::SeqCst);
+            let d = self.space.read(Self::DECIDE);
             if d != 0 {
                 let value = dec(d);
                 self.trace.emit_current(EventKind::Decided {
@@ -358,15 +382,18 @@ impl NativeConsensus {
                 });
                 return value;
             }
-            self.trace
-                .emit_current(EventKind::RoundStart { round: r as u64 });
-            self.x.store(Self::xi(r, v), 1);
-            if self.y.load(r - 1) == 0 {
-                self.y.store(r - 1, enc(v));
+            self.trace.emit_current(EventKind::RoundStart { round: r });
+            chaos::point(chaos::points::ARRAY_STORE);
+            self.space.write(Self::x_idx(r, v), 1);
+            chaos::point(chaos::points::ARRAY_LOAD);
+            if self.space.read(Self::y_idx(r)) == 0 {
+                chaos::point(chaos::points::ARRAY_STORE);
+                self.space.write(Self::y_idx(r), enc(v));
             }
-            if self.x.load(Self::xi(r, !v)) == 0 {
+            chaos::point(chaos::points::ARRAY_LOAD);
+            if self.space.read(Self::x_idx(r, !v)) == 0 {
                 chaos::point(chaos::points::CONSENSUS_DECIDE);
-                self.decide.store(enc(v), Ordering::SeqCst);
+                self.space.write(Self::DECIDE, enc(v));
                 continue; // the loop check reads `decide` and returns
             }
             self.trace.emit_current(EventKind::DelayStart {
@@ -374,7 +401,8 @@ impl NativeConsensus {
             });
             precise_delay(self.delta);
             self.trace.emit_current(EventKind::DelayEnd);
-            let raw = self.y.load(r - 1);
+            chaos::point(chaos::points::ARRAY_LOAD);
+            let raw = self.space.read(Self::y_idx(r));
             if raw != 0 {
                 v = dec(raw);
             }
@@ -384,10 +412,19 @@ impl NativeConsensus {
 
     /// The decision, if one has been reached.
     pub fn decision(&self) -> Option<bool> {
-        match self.decide.load(Ordering::SeqCst) {
+        match self.space.read(Self::DECIDE) {
             0 => None,
             d => Some(dec(d)),
         }
+    }
+}
+
+impl<S: RegisterSpace> std::fmt::Debug for NativeConsensus<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeConsensus")
+            .field("delta", &self.delta)
+            .field("decision", &self.decision())
+            .finish()
     }
 }
 

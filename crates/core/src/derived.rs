@@ -14,6 +14,7 @@ use crate::probe::{OpProbe, Probe};
 use crate::universal::MultiConsensus;
 use std::sync::Arc;
 use std::time::Duration;
+use tfr_registers::space::{NativeSpace, RegisterSpace, SubSpace};
 use tfr_registers::ProcId;
 
 /// One-shot wait-free leader election: all participants agree on one
@@ -31,28 +32,44 @@ use tfr_registers::ProcId;
 /// assert_eq!(leader, ProcId(2), "a solo candidate elects itself");
 /// ```
 #[derive(Debug)]
-pub struct LeaderElection {
-    mc: MultiConsensus,
+pub struct LeaderElection<S: RegisterSpace = NativeSpace> {
+    mc: MultiConsensus<S>,
     probe: Probe,
 }
 
+/// The value-width an election among `n` processes needs (enough bits to
+/// hold `n − 1`, at least one).
+fn election_width(n: usize) -> u32 {
+    (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1)
+}
+
 impl LeaderElection {
-    /// An election among up to `n` processes.
+    /// An election among up to `n` processes, over shared memory.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize, delta: Duration) -> LeaderElection {
-        let width = (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1);
+        LeaderElection::on(Arc::new(NativeSpace::new()), n, delta)
+    }
+}
+
+impl<S: RegisterSpace> LeaderElection<S> {
+    /// An election over an arbitrary (fresh) register space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn on(space: Arc<S>, n: usize, delta: Duration) -> LeaderElection<S> {
         LeaderElection {
-            mc: MultiConsensus::new(n, width, delta),
+            mc: MultiConsensus::on(space, n, election_width(n), delta),
             probe: Probe::disabled(),
         }
     }
 
     /// Attaches an operation probe; `elect` records an invoke/response
     /// pair (op = caller pid, response = leader pid) around its work.
-    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> LeaderElection {
+    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> LeaderElection<S> {
         self.probe = Probe::attached(probe);
         self
     }
@@ -79,27 +96,38 @@ impl LeaderElection {
 /// this wait-free in an asynchronous system — this is the timing-based
 /// escape hatch.
 #[derive(Debug)]
-pub struct TestAndSet {
-    election: LeaderElection,
+pub struct TestAndSet<S: RegisterSpace = NativeSpace> {
+    election: LeaderElection<S>,
     probe: Probe,
 }
 
 impl TestAndSet {
-    /// A test-and-set object for up to `n` callers.
+    /// A test-and-set object for up to `n` callers, over shared memory.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize, delta: Duration) -> TestAndSet {
+        TestAndSet::on(Arc::new(NativeSpace::new()), n, delta)
+    }
+}
+
+impl<S: RegisterSpace> TestAndSet<S> {
+    /// A test-and-set object over an arbitrary (fresh) register space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn on(space: Arc<S>, n: usize, delta: Duration) -> TestAndSet<S> {
         TestAndSet {
-            election: LeaderElection::new(n, delta),
+            election: LeaderElection::on(space, n, delta),
             probe: Probe::disabled(),
         }
     }
 
     /// Attaches an operation probe; `test_and_set` records an
     /// invoke/response pair (op = 0, response = old value as 0/1).
-    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> TestAndSet {
+    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> TestAndSet<S> {
         self.probe = Probe::attached(probe);
         self
     }
@@ -119,28 +147,46 @@ impl TestAndSet {
 /// receives a distinct name in `0..n` (the optimal target namespace for
 /// non-adaptive renaming with consensus available).
 #[derive(Debug)]
-pub struct Renaming {
-    slots: Vec<LeaderElection>,
+pub struct Renaming<S: RegisterSpace = NativeSpace> {
+    /// Name slot `j` is an election over the strided region `j + i·n` of
+    /// the shared space — `n` disjoint unbounded regions.
+    slots: Vec<LeaderElection<SubSpace<Arc<S>>>>,
     probe: Probe,
 }
 
 impl Renaming {
-    /// A renaming object for up to `n` participants.
+    /// A renaming object for up to `n` participants, over shared memory.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize, delta: Duration) -> Renaming {
+        Renaming::on(Arc::new(NativeSpace::new()), n, delta)
+    }
+}
+
+impl<S: RegisterSpace> Renaming<S> {
+    /// A renaming object over an arbitrary (fresh) register space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn on(space: Arc<S>, n: usize, delta: Duration) -> Renaming<S> {
         assert!(n > 0, "at least one process is required");
         Renaming {
-            slots: (0..n).map(|_| LeaderElection::new(n, delta)).collect(),
+            slots: (0..n)
+                .map(|j| {
+                    let region = SubSpace::new(Arc::clone(&space), j as u64, n as u64);
+                    LeaderElection::on(Arc::new(region), n, delta)
+                })
+                .collect(),
             probe: Probe::disabled(),
         }
     }
 
     /// Attaches an operation probe; `rename` records an invoke/response
     /// pair (op = 0, response = the acquired name).
-    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> Renaming {
+    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> Renaming<S> {
         self.probe = Probe::attached(probe);
         self
     }
@@ -170,22 +216,41 @@ impl Renaming {
 /// subsumes set consensus (§2.1 of the paper lists set-consensus among
 /// the objects the consensus building block yields).
 #[derive(Debug)]
-pub struct SetConsensus {
-    groups: Vec<NativeConsensus>,
+pub struct SetConsensus<S: RegisterSpace = NativeSpace> {
+    /// Group `g` runs Algorithm 1 over the strided region `g + i·k` of
+    /// the shared space.
+    groups: Vec<NativeConsensus<SubSpace<Arc<S>>>>,
     k: usize,
     probe: Probe,
 }
 
 impl SetConsensus {
-    /// A `k`-set consensus object.
+    /// A `k`-set consensus object over shared memory.
     ///
     /// # Panics
     ///
     /// Panics if `k == 0`.
     pub fn new(k: usize, delta: Duration) -> SetConsensus {
+        SetConsensus::on(Arc::new(NativeSpace::new()), k, delta)
+    }
+}
+
+impl<S: RegisterSpace> SetConsensus<S> {
+    /// A `k`-set consensus object over an arbitrary (fresh) register
+    /// space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn on(space: Arc<S>, k: usize, delta: Duration) -> SetConsensus<S> {
         assert!(k > 0, "k must be positive");
         SetConsensus {
-            groups: (0..k).map(|_| NativeConsensus::new(delta)).collect(),
+            groups: (0..k)
+                .map(|g| {
+                    let region = SubSpace::new(Arc::clone(&space), g as u64, k as u64);
+                    NativeConsensus::on(region, delta)
+                })
+                .collect(),
             k,
             probe: Probe::disabled(),
         }
@@ -193,7 +258,7 @@ impl SetConsensus {
 
     /// Attaches an operation probe; `propose` records an invoke/response
     /// pair (op = input as 0/1, response = decision as 0/1).
-    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> SetConsensus {
+    pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> SetConsensus<S> {
         self.probe = Probe::attached(probe);
         self
     }

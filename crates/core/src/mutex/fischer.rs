@@ -19,12 +19,12 @@
 //! the building block of Algorithm 3 and the baseline it repairs.
 
 use crate::adaptive::DelaySource;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tfr_asynclock::{LockSpec, LockStep, Progress, RawLock};
 use tfr_registers::accounting::RegisterCount;
 use tfr_registers::chaos;
 use tfr_registers::native::precise_delay;
+use tfr_registers::space::{NativeSpace, RegisterSpace, SharedRegister};
 use tfr_registers::spec::Action;
 use tfr_registers::{ProcId, RegId, Ticks};
 use tfr_telemetry::{EventKind, Trace};
@@ -168,17 +168,21 @@ impl LockSpec for FischerSpec {
 // Native form
 // ---------------------------------------------------------------------
 
-/// Fischer's lock over a real atomic, with a pluggable `delay(Δ)` source
-/// (fixed or adaptive).
+/// Fischer's lock over one shared register — a real atomic by default,
+/// any [`RegisterSpace`] backend (e.g. the `tfr-net` quorum registers)
+/// via [`Fischer::on`] — with a pluggable `delay(Δ)` source (fixed or
+/// adaptive). The algorithm text is backend-independent: it only ever
+/// reads and writes the single register `x`.
 ///
 /// **Caution**: this lock's mutual exclusion is only guaranteed when every
 /// store to `x` completes within the configured Δ — on a real machine,
 /// preemption can break it (that is the paper's point; use
-/// [`crate::mutex::resilient::ResilientMutex`] instead).
-#[derive(Debug)]
-pub struct Fischer<D = Duration> {
+/// [`crate::mutex::resilient::ResilientMutex`] instead). On a quorum
+/// backend a "store" is a whole two-phase round, so Δ must cover the
+/// round trip.
+pub struct Fischer<D = Duration, S: RegisterSpace = NativeSpace> {
     n: usize,
-    x: AtomicU64,
+    x: SharedRegister<S>,
     delay: D,
     trace: Trace,
 }
@@ -190,13 +194,7 @@ impl Fischer<Duration> {
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize, delta: Duration) -> Fischer<Duration> {
-        assert!(n > 0, "at least one process is required");
-        Fischer {
-            n,
-            x: AtomicU64::new(0),
-            delay: delta,
-            trace: Trace::disabled(),
-        }
+        Fischer::on(NativeSpace::new(), n, delta)
     }
 }
 
@@ -208,10 +206,33 @@ impl<D: DelaySource> Fischer<D> {
     ///
     /// Panics if `n == 0`.
     pub fn with_delay_source(n: usize, source: D) -> Fischer<D> {
+        Fischer::on_with_delay_source(NativeSpace::new(), n, source)
+    }
+}
+
+impl<S: RegisterSpace> Fischer<Duration, S> {
+    /// A lock whose register `x` is register 0 of `space`, with a fixed
+    /// `delay(Δ)` of `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn on(space: S, n: usize, delta: Duration) -> Fischer<Duration, S> {
+        Fischer::on_with_delay_source(space, n, delta)
+    }
+}
+
+impl<D: DelaySource, S: RegisterSpace> Fischer<D, S> {
+    /// A lock over register 0 of `space`, drawing its delay from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn on_with_delay_source(space: S, n: usize, source: D) -> Fischer<D, S> {
         assert!(n > 0, "at least one process is required");
         Fischer {
             n,
-            x: AtomicU64::new(0),
+            x: SharedRegister::new(space, 0),
             delay: source,
             trace: Trace::disabled(),
         }
@@ -219,13 +240,22 @@ impl<D: DelaySource> Fischer<D> {
 
     /// Attaches a telemetry trace: entry waits, `delay(Δ)` spans, retries
     /// and acquire/release become events on the calling process's track.
-    pub fn with_trace(mut self, trace: Trace) -> Fischer<D> {
+    pub fn with_trace(mut self, trace: Trace) -> Fischer<D, S> {
         self.trace = trace;
         self
     }
 }
 
-impl<D: DelaySource> RawLock for Fischer<D> {
+impl<D: std::fmt::Debug, S: RegisterSpace> std::fmt::Debug for Fischer<D, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fischer")
+            .field("n", &self.n)
+            .field("delay", &self.delay)
+            .finish()
+    }
+}
+
+impl<D: DelaySource, S: RegisterSpace> RawLock for Fischer<D, S> {
     fn lock(&self, pid: ProcId) {
         assert!(pid.0 < self.n, "pid out of range");
         let tok = pid.token();
@@ -234,13 +264,13 @@ impl<D: DelaySource> RawLock for Fischer<D> {
         let wait_t0 = self.trace.now_ns();
         self.trace.emit(pid, EventKind::LockWaitStart);
         loop {
-            while self.x.load(Ordering::SeqCst) != 0 {
+            while self.x.read() != 0 {
                 std::thread::yield_now();
             }
             // The read→write window: a stall injected here models the
             // §3.1 timing failure that breaks Fischer's argument.
             chaos::point(chaos::points::FISCHER_WRITE_X);
-            self.x.store(tok, Ordering::SeqCst);
+            self.x.write(tok);
             let d = self.delay.current_delay();
             self.trace.emit(
                 pid,
@@ -251,7 +281,7 @@ impl<D: DelaySource> RawLock for Fischer<D> {
             precise_delay(d);
             self.trace.emit(pid, EventKind::DelayEnd);
             chaos::point(chaos::points::FISCHER_CHECK_X);
-            if self.x.load(Ordering::SeqCst) == tok {
+            if self.x.read() == tok {
                 self.delay.on_uncontended();
                 if let Some(t0) = wait_t0 {
                     let now = self.trace.now_ns().unwrap_or(t0);
@@ -276,7 +306,7 @@ impl<D: DelaySource> RawLock for Fischer<D> {
 
     fn unlock(&self, pid: ProcId) {
         chaos::point(chaos::points::FISCHER_EXIT);
-        self.x.store(0, Ordering::SeqCst);
+        self.x.write(0);
         self.trace.emit(pid, EventKind::LockReleased);
     }
 

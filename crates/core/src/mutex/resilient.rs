@@ -32,7 +32,6 @@
 //! starvation-free.
 
 use crate::adaptive::DelaySource;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tfr_asynclock::bar_david::{StarvationFree, StarvationFreeSpec};
 use tfr_asynclock::lamport_fast::{LamportFast, LamportFastSpec};
@@ -40,6 +39,7 @@ use tfr_asynclock::{LockSpec, LockStep, Progress, RawLock};
 use tfr_registers::accounting::RegisterCount;
 use tfr_registers::chaos;
 use tfr_registers::native::precise_delay;
+use tfr_registers::space::{NativeSpace, RegisterSpace, SharedRegister};
 use tfr_registers::spec::Action;
 use tfr_registers::{ProcId, RegId, Ticks};
 use tfr_telemetry::{EventKind, Trace};
@@ -263,8 +263,10 @@ impl<A: LockSpec> LockSpec for ResilientMutexSpec<A> {
 // Native form
 // ---------------------------------------------------------------------
 
-/// Algorithm 3 over real atomics, generic over the inner lock `A` and the
-/// `delay(Δ)` source.
+/// Algorithm 3 in native form, generic over the inner lock `A`, the
+/// `delay(Δ)` source, and the [`RegisterSpace`] backing Fischer's `x`
+/// (real atomics by default; a `tfr-net` quorum space via
+/// [`ResilientMutex::standard_on`]).
 ///
 /// Unlike [`crate::mutex::fischer::Fischer`], this lock's mutual exclusion
 /// is unconditional: a wrong (optimistic) Δ estimate or an OS preemption
@@ -289,11 +291,10 @@ impl<A: LockSpec> LockSpec for ResilientMutexSpec<A> {
 /// lock.unlock(ProcId(0));
 /// t.join().unwrap();
 /// ```
-#[derive(Debug)]
-pub struct ResilientMutex<A, D = Duration> {
+pub struct ResilientMutex<A, D = Duration, S: RegisterSpace = NativeSpace> {
     inner: A,
     n: usize,
-    x: AtomicU64,
+    x: SharedRegister<S>,
     delay: D,
     trace: Trace,
 }
@@ -306,6 +307,22 @@ impl ResilientMutex<StarvationFree<LamportFast>, Duration> {
     /// Panics if `n == 0`.
     pub fn standard(n: usize, delta: Duration) -> Self {
         ResilientMutex::new(StarvationFree::over_lamport_fast(n), n, delta)
+    }
+}
+
+impl<S: RegisterSpace> ResilientMutex<StarvationFree<LamportFast>, Duration, S> {
+    /// The standard instantiation with Fischer's `x` living in `space`
+    /// (register 0) — e.g. a `tfr-net` quorum space, making the timing
+    /// wrapper's register a replicated one. The inner asynchronous lock
+    /// stays on native atomics: its safety is timing-independent, so
+    /// nothing is learned by slowing it down, and the O(Δ) claim under
+    /// test is the wrapper's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn standard_on(space: S, n: usize, delta: Duration) -> Self {
+        ResilientMutex::on_with_delay_source(space, StarvationFree::over_lamport_fast(n), n, delta)
     }
 }
 
@@ -328,6 +345,23 @@ impl<A: RawLock, D: DelaySource> ResilientMutex<A, D> {
     ///
     /// Panics if `n == 0` or `inner.n() != n`.
     pub fn with_delay_source(inner: A, n: usize, source: D) -> ResilientMutex<A, D> {
+        Self::on_with_delay_source(NativeSpace::new(), inner, n, source)
+    }
+}
+
+impl<A: RawLock, D: DelaySource, S: RegisterSpace> ResilientMutex<A, D, S> {
+    /// Wraps `inner` with the Fischer stage's `x` at register 0 of
+    /// `space`, drawing `delay(Δ)` from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `inner.n() != n`.
+    pub fn on_with_delay_source(
+        space: S,
+        inner: A,
+        n: usize,
+        source: D,
+    ) -> ResilientMutex<A, D, S> {
         assert!(n > 0, "at least one process is required");
         assert_eq!(
             inner.n(),
@@ -337,7 +371,7 @@ impl<A: RawLock, D: DelaySource> ResilientMutex<A, D> {
         ResilientMutex {
             inner,
             n,
-            x: AtomicU64::new(0),
+            x: SharedRegister::new(space, 0),
             delay: source,
             trace: Trace::disabled(),
         }
@@ -346,13 +380,25 @@ impl<A: RawLock, D: DelaySource> ResilientMutex<A, D> {
     /// Attaches a telemetry trace: entry waits, `delay(Δ)` spans, Fischer
     /// retries and acquire/release become events on the calling process's
     /// track.
-    pub fn with_trace(mut self, trace: Trace) -> ResilientMutex<A, D> {
+    pub fn with_trace(mut self, trace: Trace) -> ResilientMutex<A, D, S> {
         self.trace = trace;
         self
     }
 }
 
-impl<A: RawLock, D: DelaySource> RawLock for ResilientMutex<A, D> {
+impl<A: std::fmt::Debug, D: std::fmt::Debug, S: RegisterSpace> std::fmt::Debug
+    for ResilientMutex<A, D, S>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientMutex")
+            .field("inner", &self.inner)
+            .field("n", &self.n)
+            .field("delay", &self.delay)
+            .finish()
+    }
+}
+
+impl<A: RawLock, D: DelaySource, S: RegisterSpace> RawLock for ResilientMutex<A, D, S> {
     fn lock(&self, pid: ProcId) {
         assert!(pid.0 < self.n, "pid out of range");
         let tok = pid.token();
@@ -361,13 +407,13 @@ impl<A: RawLock, D: DelaySource> RawLock for ResilientMutex<A, D> {
         let wait_t0 = self.trace.now_ns();
         self.trace.emit(pid, EventKind::LockWaitStart);
         loop {
-            while self.x.load(Ordering::SeqCst) != 0 {
+            while self.x.read() != 0 {
                 std::thread::yield_now();
             }
             // Same read→write window as plain Fischer — a stall here must
             // NOT break mutual exclusion (that is what resilience means).
             chaos::point(chaos::points::RESILIENT_WRITE_X);
-            self.x.store(tok, Ordering::SeqCst);
+            self.x.write(tok);
             let d = self.delay.current_delay();
             self.trace.emit(
                 pid,
@@ -377,7 +423,7 @@ impl<A: RawLock, D: DelaySource> RawLock for ResilientMutex<A, D> {
             );
             precise_delay(d);
             self.trace.emit(pid, EventKind::DelayEnd);
-            if self.x.load(Ordering::SeqCst) == tok {
+            if self.x.read() == tok {
                 self.delay.on_uncontended();
                 break;
             }
@@ -407,8 +453,8 @@ impl<A: RawLock, D: DelaySource> RawLock for ResilientMutex<A, D> {
         chaos::point(chaos::points::RESILIENT_EXIT);
         // Line 8: conditional reset — of all processes stranded in A by a
         // timing failure, at most one reopens the wrapper.
-        if self.x.load(Ordering::SeqCst) == pid.token() {
-            self.x.store(0, Ordering::SeqCst);
+        if self.x.read() == pid.token() {
+            self.x.write(0);
         }
         self.trace.emit(pid, EventKind::LockReleased);
     }
@@ -426,7 +472,7 @@ impl<A: RawLock, D: DelaySource> RawLock for ResilientMutex<A, D> {
 mod tests {
     use super::*;
     use crate::adaptive::AdaptiveDelta;
-    use std::sync::atomic::AtomicU64 as TestAtomic;
+    use std::sync::atomic::{AtomicU64 as TestAtomic, Ordering};
     use std::sync::Arc;
     use tfr_asynclock::workload::LockLoop;
     use tfr_modelcheck::{Explorer, SafetySpec};

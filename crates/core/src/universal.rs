@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tfr_registers::native::UnboundedAtomicArray;
+use tfr_registers::space::{NativeSpace, RegisterSpace, SubSpace};
 use tfr_registers::ProcId;
 
 /// Wait-free multivalued consensus on `width`-bit values, built from
@@ -53,35 +54,64 @@ use tfr_registers::ProcId;
 /// assert_eq!(winner, 42, "a solo proposer wins with its own value");
 /// assert_eq!(mc.propose(ProcId(1), 7), 42, "later proposers adopt it");
 /// ```
-#[derive(Debug)]
-pub struct MultiConsensus {
+pub struct MultiConsensus<S: RegisterSpace = NativeSpace> {
     n: usize,
     width: u32,
+    /// The shared space. Layout: `result` (final decision, +1; 0 =
+    /// undecided) at 0; `announce[i]` (process `i`'s proposal, +1) at
+    /// `1 + i`; bit `k`'s Algorithm 1 instance over the strided region
+    /// `1 + n + k + j·width` — the `width` regions tile the remaining
+    /// indices disjointly.
+    space: Arc<S>,
     /// `bits[k]` decides bit `k` (bit 0 = least significant).
-    bits: Vec<NativeConsensus>,
-    /// `announce[i]` holds process `i`'s proposal, +1 (0 = none yet).
-    announce: Vec<AtomicU64>,
-    /// The final decision, +1 (0 = undecided), published by finishers.
-    result: AtomicU64,
+    bits: Vec<NativeConsensus<SubSpace<Arc<S>>>>,
 }
 
 impl MultiConsensus {
     /// A multivalued consensus object for `n` processes on values
-    /// `< 2^width`, with `delay(Δ)` estimate `delta`.
+    /// `< 2^width`, with `delay(Δ)` estimate `delta`, over shared memory.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0` or `width` is 0 or greater than 63.
     pub fn new(n: usize, width: u32, delta: Duration) -> MultiConsensus {
+        MultiConsensus::on(Arc::new(NativeSpace::with_capacity(256)), n, width, delta)
+    }
+}
+
+impl<S: RegisterSpace> MultiConsensus<S> {
+    /// A multivalued consensus object over an arbitrary (fresh) register
+    /// space — e.g. a `tfr-net` quorum space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `width` is 0 or greater than 63.
+    pub fn on(space: Arc<S>, n: usize, width: u32, delta: Duration) -> MultiConsensus<S> {
         assert!(n > 0, "at least one process is required");
         assert!(width > 0 && width <= 63, "width must be in 1..=63");
+        let first_free = 1 + n as u64;
+        let bits = (0..width)
+            .map(|k| {
+                let region = SubSpace::new(Arc::clone(&space), first_free + k as u64, width as u64);
+                NativeConsensus::on(region, delta)
+            })
+            .collect();
         MultiConsensus {
             n,
             width,
-            bits: (0..width).map(|_| NativeConsensus::new(delta)).collect(),
-            announce: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            result: AtomicU64::new(0),
+            space,
+            bits,
         }
+    }
+
+    #[inline]
+    fn result_idx() -> u64 {
+        0
+    }
+
+    #[inline]
+    fn announce_idx(pid: usize) -> u64 {
+        1 + pid as u64
     }
 
     /// Proposes `value`; blocks until the common decision is known and
@@ -94,7 +124,7 @@ impl MultiConsensus {
     pub fn propose(&self, pid: ProcId, value: u64) -> u64 {
         assert!(pid.0 < self.n, "pid out of range");
         assert!(value < 1u64 << self.width, "value exceeds width");
-        self.announce[pid.0].store(value + 1, Ordering::SeqCst);
+        self.space.write(Self::announce_idx(pid.0), value + 1);
 
         let mut candidate = value;
         for k in (0..self.width).rev() {
@@ -104,13 +134,13 @@ impl MultiConsensus {
                 candidate = self.adopt(candidate, k, decided);
             }
         }
-        self.result.store(candidate + 1, Ordering::SeqCst);
+        self.space.write(Self::result_idx(), candidate + 1);
         candidate
     }
 
     /// The decision, if some proposer has completed.
     pub fn decision(&self) -> Option<u64> {
-        match self.result.load(Ordering::SeqCst) {
+        match self.space.read(Self::result_idx()) {
             0 => None,
             v => Some(v - 1),
         }
@@ -120,8 +150,8 @@ impl MultiConsensus {
     /// `k` and has bit `k` equal to `decided_bit`.
     fn adopt(&self, candidate: u64, k: u32, decided_bit: bool) -> u64 {
         let target_prefix = (candidate >> (k + 1) << 1) | decided_bit as u64;
-        for a in &self.announce {
-            let raw = a.load(Ordering::SeqCst);
+        for i in 0..self.n {
+            let raw = self.space.read(Self::announce_idx(i));
             if raw != 0 {
                 let v = raw - 1;
                 if v >> k == target_prefix {
@@ -133,6 +163,16 @@ impl MultiConsensus {
             "bit {k} decided {decided_bit} but no announced value matches prefix \
              {target_prefix:#b} — violates the announce-before-propose invariant"
         );
+    }
+}
+
+impl<S: RegisterSpace> std::fmt::Debug for MultiConsensus<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiConsensus")
+            .field("n", &self.n)
+            .field("width", &self.width)
+            .field("decision", &self.decision())
+            .finish()
     }
 }
 

@@ -26,6 +26,11 @@
 //! * [`native`] — chaos drivers: run an object on real threads under a
 //!   seeded fault schedule ([`record_chaos`](native::record_chaos)) and
 //!   capture its history, crash faults leaving pending operations.
+//! * [`register`] — register-level checking for the quorum stack: a
+//!   [`RecordingSpace`](register::RecordingSpace) wrapper captures every
+//!   `read`/`write` on any `RegisterSpace` backend, and
+//!   [`RegisterModel`](register::RegisterModel) is the atomic-register
+//!   sequential specification the history must satisfy.
 //! * [`simconv`] — convert a one-shot simulator
 //!   [`RunResult`](tfr_sim::RunResult) into a checkable history.
 //! * [`mutants`] — deliberately broken objects (a non-atomic
@@ -69,6 +74,7 @@ pub mod history;
 pub mod models;
 pub mod mutants;
 pub mod native;
+pub mod register;
 pub mod simconv;
 
 pub use checker::{check_history, check_object, LinReport, NonLinearizable, ObjectReport};
@@ -77,4 +83,5 @@ pub use models::{
     CounterModel, ElectionModel, QueueModel, RenamingModel, SeqSpec, SetConsensusModel, TasModel,
 };
 pub use native::{record_chaos, ObjectKind};
+pub use register::{RecordingSpace, RegisterModel};
 pub use simconv::history_from_run;

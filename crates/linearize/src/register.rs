@@ -1,0 +1,234 @@
+//! Register-level linearizability: a sequential atomic-register model and
+//! a recording [`RegisterSpace`] wrapper.
+//!
+//! The quorum stack (`tfr-net`) emulates atomic registers with ABD-style
+//! majority rounds; the claim that makes every algorithm above it sound is
+//! that each emulated register **is** an atomic register. This module
+//! checks exactly that claim: wrap any backend in a [`RecordingSpace`],
+//! run a workload (with partitions, drops, whatever), and hand the
+//! captured history to [`check_history`](crate::checker::check_history)
+//! with a [`RegisterModel`]. Each register index becomes its own object id,
+//! so P-compositionality splits the search per register.
+//!
+//! # Operation encoding
+//!
+//! * read — `op = 0`, response = the value returned;
+//! * write `v` — `op = (v << 1) | 1`, response = `0`.
+//!
+//! Written values must fit in 63 bits (the low bit tags writes). Every
+//! value the workloads here write is tiny; the encoders assert it.
+
+use crate::history::Recorder;
+use crate::models::SeqSpec;
+use std::sync::Arc;
+use tfr_registers::space::RegisterSpace;
+use tfr_telemetry::current_pid;
+
+/// The encoded read operation.
+pub const READ_OP: u64 = 0;
+
+/// Encodes a write of `value` (which must fit in 63 bits).
+pub fn write_op(value: u64) -> u64 {
+    assert!(value < 1 << 63, "written value does not fit the encoding");
+    (value << 1) | 1
+}
+
+/// Sequential specification of a single atomic `u64` register with
+/// initial value `0`. State: the current value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegisterModel;
+
+impl SeqSpec for RegisterModel {
+    type State = u64;
+    fn initial(&self) -> u64 {
+        0
+    }
+    fn step(&self, state: &u64, op: u64, resp: u64) -> Option<u64> {
+        if op & 1 == 1 {
+            // A write responds 0 and installs its value.
+            (resp == 0).then_some(op >> 1)
+        } else {
+            // A read responds the current value and changes nothing.
+            (resp == *state).then_some(*state)
+        }
+    }
+    fn step_unknown(&self, state: &u64, op: u64) -> Vec<u64> {
+        if op & 1 == 1 {
+            // A pending write may or may not have taken effect.
+            vec![*state, op >> 1]
+        } else {
+            vec![*state]
+        }
+    }
+    fn describe(&self, op: u64, resp: Option<u64>) -> String {
+        if op & 1 == 1 {
+            match resp {
+                Some(_) => format!("write({})", op >> 1),
+                None => format!("write({}) → ?", op >> 1),
+            }
+        } else {
+            match resp {
+                Some(r) => format!("read() → {r}"),
+                None => "read() → ?".to_string(),
+            }
+        }
+    }
+}
+
+/// A [`RegisterSpace`] wrapper that records every `read`/`write` into a
+/// shared [`Recorder`], using the register index as the object id.
+///
+/// The acting process comes from the telemetry registry
+/// ([`tfr_telemetry::with_pid`] / `run_as`): calls from a thread with no
+/// registered pid pass through **unrecorded** (setup writes before the
+/// workload starts, for instance, are deliberately invisible to the
+/// checker).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tfr_linearize::checker::check_history;
+/// use tfr_linearize::register::{RecordingSpace, RegisterModel};
+/// use tfr_registers::space::{NativeSpace, RegisterSpace};
+/// use tfr_telemetry::with_pid;
+/// use tfr_registers::ProcId;
+///
+/// let rec = Arc::new(tfr_linearize::Recorder::new(2));
+/// let space = RecordingSpace::new(NativeSpace::new(), Arc::clone(&rec));
+/// with_pid(ProcId(0), || {
+///     space.write(3, 7);
+///     assert_eq!(space.read(3), 7);
+/// });
+/// let history = rec.history();
+/// assert_eq!(history.len(), 2);
+/// check_history(&history, &RegisterModel).expect("native atomics are atomic");
+/// ```
+#[derive(Debug)]
+pub struct RecordingSpace<S> {
+    inner: S,
+    recorder: Arc<Recorder>,
+}
+
+impl<S: RegisterSpace> RecordingSpace<S> {
+    /// Wraps `inner`, recording into `recorder`.
+    pub fn new(inner: S, recorder: Arc<Recorder>) -> RecordingSpace<S> {
+        RecordingSpace { inner, recorder }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: RegisterSpace> RegisterSpace for RecordingSpace<S> {
+    fn read(&self, index: u64) -> u64 {
+        match current_pid() {
+            Some(pid) => {
+                let token = self.recorder.invoke(pid, index, READ_OP);
+                let value = self.inner.read(index);
+                self.recorder.response(pid, index, token, value);
+                value
+            }
+            None => self.inner.read(index),
+        }
+    }
+
+    fn write(&self, index: u64, value: u64) {
+        match current_pid() {
+            Some(pid) => {
+                let token = self.recorder.invoke(pid, index, write_op(value));
+                self.inner.write(index, value);
+                self.recorder.response(pid, index, token, 0);
+            }
+            None => self.inner.write(index, value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_history;
+    use crate::history::{History, Operation};
+    use tfr_registers::space::NativeSpace;
+    use tfr_registers::ProcId;
+    use tfr_telemetry::with_pid;
+
+    #[test]
+    fn register_model_accepts_a_simple_sequence() {
+        let m = RegisterModel;
+        let s = m.initial();
+        let s = m.step(&s, READ_OP, 0).expect("fresh register reads 0");
+        let s = m.step(&s, write_op(5), 0).expect("write ok");
+        assert!(m.step(&s, READ_OP, 4).is_none(), "stale read rejected");
+        assert!(m.step(&s, READ_OP, 5).is_some());
+    }
+
+    #[test]
+    fn pending_write_may_or_may_not_apply() {
+        let m = RegisterModel;
+        assert_eq!(m.step_unknown(&3, write_op(9)), vec![3, 9]);
+        assert_eq!(m.step_unknown(&3, READ_OP), vec![3]);
+    }
+
+    #[test]
+    fn unregistered_threads_pass_through_unrecorded() {
+        let rec = Arc::new(Recorder::new(1));
+        let space = RecordingSpace::new(NativeSpace::new(), Arc::clone(&rec));
+        space.write(0, 42);
+        assert_eq!(space.read(0), 42);
+        assert!(rec.history().is_empty(), "no pid, no events");
+    }
+
+    #[test]
+    fn concurrent_native_workload_checks_clean() {
+        let rec = Arc::new(Recorder::new(4));
+        let space = Arc::new(RecordingSpace::new(NativeSpace::new(), Arc::clone(&rec)));
+        std::thread::scope(|scope| {
+            for i in 0..4u64 {
+                let space = Arc::clone(&space);
+                scope.spawn(move || {
+                    with_pid(ProcId(i as usize), || {
+                        for k in 0..16 {
+                            let reg = k % 3;
+                            if (i + k) % 2 == 0 {
+                                space.write(reg, i * 100 + k);
+                            } else {
+                                space.read(reg);
+                            }
+                        }
+                    })
+                });
+            }
+        });
+        let history = rec.history();
+        assert_eq!(history.len(), 4 * 16);
+        check_history(&history, &RegisterModel).expect("native atomics linearize");
+    }
+
+    #[test]
+    fn the_model_rejects_a_value_from_nowhere() {
+        // read() → 7 with no write(7) anywhere cannot linearize.
+        let history = History::from_ops(vec![
+            Operation {
+                pid: ProcId(0),
+                obj: 0,
+                op: write_op(1),
+                resp: Some(0),
+                invoke_ts: 1,
+                resp_ts: 2,
+            },
+            Operation {
+                pid: ProcId(1),
+                obj: 0,
+                op: READ_OP,
+                resp: Some(7),
+                invoke_ts: 3,
+                resp_ts: 4,
+            },
+        ]);
+        check_history(&history, &RegisterModel).expect_err("7 was never written");
+    }
+}

@@ -1,0 +1,166 @@
+//! The typed message vocabulary of the quorum protocol.
+//!
+//! Four message kinds suffice for multi-writer ABD: a query
+//! ([`Payload::ReadReq`]) with its versioned answer ([`Payload::ReadAck`]),
+//! and a store ([`Payload::WriteReq`]) with its acknowledgement
+//! ([`Payload::WriteAck`]). Both phases of both operations are built from
+//! the same two round trips; the client side decides what the answers mean.
+
+use std::fmt;
+
+/// A register version: a logical timestamp plus the writer's identity.
+///
+/// Versions are **totally ordered** — lexicographically by `(ts, wid)` —
+/// which is what makes the replicated register converge: two concurrent
+/// writes with distinct versions have a definite winner at every replica,
+/// and equal versions are impossible because each writer handle issues
+/// strictly increasing timestamps under its own unique `wid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Version {
+    /// Logical timestamp (Lamport-style: one past the highest observed).
+    pub ts: u64,
+    /// Unique id of the writing [`crate::QuorumSpace`] handle.
+    pub wid: u64,
+}
+
+impl Version {
+    /// The version of the never-written register (ts 0, writer 0 — below
+    /// every real version, since real writes use `ts ≥ 1`).
+    pub const ZERO: Version = Version { ts: 0, wid: 0 };
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.ts, self.wid)
+    }
+}
+
+/// A register value stamped with the version that wrote it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Versioned {
+    /// The write's version.
+    pub version: Version,
+    /// The written value.
+    pub value: u64,
+}
+
+impl Versioned {
+    /// The zero-initialized register: value 0 at [`Version::ZERO`].
+    pub const ZERO: Versioned = Versioned {
+        version: Version::ZERO,
+        value: 0,
+    };
+}
+
+/// What a message says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// Client → replica: report your current `(version, value)` for `reg`.
+    ReadReq {
+        /// The queried register.
+        reg: u64,
+    },
+    /// Replica → client: the answer to a [`Payload::ReadReq`].
+    ReadAck {
+        /// The queried register.
+        reg: u64,
+        /// The replica's current copy.
+        data: Versioned,
+    },
+    /// Client → replica: store `data` for `reg` if its version exceeds
+    /// yours (idempotent — retransmits and reorderings are harmless).
+    WriteReq {
+        /// The written register.
+        reg: u64,
+        /// The versioned value to store.
+        data: Versioned,
+    },
+    /// Replica → client: a [`Payload::WriteReq`] was applied (or
+    /// superseded by a newer version, which is just as good).
+    WriteAck {
+        /// The written register.
+        reg: u64,
+        /// The version the request carried.
+        version: Version,
+    },
+}
+
+impl Payload {
+    /// The register this message is about (every payload names one).
+    pub fn reg(&self) -> u64 {
+        match *self {
+            Payload::ReadReq { reg }
+            | Payload::ReadAck { reg, .. }
+            | Payload::WriteReq { reg, .. }
+            | Payload::WriteAck { reg, .. } => reg,
+        }
+    }
+}
+
+/// A node of the emulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeId {
+    /// A client — one of the algorithm processes driving quorum ops.
+    Client(usize),
+    /// A replica server holding a full copy of every register.
+    Replica(usize),
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Client(i) => write!(f, "c{i}"),
+            NodeId::Replica(i) => write!(f, "s{i}"),
+        }
+    }
+}
+
+/// One message in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// The sending node.
+    pub from: NodeId,
+    /// The destination node.
+    pub to: NodeId,
+    /// The round id: acks carry their request's `rid`, which is how the
+    /// client matches late, duplicated, or reordered answers to the
+    /// quorum round that asked.
+    pub rid: u64,
+    /// The content.
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_order_lexicographically() {
+        let a = Version { ts: 1, wid: 9 };
+        let b = Version { ts: 2, wid: 0 };
+        let c = Version { ts: 2, wid: 1 };
+        assert!(a < b, "timestamp dominates");
+        assert!(b < c, "writer id breaks timestamp ties");
+        assert!(Version::ZERO < a);
+        assert_eq!(a.to_string(), "1.9");
+    }
+
+    #[test]
+    fn payload_names_its_register() {
+        assert_eq!(Payload::ReadReq { reg: 7 }.reg(), 7);
+        assert_eq!(
+            Payload::WriteAck {
+                reg: 3,
+                version: Version::ZERO
+            }
+            .reg(),
+            3
+        );
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId::Client(2).to_string(), "c2");
+        assert_eq!(NodeId::Replica(0).to_string(), "s0");
+    }
+}

@@ -1,0 +1,598 @@
+//! The deterministic in-process message-passing network.
+//!
+//! A [`Network`] hosts `R` passive replica servers behind a single router
+//! thread. Clients hand messages to the router; each link `(from, to)`
+//! owns a [`SplitMix64`] stream forked deterministically from the master
+//! seed, and every message consumes exactly two draws from its link —
+//! one for the delivery delay, one for the drop decision. The fate of the
+//! n-th message on a link is therefore a pure function of
+//! `(seed, link, n)` and the fault settings in force: printing the seed
+//! *is* printing the timing model, the same replay story the chaos layer
+//! tells for shared-memory faults.
+//!
+//! Faults are evaluated at **send time** by the [`NetControl`] handle:
+//! per-message drop probability, a flat delay spike added to every link,
+//! and partitions (messages never cross group boundaries). A partitioned
+//! or dropped message is gone — reliability is the *client's* job
+//! (quorum rounds retransmit), which is exactly how ABD survives a lossy
+//! asynchronous network.
+//!
+//! Telemetry: senders stamp [`EventKind::MsgSend`] / `MsgDropped`,
+//! receivers stamp `MsgRecv`, and [`NetControl`] marks fault transitions
+//! with the [`tfr_telemetry::event::net_marks`] names. Replica-side
+//! events are emitted by the router thread (the only writer for replica
+//! pids); client-side events go through `emit_current`, so the
+//! single-writer ring contract holds without any extra locking.
+
+use crate::msg::{Message, NodeId, Payload, Versioned};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tfr_registers::rng::SplitMix64;
+use tfr_registers::ProcId;
+use tfr_telemetry::event::net_marks;
+use tfr_telemetry::{EventKind, Trace};
+
+/// Shape of an emulated cluster.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Number of client nodes (the algorithm processes; worker pids map
+    /// onto clients by `pid mod clients`).
+    pub clients: usize,
+    /// Number of replica servers (`R`); a quorum is `R/2 + 1`.
+    pub replicas: usize,
+    /// Master seed for every per-link delay/drop stream.
+    pub seed: u64,
+    /// Minimum one-way link delay.
+    pub min_delay: Duration,
+    /// Maximum one-way link delay (uniform in `[min, max]`).
+    pub max_delay: Duration,
+    /// How long a quorum round waits for acknowledgements before
+    /// retransmitting to the replicas that have not answered.
+    pub retransmit: Duration,
+}
+
+impl NetConfig {
+    /// A cluster of `clients` clients and `replicas` replicas with
+    /// workspace-default link delays (10–80 µs) and a 1 ms retransmit
+    /// timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0` or `replicas == 0`.
+    pub fn new(clients: usize, replicas: usize, seed: u64) -> NetConfig {
+        assert!(clients > 0, "at least one client is required");
+        assert!(replicas > 0, "at least one replica is required");
+        NetConfig {
+            clients,
+            replicas,
+            seed,
+            min_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(80),
+            retransmit: Duration::from_millis(1),
+        }
+    }
+
+    /// Size of a majority quorum: `R/2 + 1`.
+    pub fn majority(&self) -> usize {
+        self.replicas / 2 + 1
+    }
+
+    /// Total node count (clients + replicas).
+    pub fn nodes(&self) -> usize {
+        self.clients + self.replicas
+    }
+
+    /// The telemetry pid of a node: clients keep their own index (they
+    /// *are* the worker processes), replicas follow at
+    /// `clients + replica_index`.
+    pub fn node_pid(&self, node: NodeId) -> ProcId {
+        match node {
+            NodeId::Client(i) => ProcId(i % self.clients),
+            NodeId::Replica(i) => ProcId(self.clients + i),
+        }
+    }
+
+    /// The telemetry pid the [`NetControl`] nemesis stamps marks on (one
+    /// past the last replica).
+    pub fn control_pid(&self) -> ProcId {
+        ProcId(self.nodes())
+    }
+
+    /// How many processes a [`tfr_telemetry::Tracer`] needs to hold every
+    /// lane of this cluster: clients, replicas, and the control lane.
+    pub fn tracer_processes(&self) -> usize {
+        self.nodes() + 1
+    }
+
+    /// Dense key of a node for link/partition tables.
+    fn key(&self, node: NodeId) -> usize {
+        match node {
+            NodeId::Client(i) => i % self.clients,
+            NodeId::Replica(i) => self.clients + i,
+        }
+    }
+}
+
+/// One scheduled delivery, ordered by time then submission sequence.
+struct InFlight {
+    deliver_at: Instant,
+    seq: u64,
+    msg: Message,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+/// Mutable router state, guarded by one mutex (never held across a
+/// delivery or a user-visible call).
+struct RouterState {
+    queue: BinaryHeap<Reverse<InFlight>>,
+    links: HashMap<(usize, usize), SplitMix64>,
+    drop_prob: f64,
+    extra_delay: Duration,
+    /// `Some(groups)` = partitioned: `groups[key]` is the node's side,
+    /// and messages never cross sides. `None` = fully connected.
+    groups: Option<Vec<u8>>,
+    seq: u64,
+    shutdown: bool,
+}
+
+/// Ack mailbox of one in-flight quorum round, keyed by `rid`.
+pub(crate) struct Waiter {
+    pub(crate) acks: Mutex<Vec<(usize, Payload)>>,
+    pub(crate) cv: Condvar,
+}
+
+pub(crate) struct Shared {
+    pub(crate) cfg: NetConfig,
+    state: Mutex<RouterState>,
+    router_cv: Condvar,
+    pub(crate) waiters: Mutex<HashMap<u64, Arc<Waiter>>>,
+    pub(crate) next_rid: AtomicU64,
+    pub(crate) next_wid: AtomicU64,
+    pub(crate) trace: Trace,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    /// Evaluates link faults and either schedules `msg` for delivery or
+    /// drops it. Client-side telemetry uses `emit_current` (the calling
+    /// worker thread owns its lane); replica-side sends are stamped by
+    /// the router thread on the replica's lane.
+    fn route(&self, st: &mut RouterState, msg: Message) {
+        let reg = msg.payload.reg();
+        let to_pid = self.cfg.node_pid(msg.to);
+        let from_key = self.cfg.key(msg.from);
+        let to_key = self.cfg.key(msg.to);
+        let cut = match &st.groups {
+            Some(g) => g[from_key] != g[to_key],
+            None => false,
+        };
+        let seed = self.cfg.seed;
+        let rng = st.links.entry((from_key, to_key)).or_insert_with(|| {
+            // Distinct stream per (seed, link): golden-ratio mixing keeps
+            // nearby link keys far apart in seed space.
+            let link = (from_key as u64) << 32 | to_key as u64;
+            SplitMix64::new(seed ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        });
+        // Every message consumes exactly two draws — delay, then drop —
+        // so the n-th message on a link has a seed-determined fate
+        // regardless of what happened to earlier messages.
+        let span_ns = self
+            .cfg
+            .max_delay
+            .saturating_sub(self.cfg.min_delay)
+            .as_nanos() as u64;
+        let jitter = Duration::from_nanos(rng.random_range(0..=span_ns));
+        let lost = rng.random_bool(st.drop_prob);
+        let kind = if cut || lost {
+            EventKind::MsgDropped { to: to_pid, reg }
+        } else {
+            EventKind::MsgSend { to: to_pid, reg }
+        };
+        match msg.from {
+            NodeId::Client(_) => self.trace.emit_current(kind),
+            NodeId::Replica(_) => self.trace.emit(self.cfg.node_pid(msg.from), kind),
+        }
+        if cut || lost {
+            return;
+        }
+        st.seq += 1;
+        st.queue.push(Reverse(InFlight {
+            deliver_at: Instant::now() + self.cfg.min_delay + jitter + st.extra_delay,
+            seq: st.seq,
+            msg,
+        }));
+        self.router_cv.notify_all();
+    }
+
+    /// Hands `msg` to the link layer from a client thread.
+    pub(crate) fn send(&self, msg: Message) {
+        let mut st = lock(&self.state);
+        self.route(&mut st, msg);
+    }
+}
+
+/// The emulated cluster: router thread, replica state, fault switches.
+///
+/// Dropping the `Network` shuts the router down; do so only at
+/// quiescence (no quorum operation still blocked), and heal partitions
+/// first — a client stranded by an eternal partition retransmits forever
+/// by design.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tfr_net::{NetConfig, Network};
+/// use tfr_registers::space::RegisterSpace;
+///
+/// let net = Arc::new(Network::new(NetConfig::new(1, 3, 42)));
+/// let space = net.space();
+/// assert_eq!(space.read(7), 0); // zero-initialized, like every backend
+/// space.write(7, 99);
+/// assert_eq!(space.read(7), 99);
+/// ```
+pub struct Network {
+    shared: Arc<Shared>,
+    router: Option<JoinHandle<()>>,
+}
+
+impl Network {
+    /// Boots a cluster with telemetry disabled.
+    pub fn new(cfg: NetConfig) -> Network {
+        Network::with_trace(cfg, Trace::disabled())
+    }
+
+    /// Boots a cluster stamping message/quorum events into `trace`
+    /// (size the tracer with [`NetConfig::tracer_processes`]).
+    pub fn with_trace(cfg: NetConfig, trace: Trace) -> Network {
+        assert!(cfg.clients > 0 && cfg.replicas > 0, "empty cluster");
+        assert!(cfg.min_delay <= cfg.max_delay, "delay range is inverted");
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(RouterState {
+                queue: BinaryHeap::new(),
+                links: HashMap::new(),
+                drop_prob: 0.0,
+                extra_delay: Duration::ZERO,
+                groups: None,
+                seq: 0,
+                shutdown: false,
+            }),
+            router_cv: Condvar::new(),
+            waiters: Mutex::new(HashMap::new()),
+            next_rid: AtomicU64::new(0),
+            next_wid: AtomicU64::new(0),
+            trace,
+        });
+        let router = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tfr-net-router".into())
+                .spawn(move || router_loop(&shared))
+                .expect("spawn router thread")
+        };
+        Network {
+            shared,
+            router: Some(router),
+        }
+    }
+
+    /// The cluster shape.
+    pub fn config(&self) -> &NetConfig {
+        &self.shared.cfg
+    }
+
+    /// A fault-injection handle (cloneable, sendable to a nemesis thread).
+    pub fn control(&self) -> NetControl {
+        NetControl {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A fresh [`crate::QuorumSpace`] over this cluster, with its own
+    /// unique writer id.
+    pub fn space(self: &Arc<Network>) -> crate::QuorumSpace {
+        crate::QuorumSpace::new(Arc::clone(self))
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.router_cv.notify_all();
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("clients", &self.shared.cfg.clients)
+            .field("replicas", &self.shared.cfg.replicas)
+            .field("seed", &self.shared.cfg.seed)
+            .finish()
+    }
+}
+
+/// Applies one request to a replica's register table and builds the ack.
+/// Idempotent by construction: a retransmitted or reordered `WriteReq`
+/// only ever moves a register's version *up* (read-repair monotonicity).
+fn replica_apply(table: &mut HashMap<u64, Versioned>, payload: Payload) -> Payload {
+    match payload {
+        Payload::ReadReq { reg } => Payload::ReadAck {
+            reg,
+            data: *table.get(&reg).unwrap_or(&Versioned::ZERO),
+        },
+        Payload::WriteReq { reg, data } => {
+            let cur = table.entry(reg).or_insert(Versioned::ZERO);
+            if data.version > cur.version {
+                *cur = data;
+            }
+            Payload::WriteAck {
+                reg,
+                version: data.version,
+            }
+        }
+        Payload::ReadAck { .. } | Payload::WriteAck { .. } => {
+            unreachable!("acks are never addressed to replicas")
+        }
+    }
+}
+
+fn router_loop(shared: &Shared) {
+    let mut tables: Vec<HashMap<u64, Versioned>> =
+        (0..shared.cfg.replicas).map(|_| HashMap::new()).collect();
+    loop {
+        // Pop the next due delivery (or sleep until one is due).
+        let msg = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                let now = Instant::now();
+                match st.queue.peek() {
+                    Some(Reverse(f)) if f.deliver_at <= now => {
+                        break st.queue.pop().expect("peeked").0.msg;
+                    }
+                    Some(Reverse(f)) => {
+                        let wait = f.deliver_at - now;
+                        st = shared
+                            .router_cv
+                            .wait_timeout(st, wait)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                    None => {
+                        st = shared.router_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        };
+        match msg.to {
+            NodeId::Replica(r) => {
+                let pid = shared.cfg.node_pid(msg.to);
+                shared.trace.emit(
+                    pid,
+                    EventKind::MsgRecv {
+                        from: shared.cfg.node_pid(msg.from),
+                        reg: msg.payload.reg(),
+                    },
+                );
+                let ack = replica_apply(&mut tables[r], msg.payload);
+                let reply = Message {
+                    from: msg.to,
+                    to: msg.from,
+                    rid: msg.rid,
+                    payload: ack,
+                };
+                let mut st = lock(&shared.state);
+                shared.route(&mut st, reply);
+            }
+            NodeId::Client(_) => {
+                // Deliver into the round's mailbox; the client thread
+                // stamps its own MsgRecv when it consumes the ack. A
+                // missing mailbox means the round already completed on a
+                // majority — late acks are simply redundant.
+                let NodeId::Replica(r) = msg.from else {
+                    unreachable!("clients only receive replica acks")
+                };
+                let waiter = lock(&shared.waiters).get(&msg.rid).cloned();
+                if let Some(w) = waiter {
+                    lock(&w.acks).push((r, msg.payload));
+                    w.cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// The network nemesis handle: flips fault switches on a live cluster.
+///
+/// Cloneable and `Send`; drive it from one nemesis thread at a time (its
+/// telemetry marks share the single control lane).
+#[derive(Clone)]
+pub struct NetControl {
+    shared: Arc<Shared>,
+}
+
+impl NetControl {
+    fn mark(&self, name: &'static str, value: u64) {
+        self.shared.trace.emit(
+            self.shared.cfg.control_pid(),
+            EventKind::Mark { name, value },
+        );
+    }
+
+    /// Sets the per-message drop probability on every link.
+    pub fn set_drop(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        lock(&self.shared.state).drop_prob = p;
+        self.mark(net_marks::DROP, (p * 100.0) as u64);
+    }
+
+    /// Adds a flat `extra` to every link delay (a delay spike; the
+    /// network-world timing failure that is slow rather than lossy).
+    pub fn delay_spike(&self, extra: Duration) {
+        lock(&self.shared.state).extra_delay = extra;
+        self.mark(net_marks::DELAY_SPIKE, extra.as_nanos() as u64);
+    }
+
+    /// Installs a partition: nodes in different groups cannot exchange
+    /// messages. Every node must appear in exactly one group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is missing, duplicated, or more than 255 groups
+    /// are given.
+    pub fn partition(&self, groups: &[Vec<NodeId>]) {
+        assert!(groups.len() <= u8::MAX as usize, "too many groups");
+        let cfg = &self.shared.cfg;
+        let mut table: Vec<Option<u8>> = vec![None; cfg.nodes()];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                let k = cfg.key(m);
+                assert!(table[k].is_none(), "node {m} appears in two groups");
+                table[k] = Some(g as u8);
+            }
+        }
+        let table: Vec<u8> = table
+            .into_iter()
+            .enumerate()
+            .map(|(k, g)| g.unwrap_or_else(|| panic!("node key {k} missing from the partition")))
+            .collect();
+        lock(&self.shared.state).groups = Some(table);
+        self.mark(net_marks::PARTITION, groups.len() as u64);
+    }
+
+    /// Cuts replicas `0..k` off from everyone else; all clients stay with
+    /// the remaining `R − k` replicas. With `k < R/2 + 1` the clients
+    /// keep a majority and operations proceed (reads may repair).
+    pub fn partition_minority(&self, k: usize) {
+        let cfg = &self.shared.cfg;
+        assert!(k <= cfg.replicas, "k exceeds the replica count");
+        let minority: Vec<NodeId> = (0..k).map(NodeId::Replica).collect();
+        let rest: Vec<NodeId> = (0..cfg.clients)
+            .map(NodeId::Client)
+            .chain((k..cfg.replicas).map(NodeId::Replica))
+            .collect();
+        self.partition(&[rest, minority]);
+    }
+
+    /// Strands every client with only replicas `0..k`. With `k` below a
+    /// majority, every quorum operation **stalls** (retransmitting,
+    /// changing nothing) until [`NetControl::heal`] — the "writes stall
+    /// but never regress" scenario.
+    pub fn isolate_clients_with(&self, k: usize) {
+        let cfg = &self.shared.cfg;
+        assert!(k <= cfg.replicas, "k exceeds the replica count");
+        let client_side: Vec<NodeId> = (0..cfg.clients)
+            .map(NodeId::Client)
+            .chain((0..k).map(NodeId::Replica))
+            .collect();
+        let far_side: Vec<NodeId> = (k..cfg.replicas).map(NodeId::Replica).collect();
+        self.partition(&[client_side, far_side]);
+    }
+
+    /// Lifts every fault: full connectivity, no drops, no delay spike.
+    pub fn heal(&self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.groups = None;
+            st.drop_prob = 0.0;
+            st.extra_delay = Duration::ZERO;
+        }
+        self.mark(net_marks::HEAL, 0);
+    }
+}
+
+impl std::fmt::Debug for NetControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("NetControl")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_quorum_and_pids() {
+        let cfg = NetConfig::new(2, 5, 1);
+        assert_eq!(cfg.majority(), 3);
+        assert_eq!(cfg.node_pid(NodeId::Client(1)), ProcId(1));
+        assert_eq!(cfg.node_pid(NodeId::Replica(0)), ProcId(2));
+        assert_eq!(cfg.control_pid(), ProcId(7));
+        assert_eq!(cfg.tracer_processes(), 8);
+    }
+
+    #[test]
+    fn replica_apply_is_monotone_and_idempotent() {
+        use crate::msg::{Version, Versioned};
+        let mut t = HashMap::new();
+        let v1 = Versioned {
+            version: Version { ts: 1, wid: 1 },
+            value: 10,
+        };
+        let v2 = Versioned {
+            version: Version { ts: 2, wid: 1 },
+            value: 20,
+        };
+        replica_apply(&mut t, Payload::WriteReq { reg: 0, data: v2 });
+        // A late, stale write must not regress the register.
+        replica_apply(&mut t, Payload::WriteReq { reg: 0, data: v1 });
+        // A duplicated fresh write must be harmless.
+        replica_apply(&mut t, Payload::WriteReq { reg: 0, data: v2 });
+        match replica_apply(&mut t, Payload::ReadReq { reg: 0 }) {
+            Payload::ReadAck { data, .. } => assert_eq!(data, v2),
+            other => panic!("expected ReadAck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn network_boots_and_shuts_down() {
+        let net = Network::new(NetConfig::new(1, 3, 7));
+        assert_eq!(net.config().majority(), 2);
+        drop(net); // must join the router without hanging
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from the partition")]
+    fn partition_requires_total_coverage() {
+        let net = Network::new(NetConfig::new(1, 3, 7));
+        net.control()
+            .partition(&[vec![NodeId::Client(0), NodeId::Replica(0)]]);
+    }
+}

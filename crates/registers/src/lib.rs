@@ -18,6 +18,10 @@
 //!   (real `std::sync::atomic` registers on real threads), most notably the
 //!   unbounded atomic arrays that Algorithm 1's infinite `x[1..∞, 0..1]` and
 //!   `y[1..∞]` arrays require.
+//! * [`space`] — the backend-neutral [`space::RegisterSpace`] trait: an
+//!   unbounded zero-initialized register array that both shared memory
+//!   ([`space::NativeSpace`]) and the `tfr-net` quorum emulation
+//!   implement, so the native algorithms run unchanged on either.
 //! * [`chaos`] — native fault injection: named injection points threaded
 //!   through the native stack, at which a registered thread can be stalled
 //!   (a timing failure) or crash-stopped, deterministically by visit count.
@@ -43,6 +47,7 @@ pub mod bank;
 pub mod chaos;
 pub mod native;
 pub mod rng;
+pub mod space;
 pub mod spec;
 mod time;
 

@@ -109,16 +109,32 @@ impl UnboundedAtomicArray {
     /// Atomically reads register `index` (0 if never stored).
     pub fn load(&self, index: usize) -> u64 {
         chaos::point(chaos::points::ARRAY_LOAD);
-        match self.chunk_for(index) {
-            Some(chunk) => chunk.cells[index % CHUNK_LEN].load(Ordering::SeqCst),
-            None => 0,
-        }
+        self.load_quiet(index)
     }
 
     /// Atomically writes `value` to register `index`, allocating its chunk
     /// if needed.
     pub fn store(&self, index: usize, value: u64) {
         chaos::point(chaos::points::ARRAY_STORE);
+        self.store_quiet(index, value);
+    }
+
+    /// [`UnboundedAtomicArray::load`] without the chaos injection point.
+    ///
+    /// Backend-neutral algorithms fire their own points at the algorithm
+    /// layer (a quorum backend has no array access to instrument, so the
+    /// points must live above the [`crate::space::RegisterSpace`] seam);
+    /// [`crate::space::NativeSpace`] therefore uses the quiet accessors.
+    pub fn load_quiet(&self, index: usize) -> u64 {
+        match self.chunk_for(index) {
+            Some(chunk) => chunk.cells[index % CHUNK_LEN].load(Ordering::SeqCst),
+            None => 0,
+        }
+    }
+
+    /// [`UnboundedAtomicArray::store`] without the chaos injection point
+    /// (see [`UnboundedAtomicArray::load_quiet`]).
+    pub fn store_quiet(&self, index: usize, value: u64) {
         let chunk = self.ensure_chunk(index);
         chunk.cells[index % CHUNK_LEN].store(value, Ordering::SeqCst);
     }

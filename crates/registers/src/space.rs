@@ -1,0 +1,290 @@
+//! The backend-neutral register abstraction: [`RegisterSpace`].
+//!
+//! The paper's algorithms are written against one primitive — the atomic
+//! read/write register — and nothing else. A *register space* is an
+//! unbounded, zero-initialized array of such registers behind a uniform
+//! `read`/`write` interface, so the same algorithm source can execute
+//! against:
+//!
+//! * [`NativeSpace`] — real `std::sync::atomic` cells in shared memory
+//!   (the [`crate::native::UnboundedAtomicArray`] this crate already
+//!   provides), where the Δ bound comes from the hardware, or
+//! * a message-passing emulation (the `tfr-net` crate's majority-quorum
+//!   ABD registers), where message delays and partitions are the timing
+//!   failures.
+//!
+//! The trait deliberately mirrors the paper's model: `read` and `write`
+//! on single registers, nothing stronger (no CAS, no fences beyond the
+//! register's own atomicity). Any correct implementation must be
+//! **atomic** (linearizable) per register — `tfr-linearize` can check
+//! that claim against recorded histories.
+//!
+//! [`SubSpace`] carves disjoint unbounded regions out of one space so a
+//! composite algorithm can hand each sub-instance its own private
+//! register array, and [`SharedRegister`] names one register of a space
+//! as a standalone handle.
+
+use crate::native::UnboundedAtomicArray;
+use std::sync::Arc;
+
+/// An unbounded, zero-initialized array of atomic `u64` read/write
+/// registers — the paper's shared memory, abstracted over its physical
+/// realization.
+///
+/// Implementations must make each register individually atomic
+/// (linearizable): concurrent `read`s and `write`s on the same index
+/// behave as if executed in some total order consistent with real time.
+/// Nothing is promised *across* registers; the algorithms layered on top
+/// assume only the single-register model of the paper.
+pub trait RegisterSpace: Send + Sync {
+    /// Atomically reads register `index` (0 if never written).
+    fn read(&self, index: u64) -> u64;
+
+    /// Atomically writes `value` to register `index`.
+    fn write(&self, index: u64, value: u64);
+}
+
+impl<S: RegisterSpace + ?Sized> RegisterSpace for Arc<S> {
+    fn read(&self, index: u64) -> u64 {
+        (**self).read(index)
+    }
+    fn write(&self, index: u64, value: u64) {
+        (**self).write(index, value)
+    }
+}
+
+impl<S: RegisterSpace + ?Sized> RegisterSpace for &S {
+    fn read(&self, index: u64) -> u64 {
+        (**self).read(index)
+    }
+    fn write(&self, index: u64, value: u64) {
+        (**self).write(index, value)
+    }
+}
+
+impl<S: RegisterSpace + ?Sized> RegisterSpace for Box<S> {
+    fn read(&self, index: u64) -> u64 {
+        (**self).read(index)
+    }
+    fn write(&self, index: u64, value: u64) {
+        (**self).write(index, value)
+    }
+}
+
+/// The shared-memory register space: [`UnboundedAtomicArray`] cells.
+///
+/// This is the default backend of every native algorithm — `SeqCst`
+/// atomics at stable addresses. Accesses through the space fire **no**
+/// chaos injection points: a register space is the *medium*, and the
+/// medium cannot know which accesses an algorithm considers
+/// fault-interesting (the quorum backend has no array access to
+/// instrument at all). Algorithms that want the
+/// [`crate::chaos::points::ARRAY_LOAD`] / `ARRAY_STORE` points fire them
+/// themselves, right before the corresponding space access — which is
+/// exactly what the consensus layer does, keeping its chaos schedule
+/// identical across backends.
+///
+/// # Example
+///
+/// ```
+/// use tfr_registers::space::{NativeSpace, RegisterSpace};
+///
+/// let space = NativeSpace::new();
+/// assert_eq!(space.read(9_999), 0);
+/// space.write(9_999, 7);
+/// assert_eq!(space.read(9_999), 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct NativeSpace {
+    cells: UnboundedAtomicArray,
+}
+
+impl NativeSpace {
+    /// Creates an empty space (chunks allocate on first write).
+    pub fn new() -> NativeSpace {
+        NativeSpace {
+            cells: UnboundedAtomicArray::new(),
+        }
+    }
+
+    /// Creates a space with the first `n` registers pre-allocated.
+    pub fn with_capacity(n: usize) -> NativeSpace {
+        NativeSpace {
+            cells: UnboundedAtomicArray::with_capacity(n),
+        }
+    }
+}
+
+impl RegisterSpace for NativeSpace {
+    fn read(&self, index: u64) -> u64 {
+        self.cells.load_quiet(index as usize)
+    }
+    fn write(&self, index: u64, value: u64) {
+        self.cells.store_quiet(index as usize, value)
+    }
+}
+
+/// A strided view into another space: local index `i` maps to
+/// `base + i × stride` of the parent.
+///
+/// With stride `s`, the sub-spaces at bases `0..s` (stride `s` each) tile
+/// the parent into `s` disjoint unbounded arrays — how a composite
+/// algorithm (bit-by-bit multi-consensus, the universal construction)
+/// hands each sub-instance its own private register region without
+/// bounding anyone's address space.
+///
+/// # Example
+///
+/// ```
+/// use tfr_registers::space::{NativeSpace, RegisterSpace, SubSpace};
+///
+/// let parent = std::sync::Arc::new(NativeSpace::new());
+/// let even = SubSpace::new(parent.clone(), 0, 2);
+/// let odd = SubSpace::new(parent.clone(), 1, 2);
+/// even.write(3, 10); // parent register 6
+/// odd.write(3, 11); // parent register 7
+/// assert_eq!(parent.read(6), 10);
+/// assert_eq!(parent.read(7), 11);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubSpace<S> {
+    inner: S,
+    base: u64,
+    stride: u64,
+}
+
+impl<S: RegisterSpace> SubSpace<S> {
+    /// Creates the view `i ↦ base + i × stride` of `inner`.
+    ///
+    /// `stride` must be nonzero (a zero stride would alias every local
+    /// index onto one parent register).
+    pub fn new(inner: S, base: u64, stride: u64) -> SubSpace<S> {
+        assert!(stride > 0, "a SubSpace stride of 0 aliases all registers");
+        SubSpace {
+            inner,
+            base,
+            stride,
+        }
+    }
+}
+
+impl<S: RegisterSpace> RegisterSpace for SubSpace<S> {
+    fn read(&self, index: u64) -> u64 {
+        self.inner.read(self.base + index * self.stride)
+    }
+    fn write(&self, index: u64, value: u64) {
+        self.inner.write(self.base + index * self.stride, value)
+    }
+}
+
+/// One named register of a space, as a standalone handle.
+///
+/// # Example
+///
+/// ```
+/// use tfr_registers::space::{NativeSpace, SharedRegister};
+///
+/// let space = std::sync::Arc::new(NativeSpace::new());
+/// let x = SharedRegister::new(space, 0);
+/// assert_eq!(x.read(), 0);
+/// x.write(41);
+/// assert_eq!(x.read(), 41);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedRegister<S> {
+    space: S,
+    index: u64,
+}
+
+impl<S: RegisterSpace> SharedRegister<S> {
+    /// Names register `index` of `space`.
+    pub fn new(space: S, index: u64) -> SharedRegister<S> {
+        SharedRegister { space, index }
+    }
+
+    /// Atomically reads the register.
+    pub fn read(&self) -> u64 {
+        self.space.read(self.index)
+    }
+
+    /// Atomically writes the register.
+    pub fn write(&self, value: u64) {
+        self.space.write(self.index, value)
+    }
+
+    /// The index this handle names inside its space.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_space_is_zero_initialized_and_persistent() {
+        let s = NativeSpace::new();
+        assert_eq!(s.read(0), 0);
+        s.write(0, 1);
+        s.write(1 << 20, 2);
+        assert_eq!(s.read(0), 1);
+        assert_eq!(s.read(1 << 20), 2);
+    }
+
+    #[test]
+    fn sub_spaces_with_common_stride_are_disjoint() {
+        let parent = Arc::new(NativeSpace::new());
+        let stride = 3u64;
+        let subs: Vec<SubSpace<Arc<NativeSpace>>> = (0..stride)
+            .map(|b| SubSpace::new(parent.clone(), b, stride))
+            .collect();
+        for (b, sub) in subs.iter().enumerate() {
+            for i in 0..50u64 {
+                sub.write(i, (b as u64) * 1000 + i);
+            }
+        }
+        for (b, sub) in subs.iter().enumerate() {
+            for i in 0..50u64 {
+                assert_eq!(sub.read(i), (b as u64) * 1000 + i, "sub {b} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_sub_spaces_compose() {
+        let parent = Arc::new(NativeSpace::new());
+        let outer = SubSpace::new(parent.clone(), 1, 2);
+        let inner = SubSpace::new(outer, 0, 2); // i ↦ 1 + 4i of the parent
+        inner.write(3, 9);
+        assert_eq!(parent.read(13), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride of 0")]
+    fn zero_stride_is_rejected() {
+        let _ = SubSpace::new(NativeSpace::new(), 0, 0);
+    }
+
+    #[test]
+    fn arc_and_ref_blanket_impls_delegate() {
+        let s = Arc::new(NativeSpace::new());
+        RegisterSpace::write(&s, 4, 44);
+        assert_eq!(RegisterSpace::read(&s, 4), 44);
+        let r: &NativeSpace = &s;
+        assert_eq!(RegisterSpace::read(&r, 4), 44);
+    }
+
+    #[test]
+    fn shared_register_names_one_cell() {
+        let space = Arc::new(NativeSpace::new());
+        let a = SharedRegister::new(space.clone(), 2);
+        let b = SharedRegister::new(space.clone(), 3);
+        a.write(1);
+        b.write(2);
+        assert_eq!(a.read(), 1);
+        assert_eq!(b.read(), 2);
+        assert_eq!(a.index(), 2);
+        assert_eq!(space.read(2), 1);
+    }
+}

@@ -99,6 +99,7 @@ impl ChromeTraceBuilder {
         let mut delay_open: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
         let mut wait_open: BTreeMap<usize, u64> = BTreeMap::new();
         let mut cs_open: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut quorum_open: BTreeMap<usize, u64> = BTreeMap::new();
 
         for e in events {
             let ProcId(tid) = e.pid;
@@ -192,6 +193,22 @@ impl ChromeTraceBuilder {
                         ]),
                     ));
                 }
+                EventKind::QuorumStart { .. } => {
+                    quorum_open.insert(tid, e.ts_ns);
+                }
+                EventKind::QuorumEnd { reg, write, rtt_ns } => {
+                    let start = quorum_open
+                        .remove(&tid)
+                        .unwrap_or(e.ts_ns.saturating_sub(rtt_ns));
+                    self.events.push(complete(
+                        format!("quorum {} r{reg}", if write { "write" } else { "read" }),
+                        pid,
+                        tid,
+                        start,
+                        e.ts_ns,
+                        Json::obj([("rtt_ns", Json::Num(rtt_ns as f64))]),
+                    ));
+                }
                 EventKind::RegRead { .. }
                 | EventKind::RegWrite { .. }
                 | EventKind::RegCas { .. }
@@ -199,6 +216,9 @@ impl ChromeTraceBuilder {
                 | EventKind::RoundStart { .. }
                 | EventKind::Decided { .. }
                 | EventKind::PointHit { .. }
+                | EventKind::MsgSend { .. }
+                | EventKind::MsgRecv { .. }
+                | EventKind::MsgDropped { .. }
                 | EventKind::Mark { .. } => {
                     self.events.push(instant(
                         e.kind.label(),
@@ -234,6 +254,15 @@ impl ChromeTraceBuilder {
         for (tid, start) in cs_open {
             self.events.push(instant(
                 "critical section (unfinished)".to_string(),
+                pid,
+                tid,
+                start,
+                Json::obj([] as [(&str, Json); 0]),
+            ));
+        }
+        for (tid, start) in quorum_open {
+            self.events.push(instant(
+                "quorum op (unfinished)".to_string(),
                 pid,
                 tid,
                 start,

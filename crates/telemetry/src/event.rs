@@ -110,6 +110,62 @@ pub enum EventKind {
         /// An annotation payload.
         value: u64,
     },
+    /// A network message was handed to the link layer (pid = the sending
+    /// node — client or replica).
+    MsgSend {
+        /// The destination node's pid.
+        to: ProcId,
+        /// The register the message is about.
+        reg: u64,
+    },
+    /// A network message was delivered (pid = the receiving node).
+    MsgRecv {
+        /// The originating node's pid.
+        from: ProcId,
+        /// The register the message is about.
+        reg: u64,
+    },
+    /// A network message was dropped at send time by a fault — loss or
+    /// partition (pid = the sending node).
+    MsgDropped {
+        /// The intended destination node's pid.
+        to: ProcId,
+        /// The register the message is about.
+        reg: u64,
+    },
+    /// A majority-quorum register operation (ABD read or write) started
+    /// on this client node.
+    QuorumStart {
+        /// The register being read or written.
+        reg: u64,
+        /// `true` for a write, `false` for a read.
+        write: bool,
+    },
+    /// The matching quorum operation completed.
+    QuorumEnd {
+        /// The register that was read or written.
+        reg: u64,
+        /// `true` for a write, `false` for a read.
+        write: bool,
+        /// Full round-trip latency of the operation in nanoseconds
+        /// (quorum start → majority acknowledged).
+        rtt_ns: u64,
+    },
+}
+
+/// Mark names the network backend stamps on the timeline (`tfr-net`
+/// emits them, [`crate::summary::heal_convergence_from_events`] consumes
+/// them). Defined here so producer and consumer share one vocabulary
+/// without a crate dependency from telemetry onto the network layer.
+pub mod net_marks {
+    /// A partition was installed (`value` = number of groups).
+    pub const PARTITION: &str = "net.partition";
+    /// All network faults were lifted (`value` = 0).
+    pub const HEAL: &str = "net.heal";
+    /// The message-drop probability changed (`value` = percent).
+    pub const DROP: &str = "net.drop";
+    /// A flat delay spike was added to every link (`value` = ns).
+    pub const DELAY_SPIKE: &str = "net.delay-spike";
 }
 
 impl EventKind {
@@ -140,6 +196,15 @@ impl EventKind {
             }
             EventKind::PointHit { point } => point.to_string(),
             EventKind::Mark { name, value } => format!("{name}={value}"),
+            EventKind::MsgSend { to, reg } => format!("send→{to} r{reg}"),
+            EventKind::MsgRecv { from, reg } => format!("recv←{from} r{reg}"),
+            EventKind::MsgDropped { to, reg } => format!("drop→{to} r{reg}"),
+            EventKind::QuorumStart { reg, write } => {
+                format!("{} r{reg}", if *write { "qwrite" } else { "qread" })
+            }
+            EventKind::QuorumEnd { reg, write, .. } => {
+                format!("{} r{reg} done", if *write { "qwrite" } else { "qread" })
+            }
         }
     }
 }

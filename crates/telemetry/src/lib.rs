@@ -64,4 +64,6 @@ pub use json::Json;
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use observer::ChaosTraceObserver;
 pub use ring::Tracer;
-pub use summary::{convergence_from_events, run_summary_json, ConvergenceReport};
+pub use summary::{
+    convergence_from_events, heal_convergence_from_events, run_summary_json, ConvergenceReport,
+};

@@ -266,6 +266,12 @@ impl MetricsRegistry {
     /// * `rounds_to_decide` — histogram of the round each decider was in;
     /// * `retries`, `faults_fired`, `delta_changes`, `cs_entries`,
     ///   `decisions` — counters.
+    ///
+    /// Network-backend streams additionally yield `msgs_sent`,
+    /// `msgs_dropped` and `quorum_ops` counters plus
+    /// `quorum_read_rtt_ns` / `quorum_write_rtt_ns` histograms; these are
+    /// created lazily on the first network event, so shared-memory runs
+    /// keep their exact metric set.
     pub fn from_events(events: &[Event]) -> MetricsRegistry {
         let reg = MetricsRegistry::new();
         let entry_wait = reg.histogram("entry_wait_ns");
@@ -293,6 +299,17 @@ impl MetricsRegistry {
                 EventKind::Decided { .. } => {
                     decisions.incr();
                     rounds.record(last_round.get(&e.pid.0).copied().unwrap_or(1));
+                }
+                EventKind::MsgSend { .. } => reg.counter("msgs_sent").incr(),
+                EventKind::MsgDropped { .. } => reg.counter("msgs_dropped").incr(),
+                EventKind::QuorumEnd { write, rtt_ns, .. } => {
+                    reg.counter("quorum_ops").incr();
+                    let name = if write {
+                        "quorum_write_rtt_ns"
+                    } else {
+                        "quorum_read_rtt_ns"
+                    };
+                    reg.histogram(name).record(rtt_ns);
                 }
                 _ => {}
             }

@@ -83,6 +83,78 @@ pub fn convergence_from_events(events: &[Event], target_wait_ns: u64) -> Converg
     }
 }
 
+/// Measures convergence of a network-backed run after a partition heals:
+/// the time from the last [`crate::event::net_marks::HEAL`] mark to the
+/// completion of the last quorum operation that was already in flight
+/// when the heal landed (an op whose [`EventKind::QuorumEnd`] is at or
+/// after the heal but whose start — `ts − rtt` — precedes it). Those are
+/// exactly the operations a partition stranded; once they drain, the
+/// backend is back in its failure-free regime.
+///
+/// Mapped onto [`ConvergenceReport`]: `faults` counts the network fault
+/// marks (partition / drop / delay-spike), `last_fault_ns` is the heal
+/// instant, `first_clean_ns` the drain instant. With no heal mark the run
+/// never left the clean regime (`convergence_ns == Some(0)`); with a heal
+/// but no straddling op, the drain is immediate — also `Some(0)`.
+///
+/// # Example
+///
+/// ```
+/// use tfr_telemetry::event::net_marks;
+/// use tfr_telemetry::summary::heal_convergence_from_events;
+/// use tfr_telemetry::{Event, EventKind};
+/// use tfr_registers::ProcId;
+///
+/// let e = |ts_ns, kind| Event { ts_ns, pid: ProcId(0), kind };
+/// let events = [
+///     e(100, EventKind::Mark { name: net_marks::PARTITION, value: 2 }),
+///     e(500, EventKind::Mark { name: net_marks::HEAL, value: 0 }),
+///     // Started at 200 (in flight across the heal), completed at 900.
+///     e(900, EventKind::QuorumEnd { reg: 0, write: true, rtt_ns: 700 }),
+/// ];
+/// let r = heal_convergence_from_events(&events);
+/// assert_eq!(r.convergence_ns, Some(400));
+/// assert_eq!(r.faults, 1);
+/// ```
+pub fn heal_convergence_from_events(events: &[Event]) -> ConvergenceReport {
+    use crate::event::net_marks;
+    let mut faults = 0;
+    let mut heal_ns = None;
+    for e in events {
+        if let EventKind::Mark { name, .. } = e.kind {
+            match name {
+                net_marks::PARTITION | net_marks::DROP | net_marks::DELAY_SPIKE => faults += 1,
+                net_marks::HEAL => heal_ns = Some(e.ts_ns),
+                _ => {}
+            }
+        }
+    }
+    let Some(heal) = heal_ns else {
+        return ConvergenceReport {
+            faults,
+            last_fault_ns: None,
+            first_clean_ns: None,
+            convergence_ns: Some(0),
+        };
+    };
+    let drained_ns = events
+        .iter()
+        .filter(|e| e.ts_ns >= heal)
+        .filter_map(|e| match e.kind {
+            EventKind::QuorumEnd { rtt_ns, .. } if e.ts_ns.saturating_sub(rtt_ns) < heal => {
+                Some(e.ts_ns)
+            }
+            _ => None,
+        })
+        .max();
+    ConvergenceReport {
+        faults,
+        last_fault_ns: Some(heal),
+        first_clean_ns: drained_ns.or(Some(heal)),
+        convergence_ns: Some(drained_ns.map_or(0, |t| t - heal)),
+    }
+}
+
 impl ConvergenceReport {
     /// The report as JSON (`convergence_ns` is `null` when not converged).
     pub fn to_json(&self) -> Json {

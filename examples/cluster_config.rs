@@ -8,17 +8,28 @@
 //! asynchronous system, yet all of them complete here because the system
 //! is only *mostly* asynchronous.
 //!
+//! The same workload runs over either register backend:
+//!
 //! ```sh
-//! cargo run --example cluster_config
+//! cargo run --example cluster_config                 # native atomics
+//! cargo run --example cluster_config -- --backend net # ABD quorum registers
 //! ```
+//!
+//! With `--backend net` the registers are emulated by majority quorums
+//! over a 5-replica message-passing cluster — the algorithms are the very
+//! same code — and the run ends with quorum round-trip statistics.
 
 use std::sync::Arc;
 use std::time::Duration;
 use tfr::core::derived::{LeaderElection, Renaming};
 use tfr::core::universal::MultiConsensus;
+use tfr::net::{NetConfig, Network};
+use tfr::registers::space::{RegisterSpace, SubSpace};
 use tfr::registers::ProcId;
+use tfr::telemetry::{with_pid, EventKind, Trace, Tracer};
 
 const DELTA: Duration = Duration::from_micros(20);
+const N: usize = 6;
 
 #[derive(Debug)]
 struct Assignment {
@@ -28,46 +39,135 @@ struct Assignment {
     shard: usize,
 }
 
-fn main() {
-    let n = 6;
-    let election = Arc::new(LeaderElection::new(n, DELTA));
-    let epoch_consensus = Arc::new(MultiConsensus::new(n, 16, DELTA));
-    let renaming = Arc::new(Renaming::new(n, DELTA));
-
-    let workers: Vec<_> = (0..n)
+/// Runs the three-step control-plane protocol on `N` workers (the last
+/// two crash before participating) over any trio of register banks.
+fn run_cluster<S1, S2, S3>(
+    election: Arc<LeaderElection<S1>>,
+    epoch_consensus: Arc<MultiConsensus<S2>>,
+    renaming: Arc<Renaming<S3>>,
+) -> Vec<Assignment>
+where
+    S1: RegisterSpace + 'static,
+    S2: RegisterSpace + 'static,
+    S3: RegisterSpace + 'static,
+{
+    let workers: Vec<_> = (0..N)
         .map(|i| {
             let election = Arc::clone(&election);
             let epoch_consensus = Arc::clone(&epoch_consensus);
             let renaming = Arc::clone(&renaming);
             std::thread::spawn(move || {
-                let me = ProcId(i);
                 // Workers 4 and 5 crash before participating — wait-freedom
                 // means nobody waits for them.
                 if i >= 4 {
                     return None;
                 }
-                // 1. Pick a coordinator.
-                let leader = election.elect(me);
-                // 2. Agree on the config epoch; every worker proposes the
-                //    epoch it last saw locally (here: 100 + its id).
-                let epoch = epoch_consensus.propose(me, 100 + i as u64);
-                // 3. Claim a shard slot (distinct small names).
-                let shard = renaming.rename(me);
-                Some(Assignment {
-                    worker: i,
-                    leader,
-                    epoch,
-                    shard,
+                // Registering the pid routes telemetry (and, on the net
+                // backend, client identity) to this worker; it is free on
+                // the native backend.
+                with_pid(ProcId(i), || {
+                    let me = ProcId(i);
+                    // 1. Pick a coordinator.
+                    let leader = election.elect(me);
+                    // 2. Agree on the config epoch; every worker proposes
+                    //    the epoch it last saw locally (here: 100 + id).
+                    let epoch = epoch_consensus.propose(me, 100 + i as u64);
+                    // 3. Claim a shard slot (distinct small names).
+                    let shard = renaming.rename(me);
+                    Some(Assignment {
+                        worker: i,
+                        leader,
+                        epoch,
+                        shard,
+                    })
                 })
             })
         })
         .collect();
-
-    let assignments: Vec<Assignment> = workers
+    workers
         .into_iter()
         .filter_map(|h| h.join().unwrap())
-        .collect();
+        .collect()
+}
 
+fn quorum_stats(tracer: &Tracer) {
+    let events = tracer.events();
+    let mut reads: Vec<u64> = Vec::new();
+    let mut writes: Vec<u64> = Vec::new();
+    let mut sent = 0usize;
+    for e in &events {
+        match e.kind {
+            EventKind::QuorumEnd { write, rtt_ns, .. } => {
+                if write { &mut writes } else { &mut reads }.push(rtt_ns)
+            }
+            EventKind::MsgSend { .. } => sent += 1,
+            _ => {}
+        }
+    }
+    let line = |name: &str, rtts: &mut Vec<u64>| {
+        if rtts.is_empty() {
+            println!("  {name:<6} none");
+            return;
+        }
+        rtts.sort_unstable();
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        let mean = rtts.iter().sum::<u64>() as f64 / rtts.len() as f64;
+        println!(
+            "  {name:<6} {:>4} ops  rtt min {:>7.1} µs  median {:>7.1} µs  mean {:>7.1} µs  max {:>7.1} µs",
+            rtts.len(),
+            us(rtts[0]),
+            us(rtts[rtts.len() / 2]),
+            mean / 1_000.0,
+            us(*rtts.last().unwrap()),
+        );
+    };
+    println!("quorum round-trips ({sent} messages sent):");
+    line("reads", &mut reads);
+    line("writes", &mut writes);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let backend = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .or_else(|| args.iter().find_map(|a| a.strip_prefix("--backend=")))
+        .unwrap_or("native");
+
+    let (assignments, tracer) = match backend {
+        "native" => (
+            run_cluster(
+                Arc::new(LeaderElection::new(N, DELTA)),
+                Arc::new(MultiConsensus::new(N, 16, DELTA)),
+                Arc::new(Renaming::new(N, DELTA)),
+            ),
+            None,
+        ),
+        "net" => {
+            // The same three objects, each over its own register bank of
+            // one ABD quorum cluster: stride-3 sub-spaces tile the flat
+            // index space into disjoint unbounded banks.
+            let cfg = NetConfig::new(N, 5, 0xC1);
+            let tracer = Arc::new(Tracer::new(cfg.tracer_processes()));
+            let net = Arc::new(Network::with_trace(
+                cfg,
+                Trace::attached(Arc::clone(&tracer)),
+            ));
+            let space = Arc::new(net.space());
+            let bank = |base| Arc::new(SubSpace::new(Arc::clone(&space), base, 3));
+            let assignments = run_cluster(
+                Arc::new(LeaderElection::on(bank(0), N, DELTA)),
+                Arc::new(MultiConsensus::on(bank(1), N, 16, DELTA)),
+                Arc::new(Renaming::on(bank(2), N, DELTA)),
+            );
+            (assignments, Some((tracer, net)))
+        }
+        other => panic!("unknown backend {other:?} (use: native | net)"),
+    };
+
+    println!("backend: {backend}");
     println!(
         "{:<8} {:<8} {:<7} {:<6}",
         "worker", "leader", "epoch", "shard"
@@ -82,7 +182,7 @@ fn main() {
         );
     }
 
-    // The guarantees, checked:
+    // The guarantees, checked — identical on both backends:
     assert!(
         assignments.windows(2).all(|w| w[0].leader == w[1].leader),
         "all workers agree on the coordinator"
@@ -101,4 +201,7 @@ fn main() {
         assignments[0].epoch,
         assignments.len()
     );
+    if let Some((tracer, _net)) = tracer {
+        quorum_stats(&tracer);
+    }
 }

@@ -28,10 +28,16 @@
 //!   reports.
 //! * [`linearize`] — the linearizability layer: a lock-free concurrent
 //!   history recorder, a Wing–Gong/Lowe checker with memoization and
-//!   per-object partitioning, sequential models for all derived objects,
-//!   chaos-scheduled native recording drivers, simulator-trace
-//!   conversion, and seeded mutants proving the oracle rejects broken
-//!   objects.
+//!   per-object partitioning, sequential models for all derived objects
+//!   and for atomic registers, chaos-scheduled native recording drivers,
+//!   simulator-trace conversion, and seeded mutants proving the oracle
+//!   rejects broken objects.
+//! * [`net`] — the third execution stack: a deterministic, seedable
+//!   in-process message-passing network hosting ABD-style majority-quorum
+//!   replica servers, exposing emulated atomic registers through the same
+//!   `RegisterSpace` trait native atomics implement — the paper's
+//!   algorithms run over it unchanged, under partitions, message drops,
+//!   and delay spikes.
 //! * [`telemetry`] — the unified telemetry layer: lock-free per-process
 //!   event tracing with zero-cost-when-disabled hooks across both
 //!   execution stacks, a metrics registry (counters, log-bucketed
@@ -64,6 +70,7 @@ pub use tfr_chaos as chaos;
 pub use tfr_core as core;
 pub use tfr_linearize as linearize;
 pub use tfr_modelcheck as modelcheck;
+pub use tfr_net as net;
 pub use tfr_registers as registers;
 pub use tfr_sim as sim;
 pub use tfr_telemetry as telemetry;
