@@ -39,8 +39,8 @@ pub mod workload;
 use core::fmt;
 use core::hash::Hash;
 use tfr_registers::accounting::RegisterCount;
-use tfr_registers::spec::Action;
-use tfr_registers::ProcId;
+use tfr_registers::spec::{Action, Perm};
+use tfr_registers::{ProcId, RegId};
 
 /// The progress property a mutual exclusion algorithm guarantees (in a
 /// fair asynchronous system).
@@ -173,6 +173,50 @@ impl<L: LockSpec + ?Sized> LockSpec for &L {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+}
+
+/// A [`LockSpec`] whose protocol commutes with process relabelling —
+/// the lock-level counterpart of [`tfr_registers::spec::Symmetric`].
+///
+/// Implementors assert that for any permutation `π` of `0..n`, mapping a
+/// protocol state with `permute_lock_state` and the registers/values of
+/// its actions with `permute_reg`/`permute_value` commutes with
+/// `step`/`apply`/`start_entry`/`begin_exit`/`reset`. Wrapping such a
+/// lock in [`workload::LockLoop`] then yields a `Symmetric` automaton,
+/// unlocking process-symmetry reduction in the model checker.
+///
+/// Locks that scan processes in a fixed id order (Lamport fast, the
+/// bakery family, the starvation-free transformation's queue) are *not*
+/// symmetric: relabelling changes which competitor a scan sees first.
+/// Fischer qualifies — its single register is pid-free and the stored
+/// token relabels cleanly.
+pub trait SymmetricLockSpec: LockSpec {
+    /// `state` with every embedded process id mapped through `perm`.
+    fn permute_lock_state(&self, state: &Self::State, perm: &Perm) -> Self::State;
+
+    /// The image of a register id under the relabelling (identity for
+    /// pid-free register layouts).
+    fn permute_reg(&self, reg: RegId, _perm: &Perm) -> RegId {
+        reg
+    }
+
+    /// The image of the value stored in `reg` under the relabelling
+    /// (identity unless values encode process ids).
+    fn permute_value(&self, _reg: RegId, value: u64, _perm: &Perm) -> u64 {
+        value
+    }
+}
+
+impl<L: SymmetricLockSpec + ?Sized> SymmetricLockSpec for &L {
+    fn permute_lock_state(&self, state: &Self::State, perm: &Perm) -> Self::State {
+        (**self).permute_lock_state(state, perm)
+    }
+    fn permute_reg(&self, reg: RegId, perm: &Perm) -> RegId {
+        (**self).permute_reg(reg, perm)
+    }
+    fn permute_value(&self, reg: RegId, value: u64, perm: &Perm) -> u64 {
+        (**self).permute_value(reg, value, perm)
     }
 }
 

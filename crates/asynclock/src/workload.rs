@@ -8,9 +8,9 @@
 //! that both the simulator's mutex metrics and the model checker's mutual
 //! exclusion monitor consume.
 
-use crate::{LockSpec, LockStep};
-use tfr_registers::spec::{Action, Automaton, Obs};
-use tfr_registers::{ProcId, Ticks};
+use crate::{LockSpec, LockStep, SymmetricLockSpec};
+use tfr_registers::spec::{Action, Automaton, Obs, Perm, Symmetric};
+use tfr_registers::{ProcId, RegId, Ticks};
 
 /// The canonical mutual exclusion workload over a lock.
 #[derive(Debug, Clone)]
@@ -130,6 +130,28 @@ impl<L: LockSpec> Automaton for LockLoop<L> {
             }
             Phase::Finished => unreachable!("halted workload stepped"),
         }
+    }
+}
+
+/// The workload adds no pid-dependence of its own (`phase`/`left` are
+/// pid-free, the CS/NCS durations are global), so a loop over a
+/// [`SymmetricLockSpec`] is a [`Symmetric`] automaton: relabelling a
+/// loop state is relabelling its lock state.
+impl<L: SymmetricLockSpec> Symmetric for LockLoop<L> {
+    fn permute_state(&self, s: &Self::State, perm: &Perm) -> Self::State {
+        LoopState {
+            lock: self.lock.permute_lock_state(&s.lock, perm),
+            phase: s.phase,
+            left: s.left,
+        }
+    }
+
+    fn permute_reg(&self, reg: RegId, perm: &Perm) -> RegId {
+        self.lock.permute_reg(reg, perm)
+    }
+
+    fn permute_value(&self, reg: RegId, value: u64, perm: &Perm) -> u64 {
+        self.lock.permute_value(reg, value, perm)
     }
 }
 

@@ -35,7 +35,7 @@ pub fn e5() -> Vec<Table> {
         let valid: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
         let spec = ConsensusSpec::new(inputs.clone()).max_rounds(rounds);
         let report = Explorer::new(spec, n).check(&SafetySpec::consensus(valid));
-        let verdict = match (&report.violation, report.truncated) {
+        let verdict = match (&report.violation, report.truncated()) {
             (Some(v), _) => format!("VIOLATION: {}", v.violation),
             (None, true) => "safe within bounds (truncated)".into(),
             (None, false) => "PROVEN SAFE (exhaustive)".into(),

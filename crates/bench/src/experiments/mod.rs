@@ -4,6 +4,7 @@
 pub mod consensus_safety;
 pub mod consensus_time;
 pub mod extensions;
+pub mod modelcheck;
 pub mod mutex_perf;
 pub mod mutex_safety;
 pub mod net;
@@ -109,6 +110,11 @@ pub fn registry() -> Vec<Experiment> {
             "e17",
             "the §1.3 resilience definition as an executable verdict",
             extensions::e17,
+        ),
+        (
+            "modelcheck",
+            "DPOR + symmetry reduction factors and parallel-frontier scaling (E20)",
+            modelcheck::modelcheck,
         ),
         (
             "net",

@@ -1,0 +1,249 @@
+//! E20: the model-checking subsystem measured on the paper's theorems —
+//! how much state-space the reductions buy (DPOR, process symmetry, and
+//! both), and how the parallel frontier scales while staying
+//! deterministic.
+//!
+//! The headline number is the *reduction factor*: states explored by the
+//! unreduced explorer divided by states explored by the reduced one, on
+//! the same workload with the same verdict. CI gates on it (see the
+//! `modelcheck-smoke` job): the reductions must keep buying at least 5×
+//! on the theorem-sized configurations, or exhaustive verification stops
+//! scaling.
+
+use crate::Table;
+use std::time::Instant;
+use tfr_core::verify::{
+    consensus_safety_spec, consensus_workload, fischer_workload, resilient_workload_iters,
+};
+use tfr_modelcheck::{DporExplorer, Explorer, ParallelExplorer, Report, SafetySpec};
+
+fn verdict(report: &Report) -> String {
+    match (&report.violation, report.truncated()) {
+        (Some(v), _) => format!("VIOLATION: {}", v.violation),
+        (None, true) => "safe within bounds (truncated)".into(),
+        (None, false) => "PROVEN SAFE (exhaustive)".into(),
+    }
+}
+
+/// Runs `f`, returning its report and wall time in milliseconds.
+fn timed(f: impl FnOnce() -> Report) -> (Report, f64) {
+    let t0 = Instant::now();
+    let report = f();
+    (report, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// E20 — see module docs.
+pub fn modelcheck() -> Vec<Table> {
+    let mut reductions = Table::new(
+        "E20a",
+        "state-space reduction: naive vs DPOR vs DPOR+symmetry on the theorem workloads",
+        &[
+            "workload",
+            "explorer",
+            "states",
+            "transitions",
+            "wall ms",
+            "verdict",
+        ],
+    );
+    let mut summary = Table::new(
+        "E20b",
+        "reduction factor (naive states / reduced states), same verdicts",
+        &["workload", "naive states", "reduced states", "reduction x"],
+    );
+
+    // Each row: workload name, the unreduced run, the best reduced run.
+    // Consensus and Fischer are pid-symmetric, so their reduced explorer
+    // is DPOR+symmetry; Algorithm 3's inner locks scan in fixed pid
+    // order (not symmetric), so its reduced explorer is DPOR alone.
+    struct Case {
+        name: &'static str,
+        naive: Box<dyn Fn() -> Report>,
+        dpor: Box<dyn Fn() -> Report>,
+        reduced: Box<dyn Fn() -> Report>,
+        reduced_name: &'static str,
+    }
+    let cases = vec![
+        Case {
+            name: "consensus n=2 r=3",
+            naive: Box::new(|| {
+                Explorer::new(consensus_workload(&[false, true], 3), 2)
+                    .check(&consensus_safety_spec(&[false, true]))
+            }),
+            dpor: Box::new(|| {
+                DporExplorer::new(consensus_workload(&[false, true], 3), 2)
+                    .check(&consensus_safety_spec(&[false, true]))
+            }),
+            reduced: Box::new(|| {
+                DporExplorer::new(consensus_workload(&[false, true], 3), 2)
+                    .check_symmetric(&consensus_safety_spec(&[false, true]))
+            }),
+            reduced_name: "dpor+sym",
+        },
+        Case {
+            name: "consensus n=3 r=2",
+            naive: Box::new(|| {
+                Explorer::new(consensus_workload(&[false, true, true], 2), 3)
+                    .check(&consensus_safety_spec(&[false, true, true]))
+            }),
+            dpor: Box::new(|| {
+                DporExplorer::new(consensus_workload(&[false, true, true], 2), 3)
+                    .check(&consensus_safety_spec(&[false, true, true]))
+            }),
+            reduced: Box::new(|| {
+                DporExplorer::new(consensus_workload(&[false, true, true], 2), 3)
+                    .check_symmetric(&consensus_safety_spec(&[false, true, true]))
+            }),
+            reduced_name: "dpor+sym",
+        },
+        Case {
+            name: "consensus n=3 r=3",
+            naive: Box::new(|| {
+                Explorer::new(consensus_workload(&[false, true, true], 3), 3)
+                    .check(&consensus_safety_spec(&[false, true, true]))
+            }),
+            dpor: Box::new(|| {
+                DporExplorer::new(consensus_workload(&[false, true, true], 3), 3)
+                    .check(&consensus_safety_spec(&[false, true, true]))
+            }),
+            reduced: Box::new(|| {
+                DporExplorer::new(consensus_workload(&[false, true, true], 3), 3)
+                    .check_symmetric(&consensus_safety_spec(&[false, true, true]))
+            }),
+            reduced_name: "dpor+sym",
+        },
+        Case {
+            name: "consensus n=4 r=1",
+            naive: Box::new(|| {
+                Explorer::new(consensus_workload(&[false, true, true, true], 1), 4)
+                    .check(&consensus_safety_spec(&[false, true, true, true]))
+            }),
+            dpor: Box::new(|| {
+                DporExplorer::new(consensus_workload(&[false, true, true, true], 1), 4)
+                    .check(&consensus_safety_spec(&[false, true, true, true]))
+            }),
+            reduced: Box::new(|| {
+                DporExplorer::new(consensus_workload(&[false, true, true, true], 1), 4)
+                    .check_symmetric(&consensus_safety_spec(&[false, true, true, true]))
+            }),
+            reduced_name: "dpor+sym",
+        },
+        Case {
+            name: "fischer n=2",
+            naive: Box::new(|| Explorer::new(fischer_workload(2), 2).check(&SafetySpec::mutex())),
+            dpor: Box::new(|| {
+                DporExplorer::new(fischer_workload(2), 2).check(&SafetySpec::mutex())
+            }),
+            reduced: Box::new(|| {
+                DporExplorer::new(fischer_workload(2), 2).check_symmetric(&SafetySpec::mutex())
+            }),
+            reduced_name: "dpor+sym",
+        },
+        Case {
+            name: "resilient n=2",
+            naive: Box::new(|| {
+                Explorer::new(resilient_workload_iters(2, 1), 2).check(&SafetySpec::mutex())
+            }),
+            dpor: Box::new(|| {
+                DporExplorer::new(resilient_workload_iters(2, 1), 2).check(&SafetySpec::mutex())
+            }),
+            reduced: Box::new(|| {
+                DporExplorer::new(resilient_workload_iters(2, 1), 2).check(&SafetySpec::mutex())
+            }),
+            reduced_name: "dpor",
+        },
+        Case {
+            name: "resilient n=2 i=2",
+            naive: Box::new(|| {
+                Explorer::new(resilient_workload_iters(2, 2), 2).check(&SafetySpec::mutex())
+            }),
+            dpor: Box::new(|| {
+                DporExplorer::new(resilient_workload_iters(2, 2), 2).check(&SafetySpec::mutex())
+            }),
+            reduced: Box::new(|| {
+                DporExplorer::new(resilient_workload_iters(2, 2), 2).check(&SafetySpec::mutex())
+            }),
+            reduced_name: "dpor",
+        },
+    ];
+
+    for case in &cases {
+        let (naive, naive_ms) = timed(&case.naive);
+        let (dpor, dpor_ms) = timed(&case.dpor);
+        let (reduced, reduced_ms) = timed(&case.reduced);
+        for (explorer, report, ms) in [
+            ("naive", &naive, naive_ms),
+            ("dpor", &dpor, dpor_ms),
+            (case.reduced_name, &reduced, reduced_ms),
+        ] {
+            reductions.row(vec![
+                case.name.to_string(),
+                explorer.to_string(),
+                report.states_explored.to_string(),
+                report.transitions.to_string(),
+                format!("{ms:.1}"),
+                verdict(report),
+            ]);
+        }
+        // Soundness first, speed second: a reduction that changes the
+        // verdict would be a bug, not a win.
+        assert_eq!(
+            naive.violation.is_some(),
+            reduced.violation.is_some(),
+            "{}: reduction changed the verdict",
+            case.name
+        );
+        summary.row(vec![
+            case.name.to_string(),
+            naive.states_explored.to_string(),
+            reduced.states_explored.to_string(),
+            format!(
+                "{:.1}",
+                naive.states_explored as f64 / reduced.states_explored.max(1) as f64
+            ),
+        ]);
+    }
+    reductions
+        .note("all interleavings = all timing failures: each PROVEN SAFE row is a theorem check");
+    summary.note(
+        "CI gates on reduction x >= 5 for the consensus n=4 r=1 row (the symmetry \
+         group is S3 on the three true-proposers, multiplying what DPOR alone buys)",
+    );
+
+    // Parallel frontier: same exploration, more threads, identical
+    // results. The layered BFS reassembles per-chunk results in chunk
+    // order, so states, transitions, and the chosen counterexample are
+    // all thread-count-independent.
+    let mut par = Table::new(
+        "E20c",
+        "parallel frontier scaling on consensus n=3 (results identical across threads)",
+        &["threads", "states", "transitions", "wall ms", "verdict"],
+    );
+    let mut baseline: Option<Report> = None;
+    for threads in [1usize, 2, 4] {
+        let (report, ms) = timed(|| {
+            ParallelExplorer::new(consensus_workload(&[false, true, true], 2), 3)
+                .threads(threads)
+                .check(&consensus_safety_spec(&[false, true, true]))
+        });
+        par.row(vec![
+            threads.to_string(),
+            report.states_explored.to_string(),
+            report.transitions.to_string(),
+            format!("{ms:.1}"),
+            verdict(&report),
+        ]);
+        if let Some(b) = &baseline {
+            assert_eq!(
+                (b.states_explored, b.transitions),
+                (report.states_explored, report.transitions),
+                "parallel exploration must be deterministic"
+            );
+        } else {
+            baseline = Some(report);
+        }
+    }
+    par.note("deterministic: the work-stealing frontier reassembles chunks in order");
+
+    vec![reductions, summary, par]
+}

@@ -19,6 +19,11 @@
 //!   threads hold Fischer's lock at once by stalling one inside the
 //!   read→write window for longer than Δ. Every experiment is a pure
 //!   function of its seed: print the seed, replay the violation.
+//! * [`fromcex`] — compiles a `tfr-modelcheck` counterexample
+//!   (an abstract violating interleaving) into a native fault schedule
+//!   that reproduces the same violation on real threads
+//!   ([`fromcex::fischer_faults_from_counterexample`]), closing the loop
+//!   between the exhaustive tier and the native tier.
 //! * [`assess`] — the §1.3 three-part resilience assessment over native
 //!   runs ([`assess::assess_native_mutex`]), producing the same
 //!   [`tfr_core::resilience::ResilienceReport`] as the simulator
@@ -56,6 +61,7 @@
 //! ```
 
 pub mod assess;
+pub mod fromcex;
 pub mod nemesis;
 pub mod netfault;
 pub mod schedule;
@@ -63,6 +69,7 @@ pub mod schedule;
 pub use assess::{
     assess_native_mutex, assess_native_mutex_traced, NativeAssessConfig, TracedAssessment,
 };
+pub use fromcex::{fischer_faults_from_counterexample, CompiledViolation};
 pub use nemesis::{
     hunt_fischer_violation, run_consensus_chaos, run_consensus_chaos_traced, run_fischer_violation,
     run_mutex_chaos, run_mutex_chaos_traced, ConsensusChaosReport, MutexChaosConfig,

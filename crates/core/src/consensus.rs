@@ -40,7 +40,7 @@ use std::time::Duration;
 use tfr_registers::chaos;
 use tfr_registers::native::precise_delay;
 use tfr_registers::space::{NativeSpace, RegisterSpace};
-use tfr_registers::spec::{Action, Automaton, Obs};
+use tfr_registers::spec::{Action, Automaton, Obs, Perm, Symmetric};
 use tfr_registers::{ProcId, RegId, Ticks};
 use tfr_telemetry::{EventKind, Trace};
 
@@ -241,6 +241,27 @@ impl Automaton for ConsensusSpec {
             }
             Pc::Halted => unreachable!("halted process stepped"),
         }
+    }
+}
+
+/// Process ids appear only in the per-process state (the register layout
+/// is round-indexed and values are encoded booleans), so relabelling a
+/// state is just relabelling its `pid`. The valid group is computed by
+/// the checker's stabilizer: only permutations preserving the input
+/// vector fix the initial configuration, and [`Symmetric::respects`]
+/// additionally rejects relabellings across processes with different
+/// `delay(Δ)` estimates (a heterogeneous fleet is not pid-symmetric).
+impl Symmetric for ConsensusSpec {
+    fn permute_state(&self, s: &ConsensusState, perm: &Perm) -> ConsensusState {
+        ConsensusState {
+            pid: perm.apply_pid(s.pid),
+            ..s.clone()
+        }
+    }
+
+    fn respects(&self, perm: &Perm) -> bool {
+        (0..self.inputs.len())
+            .all(|i| self.delay_for(ProcId(i)) == self.delay_for(perm.apply_pid(ProcId(i))))
     }
 }
 
@@ -552,6 +573,33 @@ mod tests {
             report.proven_safe(),
             "with equal inputs only that value may be decided"
         );
+    }
+
+    #[test]
+    fn modelcheck_symmetric_dpor_agrees_with_naive() {
+        use tfr_modelcheck::DporExplorer;
+        let safety = SafetySpec::consensus(vec![1]);
+        let spec = ConsensusSpec::new(vec![true, true]).max_rounds(3);
+        let naive = Explorer::new(spec.clone(), 2).check(&safety);
+        let reduced = DporExplorer::new(spec.clone(), 2).check_symmetric(&safety);
+        assert!(naive.proven_safe() && reduced.proven_safe());
+        assert!(
+            reduced.states_explored < naive.states_explored,
+            "reduced {} vs naive {}",
+            reduced.states_explored,
+            naive.states_explored
+        );
+    }
+
+    #[test]
+    fn heterogeneous_delays_restrict_the_symmetry_group() {
+        // Equal inputs but distinct per-process Δ estimates: relabelling
+        // processes is no longer sound, and `respects` must say so.
+        let spec = ConsensusSpec::new(vec![true, true])
+            .with_per_process_deltas(vec![Ticks(10), Ticks(500)]);
+        let swap = Perm::from_map(vec![1, 0]);
+        assert!(!spec.respects(&swap));
+        assert!(spec.respects(&Perm::identity(2)));
     }
 
     #[test]

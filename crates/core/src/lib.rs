@@ -89,3 +89,4 @@ pub mod probe;
 pub mod resilience;
 pub mod universal;
 pub mod universal_spec;
+pub mod verify;

@@ -1,0 +1,148 @@
+//! The paper's theorems as one-call exhaustive checks.
+//!
+//! Each function wires a spec-form algorithm into the `tfr-modelcheck`
+//! explorers with the right safety specification and reduction, so CI
+//! and downstream code can verify a theorem without repeating the
+//! plumbing:
+//!
+//! * [`verify_consensus`] — Theorems 2.2 (validity) and 2.3 (agreement)
+//!   for Algorithm 1, under *arbitrary* timing failures: the explorer
+//!   walks all interleavings, and all interleavings is exactly what
+//!   timing failures can produce (delays have no synchronizing power).
+//! * [`fischer_counterexample`] — the §3.1 negative result: Fischer's
+//!   lock (Algorithm 2) loses mutual exclusion under timing failures;
+//!   the returned schedule is a concrete two-processes-in-CS execution.
+//! * [`verify_resilient_mutex`] — Algorithm 3's mutual exclusion, which
+//!   must survive every interleaving (it is the inner asynchronous
+//!   lock's exclusion, Theorem 3.1).
+//!
+//! Consensus and Fischer runs use DPOR *plus* process-symmetry reduction
+//! (their automata are [`Symmetric`](tfr_registers::spec::Symmetric));
+//! Algorithm 3 uses DPOR alone — its inner locks scan processes in a
+//! fixed id order, which breaks pid-symmetry.
+
+use crate::consensus::ConsensusSpec;
+use crate::mutex::fischer::FischerSpec;
+use crate::mutex::resilient::{standard_resilient_spec, ResilientMutexSpec};
+use tfr_asynclock::bar_david::StarvationFreeSpec;
+use tfr_asynclock::lamport_fast::LamportFastSpec;
+use tfr_asynclock::workload::LockLoop;
+use tfr_modelcheck::{Counterexample, DporExplorer, Report, SafetySpec};
+use tfr_registers::Ticks;
+
+/// The workspace-conventional Δ used by the verification workloads. Its
+/// value is irrelevant to the verdicts: the explorers treat `delay` as a
+/// no-op, which is the whole point (a delay buys nothing under timing
+/// failures).
+const DELTA: Ticks = Ticks(100);
+
+/// The safety specification matching `inputs`: agreement plus validity
+/// against the proposed values.
+pub fn consensus_safety_spec(inputs: &[bool]) -> SafetySpec {
+    let mut valid: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
+    valid.sort_unstable();
+    valid.dedup();
+    SafetySpec::consensus(valid)
+}
+
+/// Algorithm 1 with `inputs`, bounded to `rounds` rounds so the
+/// reachable state space is finite (safety is round-bound-independent;
+/// a process that exhausts its rounds halts undecided, which no safety
+/// property objects to).
+pub fn consensus_workload(inputs: &[bool], rounds: u64) -> ConsensusSpec {
+    ConsensusSpec::new(inputs.to_vec()).max_rounds(rounds)
+}
+
+/// Exhaustively verifies agreement + validity (Theorems 2.2/2.3) for
+/// Algorithm 1 with `inputs`, over **all** interleavings of up to
+/// `rounds` rounds, using DPOR + symmetry reduction.
+///
+/// A [`Report::proven_safe`] result is a proof for this configuration;
+/// a violation would be a counterexample to the paper.
+pub fn verify_consensus(inputs: &[bool], rounds: u64) -> Report {
+    let n = inputs.len();
+    DporExplorer::new(consensus_workload(inputs, rounds), n)
+        .check_symmetric(&consensus_safety_spec(inputs))
+}
+
+/// One acquire/release cycle per process over Fischer's lock.
+pub fn fischer_workload(n: usize) -> LockLoop<FischerSpec> {
+    LockLoop::new(FischerSpec::new(n, 0, DELTA), 1)
+}
+
+/// Finds the §3.1 mutual exclusion violation of Fischer's lock under
+/// timing failures (`None` only for `n = 1`, where exclusion is
+/// trivial). The schedule is replayable with
+/// [`tfr_modelcheck::replay_schedule`] and convertible to a native
+/// chaos-fault schedule.
+pub fn fischer_counterexample(n: usize) -> Option<Counterexample> {
+    DporExplorer::new(fischer_workload(n), n)
+        .check_symmetric(&SafetySpec::mutex())
+        .violation
+}
+
+/// One acquire/release cycle per process over Algorithm 3 (standard
+/// instantiation: Lamport fast under the starvation-free
+/// transformation).
+pub fn resilient_workload(
+    n: usize,
+) -> LockLoop<ResilientMutexSpec<StarvationFreeSpec<LamportFastSpec>>> {
+    resilient_workload_iters(n, 1)
+}
+
+/// [`resilient_workload`] with `iterations` acquire/release cycles per
+/// process — deeper executions for reduction benchmarks.
+pub fn resilient_workload_iters(
+    n: usize,
+    iterations: u64,
+) -> LockLoop<ResilientMutexSpec<StarvationFreeSpec<LamportFastSpec>>> {
+    LockLoop::new(standard_resilient_spec(n, 0, DELTA), iterations)
+}
+
+/// Exhaustively verifies Algorithm 3's mutual exclusion for `n`
+/// processes over all interleavings up to `max_depth` steps (pass
+/// `usize::MAX`-ish bounds for full exhaustion; `n = 2` terminates
+/// unbounded).
+pub fn verify_resilient_mutex(n: usize, max_depth: usize) -> Report {
+    DporExplorer::new(resilient_workload(n), n)
+        .max_depth(max_depth)
+        .check(&SafetySpec::mutex())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfr_modelcheck::replay_schedule;
+
+    #[test]
+    fn consensus_two_procs_proven_safe() {
+        let report = verify_consensus(&[false, true], 3);
+        assert!(report.proven_safe(), "{:?}", report.violation);
+        assert!(report.states_explored > 0);
+    }
+
+    #[test]
+    fn consensus_three_procs_proven_safe() {
+        // Theorems 2.2 + 2.3, n = 3, two rounds: every interleaving of
+        // a mixed-input triple.
+        let report = verify_consensus(&[false, true, true], 2);
+        assert!(report.proven_safe(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn fischer_violation_found_and_replayable() {
+        let cex = fischer_counterexample(2).expect("Fischer must break");
+        let replayed =
+            replay_schedule(&fischer_workload(2), 2, &SafetySpec::mutex(), &cex.schedule);
+        assert_eq!(replayed, Some(cex.violation));
+    }
+
+    #[test]
+    fn resilient_mutex_two_procs_proven_safe() {
+        let report = verify_resilient_mutex(2, 100_000);
+        if let Some(cex) = &report.violation {
+            panic!("Algorithm 3 must be safe:\n{cex}");
+        }
+        assert!(report.proven_safe());
+    }
+}

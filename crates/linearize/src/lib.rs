@@ -71,6 +71,7 @@
 
 pub mod checker;
 pub mod history;
+pub mod mcconv;
 pub mod models;
 pub mod mutants;
 pub mod native;
@@ -79,8 +80,10 @@ pub mod simconv;
 
 pub use checker::{check_history, check_object, LinReport, NonLinearizable, ObjectReport};
 pub use history::{History, ObjectProbe, Operation, Recorder};
+pub use mcconv::lock_history_from_schedule;
 pub use models::{
-    CounterModel, ElectionModel, QueueModel, RenamingModel, SeqSpec, SetConsensusModel, TasModel,
+    lock_acquire, lock_release, CounterModel, ElectionModel, LockModel, QueueModel, RenamingModel,
+    SeqSpec, SetConsensusModel, TasModel,
 };
 pub use native::{record_chaos, ObjectKind};
 pub use register::{RecordingSpace, RegisterModel};

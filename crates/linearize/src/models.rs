@@ -181,6 +181,68 @@ impl SeqSpec for SetConsensusModel {
     }
 }
 
+/// A mutual exclusion lock as a sequential object, for checking lock
+/// histories (see `crate::mcconv` for building them from model-checker
+/// schedules). Encoding: `acquire` by process `p` is `op = 2p`,
+/// `release` is `op = 2p + 1`; every response is `0`.
+///
+/// Sequentially a lock alternates `acquire(p); release(p)` with matching
+/// owners, so a history with two completed acquires and no release in
+/// between — exactly what a mutual exclusion violation produces — has no
+/// linearization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockModel;
+
+/// [`LockModel`]'s encoded acquire operation for process `p`.
+pub fn lock_acquire(p: u64) -> u64 {
+    2 * p
+}
+
+/// [`LockModel`]'s encoded release operation for process `p`.
+pub fn lock_release(p: u64) -> u64 {
+    2 * p + 1
+}
+
+impl SeqSpec for LockModel {
+    /// The current holder, if any.
+    type State = Option<u64>;
+
+    fn initial(&self) -> Option<u64> {
+        None
+    }
+
+    fn step(&self, state: &Option<u64>, op: u64, resp: u64) -> Option<Option<u64>> {
+        if resp != 0 {
+            return None;
+        }
+        let p = op >> 1;
+        if op & 1 == 0 {
+            state.is_none().then_some(Some(p))
+        } else {
+            (*state == Some(p)).then_some(None)
+        }
+    }
+
+    /// A pending operation may already have taken its effect: a
+    /// truncated schedule can cut a releaser off *after* its exit write
+    /// freed the lock but before its response event, and a later acquire
+    /// legitimately completes in that gap. (The checker may also skip
+    /// the pending operation entirely, so both possibilities are
+    /// covered.)
+    fn step_unknown(&self, state: &Option<u64>, op: u64) -> Vec<Option<u64>> {
+        self.step(state, op, 0).into_iter().collect()
+    }
+
+    fn describe(&self, op: u64, resp: Option<u64>) -> String {
+        let p = op >> 1;
+        let name = if op & 1 == 0 { "acquire" } else { "release" };
+        match resp {
+            Some(_) => format!("{name}(p{p})"),
+            None => format!("{name}(p{p}) → ?"),
+        }
+    }
+}
+
 /// Counter: `op` is the amount added, the response is the new total.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CounterModel;
@@ -260,6 +322,20 @@ impl SeqSpec for QueueModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lock_alternates_matching_owners() {
+        let m = LockModel;
+        let s = m.initial();
+        let s = m.step(&s, lock_acquire(0), 0).expect("free lock acquires");
+        assert!(
+            m.step(&s, lock_acquire(1), 0).is_none(),
+            "no second holder — this is mutual exclusion"
+        );
+        assert!(m.step(&s, lock_release(1), 0).is_none(), "wrong owner");
+        let s = m.step(&s, lock_release(0), 0).expect("owner releases");
+        assert!(m.step(&s, lock_acquire(1), 0).is_some());
+    }
 
     #[test]
     fn tas_first_wins_then_losers() {

@@ -15,9 +15,12 @@ use crate::history::{History, Recorder};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tfr_asynclock::{LockSpec, LockStep, Progress};
 use tfr_core::universal::{FifoQueue, Universal};
+use tfr_registers::accounting::RegisterCount;
 use tfr_registers::chaos::{self, ChaosSession, Fault, FaultAction};
-use tfr_registers::ProcId;
+use tfr_registers::spec::Action;
+use tfr_registers::{ProcId, RegId};
 
 /// Injection point inside [`SplitTas`]'s load→store gap.
 pub const MUTANT_TAS_GAP: &str = "mutant.tas-gap";
@@ -99,6 +102,104 @@ pub fn record_mutant_tas() -> History {
         }
     });
     rec.history()
+}
+
+/// The spec form of [`SplitTas`] used **as a lock**: load the flag, and
+/// if it was zero, store `1` and enter — two separate atomic steps, no
+/// atomicity. Exactly the race of the native mutant, but as a
+/// `tfr_asynclock::LockSpec`, so the `tfr-modelcheck` explorers can find
+/// the losing interleaving exhaustively (two processes both load `0`,
+/// then both store and enter) and `crate::mcconv` can convert it into a
+/// history the Wing–Gong tier must also reject.
+#[derive(Debug, Clone)]
+pub struct SplitTasSpec {
+    n: usize,
+}
+
+impl SplitTasSpec {
+    /// A split test-and-set lock for `n` processes on register 0.
+    pub fn new(n: usize) -> SplitTasSpec {
+        assert!(n > 0, "at least one process is required");
+        SplitTasSpec { n }
+    }
+}
+
+/// Protocol position of [`SplitTasSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitTasState {
+    /// Not competing.
+    Idle,
+    /// About to load the flag.
+    Load,
+    /// Loaded `0`; about to store `1` — the broken window.
+    Store,
+    /// Holds the "lock".
+    Entered,
+    /// About to clear the flag.
+    Clear,
+    /// Exit protocol finished.
+    Done,
+}
+
+impl LockSpec for SplitTasSpec {
+    type State = SplitTasState;
+
+    fn init(&self, _pid: ProcId) -> SplitTasState {
+        SplitTasState::Idle
+    }
+
+    fn start_entry(&self, s: &mut SplitTasState) {
+        *s = SplitTasState::Load;
+    }
+
+    fn step(&self, s: &SplitTasState) -> LockStep {
+        match s {
+            SplitTasState::Load => LockStep::Act(Action::Read(RegId(0))),
+            SplitTasState::Store => LockStep::Act(Action::Write(RegId(0), 1)),
+            SplitTasState::Entered => LockStep::Entered,
+            SplitTasState::Clear => LockStep::Act(Action::Write(RegId(0), 0)),
+            SplitTasState::Done | SplitTasState::Idle => LockStep::Done,
+        }
+    }
+
+    fn apply(&self, s: &mut SplitTasState, observed: Option<u64>) {
+        *s = match *s {
+            // The mutant: the decision is made on a stale load.
+            SplitTasState::Load if observed == Some(0) => SplitTasState::Store,
+            SplitTasState::Load => SplitTasState::Load,
+            SplitTasState::Store => SplitTasState::Entered,
+            SplitTasState::Clear => SplitTasState::Done,
+            other => other,
+        };
+    }
+
+    fn begin_exit(&self, s: &mut SplitTasState) {
+        *s = SplitTasState::Clear;
+    }
+
+    fn reset(&self, s: &mut SplitTasState) {
+        *s = SplitTasState::Idle;
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn registers(&self) -> RegisterCount {
+        RegisterCount::Finite(1)
+    }
+
+    fn progress(&self) -> Progress {
+        Progress::DeadlockFree
+    }
+
+    fn is_fast(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "split-tas"
+    }
 }
 
 /// A **broken** FIFO queue: when a chaos stall makes an enqueue look

@@ -11,11 +11,25 @@
 //! property verified over all interleavings holds under arbitrary timing
 //! failures.
 //!
-//! The explorer walks the interleaving tree depth-first with exact state
-//! deduplication (full states, not hashes — no collision unsoundness),
-//! checking a [`SafetySpec`] after every transition, and reports either
-//! exhaustion or a [`Counterexample`] with the full schedule that reaches
-//! the violation.
+//! Three explorers share one [`SafetySpec`]/[`Report`] interface:
+//!
+//! * [`Explorer`] — the reference: depth-first over every interleaving
+//!   with exact state deduplication (full states, not hashes — no
+//!   collision unsoundness). Slow, but its verdicts are the oracle the
+//!   reduced explorers are differentially tested against.
+//! * [`DporExplorer`] — dynamic partial-order reduction (persistent
+//!   sets computed from register-access conflicts, plus sleep sets),
+//!   optionally combined with process-symmetry canonicalization
+//!   ([`DporExplorer::check_symmetric`]). Explores a provably
+//!   sufficient subset of interleavings.
+//! * [`ParallelExplorer`] — a layered breadth-first frontier fanned out
+//!   over worker threads (std threads + channels only), with
+//!   deterministic counterexample selection regardless of thread
+//!   scheduling.
+//!
+//! All explorers check the [`SafetySpec`] after every transition and
+//! report either exhaustion or a [`Counterexample`] with the full
+//! schedule that reaches the violation.
 //!
 //! # Example
 //!
@@ -47,8 +61,21 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use tfr_registers::bank::{MapBank, RegisterBank};
-use tfr_registers::spec::{Action, Automaton, Obs};
+use tfr_registers::spec::{Action, Automaton, Obs, Symmetric};
 use tfr_registers::ProcId;
+
+pub mod corpus;
+mod dpor;
+mod exec;
+mod independence;
+mod parallel;
+mod symmetry;
+
+pub use dpor::DporExplorer;
+pub use exec::{run_schedule, sample_execution, ScheduleRun, StepObs};
+pub use parallel::ParallelExplorer;
+
+use symmetry::{Canon, IdCanon, SymCanon};
 
 /// Which safety properties to check after every transition.
 #[derive(Debug, Clone, Default)]
@@ -152,44 +179,71 @@ impl fmt::Display for Counterexample {
 /// Result of an exploration.
 #[derive(Debug, Clone)]
 pub struct Report {
-    /// Distinct global states visited.
+    /// Distinct global states visited (distinct *canonical* states for
+    /// the symmetry-reducing explorers).
     pub states_explored: usize,
     /// Transitions taken.
     pub transitions: usize,
     /// The first violation found, with its schedule; `None` if the explored
     /// space is safe.
     pub violation: Option<Counterexample>,
-    /// Whether any branch was cut by the depth or state bound — if `true`
-    /// and `violation` is `None`, the result is "no violation within
-    /// bounds", not a proof.
-    pub truncated: bool,
+    /// Whether any branch was cut by the `max_depth` bound. If set and
+    /// `violation` is `None`, the result is "no violation within the
+    /// depth bound", not a proof.
+    pub depth_truncated: bool,
+    /// Whether exploration stopped admitting states at the `max_states`
+    /// budget. If set and `violation` is `None`, the result is "no
+    /// violation within the state budget", not a proof.
+    pub states_truncated: bool,
 }
 
 impl Report {
+    /// Whether any bound cut the exploration short (depth *or* state
+    /// budget).
+    pub fn truncated(&self) -> bool {
+        self.depth_truncated || self.states_truncated
+    }
+
+    /// Whether the reachable state space was fully exhausted — no bound
+    /// interfered. An exhausted run with no violation is a proof.
+    pub fn exhausted(&self) -> bool {
+        !self.truncated()
+    }
+
     /// `true` when the full state space was exhausted with no violation —
-    /// a proof of safety for this configuration.
+    /// a proof of safety for this configuration. An exploration cut off
+    /// by `max_states` or `max_depth` never satisfies this.
     pub fn proven_safe(&self) -> bool {
-        self.violation.is_none() && !self.truncated
+        self.violation.is_none() && self.exhausted()
     }
 }
 
 /// Monitor folded into the explored state: decisions and critical-section
 /// occupancy per process.
+///
+/// Every field is a per-process slot, so two different processes' monitor
+/// updates commute — the property the partial-order reduction's
+/// independence relation relies on.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-struct Monitor {
-    decided: Vec<Option<u64>>,
-    in_cs: Vec<bool>,
+pub(crate) struct Monitor {
+    pub(crate) decided: Vec<Option<u64>>,
+    pub(crate) in_cs: Vec<bool>,
 }
 
 impl Monitor {
-    fn new(n: usize) -> Monitor {
+    pub(crate) fn new(n: usize) -> Monitor {
         Monitor {
             decided: vec![None; n],
             in_cs: vec![false; n],
         }
     }
 
-    fn observe(&mut self, pid: ProcId, obs: &[Obs], spec: &SafetySpec) -> Option<Violation> {
+    pub(crate) fn observe(
+        &mut self,
+        pid: ProcId,
+        obs: &[Obs],
+        spec: &SafetySpec,
+    ) -> Option<Violation> {
         for o in obs {
             match *o {
                 Obs::Decided(v) => {
@@ -282,11 +336,51 @@ pub fn replay_schedule<A: Automaton>(
     None
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct Global<S> {
-    procs: Vec<S>,
-    bank: MapBank,
-    monitor: Monitor,
+/// One explored global configuration: every process's local state, the
+/// shared register bank, and the safety monitor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct Global<S> {
+    pub(crate) procs: Vec<S>,
+    pub(crate) bank: MapBank,
+    pub(crate) monitor: Monitor,
+}
+
+impl<S> Global<S> {
+    /// The initial configuration of `n` copies of `automaton`.
+    pub(crate) fn initial<A: Automaton<State = S>>(automaton: &A, n: usize) -> Global<S> {
+        Global {
+            procs: (0..n).map(|i| automaton.init(ProcId(i))).collect(),
+            bank: MapBank::new(),
+            monitor: Monitor::new(n),
+        }
+    }
+
+    /// Executes one atomic step of process `pid` (whose next action must
+    /// not be `Halt`): linearizes the access, applies the local update,
+    /// and feeds the emitted events to the monitor. Returns the action
+    /// taken and the violation, if the monitor saw one.
+    pub(crate) fn step<A: Automaton<State = S>>(
+        &mut self,
+        automaton: &A,
+        pid: usize,
+        spec: &SafetySpec,
+        obs_buf: &mut Vec<Obs>,
+    ) -> (Action, Option<Violation>) {
+        let action = automaton.next_action(&self.procs[pid]);
+        let observed = match action {
+            Action::Read(r) => Some(self.bank.read(r)),
+            Action::Write(r, v) => {
+                self.bank.write(r, v);
+                None
+            }
+            Action::Delay(_) => None,
+            Action::Halt => panic!("stepping a halted process"),
+        };
+        obs_buf.clear();
+        automaton.apply(&mut self.procs[pid], observed, obs_buf);
+        let violation = self.monitor.observe(ProcId(pid), obs_buf, spec);
+        (action, violation)
+    }
 }
 
 /// Bounded exhaustive explorer of all interleavings of `n` copies of an
@@ -331,20 +425,19 @@ impl<A: Automaton> Explorer<A> {
     /// Explores every interleaving (up to the bounds), checking `spec`
     /// after each transition.
     pub fn check(&self, spec: &SafetySpec) -> Report {
-        let init = Global {
-            procs: (0..self.n)
-                .map(|i| self.automaton.init(ProcId(i)))
-                .collect(),
-            bank: MapBank::new(),
-            monitor: Monitor::new(self.n),
-        };
+        self.check_with(spec, &IdCanon)
+    }
 
-        // seen: state -> shallowest depth at which it was expanded. A state
-        // reached again at a depth not smaller than before cannot lead to
-        // new behaviour within the depth budget.
+    fn check_with<C: Canon<A>>(&self, spec: &SafetySpec, canon: &C) -> Report {
+        let init = Global::initial(&self.automaton, self.n);
+
+        // seen: canonical state -> shallowest depth at which it was
+        // expanded. A state reached again at a depth not smaller than
+        // before cannot lead to new behaviour within the depth budget.
         let mut seen: HashMap<Global<A::State>, usize> = HashMap::new();
         let mut transitions = 0usize;
-        let mut truncated = false;
+        let mut depth_truncated = false;
+        let mut states_truncated = false;
 
         struct Frame<S> {
             state: Global<S>,
@@ -357,7 +450,7 @@ impl<A: Automaton> Explorer<A> {
             depth: 0,
             next_pid: 0,
         }];
-        seen.insert(init, 0);
+        seen.insert(canon.canonicalize(&self.automaton, &init).0, 0);
 
         let mut obs_buf: Vec<Obs> = Vec::new();
         while let Some(frame) = stack.last_mut() {
@@ -369,30 +462,20 @@ impl<A: Automaton> Explorer<A> {
             let pid = frame.next_pid;
             frame.next_pid += 1;
 
-            let action = self.automaton.next_action(&frame.state.procs[pid]);
-            if matches!(action, Action::Halt) {
+            if matches!(
+                self.automaton.next_action(&frame.state.procs[pid]),
+                Action::Halt
+            ) {
                 continue;
             }
             if frame.depth >= self.max_depth {
-                truncated = true;
+                depth_truncated = true;
                 continue;
             }
             transitions += 1;
 
             let mut next = frame.state.clone();
-            let observed = match action {
-                Action::Read(r) => Some(next.bank.read(r)),
-                Action::Write(r, v) => {
-                    next.bank.write(r, v);
-                    None
-                }
-                Action::Delay(_) => None,
-                Action::Halt => unreachable!(),
-            };
-            obs_buf.clear();
-            self.automaton
-                .apply(&mut next.procs[pid], observed, &mut obs_buf);
-            let violation = next.monitor.observe(ProcId(pid), &obs_buf, spec);
+            let (action, violation) = next.step(&self.automaton, pid, spec, &mut obs_buf);
             let depth = frame.depth + 1;
             schedule.push((ProcId(pid), action));
 
@@ -404,16 +487,18 @@ impl<A: Automaton> Explorer<A> {
                         violation: v,
                         schedule,
                     }),
-                    truncated,
+                    depth_truncated,
+                    states_truncated,
                 };
             }
 
             if seen.len() >= self.max_states {
-                truncated = true;
+                states_truncated = true;
                 schedule.pop();
                 continue;
             }
-            let expand = match seen.entry(next.clone()) {
+            let (canonical, _) = canon.canonicalize(&self.automaton, &next);
+            let expand = match seen.entry(canonical) {
                 Entry::Vacant(e) => {
                     e.insert(depth);
                     true
@@ -442,8 +527,24 @@ impl<A: Automaton> Explorer<A> {
             states_explored: seen.len(),
             transitions,
             violation: None,
-            truncated,
+            depth_truncated,
+            states_truncated,
         }
+    }
+}
+
+impl<A: Symmetric> Explorer<A> {
+    /// Like [`Explorer::check`], but deduplicates states up to process
+    /// symmetry: two configurations differing only by a process
+    /// relabelling that fixes the initial configuration count as one.
+    ///
+    /// Sound because the permutations used are automorphisms of the
+    /// transition system (see [`tfr_registers::spec::Symmetric`]) and the
+    /// safety properties are pid-closed: a disagreement, invalid decision
+    /// or mutual-exclusion overlap maps to one of the same kind under any
+    /// relabelling.
+    pub fn check_symmetric(&self, spec: &SafetySpec) -> Report {
+        self.check_with(spec, &SymCanon::stabilizer(&self.automaton, self.n))
     }
 }
 
@@ -600,9 +701,32 @@ mod tests {
         let report = Explorer::new(Const9, 2)
             .max_depth(1)
             .check(&SafetySpec::mutex());
-        assert!(report.truncated);
+        assert!(report.depth_truncated);
+        assert!(!report.states_truncated);
+        assert!(report.truncated());
+        assert!(!report.exhausted());
         assert!(report.violation.is_none());
         assert!(!report.proven_safe());
+    }
+
+    #[test]
+    fn state_budget_marks_truncated() {
+        let report = Explorer::new(Const9, 2)
+            .max_states(2)
+            .check(&SafetySpec::mutex());
+        assert!(report.states_truncated);
+        assert!(!report.depth_truncated);
+        assert!(report.truncated());
+        assert!(report.violation.is_none());
+        assert!(!report.proven_safe(), "a state-budget cut is not a proof");
+    }
+
+    #[test]
+    fn unbounded_run_is_exhausted() {
+        let report = Explorer::new(Const9, 2).check(&SafetySpec::mutex());
+        assert!(report.exhausted());
+        assert!(!report.depth_truncated && !report.states_truncated);
+        assert!(report.proven_safe());
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! A parallel breadth-first frontier with deterministic counterexample
+//! selection.
+//!
+//! Exploration proceeds in layers: all states at depth `d` are expanded
+//! before any state at depth `d+1`. Within a layer the frontier is cut
+//! into chunks that worker threads claim dynamically off a shared
+//! counter (std threads only — no external dependencies), so a slow
+//! chunk does not idle the other workers. Every expansion is pure; the
+//! workers' results are re-assembled *in chunk order* on the
+//! coordinating thread before deduplication, so the set of admitted
+//! states, the reported counts and the chosen counterexample are all
+//! independent of thread scheduling.
+//!
+//! Counterexample selection is deterministic by construction: a
+//! violation surfaces in the earliest layer that contains one (BFS gives
+//! minimal-length schedules), and among the violations of that layer the
+//! lexicographically least schedule wins.
+
+use crate::symmetry::{Canon, IdCanon, SymCanon};
+use crate::{Counterexample, Global, Report, SafetySpec, Violation};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use tfr_registers::spec::{Action, Automaton, Obs, Symmetric};
+use tfr_registers::ProcId;
+
+/// States per work unit a thread claims at a time.
+const CHUNK: usize = 64;
+
+/// One admitted state in the exploration forest, for schedule
+/// reconstruction.
+struct Node {
+    /// Index of the parent node (`usize::MAX` for the root).
+    parent: usize,
+    /// The edge that produced this node.
+    edge: Option<(ProcId, Action)>,
+}
+
+/// Result of expanding one transition.
+struct Expansion<S> {
+    parent_node: usize,
+    pid: ProcId,
+    action: Action,
+    state: Global<S>,
+    canonical: Global<S>,
+    violation: Option<Violation>,
+}
+
+/// A total order on schedules, for deterministic counterexample
+/// selection among equal-depth candidates.
+fn schedule_key(schedule: &[(ProcId, Action)]) -> Vec<(usize, u8, u64, u64)> {
+    schedule
+        .iter()
+        .map(|&(pid, action)| match action {
+            Action::Read(r) => (pid.0, 0, r.0, 0),
+            Action::Write(r, v) => (pid.0, 1, r.0, v),
+            Action::Delay(d) => (pid.0, 2, d.0, 0),
+            Action::Halt => (pid.0, 3, 0, 0),
+        })
+        .collect()
+}
+
+/// Breadth-first explorer fanning each layer out over worker threads.
+///
+/// Same verdict semantics as [`crate::Explorer`]; schedules it reports
+/// are depth-minimal.
+#[derive(Debug)]
+pub struct ParallelExplorer<A> {
+    automaton: A,
+    n: usize,
+    threads: usize,
+    max_depth: usize,
+    max_states: usize,
+}
+
+impl<A> ParallelExplorer<A>
+where
+    A: Automaton + Sync,
+    A::State: Send + Sync,
+{
+    /// An explorer over `n` processes with default bounds (depth 10 000,
+    /// 5 000 000 states) and one worker per available core (capped at 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(automaton: A, n: usize) -> ParallelExplorer<A> {
+        assert!(n > 0, "at least one process is required");
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(4);
+        ParallelExplorer {
+            automaton,
+            n,
+            threads,
+            max_depth: 10_000,
+            max_states: 5_000_000,
+        }
+    }
+
+    /// Overrides the worker-thread count (`1` = sequential BFS).
+    pub fn threads(mut self, t: usize) -> ParallelExplorer<A> {
+        self.threads = t.max(1);
+        self
+    }
+
+    /// Overrides the depth bound (schedule length).
+    pub fn max_depth(mut self, d: usize) -> ParallelExplorer<A> {
+        self.max_depth = d;
+        self
+    }
+
+    /// Overrides the distinct-state bound.
+    pub fn max_states(mut self, s: usize) -> ParallelExplorer<A> {
+        self.max_states = s;
+        self
+    }
+
+    /// Explores every interleaving breadth-first (up to the bounds),
+    /// checking `spec` after each transition.
+    pub fn check(&self, spec: &SafetySpec) -> Report {
+        self.run(spec, &IdCanon)
+    }
+
+    fn expand_layer<C: Canon<A> + Sync>(
+        &self,
+        spec: &SafetySpec,
+        canon: &C,
+        frontier: &[(usize, Global<A::State>)],
+    ) -> Vec<Expansion<A::State>> {
+        let cursor = AtomicUsize::new(0);
+        let chunks = frontier.len().div_ceil(CHUNK);
+        let (tx, rx) = mpsc::channel::<(usize, Vec<Expansion<A::State>>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(chunks.max(1)) {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut obs_buf: Vec<Obs> = Vec::new();
+                    loop {
+                        // Dynamic chunk claiming: fast workers steal the
+                        // remaining chunks instead of idling.
+                        let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= chunks {
+                            break;
+                        }
+                        let lo = chunk * CHUNK;
+                        let hi = (lo + CHUNK).min(frontier.len());
+                        let mut out = Vec::new();
+                        for (node_idx, state) in &frontier[lo..hi] {
+                            for pid in 0..self.n {
+                                if matches!(
+                                    self.automaton.next_action(&state.procs[pid]),
+                                    Action::Halt
+                                ) {
+                                    continue;
+                                }
+                                let mut next = state.clone();
+                                let (action, violation) =
+                                    next.step(&self.automaton, pid, spec, &mut obs_buf);
+                                let (canonical, _) = canon.canonicalize(&self.automaton, &next);
+                                out.push(Expansion {
+                                    parent_node: *node_idx,
+                                    pid: ProcId(pid),
+                                    action,
+                                    state: next,
+                                    canonical,
+                                    violation,
+                                });
+                            }
+                        }
+                        if tx.send((chunk, out)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut per_chunk: Vec<(usize, Vec<Expansion<A::State>>)> = rx.iter().collect();
+            // Re-assemble in chunk order: the merge below is then
+            // independent of which worker claimed which chunk.
+            per_chunk.sort_by_key(|(chunk, _)| *chunk);
+            per_chunk.into_iter().flat_map(|(_, v)| v).collect()
+        })
+    }
+
+    fn run<C: Canon<A> + Sync>(&self, spec: &SafetySpec, canon: &C) -> Report {
+        let init = Global::initial(&self.automaton, self.n);
+        let (init_canon, _) = canon.canonicalize(&self.automaton, &init);
+
+        let mut seen: HashSet<Global<A::State>> = HashSet::new();
+        seen.insert(init_canon);
+        let mut arena = vec![Node {
+            parent: usize::MAX,
+            edge: None,
+        }];
+        let mut frontier: Vec<(usize, Global<A::State>)> = vec![(0, init)];
+        let mut transitions = 0usize;
+        let mut depth_truncated = false;
+        let mut states_truncated = false;
+
+        let mut depth = 0usize;
+        while !frontier.is_empty() {
+            if depth >= self.max_depth {
+                depth_truncated = true;
+                break;
+            }
+            let expansions = self.expand_layer(spec, canon, &frontier);
+            transitions += expansions.len();
+
+            // Violations first: everything in this layer is depth-minimal,
+            // the lexicographically least schedule wins deterministically.
+            let mut best: Option<(Vec<(ProcId, Action)>, Violation)> = None;
+            for e in &expansions {
+                if let Some(v) = &e.violation {
+                    let mut schedule = self.schedule_to(&arena, e.parent_node);
+                    schedule.push((e.pid, e.action));
+                    let better = match &best {
+                        None => true,
+                        Some((cur, _)) => schedule_key(&schedule) < schedule_key(cur),
+                    };
+                    if better {
+                        best = Some((schedule, v.clone()));
+                    }
+                }
+            }
+            if let Some((schedule, violation)) = best {
+                return Report {
+                    states_explored: seen.len(),
+                    transitions,
+                    violation: Some(Counterexample {
+                        violation,
+                        schedule,
+                    }),
+                    depth_truncated,
+                    states_truncated,
+                };
+            }
+
+            // Deterministic merge: admission in re-assembled chunk order.
+            let mut next_frontier = Vec::new();
+            for e in expansions {
+                if seen.contains(&e.canonical) {
+                    continue;
+                }
+                if seen.len() >= self.max_states {
+                    states_truncated = true;
+                    continue;
+                }
+                seen.insert(e.canonical);
+                let idx = arena.len();
+                arena.push(Node {
+                    parent: e.parent_node,
+                    edge: Some((e.pid, e.action)),
+                });
+                next_frontier.push((idx, e.state));
+            }
+            frontier = next_frontier;
+            depth += 1;
+        }
+
+        Report {
+            states_explored: seen.len(),
+            transitions,
+            violation: None,
+            depth_truncated,
+            states_truncated,
+        }
+    }
+
+    fn schedule_to(&self, arena: &[Node], mut node: usize) -> Vec<(ProcId, Action)> {
+        let mut rev = Vec::new();
+        while node != usize::MAX {
+            if let Some(edge) = arena[node].edge {
+                rev.push(edge);
+            }
+            node = arena[node].parent;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+impl<A> ParallelExplorer<A>
+where
+    A: Symmetric + Sync,
+    A::State: Send + Sync,
+{
+    /// [`ParallelExplorer::check`] with process-symmetry deduplication
+    /// (see [`crate::Explorer::check_symmetric`]).
+    pub fn check_symmetric(&self, spec: &SafetySpec) -> Report {
+        self.run(spec, &SymCanon::stabilizer(&self.automaton, self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfr_registers::RegId;
+
+    /// Increment-via-race: read the counter, write back +1, decide what
+    /// you wrote. Lost updates make processes decide different values.
+    struct RacyIncr;
+    impl Automaton for RacyIncr {
+        type State = (u8, u64);
+        fn init(&self, _pid: ProcId) -> Self::State {
+            (0, 0)
+        }
+        fn next_action(&self, s: &Self::State) -> Action {
+            match s.0 {
+                0 => Action::Read(RegId(0)),
+                1 => Action::Write(RegId(0), s.1 + 1),
+                _ => Action::Halt,
+            }
+        }
+        fn apply(&self, s: &mut Self::State, v: Option<u64>, obs: &mut Vec<Obs>) {
+            match s.0 {
+                0 => s.1 = v.unwrap(),
+                1 => obs.push(Obs::Decided(s.1 + 1)),
+                _ => {}
+            }
+            s.0 += 1;
+        }
+    }
+
+    #[test]
+    fn parallel_verdict_matches_sequential() {
+        let spec = SafetySpec {
+            agreement: true,
+            validity: None,
+            mutual_exclusion: false,
+        };
+        let seq = crate::Explorer::new(RacyIncr, 2).check(&spec);
+        let par = ParallelExplorer::new(RacyIncr, 2).threads(4).check(&spec);
+        assert_eq!(seq.violation.is_some(), par.violation.is_some());
+        let cex = par.violation.unwrap();
+        assert_eq!(
+            crate::replay_schedule(&RacyIncr, 2, &spec, &cex.schedule),
+            Some(cex.violation)
+        );
+    }
+
+    #[test]
+    fn counterexample_selection_is_deterministic_across_thread_counts() {
+        let spec = SafetySpec {
+            agreement: true,
+            validity: None,
+            mutual_exclusion: false,
+        };
+        let one = ParallelExplorer::new(RacyIncr, 3).threads(1).check(&spec);
+        let many = ParallelExplorer::new(RacyIncr, 3).threads(8).check(&spec);
+        let (a, b) = (one.violation.unwrap(), many.violation.unwrap());
+        assert_eq!(
+            a.schedule, b.schedule,
+            "selection must not depend on threads"
+        );
+        assert_eq!(a.violation, b.violation);
+        assert_eq!(one.states_explored, many.states_explored);
+        assert_eq!(one.transitions, many.transitions);
+    }
+}

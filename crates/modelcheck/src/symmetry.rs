@@ -1,0 +1,254 @@
+//! Process-symmetry canonicalization.
+//!
+//! Two global configurations that differ only by a relabelling of
+//! processes generate isomorphic futures when the automaton is
+//! [`Symmetric`] — the transition relation commutes with the
+//! relabelling — and when the relabelling fixes the *initial*
+//! configuration (so it is an automorphism of the whole rooted
+//! transition system, not just of the transition relation). Restricting
+//! to the stabilizer of the initial configuration is what makes the
+//! reduction valid for asymmetric inputs: with consensus inputs
+//! `[0, 1, 1]` only the permutations preserving the input vector
+//! qualify.
+//!
+//! Canonicalization maps a configuration to the minimum over the group
+//! of its images, ordered by 64-bit hash with a full-content tiebreak
+//! (so hash collisions cost a string comparison, never soundness).
+//! The safety properties themselves are pid-closed — a disagreement,
+//! invalid decision, or critical-section overlap maps to a violation of
+//! the same kind under any relabelling — so collapsing an orbit to one
+//! representative preserves the verdict.
+
+use crate::independence::{Access, Kind};
+use crate::{Global, Monitor};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use tfr_registers::spec::{Action, Automaton, Perm, Symmetric};
+
+/// Applies `perm` to a whole configuration: process `i`'s slot moves to
+/// `perm.apply(i)`, registers and values map through the automaton's
+/// relabelling.
+pub(crate) fn permute_global<A: Symmetric>(
+    automaton: &A,
+    g: &Global<A::State>,
+    perm: &Perm,
+) -> Global<A::State> {
+    let n = g.procs.len();
+    let mut procs: Vec<Option<A::State>> = vec![None; n];
+    let mut monitor = Monitor::new(n);
+    for (i, s) in g.procs.iter().enumerate() {
+        let j = perm.apply(i);
+        procs[j] = Some(automaton.permute_state(s, perm));
+        monitor.decided[j] = g.monitor.decided[i];
+        monitor.in_cs[j] = g.monitor.in_cs[i];
+    }
+    let mut bank = tfr_registers::bank::MapBank::new();
+    for (r, v) in g.bank.iter() {
+        use tfr_registers::bank::RegisterBank;
+        bank.write(
+            automaton.permute_reg(r, perm),
+            automaton.permute_value(r, v, perm),
+        );
+    }
+    Global {
+        procs: procs.into_iter().map(Option::unwrap).collect(),
+        bank,
+        monitor,
+    }
+}
+
+/// Applies `perm` to an action (registers and written values relabel;
+/// delays and halts are fixed).
+pub(crate) fn permute_action<A: Symmetric>(automaton: &A, action: Action, perm: &Perm) -> Action {
+    match action {
+        Action::Read(r) => Action::Read(automaton.permute_reg(r, perm)),
+        Action::Write(r, v) => Action::Write(
+            automaton.permute_reg(r, perm),
+            automaton.permute_value(r, v, perm),
+        ),
+        other => other,
+    }
+}
+
+fn hash_of<T: Hash>(t: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// The canonicalization strategy an explorer runs with. `IdCanon` is the
+/// trivial one (no symmetry assumptions, no `Symmetric` bound);
+/// `SymCanon` holds the stabilizer subgroup and maps every state to its
+/// orbit minimum.
+pub(crate) trait Canon<A: Automaton> {
+    /// The canonical representative of `g`'s orbit and a permutation `σ`
+    /// with `permute_global(g, σ) == canonical`.
+    fn canonicalize(&self, automaton: &A, g: &Global<A::State>) -> (Global<A::State>, Perm);
+
+    /// Maps an access footprint through `perm` (identity for `IdCanon`).
+    fn permute_access(
+        &self,
+        automaton: &A,
+        pid: usize,
+        access: Access,
+        perm: &Perm,
+    ) -> (usize, Access);
+}
+
+/// No symmetry: every state is its own canonical form.
+pub(crate) struct IdCanon;
+
+impl<A: Automaton> Canon<A> for IdCanon {
+    fn canonicalize(&self, _automaton: &A, g: &Global<A::State>) -> (Global<A::State>, Perm) {
+        (g.clone(), Perm::identity(g.procs.len()))
+    }
+    fn permute_access(
+        &self,
+        _automaton: &A,
+        pid: usize,
+        access: Access,
+        _perm: &Perm,
+    ) -> (usize, Access) {
+        (pid, access)
+    }
+}
+
+/// Canonicalization over the stabilizer of the initial configuration.
+pub(crate) struct SymCanon {
+    perms: Vec<Perm>,
+}
+
+impl SymCanon {
+    /// Computes the valid symmetry group for `n` copies of `automaton`:
+    /// all process permutations that (a) fix the initial configuration,
+    /// (b) are action-equivariant on it — `π(next_action(s_i)) ==
+    /// next_action(s_{π(i)})` — and (c) pass the automaton's own
+    /// [`Symmetric::respects`] filter (which rejects symmetries broken
+    /// by per-process parameters invisible at the initial state, like a
+    /// heterogeneous delay table).
+    pub(crate) fn stabilizer<A: Symmetric>(automaton: &A, n: usize) -> SymCanon {
+        let init = Global::initial(automaton, n);
+        let perms = Perm::all(n)
+            .into_iter()
+            .filter(|p| {
+                automaton.respects(p)
+                    && permute_global(automaton, &init, p) == init
+                    && (0..n).all(|i| {
+                        let a = automaton.next_action(&init.procs[i]);
+                        let b = automaton.next_action(&init.procs[p.apply(i)]);
+                        permute_action(automaton, a, p) == b
+                    })
+            })
+            .collect();
+        SymCanon { perms }
+    }
+
+    /// Number of permutations in the group (at least 1: the identity).
+    #[cfg(test)]
+    pub(crate) fn order(&self) -> usize {
+        self.perms.len()
+    }
+}
+
+impl<A: Symmetric> Canon<A> for SymCanon {
+    fn canonicalize(&self, automaton: &A, g: &Global<A::State>) -> (Global<A::State>, Perm) {
+        let mut best: Option<(u64, Global<A::State>, &Perm)> = None;
+        for p in &self.perms {
+            let img = if p.is_identity() {
+                g.clone()
+            } else {
+                permute_global(automaton, g, p)
+            };
+            let h = hash_of(&img);
+            match &best {
+                None => best = Some((h, img, p)),
+                Some((bh, bimg, _)) => {
+                    // Hash first; on the (rare) tie, the full Debug
+                    // rendering decides — deterministic and exact.
+                    if h < *bh || (h == *bh && format!("{img:?}") < format!("{bimg:?}")) {
+                        best = Some((h, img, p));
+                    }
+                }
+            }
+        }
+        let (_, img, p) = best.expect("group contains at least the identity");
+        (img, p.clone())
+    }
+
+    fn permute_access(
+        &self,
+        automaton: &A,
+        pid: usize,
+        access: Access,
+        perm: &Perm,
+    ) -> (usize, Access) {
+        let kind = match access.kind {
+            Kind::Local => Kind::Local,
+            Kind::Read(r) => Kind::Read(automaton.permute_reg(r, perm)),
+            Kind::Write(r) => Kind::Write(automaton.permute_reg(r, perm)),
+        };
+        (
+            perm.apply(pid),
+            Access {
+                kind,
+                cs: access.cs,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfr_registers::spec::Obs;
+    use tfr_registers::{ProcId, RegId};
+
+    /// Fully symmetric toy: every process writes 1 to its own slot...
+    /// actually to a shared register — pid appears only in the state.
+    struct Sym;
+    impl Automaton for Sym {
+        type State = (ProcId, u8);
+        fn init(&self, pid: ProcId) -> Self::State {
+            (pid, 0)
+        }
+        fn next_action(&self, s: &Self::State) -> Action {
+            if s.1 == 0 {
+                Action::Write(RegId(0), 1)
+            } else {
+                Action::Halt
+            }
+        }
+        fn apply(&self, s: &mut Self::State, _v: Option<u64>, _obs: &mut Vec<Obs>) {
+            s.1 = 1;
+        }
+    }
+    impl Symmetric for Sym {
+        fn permute_state(&self, s: &Self::State, perm: &Perm) -> Self::State {
+            (perm.apply_pid(s.0), s.1)
+        }
+    }
+
+    #[test]
+    fn full_group_for_symmetric_automaton() {
+        let g = SymCanon::stabilizer(&Sym, 3);
+        assert_eq!(g.order(), 6);
+    }
+
+    #[test]
+    fn orbit_collapses_to_one_canonical_form() {
+        let group = SymCanon::stabilizer(&Sym, 2);
+        let mut a = Global::initial(&Sym, 2);
+        let mut b = Global::initial(&Sym, 2);
+        let mut obs = Vec::new();
+        // a: only process 0 stepped; b: only process 1 stepped.
+        let spec = crate::SafetySpec::default();
+        a.step(&Sym, 0, &spec, &mut obs);
+        b.step(&Sym, 1, &spec, &mut obs);
+        assert_ne!(a, b);
+        let (ca, pa) = group.canonicalize(&Sym, &a);
+        let (cb, _pb) = group.canonicalize(&Sym, &b);
+        assert_eq!(ca, cb, "pid-swapped states share a canonical form");
+        // The returned permutation really maps the state to the form.
+        assert_eq!(permute_global(&Sym, &a, &pa), ca);
+    }
+}

@@ -138,6 +138,173 @@ impl<A: Automaton + ?Sized> Automaton for &A {
     }
 }
 
+/// A permutation of process ids, used for symmetry reduction.
+///
+/// `map[i]` is the image of process `i`: applying the permutation to a
+/// global configuration relabels process `i` as process `map[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Perm {
+    map: Vec<usize>,
+}
+
+impl Perm {
+    /// The identity permutation on `n` processes.
+    pub fn identity(n: usize) -> Perm {
+        Perm {
+            map: (0..n).collect(),
+        }
+    }
+
+    /// A permutation from an explicit image vector (`map[i]` = image of
+    /// `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is not a permutation of `0..map.len()`.
+    pub fn from_map(map: Vec<usize>) -> Perm {
+        let mut hit = vec![false; map.len()];
+        for &m in &map {
+            assert!(m < map.len() && !hit[m], "not a permutation: {map:?}");
+            hit[m] = true;
+        }
+        Perm { map }
+    }
+
+    /// Number of processes this permutation acts on.
+    pub fn n(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The image of process index `i`.
+    #[inline]
+    pub fn apply(&self, i: usize) -> usize {
+        self.map[i]
+    }
+
+    /// The image of a [`ProcId`].
+    #[inline]
+    pub fn apply_pid(&self, pid: ProcId) -> ProcId {
+        ProcId(self.map[pid.0])
+    }
+
+    /// Whether this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &m)| i == m)
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Perm {
+        let mut inv = vec![0; self.map.len()];
+        for (i, &m) in self.map.iter().enumerate() {
+            inv[m] = i;
+        }
+        Perm { map: inv }
+    }
+
+    /// All `n!` permutations of `0..n`, in lexicographic order (Heap's
+    /// algorithm would not be ordered; this enumerates recursively).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8` — the symmetry group is enumerated exhaustively
+    /// and 8! = 40 320 is the sensible ceiling for model checking.
+    pub fn all(n: usize) -> Vec<Perm> {
+        assert!(n <= 8, "refusing to enumerate {n}! permutations");
+        let mut out = Vec::new();
+        let mut current = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        fn rec(n: usize, current: &mut Vec<usize>, used: &mut [bool], out: &mut Vec<Perm>) {
+            if current.len() == n {
+                out.push(Perm {
+                    map: current.clone(),
+                });
+                return;
+            }
+            for i in 0..n {
+                if !used[i] {
+                    used[i] = true;
+                    current.push(i);
+                    rec(n, current, used, out);
+                    current.pop();
+                    used[i] = false;
+                }
+            }
+        }
+        rec(n, &mut current, &mut used, &mut out);
+        out
+    }
+}
+
+/// An [`Automaton`] whose transition relation commutes with process
+/// relabelling — the contract behind symmetry reduction in the model
+/// checker.
+///
+/// Implementors assert *equivariance*: for every valid permutation `π`
+/// (the checker only uses permutations that fix the initial global
+/// configuration),
+///
+/// ```text
+/// next_action(permute_state(s, π)) = π(next_action(s))
+/// ```
+///
+/// where `π` acts on actions by [`Symmetric::permute_reg`] on register
+/// ids and [`Symmetric::permute_value`] on written values, and `apply`
+/// commutes the same way. Two global configurations that differ only by
+/// such a relabelling then generate isomorphic futures and can be
+/// deduplicated to one canonical representative.
+///
+/// The defaults (`permute_reg`/`permute_value` = identity) fit automata
+/// whose register layout and values are pid-free; an automaton with
+/// per-process registers or pid-valued writes (e.g. Fischer's `x :=
+/// token(pid)`) overrides them.
+pub trait Symmetric: Automaton {
+    /// The state of process `perm.apply_pid(old_pid)` when process
+    /// `old_pid`'s state is `state` — i.e. `state` with every embedded
+    /// process id mapped through `perm`.
+    fn permute_state(&self, state: &Self::State, perm: &Perm) -> Self::State;
+
+    /// The image of a register id under the relabelling (identity for
+    /// pid-free register layouts).
+    fn permute_reg(&self, reg: RegId, _perm: &Perm) -> RegId {
+        reg
+    }
+
+    /// The image of the *value stored in* `reg` under the relabelling
+    /// (identity unless values encode process ids).
+    fn permute_value(&self, _reg: RegId, value: u64, _perm: &Perm) -> u64 {
+        value
+    }
+
+    /// Whether equivariance actually holds for `perm`. The checker's
+    /// stabilizer computation filters candidate permutations through
+    /// this *in addition to* requiring that they fix the initial
+    /// configuration.
+    ///
+    /// Override when per-process parameters that the initial
+    /// configuration does not expose break the symmetry — e.g. a
+    /// heterogeneous per-process `delay(Δ)` table: two processes with
+    /// different estimates are distinguishable later even though their
+    /// initial states and actions coincide.
+    fn respects(&self, _perm: &Perm) -> bool {
+        true
+    }
+}
+
+impl<A: Symmetric + ?Sized> Symmetric for &A {
+    fn permute_state(&self, state: &Self::State, perm: &Perm) -> Self::State {
+        (**self).permute_state(state, perm)
+    }
+    fn permute_reg(&self, reg: RegId, perm: &Perm) -> RegId {
+        (**self).permute_reg(reg, perm)
+    }
+    fn permute_value(&self, reg: RegId, value: u64, perm: &Perm) -> u64 {
+        (**self).permute_value(reg, value, perm)
+    }
+    fn respects(&self, perm: &Perm) -> bool {
+        (**self).respects(perm)
+    }
+}
+
 /// Runs a single process of `automaton` to completion against `bank`,
 /// with every action linearizing immediately (no concurrency, no timing
 /// failures). Returns the events emitted and the number of shared-memory
@@ -293,5 +460,28 @@ mod tests {
         let mut bank = ArrayBank::new();
         let run = run_solo(&&Incr, ProcId(1), &mut bank, 10);
         assert_eq!(run.decision(), Some(1));
+    }
+
+    #[test]
+    fn perm_enumeration_inverse_and_identity() {
+        let all = Perm::all(3);
+        assert_eq!(all.len(), 6);
+        assert!(all[0].is_identity());
+        for p in &all {
+            let inv = p.inverse();
+            for i in 0..3 {
+                assert_eq!(inv.apply(p.apply(i)), i);
+            }
+        }
+        let swap = Perm::from_map(vec![1, 0]);
+        assert_eq!(swap.apply_pid(ProcId(0)), ProcId(1));
+        assert!(!swap.is_identity());
+        assert_eq!(swap.n(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn perm_rejects_non_permutation() {
+        let _ = Perm::from_map(vec![0, 0]);
     }
 }
