@@ -239,6 +239,46 @@ pub trait RawLock: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+/// What a recovery section found and did for one restarting process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// `true` if the previous incarnation had orphaned a held lock (it
+    /// crashed inside the critical section or mid-release) and the
+    /// recovery section released it; `false` if there was nothing to
+    /// repair (the crash hit the remainder section or an abandoned
+    /// acquire).
+    pub repaired: bool,
+    /// The incarnation number this recovery installed (1 = first
+    /// restart).
+    pub incarnation: u64,
+}
+
+/// A [`RawLock`] that survives the crash-*recovery* failure model
+/// (Golab–Ramaraju recoverable mutual exclusion).
+///
+/// # Protocol
+///
+/// A process that crashes — anywhere: in its entry section, inside the
+/// critical section, mid-release — may later restart as a new
+/// *incarnation*. Before contending again it MUST call
+/// [`RecoverableRawLock::recover`], which runs the recovery section:
+/// using only persistent registers, it determines where the previous
+/// incarnation died and repairs the lock (typically by completing or
+/// undoing the interrupted passage). After `recover` returns, the
+/// process is a normal participant again and may call `lock`/`unlock`.
+///
+/// Implementations must keep mutual exclusion and deadlock freedom
+/// across any number of crash-recoveries, provided every restart runs
+/// `recover` first.
+pub trait RecoverableRawLock: RawLock {
+    /// The recovery section: repairs whatever `pid`'s previous
+    /// incarnation left behind and registers the new incarnation.
+    ///
+    /// Idempotent — a process that crashes *during* recovery simply runs
+    /// it again on its next restart.
+    fn recover(&self, pid: ProcId) -> RecoveryOutcome;
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     //! Shared test harnesses: every lock in this crate is exercised by the

@@ -10,6 +10,7 @@ pub mod mutex_safety;
 pub mod net;
 pub mod objects;
 pub mod optimistic;
+pub mod recovery;
 pub mod registers;
 
 use crate::Table;
@@ -120,6 +121,11 @@ pub fn registry() -> Vec<Experiment> {
             "net",
             "quorum-register stack: ABD round-trip costs and partition-heal convergence",
             net::net,
+        ),
+        (
+            "recovery",
+            "crash-recovery: recovery latency by crash site, adaptive passage cost, seeded replay (E21)",
+            recovery::recovery,
         ),
     ]
 }

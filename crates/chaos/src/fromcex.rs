@@ -298,7 +298,7 @@ mod tests {
                 .find(|f| f.pid == pid && f.point == point)
                 .map(|f| match f.action {
                     FaultAction::Stall(d) => d,
-                    FaultAction::Crash => unreachable!(),
+                    _ => unreachable!(),
                 })
                 .unwrap()
         };

@@ -28,6 +28,12 @@
 //!   runs ([`assess::assess_native_mutex`]), producing the same
 //!   [`tfr_core::resilience::ResilienceReport`] as the simulator
 //!   assessment (1 tick = 1 µs).
+//! * [`recovery`] — the crash-*recovery* nemesis: `CrashRecover` faults
+//!   unwind a worker anywhere on the recoverable crash surface — inside
+//!   the critical section included — and the worker rejoins mid-workload
+//!   as a new incarnation that runs the lock's recovery section first
+//!   ([`recovery::run_recovery_chaos`]). Crash-stopped pids are
+//!   deregistered so no later fault is wasted on them.
 //! * [`netfault`] — the network nemesis for the quorum stack: seeded
 //!   schedules of delay spikes, message drops, partitions, and heals
 //!   ([`netfault::random_net_schedule`]) applied through a
@@ -64,6 +70,7 @@ pub mod assess;
 pub mod fromcex;
 pub mod nemesis;
 pub mod netfault;
+pub mod recovery;
 pub mod schedule;
 
 pub use assess::{
@@ -77,5 +84,8 @@ pub use nemesis::{
 };
 pub use netfault::{
     apply_net_op, apply_net_schedule, random_net_schedule, NetFaultOp, NetFaultStep,
+};
+pub use recovery::{
+    run_recovery_chaos, run_recovery_chaos_traced, RecoveryChaosReport, RecoverySample,
 };
 pub use schedule::{random_schedule, shrink, ScheduleConfig};

@@ -30,7 +30,7 @@ use tfr_telemetry::{with_pid, ChaosTraceObserver, Trace, Tracer};
 /// Busy-holds the calling thread for `d` without touching any injection
 /// point (the workload's own dwell times must not perturb fault visit
 /// counts).
-fn hold(d: Duration) {
+pub(crate) fn hold(d: Duration) {
     if d.is_zero() {
         return;
     }
@@ -202,6 +202,11 @@ fn run_mutex_chaos_inner<L: RawLock>(
             f.action != FaultAction::Crash || f.point == points::WORKLOAD_NCS,
             "mutex workloads only crash-stop at workload.ncs (got {f})"
         );
+        assert!(
+            !matches!(f.action, FaultAction::CrashRecover(_)),
+            "this workload never rejoins crashed processes; \
+             use the recovery nemesis for crash-recover faults (got {f})"
+        );
     }
     let session = ChaosSession::install(faults);
     // Installed after the session (and dropped before it): the observer
@@ -259,6 +264,9 @@ fn run_mutex_chaos_inner<L: RawLock>(
             {
                 chaos::ThreadOutcome::Completed(()) => completed.push(ProcId(i)),
                 chaos::ThreadOutcome::Crashed => crashed.push(ProcId(i)),
+                chaos::ThreadOutcome::CrashedRecoverable(_) => {
+                    unreachable!("crash-recover faults are rejected above")
+                }
             }
         }
     });
@@ -379,7 +387,11 @@ fn run_consensus_chaos_inner(
                 .expect("proposer panicked outside the crash protocol")
             {
                 chaos::ThreadOutcome::Completed(v) => decisions.push((ProcId(i), v)),
-                chaos::ThreadOutcome::Crashed => crashed.push(ProcId(i)),
+                // A consensus proposer that crashes — recoverably or not —
+                // never rejoins this workload; both count as crashed.
+                chaos::ThreadOutcome::Crashed | chaos::ThreadOutcome::CrashedRecoverable(_) => {
+                    crashed.push(ProcId(i))
+                }
             }
         }
     });
@@ -446,7 +458,7 @@ pub struct ViolationSetup {
 ///     .iter()
 ///     .map(|f| match f.action {
 ///         tfr_registers::chaos::FaultAction::Stall(d) => d,
-///         tfr_registers::chaos::FaultAction::Crash => unreachable!(),
+///         _ => unreachable!(),
 ///     })
 ///     .max()
 ///     .unwrap();

@@ -31,6 +31,18 @@ pub struct ScheduleConfig {
     /// Probability that a drawn fault is a crash (when `crash_points` is
     /// nonempty).
     pub crash_prob: f64,
+    /// Points eligible for [`FaultAction::CrashRecover`] faults. Empty
+    /// disables crash-recoveries entirely (and leaves the RNG stream of
+    /// pre-recovery configs untouched, so old seeds replay unchanged).
+    pub crash_recover_points: Vec<&'static str>,
+    /// Probability that a drawn fault is a crash-recovery (when
+    /// `crash_recover_points` is nonempty). Tried before `crash_prob`.
+    pub recover_prob: f64,
+    /// Down times for crash-recoveries are drawn from
+    /// `[min_down, max_down]`.
+    pub min_down: Duration,
+    /// See `min_down`.
+    pub max_down: Duration,
 }
 
 impl ScheduleConfig {
@@ -60,6 +72,10 @@ impl ScheduleConfig {
             min_stall: delta,
             max_stall: delta * 8,
             crash_prob: 0.2,
+            crash_recover_points: Vec::new(),
+            recover_prob: 0.0,
+            min_down: Duration::ZERO,
+            max_down: Duration::ZERO,
         }
     }
 
@@ -85,6 +101,10 @@ impl ScheduleConfig {
             min_stall: delta,
             max_stall: delta * 8,
             crash_prob: 0.3,
+            crash_recover_points: Vec::new(),
+            recover_prob: 0.0,
+            min_down: Duration::ZERO,
+            max_down: Duration::ZERO,
         }
     }
 
@@ -123,6 +143,49 @@ impl ScheduleConfig {
             min_stall: delta,
             max_stall: delta * 8,
             crash_prob: 0.25,
+            crash_recover_points: Vec::new(),
+            recover_prob: 0.0,
+            min_down: Duration::ZERO,
+            max_down: Duration::ZERO,
+        }
+    }
+
+    /// A schedule shape for *recoverable* mutex workloads under
+    /// Δ-estimate `delta`: crash-recoveries land both **inside** the
+    /// critical section ([`points::WORKLOAD_CS`], [`points::RECOVERABLE_CS`])
+    /// and outside it (the acquire/release windows, the recovery section
+    /// itself, and the remainder section), because the recoverable lock's
+    /// whole claim is that an orphaned CS gets repaired. Down times of
+    /// 1–8Δ keep the survivors contending while the victim is away.
+    /// Permanent crash-stops stay confined to [`points::WORKLOAD_NCS`].
+    pub fn recoverable_mutex(n: usize, delta: Duration) -> ScheduleConfig {
+        ScheduleConfig {
+            n,
+            max_faults: 6,
+            stall_points: vec![
+                points::RECOVERABLE_ACQUIRE,
+                points::RECOVERABLE_RELEASE,
+                points::RESILIENT_WRITE_X,
+                points::RESILIENT_INNER,
+                points::DELAY,
+                points::WORKLOAD_NCS,
+            ],
+            crash_points: vec![points::WORKLOAD_NCS],
+            max_nth: 4,
+            min_stall: delta,
+            max_stall: delta * 8,
+            crash_prob: 0.1,
+            crash_recover_points: vec![
+                points::WORKLOAD_CS,
+                points::RECOVERABLE_CS,
+                points::RECOVERABLE_ACQUIRE,
+                points::RECOVERABLE_RELEASE,
+                points::RECOVERY_SECTION,
+                points::WORKLOAD_NCS,
+            ],
+            recover_prob: 0.5,
+            min_down: delta,
+            max_down: delta * 8,
         }
     }
 }
@@ -130,21 +193,35 @@ impl ScheduleConfig {
 /// Draws a fault schedule from `seed`. Equal seeds yield equal schedules;
 /// that is the whole replay story.
 ///
-/// At most one crash per pid is drawn (a crashed thread cannot crash
-/// again), and duplicate `(pid, point, nth)` triples are dropped.
+/// At most one *permanent* crash per pid is drawn (a crash-stopped thread
+/// cannot crash again); crash-recoveries may repeat on a pid (the process
+/// comes back). Duplicate `(pid, point, nth)` triples are dropped. All
+/// crash-recovery draws are gated on `crash_recover_points` being
+/// nonempty, so configs without them consume the exact RNG stream they
+/// always did — old seeds replay unchanged.
 pub fn random_schedule(seed: u64, cfg: &ScheduleConfig) -> Vec<Fault> {
     assert!(cfg.n > 0, "at least one process is required");
     assert!(!cfg.stall_points.is_empty(), "no stall points to aim at");
     assert!(cfg.min_stall <= cfg.max_stall, "stall range is inverted");
+    assert!(cfg.min_down <= cfg.max_down, "down-time range is inverted");
     let mut rng = SplitMix64::new(seed);
     let mut faults: Vec<Fault> = Vec::new();
     let mut crashed: Vec<usize> = Vec::new();
     for _ in 0..cfg.max_faults {
         let pid = rng.index(cfg.n);
-        let crash = !cfg.crash_points.is_empty()
+        let recover = !cfg.crash_recover_points.is_empty() && rng.random_bool(cfg.recover_prob);
+        let crash = !recover
+            && !cfg.crash_points.is_empty()
             && !crashed.contains(&pid)
             && rng.random_bool(cfg.crash_prob);
-        let (point, action) = if crash {
+        let (point, action) = if recover {
+            let span = (cfg.max_down - cfg.min_down).as_micros() as u64;
+            let down = cfg.min_down + Duration::from_micros(rng.random_range(0..=span));
+            (
+                cfg.crash_recover_points[rng.index(cfg.crash_recover_points.len())],
+                FaultAction::CrashRecover(down),
+            )
+        } else if crash {
             crashed.push(pid);
             (
                 cfg.crash_points[rng.index(cfg.crash_points.len())],
@@ -325,7 +402,7 @@ mod tests {
                     "{d:?}"
                 )
             }
-            FaultAction::Crash => panic!("stall must stay a stall"),
+            _ => panic!("stall must stay a stall"),
         }
     }
 
@@ -342,5 +419,96 @@ mod tests {
         let n = faults.len();
         let minimal = shrink(faults, |s| s.len() == n);
         assert_eq!(minimal.len(), n);
+    }
+
+    #[test]
+    fn shrink_of_an_empty_schedule_terminates_empty() {
+        let mut calls = 0;
+        let minimal = shrink(Vec::new(), |_| {
+            calls += 1;
+            true
+        });
+        assert!(minimal.is_empty());
+        assert_eq!(calls, 0, "nothing to remove, nothing to probe");
+    }
+
+    #[test]
+    fn shrink_of_a_single_fault_schedule_keeps_or_drops_it() {
+        let fault = Fault {
+            pid: ProcId(0),
+            point: points::DELAY,
+            nth: 1,
+            action: FaultAction::Crash,
+        };
+        // The fault is essential: removing it makes the failure vanish.
+        let kept = shrink(vec![fault], |s| !s.is_empty());
+        assert_eq!(kept, vec![fault]);
+        // The fault is irrelevant: the empty schedule still fails.
+        let dropped = shrink(vec![fault], |_| true);
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn shrink_with_an_accept_everything_predicate_terminates_minimal() {
+        // A predicate that accepts every candidate must not loop: the
+        // removal pass empties the schedule (the global minimum) and the
+        // halving pass has nothing left to probe.
+        let cfg = ScheduleConfig::recoverable_mutex(4, Duration::from_millis(1));
+        let schedule = random_schedule(11, &cfg);
+        assert!(!schedule.is_empty());
+        let minimal = shrink(schedule, |_| true);
+        assert!(minimal.is_empty(), "accept-everything shrinks to nothing");
+    }
+
+    #[test]
+    fn recoverable_schedules_draw_crash_recover_faults_deterministically() {
+        let cfg = ScheduleConfig::recoverable_mutex(4, Duration::from_micros(500));
+        assert_eq!(random_schedule(5, &cfg), random_schedule(5, &cfg));
+        let mut saw_recover = 0;
+        for seed in 0..100 {
+            for f in random_schedule(seed, &cfg) {
+                match f.action {
+                    FaultAction::CrashRecover(down) => {
+                        saw_recover += 1;
+                        assert!(
+                            down >= cfg.min_down && down <= cfg.max_down,
+                            "seed {seed}: down {down:?} outside [{:?}, {:?}]",
+                            cfg.min_down,
+                            cfg.max_down
+                        );
+                        assert!(
+                            cfg.crash_recover_points.contains(&f.point),
+                            "seed {seed}: crash-recover at unexpected point {}",
+                            f.point
+                        );
+                    }
+                    FaultAction::Crash => {
+                        assert_eq!(f.point, points::WORKLOAD_NCS, "seed {seed}")
+                    }
+                    FaultAction::Stall(_) => {}
+                }
+            }
+        }
+        assert!(
+            saw_recover > 50,
+            "recover_prob 0.5 must bite: {saw_recover}"
+        );
+    }
+
+    #[test]
+    fn recovery_free_configs_keep_their_historical_rng_stream() {
+        // Adding the crash-recover draw must not shift the stream of a
+        // config without crash_recover_points: same seed, same schedule,
+        // with or without the (disabled) recovery fields in play.
+        let base = ScheduleConfig::mutex(4, Duration::from_micros(500));
+        let mut probed = base.clone();
+        probed.recover_prob = 0.9; // ignored: no points to aim at
+        for seed in 0..50 {
+            assert_eq!(
+                random_schedule(seed, &base),
+                random_schedule(seed, &probed),
+                "seed {seed}"
+            );
+        }
     }
 }

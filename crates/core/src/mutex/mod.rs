@@ -10,5 +10,11 @@
 //!   convergence after failures holds iff `A` is starvation-free
 //!   (Theorems 3.2/3.3).
 
+//! * [`recoverable`] — beyond the paper: the crash-*recovery*
+//!   transformation (Golab–Ramaraju recoverable ME) over any inner lock.
+//!   A restarting incarnation repairs an orphaned critical section before
+//!   re-contending; super-passage cost adapts to recent failures.
+
 pub mod fischer;
+pub mod recoverable;
 pub mod resilient;

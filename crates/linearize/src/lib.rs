@@ -22,10 +22,17 @@
 //!   error whose `Display` prints the minimal non-linearizable window.
 //! * [`models`] — pluggable [`SeqSpec`](models::SeqSpec) sequential
 //!   models for test-and-set, leader election, renaming, set consensus,
-//!   counter, and FIFO queue.
+//!   counter, FIFO queue, and the locks: plain mutual exclusion
+//!   ([`LockModel`](models::LockModel)) and its crash-recovery extension
+//!   ([`RecoverableLockModel`](models::RecoverableLockModel)), whose
+//!   `repair` operation is a release performed on a dead incarnation's
+//!   behalf.
 //! * [`native`] — chaos drivers: run an object on real threads under a
 //!   seeded fault schedule ([`record_chaos`](native::record_chaos)) and
 //!   capture its history, crash faults leaving pending operations.
+//!   [`record_recoverable_lock`](native::record_recoverable_lock) drives
+//!   the recoverable mutex under `CrashRecover` faults, recording each
+//!   new incarnation's repair verdict alongside acquires and releases.
 //! * [`register`] — register-level checking for the quorum stack: a
 //!   [`RecordingSpace`](register::RecordingSpace) wrapper captures every
 //!   `read`/`write` on any `RegisterSpace` backend, and
@@ -34,8 +41,9 @@
 //! * [`simconv`] — convert a one-shot simulator
 //!   [`RunResult`](tfr_sim::RunResult) into a checkable history.
 //! * [`mutants`] — deliberately broken objects (a non-atomic
-//!   test-and-set, a queue that drops an element under a stall fault)
-//!   whose histories the checker provably rejects.
+//!   test-and-set, a queue that drops an element under a stall fault, a
+//!   recovery section that leaks the crashed incarnation's orphaned
+//!   hold) whose histories the checker provably rejects.
 //!
 //! # Checking a chaos-scheduled test-and-set run
 //!
@@ -82,9 +90,10 @@ pub use checker::{check_history, check_object, LinReport, NonLinearizable, Objec
 pub use history::{History, ObjectProbe, Operation, Recorder};
 pub use mcconv::lock_history_from_schedule;
 pub use models::{
-    lock_acquire, lock_release, CounterModel, ElectionModel, LockModel, QueueModel, RenamingModel,
-    SeqSpec, SetConsensusModel, TasModel,
+    lock_acquire, lock_release, rec_lock_acquire, rec_lock_release, rec_lock_repair, CounterModel,
+    ElectionModel, LockModel, QueueModel, RecoverableLockModel, RenamingModel, SeqSpec,
+    SetConsensusModel, TasModel,
 };
-pub use native::{record_chaos, ObjectKind};
+pub use native::{record_chaos, record_recoverable_lock, ObjectKind};
 pub use register::{RecordingSpace, RegisterModel};
 pub use simconv::history_from_run;

@@ -243,6 +243,100 @@ impl SeqSpec for LockModel {
     }
 }
 
+/// A *recoverable* mutual exclusion lock as a sequential object — the
+/// crash-recovery extension of [`LockModel`], for histories recorded from
+/// `tfr_core::mutex::recoverable::RecoverableMutex` under `CrashRecover`
+/// faults. Encoding: `acquire` by process `p` is `op = 3p` (response
+/// `0`), `release` is `op = 3p + 1` (response `0`), and `repair` —
+/// the recovery section of a new incarnation — is `op = 3p + 2`, with
+/// response `1` when it released an orphaned hold left by the dead
+/// incarnation and `0` when it found nothing to repair.
+///
+/// Sequentially, `repair(p) → 1` is exactly a `release(p)` performed on
+/// the crashed incarnation's behalf: legal only while `p` holds the
+/// lock. `repair(p) → 0` is legal only while `p` does *not* hold it —
+/// a recovery that answers `0` while the model still has `p` in the
+/// critical section has leaked the orphan, and any later completed
+/// `acquire` then has no linearization (see
+/// `crate::mutants::record_mutant_leaky_recovery`).
+///
+/// A crashed incarnation's `acquire` is *pending* (invoked, never
+/// responded), so the checker may linearize it just before the repair
+/// that undoes it — or drop it when the crash hit before the lock was
+/// granted. Both outcomes of a pending `repair` (a crash inside the
+/// recovery section itself; recovery reruns it) are enumerated by
+/// [`SeqSpec::step_unknown`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoverableLockModel;
+
+/// [`RecoverableLockModel`]'s encoded acquire operation for process `p`.
+pub fn rec_lock_acquire(p: u64) -> u64 {
+    3 * p
+}
+
+/// [`RecoverableLockModel`]'s encoded release operation for process `p`.
+pub fn rec_lock_release(p: u64) -> u64 {
+    3 * p + 1
+}
+
+/// [`RecoverableLockModel`]'s encoded repair (recovery-section)
+/// operation for process `p`.
+pub fn rec_lock_repair(p: u64) -> u64 {
+    3 * p + 2
+}
+
+impl SeqSpec for RecoverableLockModel {
+    /// The current holder, if any.
+    type State = Option<u64>;
+
+    fn initial(&self) -> Option<u64> {
+        None
+    }
+
+    fn step(&self, state: &Option<u64>, op: u64, resp: u64) -> Option<Option<u64>> {
+        let p = op / 3;
+        match op % 3 {
+            0 => (resp == 0 && state.is_none()).then_some(Some(p)),
+            1 => (resp == 0 && *state == Some(p)).then_some(None),
+            _ => match resp {
+                // Repaired: released the dead incarnation's orphan.
+                1 => (*state == Some(p)).then_some(None),
+                // Nothing orphaned — legal only when `p` is not holding.
+                0 => (*state != Some(p)).then_some(*state),
+                _ => None,
+            },
+        }
+    }
+
+    /// Pending acquires/releases may already have taken effect (the
+    /// incarnation crashed after its decisive write); a pending repair —
+    /// a crash inside the recovery section — may have gone either way,
+    /// so both of its responses are enumerated.
+    fn step_unknown(&self, state: &Option<u64>, op: u64) -> Vec<Option<u64>> {
+        match op % 3 {
+            0 | 1 => self.step(state, op, 0).into_iter().collect(),
+            _ => [1, 0]
+                .into_iter()
+                .filter_map(|resp| self.step(state, op, resp))
+                .collect(),
+        }
+    }
+
+    fn describe(&self, op: u64, resp: Option<u64>) -> String {
+        let p = op / 3;
+        let name = match op % 3 {
+            0 => "acquire",
+            1 => "release",
+            _ => "repair",
+        };
+        match resp {
+            Some(r) if op % 3 == 2 => format!("{name}(p{p}) → {r}"),
+            Some(_) => format!("{name}(p{p})"),
+            None => format!("{name}(p{p}) → ?"),
+        }
+    }
+}
+
 /// Counter: `op` is the amount added, the response is the new total.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CounterModel;
@@ -335,6 +429,47 @@ mod tests {
         assert!(m.step(&s, lock_release(1), 0).is_none(), "wrong owner");
         let s = m.step(&s, lock_release(0), 0).expect("owner releases");
         assert!(m.step(&s, lock_acquire(1), 0).is_some());
+    }
+
+    #[test]
+    fn recoverable_lock_repair_is_a_release_on_the_dead_incarnations_behalf() {
+        let m = RecoverableLockModel;
+        let s = m.initial();
+        assert!(
+            m.step(&s, rec_lock_repair(0), 1).is_none(),
+            "nothing to repair on a free lock"
+        );
+        let s = m.step(&s, rec_lock_acquire(0), 0).expect("free lock");
+        assert!(
+            m.step(&s, rec_lock_acquire(1), 0).is_none(),
+            "mutual exclusion"
+        );
+        assert!(
+            m.step(&s, rec_lock_repair(0), 0).is_none(),
+            "a recovery that denies the orphan while p0 holds is the leak"
+        );
+        assert!(
+            m.step(&s, rec_lock_repair(1), 1).is_none(),
+            "p1 cannot repair p0's hold"
+        );
+        let s = m.step(&s, rec_lock_repair(0), 1).expect("orphan released");
+        assert!(
+            m.step(&s, rec_lock_acquire(1), 0).is_some(),
+            "repair frees the lock"
+        );
+        assert_eq!(
+            m.step_unknown(&s, rec_lock_repair(1)).len(),
+            1,
+            "pending repair on a free lock can only answer 0"
+        );
+        assert_eq!(
+            RecoverableLockModel.describe(rec_lock_repair(2), Some(1)),
+            "repair(p2) → 1"
+        );
+        assert_eq!(
+            RecoverableLockModel.describe(rec_lock_release(2), Some(0)),
+            "release(p2)"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Seeded mutants: deliberately broken objects the checker must catch.
 //!
-//! An oracle that never rejects is worthless; these two mutants prove the
+//! An oracle that never rejects is worthless; these mutants prove the
 //! checker has teeth, each producing a *deterministically* non-linearizable
 //! history:
 //!
@@ -10,6 +10,11 @@
 //! * [`LossyQueue`] — a queue whose enqueue gives up (but still reports
 //!   success) when a chaos stall makes the operation look congested: a
 //!   value vanishes, and a later dequeue skips over it.
+//! * [`record_mutant_leaky_recovery`] — a recoverable lock whose recovery
+//!   section "restarts fresh" instead of repairing: the dead
+//!   incarnation's hold is wiped off the books but never declared
+//!   released, and a later acquire completes against a model that still
+//!   has the orphan in the critical section.
 
 use crate::history::{History, Recorder};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -274,11 +279,82 @@ pub fn record_mutant_queue(delta: Duration) -> History {
     rec.history()
 }
 
+/// Records the history of a **leaky** crash recovery. Process 0 crashes
+/// inside its critical section (its completed `acquire` is on the
+/// record); the mutant recovery then "restarts fresh" — it wipes the
+/// crashed incarnation's state and frees the inner lock so the system
+/// keeps running, but it never consults the owner stamp, so it answers
+/// `repair → 0`: *nothing was orphaned*. Process 1's passage then
+/// completes.
+///
+/// The recorded history is `acquire(p0)`, `repair(p0) → 0`,
+/// `acquire(p1)`, `release(p1)` — all completed, all real-time ordered.
+/// Sequentially the repair's `0` requires p0 *not* to hold the lock,
+/// and `acquire(p1)` requires it free, but p0's completed acquire was
+/// never released or repaired: no linearization exists, and the checker
+/// must reject on every run. Contrast with the honest recovery of
+/// `crate::native::record_recoverable_lock`, whose `repair → 1`
+/// linearizes as a release on the dead incarnation's behalf.
+pub fn record_mutant_leaky_recovery(delta: Duration) -> History {
+    use crate::models::{rec_lock_acquire, rec_lock_release, rec_lock_repair};
+    use tfr_asynclock::RawLock;
+    use tfr_core::mutex::recoverable::RecoverableMutex;
+    use tfr_registers::chaos::{points, FaultAction};
+    use tfr_registers::space::RegisterSpace;
+
+    let faults = [Fault {
+        pid: ProcId(0),
+        point: points::WORKLOAD_CS,
+        nth: 1,
+        action: FaultAction::CrashRecover(Duration::from_millis(1)),
+    }];
+    let _session = ChaosSession::install(&faults);
+    let rec = Recorder::new(2);
+    let lock = RecoverableMutex::standard(2, delta);
+
+    // Passage 1: p0 acquires (completed on the record), then crashes in
+    // its critical section — the hold is orphaned.
+    let out = chaos::run_as(ProcId(0), || {
+        let t = rec.invoke(ProcId(0), 0, rec_lock_acquire(0));
+        lock.lock(ProcId(0));
+        rec.response(ProcId(0), 0, t, 0);
+        chaos::point(points::WORKLOAD_CS); // the scheduled crash
+    });
+    assert!(
+        out.recoverable_after().is_some(),
+        "the scheduled crash-recover must fire"
+    );
+
+    // The mutant recovery: a naive reset. Volatile state wiped, owner
+    // stamp zeroed, inner lock freed — but the repair is never declared:
+    // the recovery reports that nothing was orphaned.
+    let out = chaos::run_as(ProcId(0), || {
+        let t = rec.invoke(ProcId(0), 0, rec_lock_repair(0));
+        lock.space().crash(ProcId(0));
+        lock.space().write(0, 0); // forgets the orphan instead of releasing it
+        lock.inner().unlock(ProcId(0));
+        rec.response(ProcId(0), 0, t, 0); // the lie
+    });
+    assert!(!out.crashed());
+
+    // Passage 2: the freed inner lock lets p1 straight through.
+    let out = chaos::run_as(ProcId(1), || {
+        let t = rec.invoke(ProcId(1), 0, rec_lock_acquire(1));
+        lock.lock(ProcId(1));
+        rec.response(ProcId(1), 0, t, 0);
+        let t = rec.invoke(ProcId(1), 0, rec_lock_release(1));
+        lock.unlock(ProcId(1));
+        rec.response(ProcId(1), 0, t, 0);
+    });
+    assert!(!out.crashed());
+    rec.history()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::checker::check_history;
-    use crate::models::{QueueModel, TasModel};
+    use crate::models::{QueueModel, RecoverableLockModel, TasModel};
 
     #[test]
     fn split_tas_is_caught() {
@@ -299,6 +375,19 @@ mod tests {
         assert!(
             msg.contains("dequeue() → 8"),
             "window names the bad dequeue: {msg}"
+        );
+    }
+
+    #[test]
+    fn leaky_recovery_is_caught() {
+        let h = record_mutant_leaky_recovery(Duration::from_micros(5));
+        assert_eq!(h.completed(), 4, "all four operations completed");
+        let err = check_history(&h, &RecoverableLockModel).expect_err("the leaked orphan");
+        let msg = err.to_string();
+        assert!(msg.contains("not linearizable"), "{msg}");
+        assert!(
+            msg.contains("repair(p0) → 0") || msg.contains("acquire(p1)"),
+            "window names the lie or its consequence: {msg}"
         );
     }
 

@@ -169,6 +169,83 @@ pub fn record_queue(n: usize, per: usize, delta: Duration, faults: &[Fault]) -> 
     rec.history()
 }
 
+/// Records a recoverable-lock run: `n` threads each complete `per`
+/// passages through a [`StandardRecoverable`] lock, recording `acquire`
+/// and `release` in the [`RecoverableLockModel`] encoding — and, after
+/// every `CrashRecover` fault, the new incarnation's `repair` operation
+/// with the recovery section's verdict (`1` = an orphaned hold was
+/// released, `0` = nothing to repair) as its response.
+///
+/// A crashed incarnation's in-flight operation stays *pending*: the
+/// checker may linearize it right before the repair that undoes it, or
+/// drop it when the crash hit before the decisive write. A passage
+/// interrupted by a crash is redone by the next incarnation, so every
+/// completed thread contributes exactly `per` acquire/release pairs
+/// plus its repairs.
+///
+/// Keep `CrashRecover` faults on the recoverable crash surface (the
+/// workload points below plus the lock's own `recoverable.*` points);
+/// a crash inside the *inner* lock is outside the recoverable
+/// protocol's contract, exactly as in
+/// `tfr_chaos::recovery::run_recovery_chaos`.
+///
+/// [`StandardRecoverable`]: tfr_core::mutex::recoverable::StandardRecoverable
+/// [`RecoverableLockModel`]: crate::models::RecoverableLockModel
+pub fn record_recoverable_lock(n: usize, per: u64, delta: Duration, faults: &[Fault]) -> History {
+    use crate::models::{rec_lock_acquire, rec_lock_release, rec_lock_repair};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tfr_asynclock::{RawLock, RecoverableRawLock};
+    use tfr_core::mutex::recoverable::RecoverableMutex;
+    use tfr_registers::chaos::points;
+
+    let _session = ChaosSession::install(faults);
+    let rec = Arc::new(Recorder::new(n));
+    let lock = Arc::new(RecoverableMutex::standard(n, delta));
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let rec = Arc::clone(&rec);
+            let lock = Arc::clone(&lock);
+            scope.spawn(move || {
+                let pid = ProcId(i);
+                let p = i as u64;
+                // Survives incarnations: a passage cut short by a crash
+                // is redone after recovery.
+                let done = AtomicU64::new(0);
+                let mut incarnation = 0u64;
+                loop {
+                    let (rec, lock, done) = (&rec, &lock, &done);
+                    let out = chaos::run_as(pid, move || {
+                        if incarnation > 0 {
+                            let t = rec.invoke(pid, 0, rec_lock_repair(p));
+                            let outcome = lock.recover(pid);
+                            rec.response(pid, 0, t, outcome.repaired as u64);
+                        }
+                        while done.load(Ordering::SeqCst) < per {
+                            chaos::point(points::WORKLOAD_NCS);
+                            let t = rec.invoke(pid, 0, rec_lock_acquire(p));
+                            lock.lock(pid);
+                            rec.response(pid, 0, t, 0);
+                            chaos::point(points::WORKLOAD_CS);
+                            let t = rec.invoke(pid, 0, rec_lock_release(p));
+                            lock.unlock(pid);
+                            rec.response(pid, 0, t, 0);
+                            done.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                    match out.recoverable_after() {
+                        Some(down) => {
+                            std::thread::sleep(down);
+                            incarnation += 1;
+                        }
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+    rec.history()
+}
+
 /// Records one chaos-scheduled run of `kind` with `n` processes: the
 /// fault schedule is [`ScheduleConfig::objects`] drawn from `seed`, so a
 /// printed `(kind, n, seed)` triple replays the exact run shape.
@@ -218,5 +295,63 @@ mod tests {
         assert_eq!(h.len(), 2, "both invokes recorded");
         assert!(h.completed() < 2, "the crashed thread never responds");
         check_history(&h, &TasModel).expect("pending op is fine");
+    }
+
+    #[test]
+    fn fault_free_recoverable_lock_history_is_linearizable() {
+        use crate::models::RecoverableLockModel;
+        let h = record_recoverable_lock(3, 2, D, &[]);
+        assert_eq!(h.completed(), 12, "3 threads × 2 passages × 2 ops");
+        check_history(&h, &RecoverableLockModel).expect("linearizable");
+    }
+
+    #[test]
+    fn crash_in_cs_records_a_repair_the_model_linearizes_as_a_release() {
+        use crate::models::{rec_lock_repair, RecoverableLockModel};
+        use tfr_registers::chaos::{points, FaultAction};
+        let faults = [Fault {
+            pid: ProcId(0),
+            point: points::WORKLOAD_CS,
+            nth: 1,
+            action: FaultAction::CrashRecover(Duration::from_millis(1)),
+        }];
+        let h = record_recoverable_lock(2, 2, D, &faults);
+        let repairs: Vec<_> = h
+            .ops
+            .iter()
+            .filter(|o| o.op == rec_lock_repair(0))
+            .collect();
+        assert_eq!(repairs.len(), 1, "one incarnation restarted");
+        assert_eq!(repairs[0].resp, Some(1), "the orphaned hold was released");
+        check_history(&h, &RecoverableLockModel)
+            .expect("a history with a recovery is linearizable");
+    }
+
+    #[test]
+    fn crash_during_entry_leaves_a_pending_acquire_and_a_clean_repair() {
+        use crate::models::{rec_lock_repair, RecoverableLockModel};
+        use tfr_registers::chaos::{points, FaultAction};
+        // The crash hits *inside* lock(), before the inner acquisition:
+        // the acquire stays pending (droppable) and recovery finds
+        // nothing orphaned.
+        let faults = [Fault {
+            pid: ProcId(1),
+            point: points::RECOVERABLE_ACQUIRE,
+            nth: 1,
+            action: FaultAction::CrashRecover(Duration::from_millis(1)),
+        }];
+        let h = record_recoverable_lock(2, 2, D, &faults);
+        let repairs: Vec<_> = h
+            .ops
+            .iter()
+            .filter(|o| o.op == rec_lock_repair(1))
+            .collect();
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].resp, Some(0), "nothing was orphaned");
+        assert!(
+            h.ops.iter().any(|o| !o.is_complete()),
+            "the interrupted acquire stays pending"
+        );
+        check_history(&h, &RecoverableLockModel).expect("pending acquire drops");
     }
 }

@@ -31,6 +31,12 @@
 //! report either exhaustion or a [`Counterexample`] with the full
 //! schedule that reaches the violation.
 //!
+//! Beyond safety, [`check_eventual_completion`] decides **deadlock
+//! freedom** as a graph property of the reachable state space: every
+//! reachable state must still have *some* schedule that completes the
+//! workload — the obligation a crash-recovery adversary attacks by
+//! orphaning a held lock.
+//!
 //! # Example
 //!
 //! ```
@@ -548,6 +554,173 @@ impl<A: Symmetric> Explorer<A> {
     }
 }
 
+/// Result of a [`check_eventual_completion`] run.
+#[derive(Debug, Clone)]
+pub struct ProgressReport {
+    /// Distinct reachable global states.
+    pub states_explored: usize,
+    /// Transitions in the reachable state graph.
+    pub transitions: usize,
+    /// Whether exploration stopped admitting states at the budget. If
+    /// set, `stuck_states` is meaningless — the verdict is "unknown".
+    pub truncated: bool,
+    /// Reachable states from which **no** schedule reaches completion
+    /// (all processes halted). Zero means deadlock freedom: whatever the
+    /// adversary has done so far, some continuation finishes the
+    /// workload.
+    pub stuck_states: usize,
+    /// A shortest schedule from the initial state into one stuck state,
+    /// if any — the prefix after which completion became unreachable.
+    pub stuck_schedule: Option<Vec<(ProcId, Action)>>,
+}
+
+impl ProgressReport {
+    /// `true` when the full reachable graph was built and every state
+    /// can still reach completion — a proof of deadlock freedom (in the
+    /// "potential progress" sense: no adversarial prefix wedges the
+    /// system) for this configuration.
+    pub fn proven_deadlock_free(&self) -> bool {
+        !self.truncated && self.stuck_states == 0
+    }
+}
+
+/// Deadlock-freedom as a graph property of the full reachable state
+/// space: build every reachable global state (forward BFS over all
+/// interleavings), mark the *completed* states (every process halted),
+/// and close backwards. A reachable state outside the backward closure
+/// is **stuck**: no continuation whatsoever completes the workload — in
+/// the register model, where actions never block, that is how deadlocks
+/// and orphaned-lock livelocks (every waiter spinning forever) manifest.
+///
+/// This is a branching-time "potential progress" property, strictly
+/// weaker than starvation freedom but exactly the deadlock-freedom
+/// obligation of a recoverable lock: a crash — even inside the critical
+/// section — must never make completion unreachable, because the next
+/// incarnation's recovery section can always repair.
+///
+/// Safety is [`Explorer::check`]'s job; this function ignores the
+/// monitor's verdicts and only looks at reachability.
+///
+/// # Example
+///
+/// ```
+/// use tfr_modelcheck::check_eventual_completion;
+/// use tfr_registers::spec::{Action, Automaton, Obs};
+/// use tfr_registers::{ProcId, RegId};
+///
+/// /// Spins until the register is nonzero — but nobody ever writes it.
+/// struct WaitForever;
+/// impl Automaton for WaitForever {
+///     type State = bool;
+///     fn init(&self, _pid: ProcId) -> bool { false }
+///     fn next_action(&self, s: &bool) -> Action {
+///         if *s { Action::Halt } else { Action::Read(RegId(0)) }
+///     }
+///     fn apply(&self, s: &mut bool, v: Option<u64>, _obs: &mut Vec<Obs>) {
+///         *s = v == Some(1);
+///     }
+/// }
+///
+/// let report = check_eventual_completion(&WaitForever, 2, 10_000);
+/// assert!(!report.proven_deadlock_free());
+/// assert!(report.stuck_states > 0, "the spin loop can never complete");
+/// ```
+pub fn check_eventual_completion<A: Automaton>(
+    automaton: &A,
+    n: usize,
+    max_states: usize,
+) -> ProgressReport {
+    assert!(n > 0, "at least one process is required");
+    let spec = SafetySpec::default();
+    let mut obs_buf: Vec<Obs> = Vec::new();
+
+    // Forward BFS: the full reachable graph, states interned by index.
+    let init = Global::initial(automaton, n);
+    let mut index: HashMap<Global<A::State>, usize> = HashMap::new();
+    let mut states: Vec<Global<A::State>> = Vec::new();
+    // `preds` is all the closure needs; `entered_by` remembers one
+    // shortest way in, for the stuck-prefix reconstruction.
+    let mut preds: Vec<Vec<usize>> = Vec::new();
+    let mut entered_by: Vec<Option<(usize, ProcId, Action)>> = Vec::new();
+    let mut truncated = false;
+    let mut transitions = 0usize;
+
+    index.insert(init.clone(), 0);
+    states.push(init);
+    preds.push(Vec::new());
+    entered_by.push(None);
+    let mut frontier = 0usize;
+    while frontier < states.len() {
+        let here = frontier;
+        frontier += 1;
+        for pid in 0..n {
+            if automaton.is_halted(&states[here].procs[pid]) {
+                continue;
+            }
+            let mut next = states[here].clone();
+            let (action, _) = next.step(automaton, pid, &spec, &mut obs_buf);
+            transitions += 1;
+            let to = match index.entry(next) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    if states.len() >= max_states {
+                        truncated = true;
+                        continue;
+                    }
+                    let id = states.len();
+                    states.push(e.key().clone());
+                    e.insert(id);
+                    preds.push(Vec::new());
+                    entered_by.push(Some((here, ProcId(pid), action)));
+                    id
+                }
+            };
+            preds[to].push(here);
+        }
+    }
+
+    // Backward closure from the completed states.
+    let mut can_complete = vec![false; states.len()];
+    let mut queue: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.procs.iter().all(|p| automaton.is_halted(p)))
+        .map(|(i, _)| i)
+        .collect();
+    for &i in &queue {
+        can_complete[i] = true;
+    }
+    while let Some(i) = queue.pop() {
+        for &p in &preds[i] {
+            if !can_complete[p] {
+                can_complete[p] = true;
+                queue.push(p);
+            }
+        }
+    }
+
+    let stuck_states = can_complete.iter().filter(|&&c| !c).count();
+    // BFS discovery order is shortest-path order, so the first stuck
+    // index unwinds to a shortest wedging prefix.
+    let stuck_schedule = can_complete.iter().position(|&c| !c).map(|mut i| {
+        let mut rev = Vec::new();
+        while let Some((from, pid, action)) = entered_by[i] {
+            rev.push((pid, action));
+            i = from;
+        }
+        rev.reverse();
+        rev
+    });
+
+    ProgressReport {
+        states_explored: states.len(),
+        transitions,
+        truncated,
+        stuck_states,
+        stuck_schedule,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +819,14 @@ mod tests {
         let report = Explorer::new(Const9, 3).check(&SafetySpec::consensus(vec![9]));
         assert!(report.proven_safe());
         assert!(report.states_explored > 1);
+    }
+
+    #[test]
+    fn completing_automaton_is_proven_deadlock_free() {
+        let report = check_eventual_completion(&Const9, 2, 100_000);
+        assert!(report.proven_deadlock_free());
+        assert_eq!(report.stuck_states, 0);
+        assert!(report.stuck_schedule.is_none());
     }
 
     #[test]

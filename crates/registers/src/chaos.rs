@@ -21,7 +21,17 @@
 //!   [`run_as`] catches. The thread performs *no further shared-memory
 //!   operations*; whatever it already wrote stays (the paper's crash
 //!   model). No locks are poisoned: all protocol state is atomics, and
-//!   points are never hit while an internal lock is held.
+//!   points are never hit while an internal lock is held. A crash-stopped
+//!   pid is marked **dead** in the injector: no further faults are ever
+//!   scheduled onto it, even if a thread re-registers under its id.
+//! * **Crash-recoveries** — [`FaultAction::CrashRecover`] is the
+//!   recoverable-mutual-exclusion failure: the same mid-protocol unwind,
+//!   but [`run_as`] reports [`ThreadOutcome::CrashedRecoverable`] with a
+//!   down time, and the caller (the recovery nemesis) may re-enter
+//!   `run_as` under the same pid as a new *incarnation*. Visit counters
+//!   reset per incarnation, so every fault is **one-shot**: it fires at
+//!   most once per session, which keeps a recovered incarnation from
+//!   tripping over its predecessor's fault and crash-looping.
 //! * **Determinism** — a fault fires at the *n-th* visit of a given point
 //!   by a given process, not at a wall-clock time, so a schedule replays
 //!   identically regardless of machine speed.
@@ -37,7 +47,7 @@
 
 use crate::ProcId;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
@@ -84,6 +94,24 @@ pub mod points {
     /// Nemesis workload, between iterations (the thread holds nothing) —
     /// the safe place to crash-stop a mutex workload thread.
     pub const WORKLOAD_NCS: &str = "workload.ncs";
+    /// Nemesis workload, inside the critical section — where a
+    /// crash-*recover* fault orphans the CS that the recovery section
+    /// must repair.
+    pub const WORKLOAD_CS: &str = "workload.cs";
+    /// Recoverable lock: after the per-process state register says
+    /// ACQUIRING, before the inner lock is entered. A crash here is
+    /// abandoned by recovery (no CS was reached).
+    pub const RECOVERABLE_ACQUIRE: &str = "recoverable.acquire";
+    /// Recoverable lock: after the state register says IN_CS and the
+    /// owner register is stamped — the inner lock is held. A crash here
+    /// orphans the critical section; recovery must release it.
+    pub const RECOVERABLE_CS: &str = "recoverable.in-cs";
+    /// Recoverable lock: after the state register says RELEASING, before
+    /// the owner reset and inner unlock. Recovery finishes the release.
+    pub const RECOVERABLE_RELEASE: &str = "recoverable.release";
+    /// Recoverable lock: inside the recovery section itself (the section
+    /// is idempotent, so a crash here simply re-runs it).
+    pub const RECOVERY_SECTION: &str = "recoverable.recovery-section";
 
     /// Every injection point, for schedule generators.
     pub const ALL: &[&str] = &[
@@ -101,6 +129,11 @@ pub mod points {
         ADAPTIVE_CONTENDED,
         ADAPTIVE_UNCONTENDED,
         WORKLOAD_NCS,
+        WORKLOAD_CS,
+        RECOVERABLE_ACQUIRE,
+        RECOVERABLE_CS,
+        RECOVERABLE_RELEASE,
+        RECOVERY_SECTION,
     ];
 }
 
@@ -113,6 +146,11 @@ pub enum FaultAction {
     /// Crash-stop the thread: it performs no further shared-memory
     /// operations. Implemented as an unwind caught by [`run_as`].
     Crash,
+    /// Crash the thread, to be *recovered* after the given down time: the
+    /// same unwind as [`FaultAction::Crash`], but [`run_as`] reports
+    /// [`ThreadOutcome::CrashedRecoverable`] so the nemesis can restart
+    /// the process as a new incarnation.
+    CrashRecover(Duration),
 }
 
 /// One scheduled fault: `pid`'s `nth` visit (1-based) to `point` triggers
@@ -142,6 +180,13 @@ impl std::fmt::Display for Fault {
             FaultAction::Crash => {
                 write!(f, "{} crashes at {}#{}", self.pid, self.point, self.nth)
             }
+            FaultAction::CrashRecover(d) => {
+                write!(
+                    f,
+                    "{} crashes (recovers after {:?}) at {}#{}",
+                    self.pid, d, self.point, self.nth
+                )
+            }
         }
     }
 }
@@ -158,10 +203,18 @@ pub struct FiredFault {
 
 /// The process-global fault plan: routes each (pid, point, visit-count)
 /// triple to an action and records what fired.
+///
+/// Faults are **one-shot** (each fires at most once per session — visit
+/// counters reset per incarnation, so a recovered process would
+/// otherwise re-trip its own crash) and **dead pids are deregistered**
+/// (a crash-stopped pid attracts no further faults, even if a thread
+/// re-registers under its id).
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: HashMap<(usize, &'static str), Vec<(u64, FaultAction)>>,
     fired: Mutex<Vec<FiredFault>>,
+    consumed: Mutex<HashSet<(usize, &'static str, u64)>>,
+    dead: Mutex<HashSet<usize>>,
 }
 
 impl FaultInjector {
@@ -175,15 +228,60 @@ impl FaultInjector {
         FaultInjector {
             plan,
             fired: Mutex::new(Vec::new()),
+            consumed: Mutex::new(HashSet::new()),
+            dead: Mutex::new(HashSet::new()),
         }
     }
 
+    /// Looks up — and consumes — the fault for this visit. Dead pids and
+    /// already-fired faults get `None`.
     fn action_for(&self, pid: usize, point: &'static str, visit: u64) -> Option<FaultAction> {
-        self.plan
+        if self.is_dead(ProcId(pid)) {
+            return None;
+        }
+        let action = self
+            .plan
             .get(&(pid, point))?
             .iter()
             .find(|(nth, _)| *nth == visit)
-            .map(|(_, action)| *action)
+            .map(|(_, action)| *action)?;
+        let fresh = self
+            .consumed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((pid, point, visit));
+        fresh.then_some(action)
+    }
+
+    /// Marks `pid` dead: no further faults will be scheduled onto it.
+    /// [`run_as`] calls this when a [`FaultAction::Crash`] stops the
+    /// thread for good (crash-*recoveries* do not kill the pid).
+    pub fn mark_dead(&self, pid: ProcId) {
+        self.dead
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(pid.0);
+    }
+
+    /// Whether `pid` has been crash-stopped this session.
+    pub fn is_dead(&self, pid: ProcId) -> bool {
+        self.dead
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&pid.0)
+    }
+
+    /// Every pid crash-stopped so far, ascending.
+    pub fn dead_pids(&self) -> Vec<ProcId> {
+        let mut pids: Vec<ProcId> = self
+            .dead
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|&p| ProcId(p))
+            .collect();
+        pids.sort();
+        pids
     }
 
     fn record(&self, fault: Fault) {
@@ -304,6 +402,15 @@ pub trait PointObserver: Send + Sync {
     /// stall completes and `stalled` is its duration; for crash-stops it
     /// runs just before the unwind with `crashed = true`.
     fn fault_fired(&self, pid: ProcId, point: &'static str, stalled: Duration, crashed: bool);
+
+    /// A [`FaultAction::CrashRecover`] fault fired at `point`; the
+    /// process will be down for `down_for` before its next incarnation
+    /// starts. Runs just before the unwind. The default forwards to
+    /// [`PointObserver::fault_fired`] as a crash, so observers that do
+    /// not distinguish recovery keep working.
+    fn crash_recover_fired(&self, pid: ProcId, point: &'static str, down_for: Duration) {
+        self.fault_fired(pid, point, down_for, true);
+    }
 }
 
 /// Keeps a [`PointObserver`] installed; dropping it disarms the callbacks.
@@ -339,10 +446,13 @@ fn current_observer() -> Option<Arc<dyn PointObserver>> {
         .clone()
 }
 
-/// The unwind payload of a crash-stop. Private to the mechanism: it only
+/// The unwind payload of a crash. Private to the mechanism: it only
 /// exists between the point that fires the crash and the [`run_as`] frame
-/// that absorbs it.
-pub struct CrashToken;
+/// that absorbs it. `down_for` distinguishes a permanent crash-stop
+/// (`None`) from a crash-recovery (`Some(down time)`).
+pub struct CrashToken {
+    down_for: Option<Duration>,
+}
 
 /// Suppress the default "thread panicked" noise for crash-stop unwinds
 /// while keeping it for genuine panics (e.g. failing assertions).
@@ -363,28 +473,47 @@ fn silence_crash_unwinds() {
 pub enum ThreadOutcome<T> {
     /// The closure ran to completion.
     Completed(T),
-    /// The thread was crash-stopped by a [`FaultAction::Crash`] fault.
+    /// The thread was crash-stopped by a [`FaultAction::Crash`] fault;
+    /// this pid is dead for the rest of the session.
     Crashed,
+    /// The thread was crashed by a [`FaultAction::CrashRecover`] fault;
+    /// after the given down time the caller may restart it as a new
+    /// incarnation with another [`run_as`].
+    CrashedRecoverable(Duration),
 }
 
 impl<T> ThreadOutcome<T> {
-    /// `true` if the thread was crash-stopped.
+    /// `true` if the thread was crashed (recoverably or not).
     pub fn crashed(&self) -> bool {
-        matches!(self, ThreadOutcome::Crashed)
+        !matches!(self, ThreadOutcome::Completed(_))
+    }
+
+    /// The down time, if the thread crashed recoverably.
+    pub fn recoverable_after(&self) -> Option<Duration> {
+        match self {
+            ThreadOutcome::CrashedRecoverable(d) => Some(*d),
+            _ => None,
+        }
     }
 
     /// The completion value, if the thread completed.
     pub fn completed(self) -> Option<T> {
         match self {
             ThreadOutcome::Completed(v) => Some(v),
-            ThreadOutcome::Crashed => None,
+            ThreadOutcome::Crashed | ThreadOutcome::CrashedRecoverable(_) => None,
         }
     }
 }
 
 /// Runs `f` as process `pid` under the chaos regime: injection points hit
 /// by this thread consult the active session's plan, and a
-/// [`FaultAction::Crash`] fault stops `f` right there.
+/// [`FaultAction::Crash`] / [`FaultAction::CrashRecover`] fault stops `f`
+/// right there.
+///
+/// Each call is one *incarnation* of `pid`: visit counters start from
+/// zero. A permanent crash marks the pid dead in the injector; a
+/// recoverable crash leaves it alive so the caller can re-enter `run_as`
+/// after the reported down time.
 ///
 /// Genuine panics (assertion failures, bugs) propagate unchanged.
 pub fn run_as<T>(pid: ProcId, f: impl FnOnce() -> T) -> ThreadOutcome<T> {
@@ -400,8 +529,22 @@ pub fn run_as<T>(pid: ProcId, f: impl FnOnce() -> T) -> ThreadOutcome<T> {
     });
     match result {
         Ok(v) => ThreadOutcome::Completed(v),
-        Err(payload) if payload.is::<CrashToken>() => ThreadOutcome::Crashed,
-        Err(payload) => panic::resume_unwind(payload),
+        Err(payload) => match payload.downcast::<CrashToken>() {
+            Ok(token) => match token.down_for {
+                Some(down) => ThreadOutcome::CrashedRecoverable(down),
+                None => {
+                    if let Some(injector) = active_cell()
+                        .read()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .clone()
+                    {
+                        injector.mark_dead(pid);
+                    }
+                    ThreadOutcome::Crashed
+                }
+            },
+            Err(payload) => panic::resume_unwind(payload),
+        },
     }
 }
 
@@ -462,7 +605,16 @@ fn point_armed(name: &'static str) {
             if let Some(obs) = &observer {
                 obs.fault_fired(ProcId(pid), name, Duration::ZERO, true);
             }
-            panic::panic_any(CrashToken);
+            panic::panic_any(CrashToken { down_for: None });
+        }
+        FaultAction::CrashRecover(down) => {
+            injector.record(fault);
+            if let Some(obs) = &observer {
+                obs.crash_recover_fired(ProcId(pid), name, down);
+            }
+            panic::panic_any(CrashToken {
+                down_for: Some(down),
+            });
         }
     }
 }
@@ -642,6 +794,149 @@ mod tests {
     }
 
     #[test]
+    fn crash_recover_reports_the_down_time_and_keeps_the_pid_alive() {
+        let session = ChaosSession::install(&[Fault {
+            pid: ProcId(0),
+            point: points::WORKLOAD_CS,
+            nth: 2,
+            action: FaultAction::CrashRecover(Duration::from_millis(3)),
+        }]);
+        let done = AtomicU64::new(0);
+        let out = run_as(ProcId(0), || {
+            for _ in 0..5 {
+                point(points::WORKLOAD_CS);
+                done.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(
+            out.recoverable_after(),
+            Some(Duration::from_millis(3)),
+            "recoverable crash carries the down time"
+        );
+        assert!(out.crashed());
+        assert_eq!(done.load(Ordering::SeqCst), 1, "crashed on the 2nd visit");
+        assert!(
+            !session.injector().is_dead(ProcId(0)),
+            "a recoverable crash does not kill the pid"
+        );
+        // The next incarnation restarts with fresh visit counters, and the
+        // consumed fault does NOT re-fire even though nth=2 matches again.
+        let out = run_as(ProcId(0), || {
+            for _ in 0..5 {
+                point(points::WORKLOAD_CS);
+                done.fetch_add(1, Ordering::SeqCst);
+            }
+            7
+        });
+        assert_eq!(out.completed(), Some(7), "faults are one-shot");
+        assert_eq!(session.injector().fired().len(), 1);
+    }
+
+    #[test]
+    fn dead_pids_attract_no_further_faults() {
+        // Regression: a crash-stopped process used to keep its injection
+        // points registered, so a later fault aimed at the dead pid could
+        // still fire if a thread re-registered under that id.
+        let session = ChaosSession::install(&[
+            Fault {
+                pid: ProcId(0),
+                point: points::WORKLOAD_NCS,
+                nth: 1,
+                action: FaultAction::Crash,
+            },
+            Fault {
+                pid: ProcId(0),
+                point: points::DELAY,
+                nth: 1,
+                action: FaultAction::Stall(Duration::from_millis(50)),
+            },
+        ]);
+        let out = run_as(ProcId(0), || point(points::WORKLOAD_NCS));
+        assert_eq!(out, ThreadOutcome::Crashed);
+        assert!(session.injector().is_dead(ProcId(0)));
+        assert_eq!(session.injector().dead_pids(), vec![ProcId(0)]);
+
+        let t0 = Instant::now();
+        let out = run_as(ProcId(0), || {
+            point(points::DELAY);
+            1
+        });
+        assert_eq!(out, ThreadOutcome::Completed(1));
+        assert!(
+            t0.elapsed() < Duration::from_millis(25),
+            "the stall scheduled on the dead pid must not fire"
+        );
+        assert_eq!(session.injector().fired().len(), 1, "only the crash fired");
+    }
+
+    #[test]
+    fn faults_are_one_shot_across_incarnations() {
+        let session = ChaosSession::install(&[Fault {
+            pid: ProcId(3),
+            point: points::DELAY,
+            nth: 1,
+            action: FaultAction::Stall(Duration::from_millis(30)),
+        }]);
+        let first = run_as(ProcId(3), || {
+            let t0 = Instant::now();
+            point(points::DELAY);
+            t0.elapsed()
+        })
+        .completed()
+        .unwrap();
+        assert!(first >= Duration::from_millis(30), "first visit stalls");
+        let second = run_as(ProcId(3), || {
+            let t0 = Instant::now();
+            point(points::DELAY);
+            t0.elapsed()
+        })
+        .completed()
+        .unwrap();
+        assert!(
+            second < Duration::from_millis(15),
+            "the consumed fault must not re-fire on the next incarnation (took {second:?})"
+        );
+        assert_eq!(session.injector().fired().len(), 1);
+    }
+
+    #[test]
+    fn observer_distinguishes_crash_recover_by_default_forwarding() {
+        struct Rec {
+            recovers: Mutex<Vec<(usize, &'static str, Duration)>>,
+        }
+        impl PointObserver for Rec {
+            fn point_hit(&self, _pid: ProcId, _point: &'static str) {}
+            fn fault_fired(
+                &self,
+                _pid: ProcId,
+                _point: &'static str,
+                _stalled: Duration,
+                _crashed: bool,
+            ) {
+            }
+            fn crash_recover_fired(&self, pid: ProcId, point: &'static str, down_for: Duration) {
+                self.recovers.lock().unwrap().push((pid.0, point, down_for));
+            }
+        }
+        let _session = ChaosSession::install(&[Fault {
+            pid: ProcId(1),
+            point: points::RECOVERABLE_CS,
+            nth: 1,
+            action: FaultAction::CrashRecover(Duration::from_millis(2)),
+        }]);
+        let rec = Arc::new(Rec {
+            recovers: Mutex::new(Vec::new()),
+        });
+        let _guard = install_point_observer(rec.clone());
+        let out = run_as(ProcId(1), || point(points::RECOVERABLE_CS));
+        assert_eq!(out.recoverable_after(), Some(Duration::from_millis(2)));
+        assert_eq!(
+            *rec.recovers.lock().unwrap(),
+            vec![(1, points::RECOVERABLE_CS, Duration::from_millis(2))]
+        );
+    }
+
+    #[test]
     fn fault_display_names_the_parties() {
         let f = Fault {
             pid: ProcId(2),
@@ -656,5 +951,11 @@ mod tests {
             ..f
         };
         assert!(c.to_string().contains("crashes"));
+        let r = Fault {
+            action: FaultAction::CrashRecover(Duration::from_millis(7)),
+            ..f
+        };
+        let s = r.to_string();
+        assert!(s.contains("recovers after") && s.contains("7ms"), "{s}");
     }
 }

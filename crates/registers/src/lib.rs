@@ -24,7 +24,12 @@
 //!   implement, so the native algorithms run unchanged on either.
 //! * [`chaos`] — native fault injection: named injection points threaded
 //!   through the native stack, at which a registered thread can be stalled
-//!   (a timing failure) or crash-stopped, deterministically by visit count.
+//!   (a timing failure), crash-stopped, or crashed-for-recovery,
+//!   deterministically by visit count.
+//! * [`durable`] — the crash-*recovery* memory model: persistent vs
+//!   volatile segments of a [`space::RegisterSpace`] (volatile contents
+//!   reset when their owner crashes) and per-process incarnation counters
+//!   for stale-write detection.
 //! * [`rng`] — a tiny seedable PRNG (SplitMix64) for reproducible timing
 //!   models, fault schedules, and randomized tests.
 //! * [`accounting`] — static register-usage reports (experiment E9, the
@@ -45,6 +50,7 @@
 pub mod accounting;
 pub mod bank;
 pub mod chaos;
+pub mod durable;
 pub mod native;
 pub mod rng;
 pub mod space;

@@ -100,6 +100,7 @@ impl ChromeTraceBuilder {
         let mut wait_open: BTreeMap<usize, u64> = BTreeMap::new();
         let mut cs_open: BTreeMap<usize, u64> = BTreeMap::new();
         let mut quorum_open: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut down_open: BTreeMap<usize, u64> = BTreeMap::new();
 
         for e in events {
             let ProcId(tid) = e.pid;
@@ -192,6 +193,45 @@ impl ChromeTraceBuilder {
                             ("crashed", Json::Bool(crashed)),
                         ]),
                     ));
+                }
+                EventKind::CrashRecover { point, down_ns } => {
+                    // An instant marker where the crash hit…
+                    self.events.push(instant(
+                        e.kind.label(),
+                        pid,
+                        tid,
+                        e.ts_ns,
+                        Json::obj([
+                            ("point", Json::str(point)),
+                            ("down_ns", Json::Num(down_ns as f64)),
+                        ]),
+                    ));
+                    // …and the start of the down-until-recovered span.
+                    down_open.insert(tid, e.ts_ns);
+                    // A crash inside an open span abandons it (the pid
+                    // stopped mid-passage); drop the halves so the next
+                    // incarnation's spans pair cleanly.
+                    wait_open.remove(&tid);
+                    cs_open.remove(&tid);
+                    delay_open.remove(&tid);
+                }
+                EventKind::Recovered {
+                    incarnation,
+                    repaired,
+                } => {
+                    if let Some(start) = down_open.remove(&tid) {
+                        self.events.push(complete(
+                            "down + recovery".to_string(),
+                            pid,
+                            tid,
+                            start,
+                            e.ts_ns,
+                            Json::obj([
+                                ("incarnation", Json::Num(incarnation as f64)),
+                                ("repaired", Json::Bool(repaired)),
+                            ]),
+                        ));
+                    }
                 }
                 EventKind::QuorumStart { .. } => {
                     quorum_open.insert(tid, e.ts_ns);

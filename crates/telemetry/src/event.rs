@@ -97,6 +97,25 @@ pub enum EventKind {
         /// Whether the fault crash-stopped the process.
         crashed: bool,
     },
+    /// A crash-*recovery* fault fired on this process: it is down (no
+    /// shared-memory operations) until its next incarnation starts —
+    /// which the matching [`EventKind::Recovered`] marks.
+    CrashRecover {
+        /// The injection point the crash was aimed at.
+        point: &'static str,
+        /// The scheduled down time in nanoseconds.
+        down_ns: u64,
+    },
+    /// The process's next incarnation finished its recovery section and
+    /// rejoined the workload (closes the span opened by
+    /// [`EventKind::CrashRecover`]).
+    Recovered {
+        /// The incarnation number just installed (1 = first restart).
+        incarnation: u64,
+        /// Whether the recovery section released an orphaned critical
+        /// section.
+        repaired: bool,
+    },
     /// A chaos injection point was visited (trace points and injection
     /// points are the same vocabulary).
     PointHit {
@@ -194,6 +213,16 @@ impl EventKind {
             EventKind::FaultFired { point, crashed, .. } => {
                 format!("{} @{point}", if *crashed { "crash" } else { "fault" })
             }
+            EventKind::CrashRecover { point, .. } => format!("crash-recover @{point}"),
+            EventKind::Recovered {
+                incarnation,
+                repaired,
+            } => {
+                format!(
+                    "recovered #{incarnation}{}",
+                    if *repaired { " (repaired CS)" } else { "" }
+                )
+            }
             EventKind::PointHit { point } => point.to_string(),
             EventKind::Mark { name, value } => format!("{name}={value}"),
             EventKind::MsgSend { to, reg } => format!("send→{to} r{reg}"),
@@ -232,6 +261,22 @@ mod tests {
         }
         .label()
         .contains("delay.pre"));
+        assert_eq!(
+            EventKind::CrashRecover {
+                point: "workload.cs",
+                down_ns: 1000
+            }
+            .label(),
+            "crash-recover @workload.cs"
+        );
+        assert_eq!(
+            EventKind::Recovered {
+                incarnation: 2,
+                repaired: true
+            }
+            .label(),
+            "recovered #2 (repaired CS)"
+        );
     }
 
     #[test]

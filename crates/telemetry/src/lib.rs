@@ -65,5 +65,6 @@ pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use observer::ChaosTraceObserver;
 pub use ring::Tracer;
 pub use summary::{
-    convergence_from_events, heal_convergence_from_events, run_summary_json, ConvergenceReport,
+    convergence_from_events, heal_convergence_from_events, recovery_spans_from_events,
+    run_summary_json, ConvergenceReport, RecoverySpan,
 };

@@ -283,6 +283,7 @@ impl MetricsRegistry {
         let cs_entries = reg.counter("cs_entries");
         let decisions = reg.counter("decisions");
         let mut last_round: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut down_since: BTreeMap<usize, u64> = BTreeMap::new();
         for e in events {
             match e.kind {
                 EventKind::LockAcquired { wait_ns } => {
@@ -299,6 +300,22 @@ impl MetricsRegistry {
                 EventKind::Decided { .. } => {
                     decisions.incr();
                     rounds.record(last_round.get(&e.pid.0).copied().unwrap_or(1));
+                }
+                // Recovery metrics are created lazily on the first
+                // crash-recover event, like the network set, so runs
+                // without recoveries keep their exact metric set.
+                EventKind::CrashRecover { .. } => {
+                    reg.counter("crash_recoveries").incr();
+                    down_since.insert(e.pid.0, e.ts_ns);
+                }
+                EventKind::Recovered { repaired, .. } => {
+                    if let Some(t0) = down_since.remove(&e.pid.0) {
+                        reg.histogram("recovery_ns")
+                            .record(e.ts_ns.saturating_sub(t0));
+                    }
+                    if repaired {
+                        reg.counter("cs_repairs").incr();
+                    }
                 }
                 EventKind::MsgSend { .. } => reg.counter("msgs_sent").incr(),
                 EventKind::MsgDropped { .. } => reg.counter("msgs_dropped").incr(),

@@ -78,6 +78,19 @@ impl PointObserver for ChaosTraceObserver {
             },
         );
     }
+
+    fn crash_recover_fired(&self, pid: ProcId, point: &'static str, down_for: Duration) {
+        // Opens the down-until-recovered span; the recovery nemesis emits
+        // the matching [`EventKind::Recovered`] when the next incarnation
+        // finishes its recovery section.
+        self.tracer.emit(
+            pid,
+            EventKind::CrashRecover {
+                point,
+                down_ns: down_for.as_nanos() as u64,
+            },
+        );
+    }
 }
 
 #[cfg(test)]

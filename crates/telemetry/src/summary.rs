@@ -155,6 +155,89 @@ pub fn heal_convergence_from_events(events: &[Event]) -> ConvergenceReport {
     }
 }
 
+/// One crash-recovery on the timeline: the span from the
+/// [`EventKind::CrashRecover`] instant (the process went down) to the
+/// matching [`EventKind::Recovered`] (its next incarnation finished the
+/// recovery section and rejoined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySpan {
+    /// The process that crashed and recovered.
+    pub pid: tfr_registers::ProcId,
+    /// When the crash fired (ns from the trace epoch).
+    pub crashed_at_ns: u64,
+    /// When the new incarnation reported in (ns from the trace epoch).
+    pub recovered_at_ns: u64,
+    /// The *scheduled* down time of the fault, for comparison with the
+    /// measured span.
+    pub scheduled_down_ns: u64,
+    /// The incarnation number the recovery installed.
+    pub incarnation: u64,
+    /// Whether the recovery section released an orphaned critical
+    /// section.
+    pub repaired: bool,
+}
+
+impl RecoverySpan {
+    /// Measured recovery time: crash instant → rejoin instant. Always
+    /// at least the scheduled down time, plus the recovery section's own
+    /// work.
+    pub fn recovery_ns(&self) -> u64 {
+        self.recovered_at_ns.saturating_sub(self.crashed_at_ns)
+    }
+}
+
+/// Pairs each [`EventKind::CrashRecover`] with the next
+/// [`EventKind::Recovered`] of the same pid — the recovery-time
+/// measurement of experiment E21. Unmatched crashes (the trace ended
+/// while the process was still down) are dropped.
+///
+/// # Example
+///
+/// ```
+/// use tfr_telemetry::summary::recovery_spans_from_events;
+/// use tfr_telemetry::{Event, EventKind};
+/// use tfr_registers::ProcId;
+///
+/// let e = |ts_ns, kind| Event { ts_ns, pid: ProcId(1), kind };
+/// let events = [
+///     e(100, EventKind::CrashRecover { point: "workload.cs", down_ns: 200 }),
+///     e(450, EventKind::Recovered { incarnation: 1, repaired: true }),
+/// ];
+/// let spans = recovery_spans_from_events(&events);
+/// assert_eq!(spans.len(), 1);
+/// assert_eq!(spans[0].recovery_ns(), 350);
+/// assert!(spans[0].repaired);
+/// ```
+pub fn recovery_spans_from_events(events: &[Event]) -> Vec<RecoverySpan> {
+    use std::collections::BTreeMap;
+    let mut open: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+    let mut spans = Vec::new();
+    for e in events {
+        match e.kind {
+            EventKind::CrashRecover { down_ns, .. } => {
+                open.insert(e.pid.0, (e.ts_ns, down_ns));
+            }
+            EventKind::Recovered {
+                incarnation,
+                repaired,
+            } => {
+                if let Some((crashed_at_ns, scheduled_down_ns)) = open.remove(&e.pid.0) {
+                    spans.push(RecoverySpan {
+                        pid: e.pid,
+                        crashed_at_ns,
+                        recovered_at_ns: e.ts_ns,
+                        scheduled_down_ns,
+                        incarnation,
+                        repaired,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
 impl ConvergenceReport {
     /// The report as JSON (`convergence_ns` is `null` when not converged).
     pub fn to_json(&self) -> Json {
@@ -274,6 +357,48 @@ mod tests {
         let r = convergence_from_events(&events, 100);
         assert_eq!(r.convergence_ns, None);
         assert_eq!(r.to_json().get("convergence_ns"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn recovery_spans_pair_per_pid_and_drop_unmatched() {
+        let at = |ts_ns, pid, kind| Event {
+            ts_ns,
+            pid: ProcId(pid),
+            kind,
+        };
+        let events = [
+            at(
+                10,
+                0,
+                EventKind::CrashRecover {
+                    point: "workload.cs",
+                    down_ns: 50,
+                },
+            ),
+            at(
+                20,
+                1,
+                EventKind::CrashRecover {
+                    point: "workload.ncs",
+                    down_ns: 30,
+                },
+            ),
+            // p1 recovers; p0's recovery never arrives (trace ends).
+            at(
+                90,
+                1,
+                EventKind::Recovered {
+                    incarnation: 1,
+                    repaired: false,
+                },
+            ),
+        ];
+        let spans = recovery_spans_from_events(&events);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].pid, ProcId(1));
+        assert_eq!(spans[0].recovery_ns(), 70);
+        assert_eq!(spans[0].scheduled_down_ns, 30);
+        assert!(!spans[0].repaired);
     }
 
     #[test]

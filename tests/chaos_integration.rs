@@ -32,7 +32,9 @@ fn fischer_violation_reproduces_deterministically_from_a_seed() {
         .expect("the write-x stall must have fired");
     match stalled.fault.action {
         FaultAction::Stall(d) => assert!(d > setup.delta, "stall {d:?} must exceed Δ"),
-        FaultAction::Crash => panic!("the violation schedule stalls, it does not crash"),
+        FaultAction::Crash | FaultAction::CrashRecover(_) => {
+            panic!("the violation schedule stalls, it does not crash")
+        }
     }
 
     // Replay: the printed seed is the whole experiment.
