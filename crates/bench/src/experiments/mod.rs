@@ -12,6 +12,7 @@ pub mod objects;
 pub mod optimistic;
 pub mod recovery;
 pub mod registers;
+pub mod service;
 
 use crate::Table;
 use tfr_registers::Delta;
@@ -126,6 +127,11 @@ pub fn registry() -> Vec<Experiment> {
             "recovery",
             "crash-recovery: recovery latency by crash site, adaptive passage cost, seeded replay (E21)",
             recovery::recovery,
+        ),
+        (
+            "service",
+            "sharded object service: throughput at scale, flat-combining speedup, under-load sampling verdicts (E22)",
+            service::service,
         ),
     ]
 }

@@ -150,6 +150,41 @@ impl ScheduleConfig {
         }
     }
 
+    /// A schedule shape for the sharded object service: shard logs bottom
+    /// out in consensus instances (so those points stay timing-sensitive)
+    /// and the service adds its own two — the announce publication
+    /// ([`points::UNIVERSAL_ANNOUNCE`]) and the combiner's batch proposal
+    /// ([`points::UNIVERSAL_COMBINE`]). The construction is wait-free, so
+    /// permanent crash-stops are legal anywhere; crash-*recoveries* are
+    /// confined to the two universal points, because those are the places
+    /// a fresh incarnation provably resynchronises from the registers
+    /// (the announce counter and arena mark are register-backed).
+    pub fn service(n: usize, delta: Duration) -> ScheduleConfig {
+        let anywhere = vec![
+            points::CONSENSUS_ROUND,
+            points::CONSENSUS_DECIDE,
+            points::DELAY,
+            points::ARRAY_LOAD,
+            points::ARRAY_STORE,
+            points::UNIVERSAL_ANNOUNCE,
+            points::UNIVERSAL_COMBINE,
+        ];
+        ScheduleConfig {
+            n,
+            max_faults: 6,
+            stall_points: anywhere.clone(),
+            crash_points: anywhere,
+            max_nth: 6,
+            min_stall: delta,
+            max_stall: delta * 8,
+            crash_prob: 0.15,
+            crash_recover_points: vec![points::UNIVERSAL_ANNOUNCE, points::UNIVERSAL_COMBINE],
+            recover_prob: 0.35,
+            min_down: delta,
+            max_down: delta * 8,
+        }
+    }
+
     /// A schedule shape for *recoverable* mutex workloads under
     /// Δ-estimate `delta`: crash-recoveries land both **inside** the
     /// critical section ([`points::WORKLOAD_CS`], [`points::RECOVERABLE_CS`])

@@ -40,6 +40,13 @@
 //!   sequential specification the history must satisfy.
 //! * [`simconv`] — convert a one-shot simulator
 //!   [`RunResult`](tfr_sim::RunResult) into a checkable history.
+//! * [`window`] — sampling **under load**: a bank-flipping
+//!   [`WindowRecorder`](window::WindowRecorder) with bounded per-process
+//!   buffers drains checkable [`Window`](window::Window)s while the
+//!   workload runs, and a [`WindowChecker`](window::WindowChecker)
+//!   excises quiescent prefixes and checks them incrementally with
+//!   carried model state — how the sharded object service verifies its
+//!   own benchmark histories.
 //! * [`mutants`] — deliberately broken objects (a non-atomic
 //!   test-and-set, a queue that drops an element under a stall fault, a
 //!   recovery section that leaks the crashed incarnation's orphaned
@@ -85,6 +92,7 @@ pub mod mutants;
 pub mod native;
 pub mod register;
 pub mod simconv;
+pub mod window;
 
 pub use checker::{check_history, check_object, LinReport, NonLinearizable, ObjectReport};
 pub use history::{History, ObjectProbe, Operation, Recorder};
@@ -97,3 +105,6 @@ pub use models::{
 pub use native::{record_chaos, record_recoverable_lock, ObjectKind};
 pub use register::{RecordingSpace, RegisterModel};
 pub use simconv::history_from_run;
+pub use window::{
+    FromState, Rotation, SampleToken, Window, WindowCheckReport, WindowChecker, WindowRecorder,
+};

@@ -112,6 +112,16 @@ pub mod points {
     /// Recoverable lock: inside the recovery section itself (the section
     /// is idempotent, so a crash here simply re-runs it).
     pub const RECOVERY_SECTION: &str = "recoverable.recovery-section";
+    /// Universal construction: at the start of an announce burst, before
+    /// any payload or counter register is written. A crash-recovery here
+    /// leaves the whole burst unannounced, so a new incarnation may
+    /// safely re-announce it.
+    pub const UNIVERSAL_ANNOUNCE: &str = "universal.announce";
+    /// Universal construction: in the combiner, before a batch record is
+    /// published and proposed for the current slot. A crash-recovery here
+    /// proves the recovering process never proposed at any undecided
+    /// slot, so a new incarnation may safely rejoin and propose.
+    pub const UNIVERSAL_COMBINE: &str = "universal.combine";
 
     /// Every injection point, for schedule generators.
     pub const ALL: &[&str] = &[
@@ -134,6 +144,8 @@ pub mod points {
         RECOVERABLE_CS,
         RECOVERABLE_RELEASE,
         RECOVERY_SECTION,
+        UNIVERSAL_ANNOUNCE,
+        UNIVERSAL_COMBINE,
     ];
 }
 

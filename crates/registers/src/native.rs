@@ -46,7 +46,13 @@ impl Chunk {
 ///
 /// * `load(i)` on a cell that was never stored to returns 0 without
 ///   allocating.
-/// * `store(i, v)` allocates the containing chunk on demand.
+/// * `store(i, v)` allocates the containing chunk on demand — and *only*
+///   that chunk: the directory is sparse, so a store at a huge index
+///   costs one chunk plus directory slots, never every chunk below it.
+///   Strided layouts (the sharded service tiles one space into
+///   interleaved shard/slot regions) depend on this: their touched
+///   indices are sparse in a vast index range, and memory must follow
+///   what is touched, not the maximum index.
 /// * Cells never move once allocated, so loads and stores are genuine
 ///   single-register atomic operations (`SeqCst`, matching the atomic
 ///   register model).
@@ -66,7 +72,9 @@ impl Chunk {
 /// assert_eq!(arr.load(1_000_000), 7);
 /// ```
 pub struct UnboundedAtomicArray {
-    chunks: RwLock<Vec<Arc<Chunk>>>,
+    /// Sparse chunk directory: `None` entries cost a directory slot, not
+    /// a chunk.
+    chunks: RwLock<Vec<Option<Arc<Chunk>>>>,
 }
 
 impl UnboundedAtomicArray {
@@ -80,7 +88,9 @@ impl UnboundedAtomicArray {
     /// Creates an array with capacity for `n` registers pre-allocated, so
     /// the first `n` accesses never take the exclusive lock.
     pub fn with_capacity(n: usize) -> UnboundedAtomicArray {
-        let chunks = (0..n.div_ceil(CHUNK_LEN)).map(|_| Chunk::new()).collect();
+        let chunks = (0..n.div_ceil(CHUNK_LEN))
+            .map(|_| Some(Chunk::new()))
+            .collect();
         UnboundedAtomicArray {
             chunks: RwLock::new(chunks),
         }
@@ -91,7 +101,7 @@ impl UnboundedAtomicArray {
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .get(index / CHUNK_LEN)
-            .cloned()
+            .and_then(Option::clone)
     }
 
     fn ensure_chunk(&self, index: usize) -> Arc<Chunk> {
@@ -100,10 +110,10 @@ impl UnboundedAtomicArray {
         }
         let want = index / CHUNK_LEN;
         let mut chunks = self.chunks.write().unwrap_or_else(|e| e.into_inner());
-        while chunks.len() <= want {
-            chunks.push(Chunk::new());
+        if chunks.len() <= want {
+            chunks.resize(want + 1, None);
         }
-        chunks[want].clone()
+        chunks[want].get_or_insert_with(Chunk::new).clone()
     }
 
     /// Atomically reads register `index` (0 if never stored).
@@ -139,9 +149,16 @@ impl UnboundedAtomicArray {
         chunk.cells[index % CHUNK_LEN].store(value, Ordering::SeqCst);
     }
 
-    /// Number of registers currently backed by allocated chunks.
+    /// Number of registers currently backed by allocated chunks (`None`
+    /// directory slots are not counted — they back nothing).
     pub fn capacity(&self) -> usize {
-        self.chunks.read().unwrap_or_else(|e| e.into_inner()).len() * CHUNK_LEN
+        self.chunks
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|c| c.is_some())
+            .count()
+            * CHUNK_LEN
     }
 
     /// The stable address of the cell backing `index`, if its chunk is
@@ -239,6 +256,27 @@ mod tests {
     fn with_capacity_preallocates() {
         let arr = UnboundedAtomicArray::with_capacity(3000);
         assert!(arr.capacity() >= 3000);
+    }
+
+    /// A store at a huge index must allocate only its own chunk: strided
+    /// register layouts (shard tiling, slot interleaving) touch sparse
+    /// indices across a vast range, and memory has to track what is
+    /// touched rather than the maximum index.
+    #[test]
+    fn high_index_store_allocates_sparsely() {
+        let arr = UnboundedAtomicArray::new();
+        arr.store(40_000_000, 7);
+        arr.store(3, 9);
+        assert_eq!(arr.load(40_000_000), 7);
+        assert_eq!(arr.load(3), 9);
+        assert_eq!(
+            arr.capacity(),
+            2 * CHUNK_LEN,
+            "exactly the two touched chunks are backed"
+        );
+        // Untouched cells in between still read zero without allocating.
+        assert_eq!(arr.load(20_000_000), 0);
+        assert_eq!(arr.capacity(), 2 * CHUNK_LEN);
     }
 
     #[test]

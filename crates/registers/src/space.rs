@@ -166,6 +166,51 @@ impl<S: RegisterSpace> SubSpace<S> {
             stride,
         }
     }
+
+    /// The parent index local index 0 maps to.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The distance between consecutive local indices in the parent.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The parent index local index `i` maps to — for alias analysis in
+    /// tests; reads and writes go through [`RegisterSpace`].
+    pub fn parent_index(&self, i: u64) -> u64 {
+        self.base + i * self.stride
+    }
+}
+
+impl<S: RegisterSpace + Clone> SubSpace<S> {
+    /// Tiles `inner` into `count` disjoint unbounded regions: tile `t` is
+    /// the view `i ↦ t + i × count`. The tiles cover the parent exactly —
+    /// every parent index belongs to exactly one `(tile, local)` pair —
+    /// which is how the sharded service hands each shard its own private
+    /// register region over one shared backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tfr_registers::space::{NativeSpace, RegisterSpace, SubSpace};
+    ///
+    /// let parent = std::sync::Arc::new(NativeSpace::new());
+    /// let tiles = SubSpace::tile(parent.clone(), 4);
+    /// tiles[3].write(2, 9); // parent register 3 + 2·4 = 11
+    /// assert_eq!(parent.read(11), 9);
+    /// ```
+    pub fn tile(inner: S, count: u64) -> Vec<SubSpace<S>> {
+        assert!(count > 0, "cannot tile a space into 0 regions");
+        (0..count)
+            .map(|t| SubSpace::new(inner.clone(), t, count))
+            .collect()
+    }
 }
 
 impl<S: RegisterSpace> RegisterSpace for SubSpace<S> {
@@ -264,6 +309,23 @@ mod tests {
     #[should_panic(expected = "stride of 0")]
     fn zero_stride_is_rejected() {
         let _ = SubSpace::new(NativeSpace::new(), 0, 0);
+    }
+
+    #[test]
+    fn tile_partitions_the_parent_exactly() {
+        let parent = Arc::new(NativeSpace::new());
+        let tiles = SubSpace::tile(parent.clone(), 5);
+        assert_eq!(tiles.len(), 5);
+        // Each parent index 0..100 is hit by exactly one (tile, local).
+        let mut owners = vec![0u32; 100];
+        for tile in &tiles {
+            for i in 0..20u64 {
+                let p = tile.parent_index(i);
+                assert_eq!(p, tile.base() + i * tile.stride());
+                owners[p as usize] += 1;
+            }
+        }
+        assert!(owners.iter().all(|&c| c == 1), "{owners:?}");
     }
 
     #[test]

@@ -259,6 +259,8 @@ impl ChromeTraceBuilder {
                 | EventKind::MsgSend { .. }
                 | EventKind::MsgRecv { .. }
                 | EventKind::MsgDropped { .. }
+                | EventKind::ServiceEnqueue { .. }
+                | EventKind::BatchCommit { .. }
                 | EventKind::Mark { .. } => {
                     self.events.push(instant(
                         e.kind.label(),

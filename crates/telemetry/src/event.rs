@@ -170,6 +170,25 @@ pub enum EventKind {
         /// (quorum start → majority acknowledged).
         rtt_ns: u64,
     },
+    /// The sharded object service announced a client operation to a
+    /// shard's combiner (pid = the announcing worker).
+    ServiceEnqueue {
+        /// The shard the router chose.
+        shard: u32,
+        /// The object key the client addressed.
+        key: u64,
+    },
+    /// One consensus decision committed a whole batch of announced
+    /// operations on a shard (pid = the worker whose proposal won the
+    /// decision, so each batch is reported exactly once).
+    BatchCommit {
+        /// The shard the batch belongs to.
+        shard: u32,
+        /// The log slot the batch occupies.
+        slot: u64,
+        /// Number of operations the batch committed.
+        size: u64,
+    },
 }
 
 /// Mark names the network backend stamps on the timeline (`tfr-net`
@@ -234,6 +253,10 @@ impl EventKind {
             EventKind::QuorumEnd { reg, write, .. } => {
                 format!("{} r{reg} done", if *write { "qwrite" } else { "qread" })
             }
+            EventKind::ServiceEnqueue { shard, key } => format!("enq s{shard} k{key}"),
+            EventKind::BatchCommit { shard, slot, size } => {
+                format!("batch s{shard}@{slot} ×{size}")
+            }
         }
     }
 }
@@ -276,6 +299,19 @@ mod tests {
             }
             .label(),
             "recovered #2 (repaired CS)"
+        );
+        assert_eq!(
+            EventKind::ServiceEnqueue { shard: 2, key: 40 }.label(),
+            "enq s2 k40"
+        );
+        assert_eq!(
+            EventKind::BatchCommit {
+                shard: 1,
+                slot: 9,
+                size: 128
+            }
+            .label(),
+            "batch s1@9 ×128"
         );
     }
 

@@ -317,6 +317,13 @@ impl MetricsRegistry {
                         reg.counter("cs_repairs").incr();
                     }
                 }
+                // Service metrics are created lazily on the first service
+                // event, like the network set.
+                EventKind::ServiceEnqueue { .. } => reg.counter("service_enqueues").incr(),
+                EventKind::BatchCommit { size, .. } => {
+                    reg.counter("batch_commits").incr();
+                    reg.histogram("batch_size").record(size);
+                }
                 EventKind::MsgSend { .. } => reg.counter("msgs_sent").incr(),
                 EventKind::MsgDropped { .. } => reg.counter("msgs_dropped").incr(),
                 EventKind::QuorumEnd { write, rtt_ns, .. } => {

@@ -38,6 +38,11 @@
 //!   `RegisterSpace` trait native atomics implement — the paper's
 //!   algorithms run over it unchanged, under partitions, message drops,
 //!   and delay spikes.
+//! * [`service`] — the scale layer: a sharded wait-free object service
+//!   over the universal construction (seeded key → shard routing,
+//!   flat-combining batches so one consensus decision commits a whole
+//!   burst), plus a load harness with under-load linearizability
+//!   sampling and seeded combiner mutants proving the sampler's teeth.
 //! * [`telemetry`] — the unified telemetry layer: lock-free per-process
 //!   event tracing with zero-cost-when-disabled hooks across both
 //!   execution stacks, a metrics registry (counters, log-bucketed
@@ -72,5 +77,6 @@ pub use tfr_linearize as linearize;
 pub use tfr_modelcheck as modelcheck;
 pub use tfr_net as net;
 pub use tfr_registers as registers;
+pub use tfr_service as service;
 pub use tfr_sim as sim;
 pub use tfr_telemetry as telemetry;

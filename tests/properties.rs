@@ -391,3 +391,111 @@ fn aat_safety_under_arbitrary_timing() {
         assert!(stats.valid_against(&valid), "case {case}");
     }
 }
+
+/// The service router is total, stable, and in-range for arbitrary
+/// shard counts, seeds, and keys: every key routes, the same key always
+/// routes to the same shard, and no draw ever leaves `0..shards`.
+#[test]
+fn service_router_is_total_stable_and_in_range() {
+    use tfr::service::Router;
+    let mut rng = SplitMix64::new(0x5EED_0022);
+    for case in 0..64 {
+        let shards = rng.random_range(1..=64) as usize;
+        let router = Router::new(shards, rng.next_u64());
+        for _ in 0..128 {
+            let key = rng.next_u64();
+            let shard = router.route(key);
+            assert!(shard < shards, "case {case}: shard {shard} of {shards}");
+            assert_eq!(router.route(key), shard, "case {case}: routing is stable");
+        }
+        // Keys spread: with plenty of keys, every shard of a small count
+        // is hit (splitmix64 is a full-period mixer).
+        if shards <= 8 {
+            let mut hit = vec![false; shards];
+            for key in 0..512u64 {
+                hit[router.route(key)] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "case {case}: a shard never hit");
+        }
+    }
+}
+
+/// Shard tiles never alias: writes through every tile land on disjoint
+/// parent registers, so one shard can never clobber another's state.
+#[test]
+fn service_shard_tiles_never_alias_registers() {
+    use std::sync::Arc;
+    use tfr::registers::space::{NativeSpace, RegisterSpace, SubSpace};
+    let mut rng = SplitMix64::new(0x5EED_0023);
+    for case in 0..64 {
+        let shards = rng.random_range(1..=9);
+        let per_tile = rng.random_range(4..=40);
+        let space = Arc::new(NativeSpace::new());
+        let tiles = SubSpace::tile(Arc::clone(&space), shards);
+        for (t, tile) in tiles.iter().enumerate() {
+            for i in 0..per_tile {
+                tile.write(i, (t as u64) << 32 | (i + 1));
+            }
+        }
+        // Every tile still reads back exactly what it wrote: no other
+        // tile's writes overlapped it.
+        for (t, tile) in tiles.iter().enumerate() {
+            for i in 0..per_tile {
+                assert_eq!(
+                    tile.read(i),
+                    (t as u64) << 32 | (i + 1),
+                    "case {case}: tile {t} index {i} was clobbered"
+                );
+            }
+        }
+    }
+}
+
+/// Cross-shard conservation: for arbitrary routed workloads, the union
+/// of per-shard counter snapshots equals the sequentially computed
+/// totals — no op lands on the wrong shard, none is double-counted.
+#[test]
+fn service_cross_shard_totals_equal_sequential_sums() {
+    use std::collections::BTreeMap;
+    use tfr::core::universal::Counter;
+    use tfr::registers::ProcId;
+    use tfr::service::{ObjectService, ServiceConfig};
+    let mut rng = SplitMix64::new(0x5EED_0024);
+    for case in 0..64 {
+        let shards = rng.random_range(1..=4) as usize;
+        let cfg = ServiceConfig {
+            capacity_per_shard: 128,
+            delta: std::time::Duration::from_micros(10),
+            router_seed: rng.next_u64(),
+            ..ServiceConfig::new(shards, 1)
+        };
+        let svc = ObjectService::new(|| Counter, &cfg);
+        let mut worker = svc.worker(ProcId(0));
+        let mut expected: BTreeMap<u64, u64> = BTreeMap::new();
+        let burst: Vec<(u64, u64)> = (0..32)
+            .map(|_| {
+                let key = rng.random_range(0..=11);
+                let amount = rng.random_range(1..=9);
+                *expected.entry(key).or_insert(0) += amount;
+                (key, amount)
+            })
+            .collect();
+        worker.enqueue_burst(&burst);
+        worker.drive();
+        let mut actual: BTreeMap<u64, u64> = BTreeMap::new();
+        for shard in 0..shards {
+            for (key, total) in svc.snapshot(shard) {
+                assert_eq!(
+                    svc.shard_of(key),
+                    shard,
+                    "case {case}: key {key} leaked to shard {shard}"
+                );
+                assert!(
+                    actual.insert(key, total).is_none(),
+                    "case {case}: key {key} double-counted across shards"
+                );
+            }
+        }
+        assert_eq!(actual, expected, "case {case}: totals must be conserved");
+    }
+}
