@@ -1,0 +1,82 @@
+//! Throughput regression guard CLI.
+//!
+//! ```text
+//! cargo run --release -p tfr-bench --bin harness -- --json-dir out service
+//! cargo run --release -p tfr-bench --bin regression_guard -- out/BENCH_service.json
+//! cargo run --release -p tfr-bench --bin regression_guard -- \
+//!     --baseline crates/bench/baselines/service_baseline.json out/BENCH_service.json
+//! ```
+//!
+//! Exits non-zero when any committed baseline point regresses past the
+//! tolerance (by default: fresh < baseline × 0.7). See [`tfr_bench::guard`].
+
+use tfr_bench::guard;
+use tfr_telemetry::Json;
+
+/// The committed baseline shipped with the crate.
+const DEFAULT_BASELINE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/baselines/service_baseline.json"
+);
+
+fn load_json(path: &str, what: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {what} {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{what} {path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = DEFAULT_BASELINE.to_string();
+    if let Some(i) = args.iter().position(|a| a == "--baseline") {
+        if i + 1 >= args.len() {
+            eprintln!("--baseline needs a path argument");
+            std::process::exit(2);
+        }
+        baseline_path = args.remove(i + 1);
+        args.remove(i);
+    }
+    let fresh_path = match args.as_slice() {
+        [path] => path.clone(),
+        _ => {
+            eprintln!("usage: regression_guard [--baseline <baseline.json>] <BENCH_service.json>");
+            std::process::exit(2);
+        }
+    };
+
+    let bench = load_json(&fresh_path, "bench output");
+    let baseline = load_json(&baseline_path, "baseline");
+    let report = match guard::check(&bench, &baseline) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("regression guard: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "regression guard: {} vs {} (tolerance {:.0}% of baseline)",
+        fresh_path,
+        baseline_path,
+        report.tolerance * 100.0
+    );
+    for line in &report.lines {
+        println!("  {}", line.render());
+    }
+    if report.passed() {
+        println!("regression guard: PASS ({} points)", report.lines.len());
+    } else {
+        let failed = report.lines.iter().filter(|l| !l.ok).count();
+        println!(
+            "regression guard: FAIL ({failed} of {} points regressed >{:.0}%)",
+            report.lines.len(),
+            (1.0 - report.tolerance) * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,7 @@ pub mod mutex_perf;
 pub mod mutex_safety;
 pub mod net;
 pub mod objects;
+pub mod obs;
 pub mod optimistic;
 pub mod recovery;
 pub mod registers;
@@ -132,6 +133,11 @@ pub fn registry() -> Vec<Experiment> {
             "service",
             "sharded object service: throughput at scale, flat-combining speedup, under-load sampling verdicts (E22)",
             service::service,
+        ),
+        (
+            "obs",
+            "live observability: collector overhead off/passive/full, stage latency tracks, online monitor verdicts (E23)",
+            obs::obs,
         ),
     ]
 }

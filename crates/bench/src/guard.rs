@@ -1,0 +1,307 @@
+//! Throughput regression guard over the machine-readable bench output.
+//!
+//! CI regenerates `BENCH_service.json` on every run; this module compares
+//! the fresh throughput table against a committed baseline
+//! (`crates/bench/baselines/service_baseline.json`) and fails the build
+//! when any (backend, clients) point regresses past the tolerance —
+//! by default below 70% of the baseline rate, i.e. a >30% regression.
+//!
+//! Baselines are deliberately conservative floors (well under the rates
+//! a warm developer machine measures), so the guard catches structural
+//! regressions — an accidental per-op fallback, a poisoned combiner, a
+//! quadratic audit — rather than scheduler noise.
+
+use tfr_telemetry::Json;
+
+/// Default tolerance: fail when fresh < baseline × 0.7 (>30% regression).
+pub const DEFAULT_TOLERANCE: f64 = 0.7;
+
+/// One guarded throughput point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputPoint {
+    /// Execution substrate, e.g. `"native"` or `"net"`.
+    pub backend: String,
+    /// Simulated client count for this row.
+    pub clients: u64,
+    /// Sustained operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// The guard's verdict for one baseline point.
+#[derive(Debug, Clone)]
+pub struct GuardLine {
+    /// The guarded point (baseline rate).
+    pub point: ThroughputPoint,
+    /// The fresh measurement, if the row was present at all.
+    pub fresh_ops_per_sec: Option<f64>,
+    /// The floor the fresh rate was held to (baseline × tolerance).
+    pub floor: f64,
+    /// Whether this point passed.
+    pub ok: bool,
+}
+
+impl GuardLine {
+    /// Renders the verdict as one human-readable line.
+    pub fn render(&self) -> String {
+        let verdict = if self.ok { "ok  " } else { "FAIL" };
+        match self.fresh_ops_per_sec {
+            Some(fresh) => format!(
+                "{verdict} {:>7} clients on {:<6} — fresh {:>10.0} ops/s vs floor {:>10.0} (baseline {:.0})",
+                self.point.clients, self.point.backend, fresh, self.floor, self.point.ops_per_sec
+            ),
+            None => format!(
+                "{verdict} {:>7} clients on {:<6} — row missing from the fresh BENCH_service.json",
+                self.point.clients, self.point.backend
+            ),
+        }
+    }
+}
+
+/// The full guard report: one line per baseline point.
+#[derive(Debug, Clone)]
+pub struct GuardReport {
+    /// Per-point verdicts, in baseline order.
+    pub lines: Vec<GuardLine>,
+    /// The tolerance applied (fraction of baseline that must be met).
+    pub tolerance: f64,
+}
+
+impl GuardReport {
+    /// True iff every baseline point passed.
+    pub fn passed(&self) -> bool {
+        self.lines.iter().all(|l| l.ok)
+    }
+}
+
+/// Extracts the throughput rows from a `BENCH_<id>.json` document: the
+/// first table whose rows carry `backend`, `clients`, and `ops/sec`.
+pub fn throughput_points(bench: &Json) -> Result<Vec<ThroughputPoint>, String> {
+    let tables = bench
+        .get("tables")
+        .and_then(Json::as_arr)
+        .ok_or("bench document has no `tables` array")?;
+    for table in tables {
+        let rows = match table.get("rows").and_then(Json::as_arr) {
+            Some(rows) => rows,
+            None => continue,
+        };
+        let mut points = Vec::new();
+        for row in rows {
+            let (backend, clients, rate) = match (
+                row.get("backend").and_then(Json::as_str),
+                row.get("clients").and_then(Json::as_num),
+                row.get("ops/sec").and_then(Json::as_num),
+            ) {
+                (Some(b), Some(c), Some(r)) => (b, c, r),
+                _ => {
+                    points.clear();
+                    break;
+                }
+            };
+            points.push(ThroughputPoint {
+                backend: backend.to_string(),
+                clients: clients as u64,
+                ops_per_sec: rate,
+            });
+        }
+        if !points.is_empty() {
+            return Ok(points);
+        }
+    }
+    Err("no table with backend/clients/ops\\/sec rows found".into())
+}
+
+/// Parses a committed baseline document:
+/// `{"tolerance": 0.7, "rows": [{"backend": .., "clients": .., "ops/sec": ..}]}`.
+/// `tolerance` is optional and defaults to [`DEFAULT_TOLERANCE`].
+pub fn parse_baseline(doc: &Json) -> Result<(Vec<ThroughputPoint>, f64), String> {
+    let tolerance = match doc.get("tolerance") {
+        Some(t) => t
+            .as_num()
+            .filter(|t| (0.0..=1.0).contains(t))
+            .ok_or("`tolerance` must be a number in [0, 1]")?,
+        None => DEFAULT_TOLERANCE,
+    };
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("baseline document has no `rows` array")?;
+    let mut points = Vec::new();
+    for row in rows {
+        points.push(ThroughputPoint {
+            backend: row
+                .get("backend")
+                .and_then(Json::as_str)
+                .ok_or("baseline row missing `backend`")?
+                .to_string(),
+            clients: row
+                .get("clients")
+                .and_then(Json::as_num)
+                .ok_or("baseline row missing `clients`")? as u64,
+            ops_per_sec: row
+                .get("ops/sec")
+                .and_then(Json::as_num)
+                .ok_or("baseline row missing `ops/sec`")?,
+        });
+    }
+    if points.is_empty() {
+        return Err("baseline has no rows".into());
+    }
+    Ok((points, tolerance))
+}
+
+/// Compares a fresh bench document against the committed baseline.
+///
+/// Every baseline point must be present in the fresh table and sustain
+/// at least `baseline × tolerance` ops/sec. Extra fresh rows (new sweep
+/// points) are ignored: the baseline only ever *floors* known points.
+pub fn check(bench: &Json, baseline_doc: &Json) -> Result<GuardReport, String> {
+    let fresh = throughput_points(bench)?;
+    let (baseline, tolerance) = parse_baseline(baseline_doc)?;
+    let lines = baseline
+        .into_iter()
+        .map(|point| {
+            let floor = point.ops_per_sec * tolerance;
+            let fresh_rate = fresh
+                .iter()
+                .find(|f| f.backend == point.backend && f.clients == point.clients)
+                .map(|f| f.ops_per_sec);
+            GuardLine {
+                ok: fresh_rate.is_some_and(|r| r >= floor),
+                point,
+                fresh_ops_per_sec: fresh_rate,
+                floor,
+            }
+        })
+        .collect();
+    Ok(GuardReport { lines, tolerance })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(rates: &[(&str, u64, f64)]) -> Json {
+        let rows: Vec<Json> = rates
+            .iter()
+            .map(|&(b, c, r)| {
+                Json::obj([
+                    ("backend", Json::str(b)),
+                    ("clients", Json::Num(c as f64)),
+                    ("ops/sec", Json::Num(r)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("experiment", Json::str("service")),
+            (
+                "tables",
+                Json::Arr(vec![
+                    // A decoy table without throughput columns.
+                    Json::obj([(
+                        "rows",
+                        Json::Arr(vec![Json::obj([("combiner", Json::str("flat"))])]),
+                    )]),
+                    Json::obj([("rows", Json::Arr(rows))]),
+                ]),
+            ),
+        ])
+    }
+
+    fn baseline_doc(tolerance: Option<f64>, rates: &[(&str, u64, f64)]) -> Json {
+        let rows: Vec<Json> = rates
+            .iter()
+            .map(|&(b, c, r)| {
+                Json::obj([
+                    ("backend", Json::str(b)),
+                    ("clients", Json::Num(c as f64)),
+                    ("ops/sec", Json::Num(r)),
+                ])
+            })
+            .collect();
+        let mut fields = vec![("rows".to_string(), Json::Arr(rows))];
+        if let Some(t) = tolerance {
+            fields.push(("tolerance".to_string(), Json::Num(t)));
+        }
+        Json::Obj(fields)
+    }
+
+    #[test]
+    fn healthy_run_passes() {
+        let bench = bench_doc(&[("native", 1_000, 300_000.0), ("net", 100, 900.0)]);
+        let base = baseline_doc(None, &[("native", 1_000, 200_000.0), ("net", 100, 800.0)]);
+        let report = check(&bench, &base).unwrap();
+        assert!(report.passed(), "{:?}", report.lines);
+        assert_eq!(report.tolerance, DEFAULT_TOLERANCE);
+    }
+
+    #[test]
+    fn deep_regression_fails() {
+        // 200k baseline, 0.7 tolerance → floor 140k; 100k fresh must fail.
+        let bench = bench_doc(&[("native", 1_000, 100_000.0)]);
+        let base = baseline_doc(None, &[("native", 1_000, 200_000.0)]);
+        let report = check(&bench, &base).unwrap();
+        assert!(!report.passed());
+        assert!(report.lines[0].render().contains("FAIL"));
+    }
+
+    #[test]
+    fn shallow_dip_within_tolerance_passes() {
+        // A 25% dip is inside the 30% budget.
+        let bench = bench_doc(&[("native", 1_000, 150_000.0)]);
+        let base = baseline_doc(None, &[("native", 1_000, 200_000.0)]);
+        assert!(check(&bench, &base).unwrap().passed());
+    }
+
+    #[test]
+    fn missing_row_fails() {
+        let bench = bench_doc(&[("native", 1_000, 300_000.0)]);
+        let base = baseline_doc(None, &[("net", 100, 800.0)]);
+        let report = check(&bench, &base).unwrap();
+        assert!(!report.passed());
+        assert!(report.lines[0].render().contains("missing"));
+    }
+
+    #[test]
+    fn extra_fresh_rows_are_ignored() {
+        let bench = bench_doc(&[("native", 1_000, 300_000.0), ("native", 100_000, 1.0)]);
+        let base = baseline_doc(None, &[("native", 1_000, 200_000.0)]);
+        assert!(check(&bench, &base).unwrap().passed());
+    }
+
+    #[test]
+    fn custom_tolerance_is_applied() {
+        // With tolerance 0.9 a 20% dip fails.
+        let bench = bench_doc(&[("native", 1_000, 160_000.0)]);
+        let base = baseline_doc(Some(0.9), &[("native", 1_000, 200_000.0)]);
+        let report = check(&bench, &base).unwrap();
+        assert_eq!(report.tolerance, 0.9);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        let bench = bench_doc(&[("native", 1_000, 1.0)]);
+        assert!(check(&Json::Obj(vec![]), &baseline_doc(None, &[("a", 1, 1.0)])).is_err());
+        assert!(check(&bench, &Json::Obj(vec![])).is_err());
+        assert!(check(&bench, &baseline_doc(Some(1.5), &[("a", 1, 1.0)])).is_err());
+    }
+
+    #[test]
+    fn real_bench_shape_round_trips() {
+        // The exact shape `harness --json-dir` writes for E22 table 1.
+        let text = r#"{"experiment":"service","tables":[{"id":"E22","rows":[
+            {"backend":"native","clients":1000,"workers":4,"shards":4,
+             "ops":4000,"ops/sec":350000,"mean batch":3.2,"integrity":"ok"}]}]}"#;
+        let bench = Json::parse(text).unwrap();
+        let points = throughput_points(&bench).unwrap();
+        assert_eq!(
+            points,
+            vec![ThroughputPoint {
+                backend: "native".into(),
+                clients: 1_000,
+                ops_per_sec: 350_000.0,
+            }]
+        );
+    }
+}

@@ -9,6 +9,7 @@
 //! [`microbench`] shim).
 
 pub mod experiments;
+pub mod guard;
 pub mod microbench;
 pub mod table;
 

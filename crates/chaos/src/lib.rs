@@ -78,9 +78,10 @@ pub use assess::{
 };
 pub use fromcex::{fischer_faults_from_counterexample, CompiledViolation};
 pub use nemesis::{
-    hunt_fischer_violation, run_consensus_chaos, run_consensus_chaos_traced, run_fischer_violation,
-    run_mutex_chaos, run_mutex_chaos_traced, ConsensusChaosReport, MutexChaosConfig,
-    MutexChaosReport, ViolationSetup,
+    hunt_fischer_violation, run_consensus_chaos, run_consensus_chaos_observed,
+    run_consensus_chaos_traced, run_fischer_violation, run_mutex_chaos, run_mutex_chaos_observed,
+    run_mutex_chaos_traced, ConsensusChaosReport, MutexChaosConfig, MutexChaosReport,
+    ViolationSetup,
 };
 pub use netfault::{
     apply_net_op, apply_net_schedule, random_net_schedule, NetFaultOp, NetFaultStep,

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use tfr_asynclock::RawLock;
 use tfr_core::consensus::NativeConsensus;
 use tfr_core::mutex::fischer::Fischer;
+use tfr_obs::{Collector, CollectorConfig, ObsReport};
 use tfr_registers::chaos::{
     self, install_point_observer, points, ChaosSession, Fault, FaultAction, FiredFault,
 };
@@ -187,6 +188,27 @@ pub fn run_mutex_chaos_traced<L: RawLock>(
     run_mutex_chaos_inner(lock, cfg, faults, Some(tracer))
 }
 
+/// [`run_mutex_chaos_traced`] with a live [`Collector`] attached for the
+/// duration of the run: the online monitors stream `tracer`'s rings
+/// *while the nemesis fires* and the returned [`ObsReport`] says whether
+/// (and when) an invariant broke — independently of the workload's own
+/// `in_cs` accounting.
+///
+/// Build the lock with `with_trace(Trace::attached(...))` on the same
+/// tracer; the mutex monitor watches the lock's own
+/// `LockAcquired`/`LockReleased` events.
+pub fn run_mutex_chaos_observed<L: RawLock>(
+    lock: &L,
+    cfg: &MutexChaosConfig,
+    faults: &[Fault],
+    tracer: &Arc<Tracer>,
+    obs: CollectorConfig,
+) -> (MutexChaosReport, ObsReport) {
+    let collector = Collector::spawn(Arc::clone(tracer), obs);
+    let report = run_mutex_chaos_inner(lock, cfg, faults, Some(tracer));
+    (report, collector.finish())
+}
+
 fn run_mutex_chaos_inner<L: RawLock>(
     lock: &L,
     cfg: &MutexChaosConfig,
@@ -349,6 +371,22 @@ pub fn run_consensus_chaos_traced(
     tracer: &Arc<Tracer>,
 ) -> ConsensusChaosReport {
     run_consensus_chaos_inner(delta, inputs, faults, Some(tracer))
+}
+
+/// [`run_consensus_chaos_traced`] with a live [`Collector`]: the online
+/// monitors stream the run's events while the schedule fires, and the
+/// returned [`ObsReport`] carries fault counts, stage tracks, and any
+/// flagged invariant violations.
+pub fn run_consensus_chaos_observed(
+    delta: Duration,
+    inputs: &[bool],
+    faults: &[Fault],
+    tracer: &Arc<Tracer>,
+    obs: CollectorConfig,
+) -> (ConsensusChaosReport, ObsReport) {
+    let collector = Collector::spawn(Arc::clone(tracer), obs);
+    let report = run_consensus_chaos_inner(delta, inputs, faults, Some(tracer));
+    (report, collector.finish())
 }
 
 fn run_consensus_chaos_inner(

@@ -48,6 +48,7 @@ use std::time::Duration;
 use tfr_registers::chaos;
 use tfr_registers::space::{NativeSpace, RegisterSpace, SubSpace};
 use tfr_registers::ProcId;
+use tfr_telemetry::{Span, Trace};
 
 /// Wait-free multivalued consensus on `width`-bit values, built from
 /// `width` binary Algorithm 1 instances.
@@ -319,6 +320,9 @@ pub struct Universal<T: Sequential, S: RegisterSpace = NativeSpace> {
     /// position `s`, packed as `proposer · 2^24 + arena offset`.
     slots: Vec<MultiConsensus<SlotSpace<S>>>,
     probe: Probe,
+    /// Causal-span sink: every combining proposal a [`Session`] makes is
+    /// wrapped in a `"consensus"` span on this trace (disabled by default).
+    trace: Trace,
 }
 
 impl<T: Sequential> Universal<T> {
@@ -376,6 +380,7 @@ impl<T: Sequential, S: RegisterSpace> Universal<T, S> {
             arena,
             slots,
             probe: Probe::disabled(),
+            trace: Trace::disabled(),
         }
     }
 
@@ -396,6 +401,15 @@ impl<T: Sequential, S: RegisterSpace> Universal<T, S> {
     /// each operation.
     pub fn with_probe(mut self, probe: Arc<dyn OpProbe>) -> Universal<T, S> {
         self.probe = Probe::attached(probe);
+        self
+    }
+
+    /// Attaches a causal trace: every combining proposal (the consensus
+    /// act that commits a batch) is wrapped in a `"consensus"` span, so
+    /// an exported span tree connects a client's batch to the quorum
+    /// phases its decision cost.
+    pub fn with_trace(mut self, trace: Trace) -> Universal<T, S> {
+        self.trace = trace;
         self
     }
 
@@ -660,6 +674,7 @@ impl<T: Sequential, S: RegisterSpace> Session<'_, T, S> {
                 Some(d) => d,
                 None => {
                     chaos::point(chaos::points::UNIVERSAL_COMBINE);
+                    let _consensus = Span::enter(&self.uni.trace, "consensus");
                     let offset = self.publish_batch(s);
                     self.uni.slots[s].propose(self.pid, Universal::<T, S>::pack(self.pid.0, offset))
                 }

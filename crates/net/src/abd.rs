@@ -36,7 +36,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 use tfr_registers::space::RegisterSpace;
 use tfr_registers::ProcId;
-use tfr_telemetry::{current_pid, EventKind};
+use tfr_telemetry::{current_pid, current_span_id, EventKind, Span};
 
 /// A replicated register array: the `tfr-net` implementation of
 /// [`RegisterSpace`]. Obtain one with [`Network::space`]; every handle
@@ -98,6 +98,10 @@ impl QuorumSpace {
             .unwrap_or_else(|e| e.into_inner())
             .insert(rid, Arc::clone(&waiter));
 
+        // Outgoing requests carry the ambient causal span (the enclosing
+        // quorum-phase span); replies echo it, tying the whole round trip
+        // into the client's span tree.
+        let span = current_span_id();
         let mut got: Vec<Option<Payload>> = vec![None; replicas];
         let mut count = 0;
         'round: loop {
@@ -108,6 +112,7 @@ impl QuorumSpace {
                         from: NodeId::Client(client),
                         to: NodeId::Replica(i),
                         rid,
+                        span,
                         payload,
                     });
                 }
@@ -120,6 +125,7 @@ impl QuorumSpace {
                         shared.trace.emit_current(EventKind::MsgRecv {
                             from: ProcId(cfg.clients + i),
                             reg: ack.reg(),
+                            span,
                         });
                         got[i] = Some(ack);
                         count += 1;
@@ -159,8 +165,12 @@ impl QuorumSpace {
             reg: index,
             write: false,
         });
+        let op_span = Span::enter(&shared.trace, "quorum.read");
         let client = self.client();
-        let acks = self.quorum_round(client, Payload::ReadReq { reg: index });
+        let acks = {
+            let _phase = Span::enter(&shared.trace, "quorum.phase1");
+            self.quorum_round(client, Payload::ReadReq { reg: index })
+        };
         let mut max = Versioned::ZERO;
         let mut committed = 0usize;
         for (_, ack) in &acks {
@@ -179,6 +189,7 @@ impl QuorumSpace {
         // miss the maximum. If every ack already carries it, a majority
         // provably stores it and the round trip can be skipped.
         if committed < shared.cfg.majority() {
+            let _phase = Span::enter(&shared.trace, "quorum.phase2");
             self.quorum_round(
                 client,
                 Payload::WriteReq {
@@ -187,6 +198,15 @@ impl QuorumSpace {
                 },
             );
         }
+        drop(op_span);
+        // The version this read returns — per client lane these must
+        // never regress (the new/old inversion ABD's write-back exists to
+        // prevent), which is exactly what the online monitor checks.
+        shared.trace.emit_current(EventKind::QuorumVersion {
+            reg: index,
+            ts: max.version.ts,
+            wid: max.version.wid,
+        });
         if let (Some(t0), Some(t1)) = (t0, shared.trace.now_ns()) {
             shared.trace.emit_current(EventKind::QuorumEnd {
                 reg: index,
@@ -227,9 +247,13 @@ impl RegisterSpace for QuorumSpace {
             reg: index,
             write: true,
         });
+        let op_span = Span::enter(&shared.trace, "quorum.write");
         let client = self.client();
         // Phase 1: learn the highest timestamp a majority has seen.
-        let acks = self.quorum_round(client, Payload::ReadReq { reg: index });
+        let acks = {
+            let _phase = Span::enter(&shared.trace, "quorum.phase1");
+            self.quorum_round(client, Payload::ReadReq { reg: index })
+        };
         let mut max_ts = 0;
         for (_, ack) in &acks {
             if let Payload::ReadAck { data, .. } = ack {
@@ -244,7 +268,16 @@ impl RegisterSpace for QuorumSpace {
             },
             value,
         };
-        self.quorum_round(client, Payload::WriteReq { reg: index, data });
+        {
+            let _phase = Span::enter(&shared.trace, "quorum.phase2");
+            self.quorum_round(client, Payload::WriteReq { reg: index, data });
+        }
+        drop(op_span);
+        shared.trace.emit_current(EventKind::QuorumVersion {
+            reg: index,
+            ts: data.version.ts,
+            wid: data.version.wid,
+        });
         if let (Some(t0), Some(t1)) = (t0, shared.trace.now_ns()) {
             shared.trace.emit_current(EventKind::QuorumEnd {
                 reg: index,

@@ -126,6 +126,11 @@ pub struct Message {
     /// client matches late, duplicated, or reordered answers to the
     /// quorum round that asked.
     pub rid: u64,
+    /// The causal span this message belongs to (0 = untraced). Requests
+    /// carry the sending client's current span id and replies echo it, so
+    /// the exporter can draw flow links from a quorum-phase span to every
+    /// replica it touched.
+    pub span: u64,
     /// The content.
     pub payload: Payload,
 }

@@ -207,9 +207,17 @@ impl Shared {
         let jitter = Duration::from_nanos(rng.random_range(0..=span_ns));
         let lost = rng.random_bool(st.drop_prob);
         let kind = if cut || lost {
-            EventKind::MsgDropped { to: to_pid, reg }
+            EventKind::MsgDropped {
+                to: to_pid,
+                reg,
+                span: msg.span,
+            }
         } else {
-            EventKind::MsgSend { to: to_pid, reg }
+            EventKind::MsgSend {
+                to: to_pid,
+                reg,
+                span: msg.span,
+            }
         };
         match msg.from {
             NodeId::Client(_) => self.trace.emit_current(kind),
@@ -409,6 +417,7 @@ fn router_loop(shared: &Shared) {
                     EventKind::MsgRecv {
                         from: shared.cfg.node_pid(msg.from),
                         reg: msg.payload.reg(),
+                        span: msg.span,
                     },
                 );
                 let ack = replica_apply(&mut tables[r], msg.payload);
@@ -416,6 +425,7 @@ fn router_loop(shared: &Shared) {
                     from: msg.to,
                     to: msg.from,
                     rid: msg.rid,
+                    span: msg.span,
                     payload: ack,
                 };
                 let mut st = lock(&shared.state);

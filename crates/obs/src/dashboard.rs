@@ -1,0 +1,118 @@
+//! A `tfr-top`-style text dashboard: renders a [`LiveSnapshot`] as one
+//! fixed-width frame suitable for printing in a loop (the `obs_top`
+//! example clears the screen between frames).
+
+use crate::collector::LiveSnapshot;
+use std::fmt::Write;
+
+/// Formats a nanosecond duration with a human unit (ns/µs/ms/s).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Renders one dashboard frame.
+///
+/// # Example
+///
+/// ```
+/// use tfr_obs::{dashboard, LiveSnapshot};
+///
+/// let frame = dashboard::render(&LiveSnapshot::default());
+/// assert!(frame.contains("monitors: CLEAN"));
+/// ```
+pub fn render(snap: &LiveSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tfr-top — events {} (dropped {})   polls {}",
+        snap.events, snap.dropped, snap.polls
+    );
+    let _ = writeln!(
+        out,
+        "ops {}   batches {}   window {:.0} ops/s",
+        snap.ops, snap.batches, snap.window_ops_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "faults {}   recoveries {}   Δ {}",
+        snap.faults,
+        snap.recoveries,
+        snap.delta_ns.map_or("—".to_string(), fmt_ns)
+    );
+    match (snap.violations, &snap.last_violation) {
+        (0, _) => {
+            let _ = writeln!(out, "monitors: CLEAN");
+        }
+        (n, Some(last)) => {
+            let _ = writeln!(out, "monitors: {n} VIOLATION(S) — last: {last}");
+        }
+        (n, None) => {
+            let _ = writeln!(out, "monitors: {n} VIOLATION(S)");
+        }
+    }
+    if !snap.stages.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>9} {:>9} {:>9}",
+            "stage", "count", "p50", "p99", "max"
+        );
+        for s in &snap.stages {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>9} {:>9} {:>9}",
+                s.label,
+                s.count,
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p99_ns),
+                fmt_ns(s.max_ns)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::StageStats;
+
+    #[test]
+    fn renders_violations_and_stage_rows() {
+        let snap = LiveSnapshot {
+            events: 100,
+            dropped: 2,
+            ops: 50,
+            batches: 10,
+            violations: 1,
+            last_violation: Some("shard 0 slot 3 committed twice".to_string()),
+            delta_ns: Some(20_000),
+            stages: vec![StageStats {
+                label: "consensus".to_string(),
+                count: 10,
+                p50_ns: 4096,
+                p99_ns: 65_536,
+                max_ns: 70_000,
+            }],
+            ..LiveSnapshot::default()
+        };
+        let frame = render(&snap);
+        assert!(frame.contains("dropped 2"));
+        assert!(frame.contains("1 VIOLATION(S)"));
+        assert!(frame.contains("committed twice"));
+        assert!(frame.contains("consensus"));
+        assert!(frame.contains("20.0µs"), "{frame}");
+    }
+
+    #[test]
+    fn duration_units_scale() {
+        assert_eq!(fmt_ns(512), "512ns");
+        assert_eq!(fmt_ns(20_000), "20.0µs");
+        assert_eq!(fmt_ns(15_000_000), "15.0ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+    }
+}

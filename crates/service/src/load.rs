@@ -40,7 +40,7 @@ use tfr_linearize::models::CounterModel;
 use tfr_linearize::window::{Rotation, WindowChecker, WindowRecorder};
 use tfr_registers::space::{NativeSpace, RegisterSpace};
 use tfr_registers::ProcId;
-use tfr_telemetry::{with_pid, EventKind, Trace};
+use tfr_telemetry::{with_pid, EventKind, Span, Trace};
 
 /// Every `SHARED_CLIENT_EVERY`-th client addresses the shared key 0.
 const SHARED_CLIENT_EVERY: usize = 16;
@@ -431,8 +431,14 @@ fn run_real<S: RegisterSpace + 'static>(
                                     }));
                                     batch.push((key, amount));
                                 }
-                                let base = worker.enqueue_burst(&batch);
-                                let done = worker.drive();
+                                // The root of each burst's causal span
+                                // tree: client.op → client.enqueue /
+                                // batch.drive → consensus → quorum.*.
+                                let (base, done) = {
+                                    let _op = Span::enter(trace, "client.op");
+                                    let base = worker.enqueue_burst(&batch);
+                                    (base, worker.drive())
+                                };
                                 debug_assert_eq!(done.len(), batch.len());
                                 if let Some(r) = rec {
                                     for op in &done {

@@ -30,7 +30,7 @@ use std::time::Duration;
 use tfr_core::universal::{LogAudit, Sequential, Session, Universal};
 use tfr_registers::space::{NativeSpace, RegisterSpace, SubSpace};
 use tfr_registers::ProcId;
-use tfr_telemetry::{EventKind, Trace};
+use tfr_telemetry::{EventKind, Span, Trace};
 
 /// Construction parameters for an [`ObjectService`].
 #[derive(Debug, Clone)]
@@ -129,8 +129,16 @@ impl<T: Sequential, S: RegisterSpace> ObjectService<T, S> {
     }
 
     /// Attaches a telemetry trace; enqueues and batch commits are
-    /// emitted through it.
+    /// emitted through it, and every shard's universal construction
+    /// stamps a `"consensus"` span around each combining proposal — the
+    /// middle of the causal chain client.enqueue → batch.drive →
+    /// consensus → quorum phases.
     pub fn with_trace(mut self, trace: Trace) -> ObjectService<T, S> {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|u| u.with_trace(trace.clone()))
+            .collect();
         self.trace = trace;
         self
     }
@@ -225,6 +233,7 @@ impl<T: Sequential, S: RegisterSpace> ServiceWorker<'_, T, S> {
     ///
     /// The ops are *not* yet linearized; call [`ServiceWorker::drive`].
     pub fn enqueue_burst(&mut self, ops: &[(u64, u64)]) -> u64 {
+        let _span = Span::enter(&self.svc.trace, "client.enqueue");
         let first_pos = self.issued;
         for (i, &(key, inner)) in ops.iter().enumerate() {
             let shard = self.svc.router.route(key);
@@ -269,6 +278,7 @@ impl<T: Sequential, S: RegisterSpace> ServiceWorker<'_, T, S> {
             if session.pending() == 0 && self.pending[shard].is_empty() {
                 continue;
             }
+            let _span = Span::enter(&self.svc.trace, "batch.drive");
             session.drive_pending();
             for (seq, resp) in session.take_responses() {
                 // A response whose seq predates our oldest pending entry

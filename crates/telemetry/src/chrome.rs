@@ -50,6 +50,19 @@ fn metadata(name: &str, pid: u64, tid: usize, label: String) -> Json {
     Json::Obj(ev)
 }
 
+/// A flow event (`ph:"s"` at the send, `ph:"f"` at the receive). The
+/// viewer binds the pair by matching `cat` + `name` + `id`; `bp:"e"` on
+/// the finish end attaches the arrow to the enclosing slice.
+fn flow(ph: &str, id: u64, name: String, pid: u64, tid: usize, ts_ns: u64) -> Json {
+    let mut ev = base(name, ph, pid, tid, ts_ns);
+    ev.push(("cat".to_string(), Json::str("net")));
+    ev.push(("id".to_string(), Json::Num(id as f64)));
+    if ph == "f" {
+        ev.push(("bp".to_string(), Json::str("e")));
+    }
+    Json::Obj(ev)
+}
+
 /// Builds one combined Chrome trace out of any number of runs — native
 /// and simulated timelines side by side in one viewer.
 ///
@@ -77,6 +90,7 @@ fn metadata(name: &str, pid: u64, tid: usize, label: String) -> Json {
 pub struct ChromeTraceBuilder {
     events: Vec<Json>,
     next_pid: u64,
+    next_flow: u64,
 }
 
 impl ChromeTraceBuilder {
@@ -101,6 +115,13 @@ impl ChromeTraceBuilder {
         let mut cs_open: BTreeMap<usize, u64> = BTreeMap::new();
         let mut quorum_open: BTreeMap<usize, u64> = BTreeMap::new();
         let mut down_open: BTreeMap<usize, u64> = BTreeMap::new();
+        // Causal spans: id → (tid, start, parent, label). Ids are global,
+        // so one map covers every lane of the run.
+        let mut span_open: BTreeMap<u64, (usize, u64, u64, &'static str)> = BTreeMap::new();
+        // Message flow pairing: a send on (span, from, to) waits for the
+        // matching receive; the timeline is sorted, so sends come first.
+        let mut pending_sends: BTreeMap<(u64, usize, usize), std::collections::VecDeque<u64>> =
+            BTreeMap::new();
 
         for e in events {
             let ProcId(tid) = e.pid;
@@ -249,6 +270,80 @@ impl ChromeTraceBuilder {
                         Json::obj([("rtt_ns", Json::Num(rtt_ns as f64))]),
                     ));
                 }
+                EventKind::SpanStart {
+                    span,
+                    parent,
+                    label,
+                } => {
+                    span_open.insert(span, (tid, e.ts_ns, parent, label));
+                }
+                EventKind::SpanEnd { span } => {
+                    if let Some((span_tid, start, parent, label)) = span_open.remove(&span) {
+                        self.events.push(complete(
+                            label.to_string(),
+                            pid,
+                            span_tid,
+                            start,
+                            e.ts_ns,
+                            Json::obj([
+                                ("span", Json::Num(span as f64)),
+                                ("parent", Json::Num(parent as f64)),
+                            ]),
+                        ));
+                    }
+                }
+                EventKind::MsgSend { to, reg: _, span } => {
+                    self.events.push(instant(
+                        e.kind.label(),
+                        pid,
+                        tid,
+                        e.ts_ns,
+                        Json::obj([("span", Json::Num(span as f64))]),
+                    ));
+                    if span != 0 {
+                        pending_sends
+                            .entry((span, tid, to.0))
+                            .or_default()
+                            .push_back(e.ts_ns);
+                    }
+                }
+                EventKind::MsgRecv { from, reg, span } => {
+                    self.events.push(instant(
+                        e.kind.label(),
+                        pid,
+                        tid,
+                        e.ts_ns,
+                        Json::obj([("span", Json::Num(span as f64))]),
+                    ));
+                    // Tie the receive back to the earliest unmatched send
+                    // of the same span on this link with a flow arrow.
+                    if span != 0 {
+                        if let Some(sent_ts) = pending_sends
+                            .get_mut(&(span, from.0, tid))
+                            .and_then(|q| q.pop_front())
+                        {
+                            let id = self.next_flow;
+                            self.next_flow += 1;
+                            let name = format!("msg r{reg} #{span}");
+                            self.events
+                                .push(flow("s", id, name.clone(), pid, from.0, sent_ts));
+                            self.events.push(flow("f", id, name, pid, tid, e.ts_ns));
+                        }
+                    }
+                }
+                EventKind::QuorumVersion { reg, ts, wid } => {
+                    self.events.push(instant(
+                        e.kind.label(),
+                        pid,
+                        tid,
+                        e.ts_ns,
+                        Json::obj([
+                            ("reg", Json::Num(reg as f64)),
+                            ("ts", Json::Num(ts as f64)),
+                            ("wid", Json::Num(wid as f64)),
+                        ]),
+                    ));
+                }
                 EventKind::RegRead { .. }
                 | EventKind::RegWrite { .. }
                 | EventKind::RegCas { .. }
@@ -256,8 +351,6 @@ impl ChromeTraceBuilder {
                 | EventKind::RoundStart { .. }
                 | EventKind::Decided { .. }
                 | EventKind::PointHit { .. }
-                | EventKind::MsgSend { .. }
-                | EventKind::MsgRecv { .. }
                 | EventKind::MsgDropped { .. }
                 | EventKind::ServiceEnqueue { .. }
                 | EventKind::BatchCommit { .. }
@@ -309,6 +402,18 @@ impl ChromeTraceBuilder {
                 tid,
                 start,
                 Json::obj([] as [(&str, Json); 0]),
+            ));
+        }
+        for (span, (tid, start, parent, label)) in span_open {
+            self.events.push(instant(
+                format!("{label} (unfinished)"),
+                pid,
+                tid,
+                start,
+                Json::obj([
+                    ("span", Json::Num(span as f64)),
+                    ("parent", Json::Num(parent as f64)),
+                ]),
             ));
         }
         self
@@ -437,6 +542,150 @@ mod tests {
         b.add_run("r", &[ev(0, 0, EventKind::LockWaitStart)]);
         let json = b.to_json();
         assert_eq!(events_named(&json, "entry (unfinished)").len(), 1);
+    }
+
+    #[test]
+    fn causal_spans_become_nested_slices() {
+        let mut b = ChromeTraceBuilder::new();
+        b.add_run(
+            "r",
+            &[
+                ev(
+                    0,
+                    0,
+                    EventKind::SpanStart {
+                        span: 10,
+                        parent: 0,
+                        label: "client.op",
+                    },
+                ),
+                ev(
+                    1_000,
+                    0,
+                    EventKind::SpanStart {
+                        span: 11,
+                        parent: 10,
+                        label: "quorum.phase1",
+                    },
+                ),
+                ev(4_000, 0, EventKind::SpanEnd { span: 11 }),
+                ev(5_000, 0, EventKind::SpanEnd { span: 10 }),
+            ],
+        );
+        let json = b.to_json();
+        let child = events_named(&json, "quorum.phase1");
+        assert_eq!(child.len(), 1);
+        assert_eq!(child[0].get("ph").unwrap().as_str(), Some("X"));
+        let args = child[0].get("args").unwrap();
+        assert_eq!(args.get("span").unwrap().as_num(), Some(11.0));
+        assert_eq!(args.get("parent").unwrap().as_num(), Some(10.0));
+        let root = events_named(&json, "client.op");
+        assert_eq!(
+            root[0].get("args").unwrap().get("parent").unwrap().as_num(),
+            Some(0.0)
+        );
+        assert_eq!(root[0].get("dur").unwrap().as_num(), Some(5.0));
+    }
+
+    #[test]
+    fn unfinished_span_surfaces_as_marker() {
+        let mut b = ChromeTraceBuilder::new();
+        b.add_run(
+            "r",
+            &[ev(
+                0,
+                0,
+                EventKind::SpanStart {
+                    span: 1,
+                    parent: 0,
+                    label: "consensus",
+                },
+            )],
+        );
+        let json = b.to_json();
+        assert_eq!(events_named(&json, "consensus (unfinished)").len(), 1);
+    }
+
+    #[test]
+    fn stamped_messages_get_flow_arrows() {
+        use tfr_registers::ProcId;
+        let mut b = ChromeTraceBuilder::new();
+        b.add_run(
+            "r",
+            &[
+                ev(
+                    100,
+                    0,
+                    EventKind::MsgSend {
+                        to: ProcId(2),
+                        reg: 5,
+                        span: 9,
+                    },
+                ),
+                ev(
+                    900,
+                    2,
+                    EventKind::MsgRecv {
+                        from: ProcId(0),
+                        reg: 5,
+                        span: 9,
+                    },
+                ),
+            ],
+        );
+        let json = b.to_json();
+        let all = json.get("traceEvents").unwrap().as_arr().unwrap();
+        let start: Vec<_> = all
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("s"))
+            .collect();
+        let finish: Vec<_> = all
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("f"))
+            .collect();
+        assert_eq!((start.len(), finish.len()), (1, 1));
+        assert_eq!(
+            start[0].get("id").unwrap().as_num(),
+            finish[0].get("id").unwrap().as_num(),
+            "the pair shares one flow id"
+        );
+        assert_eq!(start[0].get("tid").unwrap().as_num(), Some(0.0));
+        assert_eq!(finish[0].get("tid").unwrap().as_num(), Some(2.0));
+        assert_eq!(finish[0].get("bp").unwrap().as_str(), Some("e"));
+    }
+
+    #[test]
+    fn unstamped_messages_get_no_flow_arrows() {
+        use tfr_registers::ProcId;
+        let mut b = ChromeTraceBuilder::new();
+        b.add_run(
+            "r",
+            &[
+                ev(
+                    100,
+                    0,
+                    EventKind::MsgSend {
+                        to: ProcId(1),
+                        reg: 0,
+                        span: 0,
+                    },
+                ),
+                ev(
+                    400,
+                    1,
+                    EventKind::MsgRecv {
+                        from: ProcId(0),
+                        reg: 0,
+                        span: 0,
+                    },
+                ),
+            ],
+        );
+        let json = b.to_json();
+        let all = json.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(all
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) != Some("s")));
     }
 
     #[test]

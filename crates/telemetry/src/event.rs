@@ -136,6 +136,11 @@ pub enum EventKind {
         to: ProcId,
         /// The register the message is about.
         reg: u64,
+        /// The causal span the message belongs to (0 = untraced). Replies
+        /// echo the request's span, so one id ties the whole round trip —
+        /// client send, replica receive, replica reply, client receive —
+        /// back to the quorum-phase span that issued it.
+        span: u64,
     },
     /// A network message was delivered (pid = the receiving node).
     MsgRecv {
@@ -143,6 +148,8 @@ pub enum EventKind {
         from: ProcId,
         /// The register the message is about.
         reg: u64,
+        /// The causal span the message belongs to (0 = untraced).
+        span: u64,
     },
     /// A network message was dropped at send time by a fault — loss or
     /// partition (pid = the sending node).
@@ -151,6 +158,8 @@ pub enum EventKind {
         to: ProcId,
         /// The register the message is about.
         reg: u64,
+        /// The causal span the message belongs to (0 = untraced).
+        span: u64,
     },
     /// A majority-quorum register operation (ABD read or write) started
     /// on this client node.
@@ -188,6 +197,34 @@ pub enum EventKind {
         slot: u64,
         /// Number of operations the batch committed.
         size: u64,
+    },
+    /// A causal span opened on this process (closed by the matching
+    /// [`EventKind::SpanEnd`]). Span ids are process-global and never
+    /// reused; `parent` is the span that was current at entry (0 = root).
+    SpanStart {
+        /// This span's id (never 0).
+        span: u64,
+        /// The enclosing span's id (0 for a root span).
+        parent: u64,
+        /// The stage name, e.g. `"client.op"` or `"quorum.phase1"`.
+        label: &'static str,
+    },
+    /// The matching span closed.
+    SpanEnd {
+        /// The id of the span that closed.
+        span: u64,
+    },
+    /// A quorum operation completed having observed/installed this
+    /// version — the online monitor's handle on ABD's "readers never go
+    /// back in time" guarantee (per client lane, versions of one register
+    /// must be monotone).
+    QuorumVersion {
+        /// The register the operation touched.
+        reg: u64,
+        /// The version's timestamp component.
+        ts: u64,
+        /// The version's writer-id tiebreak component.
+        wid: u64,
     },
 }
 
@@ -244,9 +281,9 @@ impl EventKind {
             }
             EventKind::PointHit { point } => point.to_string(),
             EventKind::Mark { name, value } => format!("{name}={value}"),
-            EventKind::MsgSend { to, reg } => format!("send→{to} r{reg}"),
-            EventKind::MsgRecv { from, reg } => format!("recv←{from} r{reg}"),
-            EventKind::MsgDropped { to, reg } => format!("drop→{to} r{reg}"),
+            EventKind::MsgSend { to, reg, .. } => format!("send→{to} r{reg}"),
+            EventKind::MsgRecv { from, reg, .. } => format!("recv←{from} r{reg}"),
+            EventKind::MsgDropped { to, reg, .. } => format!("drop→{to} r{reg}"),
             EventKind::QuorumStart { reg, write } => {
                 format!("{} r{reg}", if *write { "qwrite" } else { "qread" })
             }
@@ -257,6 +294,9 @@ impl EventKind {
             EventKind::BatchCommit { shard, slot, size } => {
                 format!("batch s{shard}@{slot} ×{size}")
             }
+            EventKind::SpanStart { span, label, .. } => format!("{label} #{span}"),
+            EventKind::SpanEnd { span } => format!("end #{span}"),
+            EventKind::QuorumVersion { reg, ts, wid } => format!("r{reg} v{ts}.{wid}"),
         }
     }
 }
@@ -312,6 +352,25 @@ mod tests {
             }
             .label(),
             "batch s1@9 ×128"
+        );
+        assert_eq!(
+            EventKind::SpanStart {
+                span: 7,
+                parent: 3,
+                label: "quorum.phase1"
+            }
+            .label(),
+            "quorum.phase1 #7"
+        );
+        assert_eq!(EventKind::SpanEnd { span: 7 }.label(), "end #7");
+        assert_eq!(
+            EventKind::QuorumVersion {
+                reg: 2,
+                ts: 5,
+                wid: 1
+            }
+            .label(),
+            "r2 v5.1"
         );
     }
 

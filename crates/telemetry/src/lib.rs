@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod observer;
 pub mod ring;
 pub mod sim;
+pub mod span;
 pub mod summary;
 
 pub use chrome::ChromeTraceBuilder;
@@ -63,7 +64,8 @@ pub use handle::{current_pid, with_pid, Trace};
 pub use json::Json;
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use observer::ChaosTraceObserver;
-pub use ring::Tracer;
+pub use ring::{DrainCursor, Tracer};
+pub use span::{current_span_id, Span};
 pub use summary::{
     convergence_from_events, heal_convergence_from_events, recovery_spans_from_events,
     run_summary_json, ConvergenceReport, RecoverySpan,

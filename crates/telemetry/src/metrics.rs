@@ -379,6 +379,63 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundaries_hold_for_every_power_of_two() {
+        // Bucket i ≥ 1 covers [2^(i−1), 2^i): an exact power of two is the
+        // *lowest* value of its bucket, and the value just below it is the
+        // highest value of the previous one.
+        for k in 1..64usize {
+            let v = 1u64 << k;
+            assert_eq!(
+                Histogram::bucket_of(v),
+                k + 1,
+                "2^{k} opens bucket {}",
+                k + 1
+            );
+            assert_eq!(Histogram::bucket_of(v - 1), k, "2^{k}−1 closes bucket {k}");
+        }
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        // Single-sample histograms at the edges: the quantile must be an
+        // upper bound of the recorded value.
+        for v in [0u64, 1, 2, u64::MAX, u64::MAX - 1, 1u64 << 63] {
+            let h = Histogram::default();
+            h.record(v);
+            assert!(h.quantile(1.0) >= v, "quantile bound broken for {v}");
+            assert_eq!(h.max(), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_over_seeded_samples() {
+        use tfr_registers::rng::SplitMix64;
+        // 64 seeded sample sets spanning the full u64 range: quantiles
+        // must be monotone in q, bounded by the bucket guarantee (at most
+        // 2× above the true max), and p100 must cover every sample.
+        for seed in 0..64u64 {
+            let mut rng = SplitMix64::new(seed);
+            let h = Histogram::default();
+            let mut true_max = 0u64;
+            for _ in 0..512 {
+                // A random magnitude keeps all 65 buckets reachable.
+                let shift = rng.random_range(0..=63) as u32;
+                let v = rng.random_range(0..=u64::MAX) >> shift;
+                h.record(v);
+                true_max = true_max.max(v);
+            }
+            let qs: Vec<u64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+            assert!(
+                qs.windows(2).all(|w| w[0] <= w[1]),
+                "quantiles regress for seed {seed}: {qs:?}"
+            );
+            assert!(
+                h.quantile(1.0) >= true_max,
+                "p100 below max for seed {seed}"
+            );
+            assert_eq!(h.max(), true_max);
+            assert_eq!(h.count(), 512);
+        }
+    }
+
+    #[test]
     fn registry_returns_shared_handles() {
         let reg = MetricsRegistry::new();
         let a = reg.counter("x");

@@ -252,8 +252,13 @@ impl ConvergenceReport {
 }
 
 /// Assembles the machine-readable summary of one traced run: identity,
-/// convergence, and the standard metrics derived from the event stream —
-/// the payload of `BENCH_telemetry.json`.
+/// convergence, ring health, and the standard metrics derived from the
+/// event stream — the payload of `BENCH_telemetry.json`.
+///
+/// `dropped_events` is the producing tracer's overflow count
+/// ([`crate::Tracer::dropped`]): non-zero means the stream (and therefore
+/// everything derived here) is incomplete, so the count travels with the
+/// summary instead of being silently discarded.
 ///
 /// # Example
 ///
@@ -265,10 +270,12 @@ impl ConvergenceReport {
 ///
 /// let events = [Event { ts_ns: 5, pid: ProcId(0), kind: EventKind::LockAcquired { wait_ns: 5 } }];
 /// let convergence = convergence_from_events(&events, 100);
-/// let summary = run_summary_json("native resilient-mutex", 2, 100_000, 100, &events, &convergence);
+/// let summary =
+///     run_summary_json("native resilient-mutex", 2, 100_000, 100, &events, 0, &convergence);
 /// // It round-trips through the JSON parser and names the run.
 /// let parsed = Json::parse(&summary.to_string()).unwrap();
 /// assert_eq!(parsed.get("run").unwrap().as_str(), Some("native resilient-mutex"));
+/// assert_eq!(parsed.get("dropped_events").unwrap().as_num(), Some(0.0));
 /// assert_eq!(parsed.get("convergence").unwrap().get("convergence_ns").unwrap().as_num(), Some(0.0));
 /// ```
 pub fn run_summary_json(
@@ -277,6 +284,7 @@ pub fn run_summary_json(
     delta_ns: u64,
     target_wait_ns: u64,
     events: &[Event],
+    dropped_events: u64,
     convergence: &ConvergenceReport,
 ) -> Json {
     let metrics = MetricsRegistry::from_events(events);
@@ -286,6 +294,7 @@ pub fn run_summary_json(
         ("delta_ns", Json::Num(delta_ns as f64)),
         ("target_wait_ns", Json::Num(target_wait_ns as f64)),
         ("events", Json::Num(events.len() as f64)),
+        ("dropped_events", Json::Num(dropped_events as f64)),
         ("convergence", convergence.to_json()),
         ("metrics", metrics.to_json()),
     ])
@@ -413,7 +422,7 @@ mod tests {
             e(9, EventKind::LockAcquired { wait_ns: 9 }),
         ];
         let convergence = convergence_from_events(&events, 100);
-        let s = run_summary_json("r", 3, 1_000, 100, &events, &convergence);
+        let s = run_summary_json("r", 3, 1_000, 100, &events, 7, &convergence);
         let retries = s
             .get("metrics")
             .and_then(|m| m.get("counters"))
@@ -421,5 +430,10 @@ mod tests {
             .and_then(Json::as_num);
         assert_eq!(retries, Some(1.0));
         assert_eq!(s.get("n").and_then(Json::as_num), Some(3.0));
+        assert_eq!(
+            s.get("dropped_events").and_then(Json::as_num),
+            Some(7.0),
+            "ring overflow travels with the summary"
+        );
     }
 }

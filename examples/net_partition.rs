@@ -160,6 +160,7 @@ fn main() {
             delta.as_nanos() as u64,
             0,
             &events,
+            tracer.dropped(),
             &convergence,
         ),
     )]);

@@ -1,0 +1,82 @@
+//! `tfr-top`: a live observability dashboard over the sharded service.
+//!
+//! Runs the flat-combining load harness on a background thread with full
+//! tracing, attaches a [`tfr::obs::Collector`] to the same rings, and
+//! renders a dashboard frame every 50 ms *while the run is going* —
+//! windowed throughput, per-stage latency percentiles (client.op →
+//! batch.drive → consensus), monitor verdicts, and ring-overflow counts.
+//! At quiescence it prints the final [`tfr::obs::ObsReport`] JSON (the
+//! streaming counterpart of `run_summary_json`).
+//!
+//! ```text
+//! cargo run --release --example obs_top
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tfr::obs::{dashboard, Collector, CollectorConfig};
+use tfr::service::load::{run_load_native, LoadConfig};
+use tfr::telemetry::{Trace, Tracer};
+
+fn main() {
+    let cfg = LoadConfig {
+        ops_per_client: 64,
+        delta: Duration::from_micros(20),
+        ..LoadConfig::new(128, 4, 4)
+    };
+    let tracer = Arc::new(Tracer::with_capacity(cfg.workers, 1 << 16));
+    let collector = Collector::spawn(
+        Arc::clone(&tracer),
+        CollectorConfig {
+            poll_interval: Duration::from_millis(2),
+            window: Duration::from_millis(100),
+        },
+    );
+
+    let report = std::thread::scope(|s| {
+        let trace = Trace::attached(Arc::clone(&tracer));
+        let load = s.spawn(move || run_load_native(&cfg, &trace));
+        // Render frames until the workload completes.
+        let mut frames = 0u32;
+        loop {
+            std::thread::sleep(Duration::from_millis(50));
+            let snap = collector.snapshot();
+            frames += 1;
+            println!("── frame {frames} ──");
+            print!("{}", dashboard::render(&snap));
+            if load.is_finished() {
+                break;
+            }
+        }
+        load.join().expect("the load harness panicked")
+    });
+    let obs = collector.finish();
+
+    println!("── final ──");
+    println!(
+        "workload   : {} ops in {:.1} ms → {:.0} ops/s, {} batches (mean size {:.1})",
+        report.ops,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.ops_per_sec,
+        report.batches,
+        report.mean_batch_size
+    );
+    assert!(report.state_ok && report.audit_complete, "workload correct");
+    assert_eq!(
+        obs.batches, report.batches,
+        "the collector saw every proposer-reported batch"
+    );
+    assert!(
+        obs.clean(),
+        "fault-free run must be CLEAN: {:?}",
+        obs.violations
+    );
+    println!(
+        "collector  : {} events over {} polls, dropped {}, monitors {}",
+        obs.events,
+        obs.polls,
+        obs.dropped,
+        if obs.clean() { "CLEAN" } else { "VIOLATED" }
+    );
+    println!("{}", obs.to_json());
+}

@@ -9,6 +9,11 @@
 //! Run 2 is **simulated**: Algorithm 1 (consensus) in virtual time,
 //! converted to the same event schema (1 tick = 1 µs).
 //!
+//! Run 3 is the **network stack**: ABD quorum reads and writes over the
+//! emulated cluster, with causal spans (`quorum.read`/`quorum.write` and
+//! their phases) and per-message flow arrows connecting each client
+//! phase to the replica lanes it touched.
+//!
 //! Outputs:
 //! * `trace_export.json` — open in <https://ui.perfetto.dev> or
 //!   `chrome://tracing`;
@@ -26,13 +31,17 @@ use tfr::chaos::{run_mutex_chaos_traced, MutexChaosConfig};
 use tfr::core::adaptive::AdaptiveDelta;
 use tfr::core::consensus::ConsensusSpec;
 use tfr::core::mutex::resilient::ResilientMutex;
+use tfr::net::{NetConfig, Network};
 use tfr::registers::chaos::{points, Fault, FaultAction};
+use tfr::registers::space::RegisterSpace;
 use tfr::registers::{Delta, ProcId};
 use tfr::sim::timing::standard_no_failures;
 use tfr::sim::{RunConfig, Sim};
 use tfr::telemetry::sim::events_from_run;
 use tfr::telemetry::summary::run_summary_json;
-use tfr::telemetry::{convergence_from_events, ChromeTraceBuilder, EventKind, Json, Trace, Tracer};
+use tfr::telemetry::{
+    convergence_from_events, with_pid, ChromeTraceBuilder, EventKind, Json, Trace, Tracer,
+};
 
 fn main() {
     // ---------------------------------------------------------------
@@ -123,11 +132,47 @@ fn main() {
     let sim_convergence = convergence_from_events(&sim_events, 0);
 
     // ---------------------------------------------------------------
-    // Export: one Chrome trace with both runs, plus the JSON summary.
+    // Run 3: quorum registers over the emulated network, spans + flows.
+    // ---------------------------------------------------------------
+    let net_cfg = NetConfig::new(1, 3, 0x7ace);
+    let net_tracer = Arc::new(Tracer::new(net_cfg.tracer_processes()));
+    let net = Arc::new(Network::with_trace(
+        net_cfg,
+        Trace::attached(Arc::clone(&net_tracer)),
+    ));
+    let space = net.space();
+    with_pid(ProcId(0), || {
+        space.write(3, 41);
+        space.write(3, 42);
+        assert_eq!(space.read(3), 42);
+    });
+    drop(space);
+    drop(net); // quiesce the router before merging the rings
+    let net_events = net_tracer.events();
+    assert!(
+        net_events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MsgSend { span, .. } if span != 0)),
+        "quorum messages must carry their causal span"
+    );
+    assert!(
+        net_events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::SpanStart {
+                label: "quorum.phase1",
+                ..
+            }
+        )),
+        "quorum phases must appear as spans"
+    );
+
+    // ---------------------------------------------------------------
+    // Export: one Chrome trace with all three runs, plus the summary.
     // ---------------------------------------------------------------
     let mut builder = ChromeTraceBuilder::new();
     builder.add_run("native resilient-mutex (chaos)", &native_events);
     builder.add_run("sim consensus (virtual time)", &sim_events);
+    builder.add_run("net quorum registers (ABD)", &net_events);
     let trace_json = builder.render();
     let parsed = Json::parse(&trace_json).expect("exporter must emit valid JSON");
     let track_events = parsed
@@ -135,6 +180,14 @@ fn main() {
         .and_then(Json::as_arr)
         .expect("traceEvents array");
     assert!(!track_events.is_empty(), "the trace must be non-empty");
+    let flows = track_events
+        .iter()
+        .filter(|e| matches!(e.get("ph").and_then(Json::as_str), Some("s") | Some("f")))
+        .count();
+    assert!(
+        flows >= 2,
+        "the net run must contribute message flow arrows (got {flows})"
+    );
     std::fs::write("trace_export.json", &trace_json).expect("write trace_export.json");
 
     let summary = Json::obj([
@@ -146,6 +199,7 @@ fn main() {
                 delta.as_nanos() as u64,
                 target_wait_ns,
                 &native_events,
+                tracer.dropped(),
                 &convergence,
             ),
         ),
@@ -157,6 +211,7 @@ fn main() {
                 sim_delta.ticks().0 * 1_000,
                 0,
                 &sim_events,
+                0,
                 &sim_convergence,
             ),
         ),
@@ -185,6 +240,11 @@ fn main() {
     println!(
         "sim run    : {} events, decisions = {decided:?}",
         sim_events.len()
+    );
+    println!(
+        "net run    : {} events, {} flow arrows across client/replica lanes",
+        net_events.len(),
+        flows
     );
     println!(
         "wrote trace_export.json ({} trace events)",

@@ -45,9 +45,17 @@
 //!   sampling and seeded combiner mutants proving the sampler's teeth.
 //! * [`telemetry`] — the unified telemetry layer: lock-free per-process
 //!   event tracing with zero-cost-when-disabled hooks across both
-//!   execution stacks, a metrics registry (counters, log-bucketed
-//!   histograms), and Chrome-trace/Perfetto JSON plus machine-readable
-//!   summary export with the measured §1.3 convergence time.
+//!   execution stacks, causal spans propagated through message envelopes
+//!   and batch records, a metrics registry (counters, log-bucketed
+//!   histograms), and Chrome-trace/Perfetto JSON (with cross-node flow
+//!   links) plus machine-readable summary export with the measured §1.3
+//!   convergence time.
+//! * [`obs`] — live observability: a background collector draining event
+//!   rings *during* execution (windowed throughput, per-stage latency
+//!   percentiles, Δ and fault tracks, a text dashboard), and sound
+//!   online invariant monitors — mutual-exclusion intrusion, batch
+//!   duplicate/gap, quorum version regression, recovery-incarnation
+//!   monotonicity — that flag violations while chaos nemeses run.
 //!
 //! # Quickstart
 //!
@@ -76,6 +84,7 @@ pub use tfr_core as core;
 pub use tfr_linearize as linearize;
 pub use tfr_modelcheck as modelcheck;
 pub use tfr_net as net;
+pub use tfr_obs as obs;
 pub use tfr_registers as registers;
 pub use tfr_service as service;
 pub use tfr_sim as sim;
