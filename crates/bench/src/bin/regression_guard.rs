@@ -5,6 +5,8 @@
 //! cargo run --release -p tfr-bench --bin regression_guard -- out/BENCH_service.json
 //! cargo run --release -p tfr-bench --bin regression_guard -- \
 //!     --baseline crates/bench/baselines/service_baseline.json out/BENCH_service.json
+//! cargo run --release -p tfr-bench --bin regression_guard -- \
+//!     --baseline crates/bench/baselines/log_baseline.json out/BENCH_log.json
 //! ```
 //!
 //! Exits non-zero when any committed baseline point regresses past the

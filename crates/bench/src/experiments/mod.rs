@@ -4,6 +4,7 @@
 pub mod consensus_safety;
 pub mod consensus_time;
 pub mod extensions;
+pub mod log;
 pub mod modelcheck;
 pub mod mutex_perf;
 pub mod mutex_safety;
@@ -138,6 +139,11 @@ pub fn registry() -> Vec<Experiment> {
             "obs",
             "live observability: collector overhead off/passive/full, stage latency tracks, online monitor verdicts (E23)",
             obs::obs,
+        ),
+        (
+            "log",
+            "replicated log: commit pipelining speedup, batch/window sweep, audit + mutant verdicts (E24)",
+            log::log,
         ),
     ]
 }

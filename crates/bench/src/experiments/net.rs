@@ -166,5 +166,53 @@ pub fn net() -> Vec<Table> {
     }
     t2.note("Safety never depends on the schedule: stranded ops retransmit until the heal,");
     t2.note("then drain — the convergence column is that drain, measured off the trace.");
-    vec![t1, t2]
+
+    // -----------------------------------------------------------------
+    // Table 3: router coalescing under log traffic. The router drains
+    // every due message per lock hold; pipelined SMR keeps more quorum
+    // ops in flight per link than sequential heights, so deliveries
+    // coalesce into larger batches (fewer lock round-trips per message).
+    // -----------------------------------------------------------------
+    let mut t3 = Table::new(
+        "NET",
+        "router coalescing under replicated-log traffic (sequential vs pipelined)",
+        &[
+            "window",
+            "commits",
+            "delivered msgs",
+            "delivery batches",
+            "msgs/batch",
+            "commits/sec",
+        ],
+    );
+    for window in [1u64, 4] {
+        let cfg = tfr_log::SmrConfig {
+            workers: 2,
+            replicas: 1,
+            batches_per_worker: 3,
+            batch: 4,
+            window,
+            delta: Duration::from_micros(200),
+            replica_poll: Duration::from_micros(200),
+            seed: 0xC0A1 + window,
+        };
+        let lanes = cfg.workers + cfg.replicas;
+        let net = Arc::new(Network::new(NetConfig::new(lanes, 3, 0xC0A1E5CE ^ window)));
+        let control = net.control();
+        let report = tfr_log::run_smr(Arc::new(net.space()), &cfg, Trace::default());
+        let (msgs, batches) = (control.delivered_messages(), control.delivery_batches());
+        t3.row(vec![
+            window.to_string(),
+            report.commits.to_string(),
+            msgs.to_string(),
+            batches.to_string(),
+            format!("{:.2}", msgs as f64 / batches.max(1) as f64),
+            format!("{:.0}", report.commits_per_sec()),
+        ]);
+    }
+    t3.note("Same workload, same cluster: only the pipeline window differs. Coalescing is");
+    t3.note("deterministic w.r.t. the seed — delivery order and per-link RNG draws are");
+    t3.note("fixed at send time, so batching never changes what is delivered, only when");
+    t3.note("the router lock is taken.");
+    vec![t1, t2, t3]
 }

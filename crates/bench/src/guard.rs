@@ -1,10 +1,19 @@
 //! Throughput regression guard over the machine-readable bench output.
 //!
-//! CI regenerates `BENCH_service.json` on every run; this module compares
-//! the fresh throughput table against a committed baseline
-//! (`crates/bench/baselines/service_baseline.json`) and fails the build
-//! when any (backend, clients) point regresses past the tolerance —
-//! by default below 70% of the baseline rate, i.e. a >30% regression.
+//! CI regenerates `BENCH_<id>.json` on every run; this module compares
+//! the fresh tables against a committed baseline (e.g.
+//! `crates/bench/baselines/service_baseline.json`) and fails the build
+//! when any guarded point regresses past the tolerance — by default
+//! below 70% of the baseline rate, i.e. a >30% regression.
+//!
+//! The baseline schema is **generic**: each row names the metric it
+//! floors (`"metric"`, defaulting to `"ops/sec"`) plus that metric's
+//! floor value, and *every other field is a match key* — the guard
+//! scans all fresh tables for a row whose fields equal the keys and
+//! reads the metric from it. The service floors match on
+//! `backend`/`clients` against `ops/sec`; the log floors match on
+//! `backend`/`batch`/`window` against `commits/sec`; a future
+//! experiment needs no guard changes at all, only a baseline file.
 //!
 //! Baselines are deliberately conservative floors (well under the rates
 //! a warm developer machine measures), so the guard catches structural
@@ -16,24 +25,73 @@ use tfr_telemetry::Json;
 /// Default tolerance: fail when fresh < baseline × 0.7 (>30% regression).
 pub const DEFAULT_TOLERANCE: f64 = 0.7;
 
-/// One guarded throughput point.
+/// The metric a baseline row floors when it names none.
+pub const DEFAULT_METRIC: &str = "ops/sec";
+
+/// A match-key value: baseline rows select fresh rows by exact string
+/// or numeric equality on every key.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ThroughputPoint {
-    /// Execution substrate, e.g. `"native"` or `"net"`.
-    pub backend: String,
-    /// Simulated client count for this row.
-    pub clients: u64,
-    /// Sustained operations per second.
-    pub ops_per_sec: f64,
+pub enum KeyValue {
+    /// A string-valued key, e.g. `backend = "native"`.
+    Str(String),
+    /// A numeric key, e.g. `clients = 1000` or `window = 4`.
+    Num(f64),
+}
+
+impl KeyValue {
+    fn from_json(v: &Json) -> Option<KeyValue> {
+        match (v.as_str(), v.as_num()) {
+            (Some(s), _) => Some(KeyValue::Str(s.to_string())),
+            (None, Some(n)) => Some(KeyValue::Num(n)),
+            _ => None,
+        }
+    }
+
+    fn matches(&self, v: &Json) -> bool {
+        match self {
+            KeyValue::Str(s) => v.as_str() == Some(s.as_str()),
+            KeyValue::Num(n) => v.as_num() == Some(*n),
+        }
+    }
+}
+
+impl std::fmt::Display for KeyValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyValue::Str(s) => f.write_str(s),
+            KeyValue::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// One guarded point: generic match keys plus the floored metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardPoint {
+    /// Fields a fresh row must equal, in baseline order.
+    pub keys: Vec<(String, KeyValue)>,
+    /// The rate field guarded on the matched row.
+    pub metric: String,
+    /// The committed floor for that metric (before tolerance).
+    pub rate: f64,
+}
+
+impl GuardPoint {
+    fn describe(&self) -> String {
+        self.keys
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
 }
 
 /// The guard's verdict for one baseline point.
 #[derive(Debug, Clone)]
 pub struct GuardLine {
     /// The guarded point (baseline rate).
-    pub point: ThroughputPoint,
-    /// The fresh measurement, if the row was present at all.
-    pub fresh_ops_per_sec: Option<f64>,
+    pub point: GuardPoint,
+    /// The fresh measurement, if a matching row was present at all.
+    pub fresh_rate: Option<f64>,
     /// The floor the fresh rate was held to (baseline × tolerance).
     pub floor: f64,
     /// Whether this point passed.
@@ -44,14 +102,15 @@ impl GuardLine {
     /// Renders the verdict as one human-readable line.
     pub fn render(&self) -> String {
         let verdict = if self.ok { "ok  " } else { "FAIL" };
-        match self.fresh_ops_per_sec {
+        let what = self.point.describe();
+        match self.fresh_rate {
             Some(fresh) => format!(
-                "{verdict} {:>7} clients on {:<6} — fresh {:>10.0} ops/s vs floor {:>10.0} (baseline {:.0})",
-                self.point.clients, self.point.backend, fresh, self.floor, self.point.ops_per_sec
+                "{verdict} {what} — fresh {fresh:>10.0} {} vs floor {:>10.0} (baseline {:.0})",
+                self.point.metric, self.floor, self.point.rate
             ),
             None => format!(
-                "{verdict} {:>7} clients on {:<6} — row missing from the fresh BENCH_service.json",
-                self.point.clients, self.point.backend
+                "{verdict} {what} — no fresh row with `{}` matches",
+                self.point.metric
             ),
         }
     }
@@ -73,48 +132,44 @@ impl GuardReport {
     }
 }
 
-/// Extracts the throughput rows from a `BENCH_<id>.json` document: the
-/// first table whose rows carry `backend`, `clients`, and `ops/sec`.
-pub fn throughput_points(bench: &Json) -> Result<Vec<ThroughputPoint>, String> {
-    let tables = bench
-        .get("tables")
-        .and_then(Json::as_arr)
-        .ok_or("bench document has no `tables` array")?;
+/// Finds `point`'s fresh rate: the first row in any table whose fields
+/// equal every match key and which carries the metric as a number.
+pub fn fresh_rate(bench: &Json, point: &GuardPoint) -> Option<f64> {
+    let tables = bench.get("tables").and_then(Json::as_arr)?;
     for table in tables {
-        let rows = match table.get("rows").and_then(Json::as_arr) {
-            Some(rows) => rows,
-            None => continue,
+        let Some(rows) = table.get("rows").and_then(Json::as_arr) else {
+            continue;
         };
-        let mut points = Vec::new();
         for row in rows {
-            let (backend, clients, rate) = match (
-                row.get("backend").and_then(Json::as_str),
-                row.get("clients").and_then(Json::as_num),
-                row.get("ops/sec").and_then(Json::as_num),
-            ) {
-                (Some(b), Some(c), Some(r)) => (b, c, r),
-                _ => {
-                    points.clear();
-                    break;
-                }
-            };
-            points.push(ThroughputPoint {
-                backend: backend.to_string(),
-                clients: clients as u64,
-                ops_per_sec: rate,
-            });
-        }
-        if !points.is_empty() {
-            return Ok(points);
+            let all_match = point
+                .keys
+                .iter()
+                .all(|(k, v)| row.get(k).is_some_and(|f| v.matches(f)));
+            if !all_match {
+                continue;
+            }
+            if let Some(rate) = row.get(&point.metric).and_then(Json::as_num) {
+                return Some(rate);
+            }
         }
     }
-    Err("no table with backend/clients/ops\\/sec rows found".into())
+    None
 }
 
 /// Parses a committed baseline document:
-/// `{"tolerance": 0.7, "rows": [{"backend": .., "clients": .., "ops/sec": ..}]}`.
-/// `tolerance` is optional and defaults to [`DEFAULT_TOLERANCE`].
-pub fn parse_baseline(doc: &Json) -> Result<(Vec<ThroughputPoint>, f64), String> {
+///
+/// ```text
+/// {"tolerance": 0.7, "rows": [
+///   {"backend": "native", "clients": 1000, "ops/sec": 180000},
+///   {"backend": "native", "batch": 8, "window": 4,
+///    "metric": "commits/sec", "commits/sec": 4000}
+/// ]}
+/// ```
+///
+/// `tolerance` is optional and defaults to [`DEFAULT_TOLERANCE`]; each
+/// row's `metric` is optional and defaults to [`DEFAULT_METRIC`]. The
+/// metric field holds the floor; every other field is a match key.
+pub fn parse_baseline(doc: &Json) -> Result<(Vec<GuardPoint>, f64), String> {
     let tolerance = match doc.get("tolerance") {
         Some(t) => t
             .as_num()
@@ -128,21 +183,33 @@ pub fn parse_baseline(doc: &Json) -> Result<(Vec<ThroughputPoint>, f64), String>
         .ok_or("baseline document has no `rows` array")?;
     let mut points = Vec::new();
     for row in rows {
-        points.push(ThroughputPoint {
-            backend: row
-                .get("backend")
-                .and_then(Json::as_str)
-                .ok_or("baseline row missing `backend`")?
+        let Json::Obj(fields) = row else {
+            return Err("baseline rows must be objects".into());
+        };
+        let metric = match row.get("metric") {
+            Some(m) => m
+                .as_str()
+                .ok_or("baseline `metric` must be a string")?
                 .to_string(),
-            clients: row
-                .get("clients")
-                .and_then(Json::as_num)
-                .ok_or("baseline row missing `clients`")? as u64,
-            ops_per_sec: row
-                .get("ops/sec")
-                .and_then(Json::as_num)
-                .ok_or("baseline row missing `ops/sec`")?,
-        });
+            None => DEFAULT_METRIC.to_string(),
+        };
+        let rate = row
+            .get(&metric)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("baseline row missing its metric field `{metric}`"))?;
+        let mut keys = Vec::new();
+        for (name, value) in fields {
+            if name == "metric" || *name == metric {
+                continue;
+            }
+            let v = KeyValue::from_json(value)
+                .ok_or_else(|| format!("baseline key `{name}` must be a string or a number"))?;
+            keys.push((name.clone(), v));
+        }
+        if keys.is_empty() {
+            return Err("baseline row has no match keys".into());
+        }
+        points.push(GuardPoint { keys, metric, rate });
     }
     if points.is_empty() {
         return Err("baseline has no rows".into());
@@ -152,24 +219,23 @@ pub fn parse_baseline(doc: &Json) -> Result<(Vec<ThroughputPoint>, f64), String>
 
 /// Compares a fresh bench document against the committed baseline.
 ///
-/// Every baseline point must be present in the fresh table and sustain
-/// at least `baseline × tolerance` ops/sec. Extra fresh rows (new sweep
+/// Every baseline point must match a fresh row and sustain at least
+/// `baseline × tolerance` on its metric. Extra fresh rows (new sweep
 /// points) are ignored: the baseline only ever *floors* known points.
 pub fn check(bench: &Json, baseline_doc: &Json) -> Result<GuardReport, String> {
-    let fresh = throughput_points(bench)?;
+    if bench.get("tables").and_then(Json::as_arr).is_none() {
+        return Err("bench document has no `tables` array".into());
+    }
     let (baseline, tolerance) = parse_baseline(baseline_doc)?;
     let lines = baseline
         .into_iter()
         .map(|point| {
-            let floor = point.ops_per_sec * tolerance;
-            let fresh_rate = fresh
-                .iter()
-                .find(|f| f.backend == point.backend && f.clients == point.clients)
-                .map(|f| f.ops_per_sec);
+            let floor = point.rate * tolerance;
+            let fresh = fresh_rate(bench, &point);
             GuardLine {
-                ok: fresh_rate.is_some_and(|r| r >= floor),
+                ok: fresh.is_some_and(|r| r >= floor),
                 point,
-                fresh_ops_per_sec: fresh_rate,
+                fresh_rate: fresh,
                 floor,
             }
         })
@@ -259,7 +325,7 @@ mod tests {
         let base = baseline_doc(None, &[("net", 100, 800.0)]);
         let report = check(&bench, &base).unwrap();
         assert!(!report.passed());
-        assert!(report.lines[0].render().contains("missing"));
+        assert!(report.lines[0].render().contains("no fresh row"));
     }
 
     #[test]
@@ -285,6 +351,15 @@ mod tests {
         assert!(check(&Json::Obj(vec![]), &baseline_doc(None, &[("a", 1, 1.0)])).is_err());
         assert!(check(&bench, &Json::Obj(vec![])).is_err());
         assert!(check(&bench, &baseline_doc(Some(1.5), &[("a", 1, 1.0)])).is_err());
+        // A row whose metric field is absent.
+        let broken = Json::obj([(
+            "rows",
+            Json::Arr(vec![Json::obj([
+                ("backend", Json::str("native")),
+                ("metric", Json::str("commits/sec")),
+            ])]),
+        )]);
+        assert!(check(&bench, &broken).is_err());
     }
 
     #[test]
@@ -294,14 +369,67 @@ mod tests {
             {"backend":"native","clients":1000,"workers":4,"shards":4,
              "ops":4000,"ops/sec":350000,"mean batch":3.2,"integrity":"ok"}]}]}"#;
         let bench = Json::parse(text).unwrap();
-        let points = throughput_points(&bench).unwrap();
-        assert_eq!(
-            points,
-            vec![ThroughputPoint {
-                backend: "native".into(),
-                clients: 1_000,
-                ops_per_sec: 350_000.0,
-            }]
-        );
+        let point = GuardPoint {
+            keys: vec![
+                ("backend".into(), KeyValue::Str("native".into())),
+                ("clients".into(), KeyValue::Num(1_000.0)),
+            ],
+            metric: DEFAULT_METRIC.into(),
+            rate: 200_000.0,
+        };
+        assert_eq!(fresh_rate(&bench, &point), Some(350_000.0));
+    }
+
+    #[test]
+    fn custom_metric_rows_guard_other_experiments() {
+        // A BENCH_log.json-shaped table guarded on commits/sec with
+        // batch/window match keys — no service fields anywhere.
+        let bench = Json::parse(
+            r#"{"experiment":"log","tables":[{"id":"E24","rows":[
+                {"backend":"native","batch":8,"window":4,
+                 "commits/sec":9000,"speedup":2.1},
+                {"backend":"native","batch":8,"window":1,
+                 "commits/sec":3000,"speedup":1.0}]}]}"#,
+        )
+        .unwrap();
+        let base = Json::parse(
+            r#"{"tolerance":0.5,"rows":[
+                {"backend":"native","batch":8,"window":4,
+                 "metric":"commits/sec","commits/sec":8000},
+                {"backend":"native","batch":8,"window":1,
+                 "metric":"commits/sec","commits/sec":2000}]}"#,
+        )
+        .unwrap();
+        let report = check(&bench, &base).unwrap();
+        assert!(report.passed(), "{:?}", report.lines);
+        // Drop the pipelined rate below floor: 8000 × 0.5 = 4000.
+        let regressed = Json::parse(
+            r#"{"tables":[{"rows":[
+                {"backend":"native","batch":8,"window":4,"commits/sec":3500},
+                {"backend":"native","batch":8,"window":1,"commits/sec":3000}]}]}"#,
+        )
+        .unwrap();
+        let report = check(&regressed, &base).unwrap();
+        assert!(!report.passed());
+        assert!(report.lines[0].render().contains("commits/sec"));
+    }
+
+    #[test]
+    fn mixed_metric_baselines_coexist() {
+        // One baseline file flooring both a service point (default
+        // metric) and a log point (named metric).
+        let bench = Json::parse(
+            r#"{"tables":[
+                {"rows":[{"backend":"native","clients":1000,"ops/sec":250000}]},
+                {"rows":[{"backend":"net","window":4,"commits/sec":700}]}]}"#,
+        )
+        .unwrap();
+        let base = Json::parse(
+            r#"{"rows":[
+                {"backend":"native","clients":1000,"ops/sec":200000},
+                {"backend":"net","window":4,"metric":"commits/sec","commits/sec":600}]}"#,
+        )
+        .unwrap();
+        assert!(check(&bench, &base).unwrap().passed());
     }
 }

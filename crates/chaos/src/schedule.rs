@@ -185,6 +185,49 @@ impl ScheduleConfig {
         }
     }
 
+    /// A schedule shape for the replicated log: height decisions bottom
+    /// out in consensus instances (their points stay timing-sensitive)
+    /// and the log adds its own two — the batch publication before a
+    /// height proposal ([`points::LOG_PROPOSE`]) and the in-order entry
+    /// application ([`points::LOG_APPLY`]). Stalls at those points land
+    /// exactly on height transitions, mid-pipeline. Crash-*recoveries*
+    /// are confined to the two log points: both sit before any arena or
+    /// ack write of the step they guard, so a fresh incarnation provably
+    /// resynchronises by replaying the decided registers (crashing
+    /// *inside* a publish could otherwise let a later incarnation
+    /// overwrite an arena block a concurrent adopter already decided
+    /// on). Permanent crash-stops are deliberately absent: the commit
+    /// pipeline bounds how far the frontier may run ahead of the
+    /// *cluster* applied floor, so every lane's progress is load-bearing
+    /// for liveness — a lane that dies for good is a reconfiguration
+    /// problem, not a timing failure, and safety under it is already
+    /// covered by the window stalling rather than committing.
+    pub fn log(n: usize, delta: Duration) -> ScheduleConfig {
+        let anywhere = vec![
+            points::CONSENSUS_ROUND,
+            points::CONSENSUS_DECIDE,
+            points::DELAY,
+            points::ARRAY_LOAD,
+            points::ARRAY_STORE,
+            points::LOG_PROPOSE,
+            points::LOG_APPLY,
+        ];
+        ScheduleConfig {
+            n,
+            max_faults: 6,
+            stall_points: anywhere,
+            crash_points: Vec::new(),
+            max_nth: 6,
+            min_stall: delta,
+            max_stall: delta * 8,
+            crash_prob: 0.0,
+            crash_recover_points: vec![points::LOG_PROPOSE, points::LOG_APPLY],
+            recover_prob: 0.45,
+            min_down: delta,
+            max_down: delta * 8,
+        }
+    }
+
     /// A schedule shape for *recoverable* mutex workloads under
     /// Δ-estimate `delta`: crash-recoveries land both **inside** the
     /// critical section ([`points::WORKLOAD_CS`], [`points::RECOVERABLE_CS`])

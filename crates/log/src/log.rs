@@ -1,0 +1,746 @@
+//! The replicated log substrate: a height-indexed sequence of
+//! [`MultiConsensus`] instances over one shared register space, plus the
+//! impure drivers ([`LogWorker`], [`LogReplica`]) that execute the pure
+//! [`HeightStateMachine`]'s effects against it.
+//!
+//! # Register layout
+//!
+//! The log tiles its parent space into three disjoint stride-3 regions
+//! (the same idiom as `tfr_core::universal::Universal`):
+//!
+//! * **acks** (offset 0) — applier `a`'s applied-prefix length at local
+//!   index `a`. Appliers are the `n` workers (lanes `0..n`) followed by
+//!   the `R` passive replicas (lanes `n..n+R`). The cluster *floor* is
+//!   the minimum over all lanes; the pipeline window is enforced
+//!   against it.
+//! * **arena** (offset 1) — batch payloads. Height `h` owns the block
+//!   at `h·hstride` with `hstride = n·max_batch + n`: proposer `p`'s
+//!   op `j` lives at `h·hstride + p·max_batch + j` (stored as `op + 1`),
+//!   and `p`'s batch size at `h·hstride + n·max_batch + p`, **written
+//!   last** (0 = unpublished).
+//! * **slots** (offset 2) — height `h`'s consensus instance over the
+//!   stride-`heights` subspace based at `h`; the decided value is the
+//!   winning proposer's pid (width 8, so `n ≤ 255`).
+//!
+//! # Why a decided batch is always readable
+//!
+//! A proposer publishes its arena block (ops, then size) *before* it
+//! proposes, and [`MultiConsensus`] announces a proposal before anything
+//! can adopt it. So if height `h` decides proposer `w`, then `w`'s
+//! announce happened, which happened after `w`'s publish completed —
+//! any reader that sees the decision reads a fully published batch.
+//! Within a run no `(height, proposer)` arena block is ever written
+//! twice: the frontier is monotone, decided heights are never
+//! re-proposed, and a recovered incarnation resynchronises *from the
+//! registers* before its first publish (see [`LogWorker::resumed`]).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tfr_core::universal::{MultiConsensus, Sequential};
+use tfr_registers::chaos::{self, points};
+use tfr_registers::space::{NativeSpace, RegisterSpace, SubSpace};
+use tfr_registers::ProcId;
+use tfr_telemetry::event::EventKind;
+use tfr_telemetry::{Span, Trace};
+
+use crate::audit::{chain_digest, AppliedEntry, LogAudit};
+use crate::machine::{BatchId, Effect, HeightStateMachine};
+
+/// The three disjoint stride-3 regions of the parent space.
+const REGIONS: u64 = 3;
+const REGION_ACKS: u64 = 0;
+const REGION_ARENA: u64 = 1;
+const REGION_SLOTS: u64 = 2;
+
+/// Decision values are proposer pids: 8 bits caps the cluster at 255.
+const DECIDE_WIDTH: u32 = 8;
+
+/// Per-height consensus space: the stride-`heights` view of the slots
+/// region — two nested [`SubSpace`]s over the shared parent.
+type HeightSpace<S> = SubSpace<SubSpace<Arc<S>>>;
+
+/// Shape of a [`ReplicatedLog`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogConfig {
+    /// Proposing workers (each is also an applier lane).
+    pub n: usize,
+    /// Passive replicas (applier lanes `n..n+replicas`).
+    pub replicas: usize,
+    /// Height capacity of the log.
+    pub heights: usize,
+    /// Maximum ops per batch.
+    pub max_batch: usize,
+    /// Pipeline window: how far the decision frontier may run ahead of
+    /// the cluster applied floor (1 = sequential heights).
+    pub window: u64,
+    /// The `delay(Δ)` estimate handed to every height's consensus.
+    pub delta: Duration,
+}
+
+impl LogConfig {
+    /// A small default shape: `n` workers, one replica, sequential
+    /// heights capacity 64, batches of up to 8 ops.
+    pub fn new(n: usize, delta: Duration) -> LogConfig {
+        LogConfig {
+            n,
+            replicas: 1,
+            heights: 64,
+            max_batch: 8,
+            window: 4,
+            delta,
+        }
+    }
+
+    /// Total applier lanes (workers + replicas).
+    pub fn lanes(&self) -> usize {
+        self.n + self.replicas
+    }
+
+    /// Arena cells consumed per height: `n·max_batch` op cells plus `n`
+    /// size cells.
+    fn hstride(&self) -> u64 {
+        (self.n * self.max_batch + self.n) as u64
+    }
+}
+
+/// A multi-height replicated log over any [`RegisterSpace`]: height `h`
+/// commits one proposer's batch via consensus, and every applier lane
+/// applies committed batches in strict height order.
+pub struct ReplicatedLog<T: Sequential, S: RegisterSpace = NativeSpace> {
+    object: T,
+    cfg: LogConfig,
+    acks: SubSpace<Arc<S>>,
+    arena: SubSpace<Arc<S>>,
+    slots: Vec<MultiConsensus<HeightSpace<S>>>,
+    trace: Trace,
+}
+
+impl<T: Sequential> ReplicatedLog<T> {
+    /// A log over a fresh native shared-memory space.
+    pub fn new(object: T, cfg: LogConfig) -> ReplicatedLog<T> {
+        let capacity = REGIONS * (cfg.heights as u64 * cfg.hstride() + 1024);
+        ReplicatedLog::on(
+            object,
+            cfg,
+            Arc::new(NativeSpace::with_capacity(capacity as usize)),
+        )
+    }
+}
+
+impl<T: Sequential, S: RegisterSpace> ReplicatedLog<T, S> {
+    /// A log over an arbitrary fresh register space — e.g. a `tfr-net`
+    /// quorum space. The algorithms are identical on every backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is degenerate (`n` 0 or > 255, no heights,
+    /// zero-op batches, zero window).
+    pub fn on(object: T, cfg: LogConfig, space: Arc<S>) -> ReplicatedLog<T, S> {
+        assert!(cfg.n > 0 && cfg.n <= 255, "1..=255 proposers required");
+        assert!(cfg.heights > 0, "a log needs at least one height");
+        assert!(cfg.max_batch > 0, "batches must hold at least one op");
+        assert!(cfg.window > 0, "a zero window can never commit");
+        let acks = SubSpace::new(Arc::clone(&space), REGION_ACKS, REGIONS);
+        let arena = SubSpace::new(Arc::clone(&space), REGION_ARENA, REGIONS);
+        let slots = (0..cfg.heights)
+            .map(|h| {
+                let region = SubSpace::new(Arc::clone(&space), REGION_SLOTS, REGIONS);
+                let height_space = SubSpace::new(region, h as u64, cfg.heights as u64);
+                MultiConsensus::on(Arc::new(height_space), cfg.n, DECIDE_WIDTH, cfg.delta)
+            })
+            .collect();
+        ReplicatedLog {
+            object,
+            cfg,
+            acks,
+            arena,
+            slots,
+            trace: Trace::default(),
+        }
+    }
+
+    /// Attaches a telemetry trace (height decisions, applies, spans).
+    pub fn with_trace(mut self, trace: Trace) -> ReplicatedLog<T, S> {
+        self.trace = trace;
+        self
+    }
+
+    /// The log's shape.
+    pub fn config(&self) -> &LogConfig {
+        &self.cfg
+    }
+
+    /// The replicated object's sequential specification.
+    pub fn object(&self) -> &T {
+        &self.object
+    }
+
+    /// The attached trace (disabled by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The decided winner at `height`, if any. Heights at or beyond the
+    /// capacity read as undecided.
+    pub fn decision(&self, height: u64) -> Option<usize> {
+        self.slots
+            .get(height as usize)?
+            .decision()
+            .map(|w| w as usize)
+    }
+
+    /// Publishes `pid`'s batch into its arena block at `height`: ops
+    /// first, size last. Must precede the proposal at that height.
+    fn publish(&self, pid: ProcId, height: u64, ops: &[u64]) {
+        assert!(
+            !ops.is_empty() && ops.len() <= self.cfg.max_batch,
+            "batch size out of range"
+        );
+        let base = height * self.cfg.hstride() + (pid.0 * self.cfg.max_batch) as u64;
+        for (j, &op) in ops.iter().enumerate() {
+            self.arena.write(base + j as u64, op + 1);
+        }
+        let size_idx =
+            height * self.cfg.hstride() + (self.cfg.n * self.cfg.max_batch + pid.0) as u64;
+        self.arena.write(size_idx, ops.len() as u64);
+    }
+
+    /// Proposes `pid` at `height`; blocks until the height decides and
+    /// returns the winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` exceeds the log's capacity.
+    fn propose(&self, pid: ProcId, height: u64) -> usize {
+        let slot = self
+            .slots
+            .get(height as usize)
+            .unwrap_or_else(|| panic!("log height capacity ({}) exceeded", self.cfg.heights));
+        slot.propose(pid, pid.0 as u64) as usize
+    }
+
+    /// Reads the committed batch at a *decided* height.
+    pub fn batch(&self, height: u64, winner: usize) -> Vec<u64> {
+        let size_idx =
+            height * self.cfg.hstride() + (self.cfg.n * self.cfg.max_batch + winner) as u64;
+        let size = self.arena.read(size_idx);
+        assert!(
+            size > 0 && size as usize <= self.cfg.max_batch,
+            "decided height {height} has no published batch — publish-before-propose violated"
+        );
+        let base = height * self.cfg.hstride() + (winner * self.cfg.max_batch) as u64;
+        (0..size).map(|j| self.arena.read(base + j) - 1).collect()
+    }
+
+    /// Records applier `lane`'s applied-prefix length in its ack register.
+    pub(crate) fn set_applied(&self, lane: usize, count: u64) {
+        debug_assert!(lane < self.cfg.lanes());
+        self.acks.write(lane as u64, count);
+    }
+
+    /// The cluster-wide applied floor: min over every applier lane.
+    pub fn applied_floor(&self) -> u64 {
+        (0..self.cfg.lanes() as u64)
+            .map(|a| self.acks.read(a))
+            .min()
+            .expect("at least one lane")
+    }
+
+    /// Applies the committed entry at `height` to `state`, extending the
+    /// chained digest from `prev_digest`. Emits the `LogApply` event and
+    /// fires the `log.apply-entry` chaos point. Returns the applied
+    /// entry and the `(op, response)` pairs of the batch.
+    pub(crate) fn apply_height(
+        &self,
+        lane_pid: ProcId,
+        height: u64,
+        state: &mut T::State,
+        prev_digest: u64,
+    ) -> (AppliedEntry, Vec<(u64, u64)>) {
+        chaos::point(points::LOG_APPLY);
+        let _span = Span::enter(&self.trace, "log.apply");
+        let winner = self.decision(height).expect("applying an undecided height");
+        let ops = self.batch(height, winner);
+        let mut resps = Vec::with_capacity(ops.len());
+        for &op in &ops {
+            resps.push((op, self.object.apply(state, op)));
+        }
+        let digest = chain_digest(prev_digest, height, winner as u64, &ops);
+        self.trace
+            .emit(lane_pid, EventKind::LogApply { height, digest });
+        (
+            AppliedEntry {
+                height,
+                winner,
+                digest,
+            },
+            resps,
+        )
+    }
+
+    /// Replays the decided prefix straight from the registers, without
+    /// telemetry or chaos points, invoking `on_entry` per height.
+    fn replay(&self, mut on_entry: impl FnMut(u64, usize, &[u64])) -> Vec<AppliedEntry> {
+        let mut entries = Vec::new();
+        let mut digest = 0;
+        let mut h = 0u64;
+        while let Some(winner) = self.decision(h) {
+            let ops = self.batch(h, winner);
+            on_entry(h, winner, &ops);
+            digest = chain_digest(digest, h, winner as u64, &ops);
+            entries.push(AppliedEntry {
+                height: h,
+                winner,
+                digest,
+            });
+            h += 1;
+        }
+        entries
+    }
+
+    /// The canonical applied sequence reconstructed from the registers,
+    /// and the total op count across it.
+    pub fn truth(&self) -> (Vec<AppliedEntry>, u64) {
+        let mut total_ops = 0;
+        let entries = self.replay(|_, _, ops| total_ops += ops.len() as u64);
+        (entries, total_ops)
+    }
+
+    /// Audits applier `lanes` against the register ground truth: every
+    /// lane must be an in-order prefix of the one canonical sequence.
+    pub fn audit(&self, lanes: &[&[AppliedEntry]]) -> LogAudit {
+        let (truth, total_ops) = self.truth();
+        LogAudit::check(truth, total_ops, lanes)
+    }
+}
+
+/// A proposing worker: owns a [`HeightStateMachine`], executes its
+/// effects against the log, and applies committed entries in height
+/// order (applier lane = its pid).
+pub struct LogWorker<T: Sequential, S: RegisterSpace = NativeSpace> {
+    log: Arc<ReplicatedLog<T, S>>,
+    pid: ProcId,
+    machine: HeightStateMachine,
+    payloads: HashMap<BatchId, Vec<u64>>,
+    next_batch: BatchId,
+    state: T::State,
+    digest: u64,
+    applied: Vec<AppliedEntry>,
+    responses: Vec<(u64, u64)>,
+}
+
+impl<T: Sequential, S: RegisterSpace> LogWorker<T, S> {
+    /// A fresh worker for proposer `pid`.
+    pub fn new(log: Arc<ReplicatedLog<T, S>>, pid: ProcId) -> LogWorker<T, S> {
+        assert!(pid.0 < log.cfg.n, "worker pid out of range");
+        let state = log.object.initial();
+        let machine = HeightStateMachine::new(log.cfg.window);
+        LogWorker {
+            log,
+            pid,
+            machine,
+            payloads: HashMap::new(),
+            next_batch: 0,
+            state,
+            digest: 0,
+            applied: Vec::new(),
+            responses: Vec::new(),
+        }
+    }
+
+    /// A recovered incarnation of proposer `pid`: resynchronises from
+    /// the registers by replaying the decided prefix into a fresh local
+    /// state, then resumes with an empty pending queue. Batches the old
+    /// incarnation enqueued but never committed are lost (the client
+    /// re-submits anything unacknowledged); batches it *did* commit are
+    /// in the replayed prefix, exactly once.
+    pub fn resumed(log: Arc<ReplicatedLog<T, S>>, pid: ProcId) -> LogWorker<T, S> {
+        assert!(pid.0 < log.cfg.n, "worker pid out of range");
+        let mut state = log.object.initial();
+        let applied = log.replay(|_, _, ops| {
+            for &op in ops {
+                log.object.apply(&mut state, op);
+            }
+        });
+        let digest = applied.last().map(|e| e.digest).unwrap_or(0);
+        let frontier = applied.len() as u64;
+        log.set_applied(pid.0, frontier);
+        let machine = HeightStateMachine::resumed(log.cfg.window, frontier, frontier);
+        LogWorker {
+            log,
+            pid,
+            machine,
+            payloads: HashMap::new(),
+            next_batch: 0,
+            state,
+            digest,
+            applied,
+            responses: Vec::new(),
+        }
+    }
+
+    /// Hands the worker a batch of ops to commit; returns its handle.
+    pub fn enqueue(&mut self, ops: &[u64]) -> BatchId {
+        assert!(
+            !ops.is_empty() && ops.len() <= self.log.cfg.max_batch,
+            "batch size out of range"
+        );
+        let id = self.next_batch;
+        self.next_batch += 1;
+        self.payloads.insert(id, ops.to_vec());
+        self.machine.enqueue(id);
+        id
+    }
+
+    /// Batches enqueued but not yet committed.
+    pub fn pending(&self) -> usize {
+        self.machine.pending_len()
+    }
+
+    /// This worker's decision frontier.
+    pub fn frontier(&self) -> u64 {
+        self.machine.frontier()
+    }
+
+    /// This worker's applied-prefix length.
+    pub fn applied_len(&self) -> u64 {
+        self.machine.applied()
+    }
+
+    /// The entries this worker has applied, in application order.
+    pub fn applied_log(&self) -> &[AppliedEntry] {
+        &self.applied
+    }
+
+    /// The replicated object's local state (derived purely from the
+    /// applied prefix).
+    pub fn state(&self) -> &T::State {
+        &self.state
+    }
+
+    /// `(op, response)` pairs for this worker's own committed ops, in
+    /// commit order, drained.
+    pub fn take_responses(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Applies the next decided-but-unapplied height locally.
+    fn apply_next(&mut self) {
+        let h = self.machine.applied();
+        let (entry, resps) = self
+            .log
+            .apply_height(self.pid, h, &mut self.state, self.digest);
+        if entry.winner == self.pid.0 {
+            self.responses.extend(resps);
+        }
+        self.digest = entry.digest;
+        self.applied.push(entry);
+        self.machine.observe_applied(h);
+        self.log.set_applied(self.pid.0, self.machine.applied());
+    }
+
+    /// Executes one round of the state machine's effects. Returns
+    /// whether anything advanced (false = idle; the caller may yield).
+    pub fn pump(&mut self) -> bool {
+        let mut progressed = false;
+        for effect in self.machine.next_effects() {
+            match effect {
+                Effect::Apply { .. } => {
+                    self.apply_next();
+                    progressed = true;
+                }
+                Effect::Publish { height, batch } => {
+                    if self.log.decision(height).is_some() {
+                        // Another proposer beat us to the frontier; the
+                        // front batch rides the next height.
+                        self.machine.observe_decided(height, false);
+                        progressed = true;
+                        continue;
+                    }
+                    chaos::point(points::LOG_PROPOSE);
+                    let ops = self.payloads[&batch].clone();
+                    // A local clone keeps the span borrow off `self` so
+                    // the in-span applies below can borrow it mutably.
+                    let trace = self.log.trace.clone();
+                    let span = Span::enter(&trace, "log.propose");
+                    self.log.publish(self.pid, height, &ops);
+                    let winner = {
+                        let _decide = Span::enter(&trace, "height.decide");
+                        self.log.propose(self.pid, height)
+                    };
+                    let won = winner == self.pid.0;
+                    if won {
+                        self.log.trace.emit(
+                            self.pid,
+                            EventKind::HeightDecide {
+                                height,
+                                winner: winner as u64,
+                                size: ops.len() as u64,
+                            },
+                        );
+                        self.payloads.remove(&batch);
+                    }
+                    self.machine.observe_decided(height, won);
+                    // Apply inside the propose span so the causal chain
+                    // log.propose → height.decide → log.apply is visible
+                    // in the trace.
+                    while self.machine.applied() < self.machine.frontier() {
+                        self.apply_next();
+                    }
+                    drop(span);
+                    progressed = true;
+                }
+                Effect::Poll { height } => {
+                    if self.log.decision(height).is_some() {
+                        self.machine.observe_decided(height, false);
+                        progressed = true;
+                    }
+                }
+                Effect::RefreshFloor => {
+                    let before = self.machine.in_flight();
+                    self.machine.observe_floor(self.log.applied_floor());
+                    progressed |= self.machine.in_flight() != before;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Pumps until every enqueued batch has committed and the local
+    /// applied prefix has caught up with the frontier.
+    ///
+    /// When more than `window` batches are pending, progress requires
+    /// every other applier lane (workers *and* replicas) to keep
+    /// advancing the floor concurrently — in a single-threaded setting,
+    /// interleave [`LogWorker::pump`] with the other lanes' polls
+    /// instead.
+    pub fn drive(&mut self) {
+        while self.machine.pending_len() > 0 || self.machine.applied() < self.machine.frontier() {
+            if !self.pump() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Keeps replicating (polling and applying other proposers'
+    /// decisions) until `target` heights are applied locally.
+    pub fn sync_to(&mut self, target: u64) {
+        while self.machine.applied() < target {
+            if !self.pump() {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A passive replica: applies committed entries in height order on its
+/// own applier lane (`n + rid`), never proposes.
+pub struct LogReplica<T: Sequential, S: RegisterSpace = NativeSpace> {
+    log: Arc<ReplicatedLog<T, S>>,
+    pid: ProcId,
+    state: T::State,
+    next: u64,
+    digest: u64,
+    applied: Vec<AppliedEntry>,
+}
+
+impl<T: Sequential, S: RegisterSpace> LogReplica<T, S> {
+    /// Replica `rid`'s applier, on lane `n + rid`.
+    pub fn new(log: Arc<ReplicatedLog<T, S>>, rid: usize) -> LogReplica<T, S> {
+        assert!(rid < log.cfg.replicas, "replica id out of range");
+        let pid = ProcId(log.cfg.n + rid);
+        let state = log.object.initial();
+        LogReplica {
+            log,
+            pid,
+            state,
+            next: 0,
+            digest: 0,
+            applied: Vec::new(),
+        }
+    }
+
+    /// Applies every currently decided, not-yet-applied height in
+    /// order; returns how many entries were applied.
+    pub fn poll(&mut self) -> usize {
+        let mut applied = 0;
+        while self.next < self.log.cfg.heights as u64 && self.log.decision(self.next).is_some() {
+            let (entry, _) =
+                self.log
+                    .apply_height(self.pid, self.next, &mut self.state, self.digest);
+            self.digest = entry.digest;
+            self.applied.push(entry);
+            self.next += 1;
+            self.log.set_applied(self.pid.0, self.next);
+            applied += 1;
+        }
+        applied
+    }
+
+    /// This replica's applied-prefix length.
+    pub fn applied_len(&self) -> u64 {
+        self.next
+    }
+
+    /// The entries this replica has applied, in application order.
+    pub fn applied_log(&self) -> &[AppliedEntry] {
+        &self.applied
+    }
+
+    /// The replicated object's local state.
+    pub fn state(&self) -> &T::State {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfr_core::universal::{Counter, FifoQueue};
+
+    fn cfg(n: usize) -> LogConfig {
+        LogConfig {
+            n,
+            replicas: 2,
+            heights: 32,
+            max_batch: 4,
+            window: 2,
+            delta: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn solo_worker_commits_and_applies_in_order() {
+        let log = Arc::new(ReplicatedLog::new(Counter, cfg(1)));
+        let mut w = LogWorker::new(Arc::clone(&log), ProcId(0));
+        w.enqueue(&[5, 7]);
+        w.enqueue(&[1]);
+        w.drive();
+        assert_eq!(*w.state(), 13);
+        assert_eq!(
+            w.take_responses(),
+            vec![(5, 5), (7, 12), (1, 13)],
+            "responses carry the running total in commit order"
+        );
+        let heights: Vec<u64> = w.applied_log().iter().map(|e| e.height).collect();
+        assert_eq!(heights, vec![0, 1]);
+    }
+
+    #[test]
+    fn replicas_converge_to_the_worker_prefix() {
+        let log = Arc::new(ReplicatedLog::new(Counter, cfg(1)));
+        let mut w = LogWorker::new(Arc::clone(&log), ProcId(0));
+        let mut r0 = LogReplica::new(Arc::clone(&log), 0);
+        let mut r1 = LogReplica::new(Arc::clone(&log), 1);
+        for b in 0..6u64 {
+            w.enqueue(&[b + 1]);
+        }
+        // Single-threaded: interleave the lanes so the replicas keep the
+        // applied floor (and with it the pipeline window) moving.
+        while w.pending() > 0 || w.applied_len() < 6 {
+            w.pump();
+            r0.poll();
+            r1.poll();
+        }
+        r0.poll();
+        r1.poll();
+        assert_eq!(*r0.state(), 21);
+        assert_eq!(*r1.state(), 21);
+        let audit = log.audit(&[w.applied_log(), r0.applied_log(), r1.applied_log()]);
+        assert!(audit.converged(), "{:?}", audit.divergence);
+        assert_eq!(audit.heights_decided, 6);
+        assert_eq!(audit.total_ops, 6);
+    }
+
+    #[test]
+    fn contending_workers_serialize_every_batch_exactly_once() {
+        // No passive replicas: the worker threads themselves are the
+        // applier lanes advancing the floor.
+        let mut c = cfg(3);
+        c.replicas = 0;
+        let log = Arc::new(ReplicatedLog::new(Counter, c));
+        let total: u64 = std::thread::scope(|s| {
+            (0..3)
+                .map(|p| {
+                    let log = Arc::clone(&log);
+                    s.spawn(move || {
+                        let mut w = LogWorker::new(log, ProcId(p));
+                        for b in 0..4u64 {
+                            w.enqueue(&[100 * p as u64 + b + 1]);
+                        }
+                        w.drive();
+                        w.sync_to(12);
+                        assert_eq!(w.applied_len(), 12);
+                        *w.state()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<u64>()
+        });
+        let expected: u64 = (0..3)
+            .flat_map(|p| (0..4).map(move |b| 100 * p + b + 1))
+            .sum();
+        // All three workers applied all 12 batches: same final total.
+        assert_eq!(total, 3 * expected);
+        let (truth, total_ops) = log.truth();
+        assert_eq!(truth.len(), 12);
+        assert_eq!(total_ops, 12);
+    }
+
+    #[test]
+    fn queue_object_replicates_fifo_order() {
+        let log = Arc::new(ReplicatedLog::new(FifoQueue, cfg(1)));
+        let mut w = LogWorker::new(Arc::clone(&log), ProcId(0));
+        w.enqueue(&[FifoQueue::enqueue_op(11), FifoQueue::enqueue_op(22)]);
+        w.enqueue(&[FifoQueue::DEQUEUE, FifoQueue::DEQUEUE, FifoQueue::DEQUEUE]);
+        w.drive();
+        let resps: Vec<u64> = w.take_responses().into_iter().map(|(_, r)| r).collect();
+        // Dequeues return value + 1 (0 = empty): FIFO order, then empty.
+        assert_eq!(resps[2..], [12, 23, 0]);
+    }
+
+    #[test]
+    fn resumed_incarnation_replays_the_committed_prefix() {
+        let mut c = cfg(1);
+        c.replicas = 0; // the worker is the only applier lane
+        let log = Arc::new(ReplicatedLog::new(Counter, c));
+        let mut w = LogWorker::new(Arc::clone(&log), ProcId(0));
+        w.enqueue(&[3]);
+        w.enqueue(&[4]);
+        w.drive();
+        drop(w); // the incarnation "crashes"
+        let mut w2 = LogWorker::resumed(Arc::clone(&log), ProcId(0));
+        assert_eq!(*w2.state(), 7, "recovered state replays the prefix");
+        assert_eq!(w2.frontier(), 2);
+        w2.enqueue(&[10]);
+        w2.drive();
+        assert_eq!(*w2.state(), 17);
+        let audit = log.audit(&[w2.applied_log()]);
+        assert!(audit.converged(), "{:?}", audit.divergence);
+    }
+
+    #[test]
+    fn window_one_keeps_frontier_at_the_floor() {
+        // With a replica that never polls, a window-1 worker must stall
+        // after one uncommitted height rather than run ahead.
+        let mut c = cfg(1);
+        c.window = 1;
+        c.replicas = 1;
+        let log = Arc::new(ReplicatedLog::new(Counter, c));
+        let mut w = LogWorker::new(Arc::clone(&log), ProcId(0));
+        let mut r = LogReplica::new(Arc::clone(&log), 0);
+        w.enqueue(&[1]);
+        w.enqueue(&[2]);
+        for _ in 0..64 {
+            w.pump();
+        }
+        assert_eq!(w.frontier(), 1, "window 1 stalls until the replica acks");
+        r.poll();
+        w.drive();
+        assert_eq!(w.frontier(), 2);
+    }
+}

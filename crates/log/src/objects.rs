@@ -1,0 +1,73 @@
+//! Additional sequential objects replicated through the log.
+//!
+//! `tfr-core` ships [`tfr_core::universal::Counter`] and
+//! [`tfr_core::universal::FifoQueue`]; this module adds the paper's
+//! third derived object, one-shot renaming, in the same op-encoded
+//! [`Sequential`] form so it can ride the log (and be checked against
+//! `tfr_linearize`'s `RenamingModel`).
+
+use tfr_core::universal::Sequential;
+
+/// One-shot renaming into a namespace of `names` names (≤ 64): every
+/// acquire op returns the smallest name not yet taken. Replicated
+/// through the log, distinctness is immediate — acquires are totally
+/// ordered by height, and the state is a bitmask of taken names.
+#[derive(Debug, Clone, Copy)]
+pub struct Renaming {
+    /// Namespace size; responses are `0..names`.
+    pub names: u64,
+}
+
+impl Renaming {
+    /// A renaming object over `names` names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is 0 or exceeds the 64-bit mask.
+    pub fn new(names: u64) -> Renaming {
+        assert!((1..=64).contains(&names), "names must be in 1..=64");
+        Renaming { names }
+    }
+}
+
+impl Sequential for Renaming {
+    type State = u64;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &mut u64, _op: u64) -> u64 {
+        let name = (!*state).trailing_zeros() as u64;
+        assert!(
+            name < self.names,
+            "renaming namespace exhausted ({} names)",
+            self.names
+        );
+        *state |= 1 << name;
+        name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_dense() {
+        let r = Renaming::new(8);
+        let mut s = r.initial();
+        let names: Vec<u64> = (0..8).map(|op| r.apply(&mut s, op)).collect();
+        assert_eq!(names, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn overflow_panics() {
+        let r = Renaming::new(2);
+        let mut s = r.initial();
+        for op in 0..3 {
+            r.apply(&mut s, op);
+        }
+    }
+}

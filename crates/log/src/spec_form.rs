@@ -1,0 +1,232 @@
+//! The replicated log in specification form, for exhaustive model
+//! checking: a two-height log over three processes, pipelined.
+//!
+//! [`LogAutomaton`] composes two relocated
+//! [`tfr_core::consensus::ConsensusSpec`] instances — height 0 at
+//! register base 0, height 1 at base 1000 — and interleaves them *per
+//! process*: each process alternates steps of the two heights, so it
+//! participates in height 1's consensus before height 0 has decided.
+//! That is commit pipelining in the model: the checker explores every
+//! linearization of the interleaved accesses (the asynchronous closure
+//! of the timing model — all behaviours reachable under arbitrary
+//! timing failures).
+//!
+//! A process that decides both heights emits a single packed
+//! `Obs::Decided(d0 · 2 + d1)`. Agreement on the packed value across
+//! processes is therefore exactly per-height agreement **plus**
+//! identical prefixes: two processes disagreeing on either height, or
+//! assembling the heights in a different order, produce different
+//! packed values. The [`LogAutomaton::mutant`] variant models the
+//! out-of-order-apply bug — process 0 packs the heights swapped — and
+//! must be caught by the same safety predicate.
+
+use tfr_core::consensus::{ConsensusSpec, ConsensusState};
+use tfr_registers::spec::{Action, Automaton, Obs};
+use tfr_registers::ProcId;
+
+/// A two-height pipelined log over `inputs.len()` processes, in
+/// specification form.
+#[derive(Debug, Clone)]
+pub struct LogAutomaton {
+    h0: ConsensusSpec,
+    h1: ConsensusSpec,
+    /// Process 0 packs its decisions in the wrong order (models
+    /// applying height 1 before height 0).
+    mutant: bool,
+    inputs: Vec<bool>,
+}
+
+/// Register base of height 1's consensus instance (height 0 is at 0).
+const H1_BASE: u64 = 1000;
+
+impl LogAutomaton {
+    /// A two-height log where process `i` proposes `inputs[i]` at both
+    /// heights, bounded to `rounds` consensus rounds per height.
+    pub fn new(inputs: Vec<bool>, rounds: u64) -> LogAutomaton {
+        LogAutomaton {
+            h0: ConsensusSpec::new(inputs.clone()).max_rounds(rounds),
+            h1: ConsensusSpec::new(inputs.clone())
+                .max_rounds(rounds)
+                .with_base(H1_BASE),
+            mutant: false,
+            inputs,
+        }
+    }
+
+    /// The out-of-order-apply mutant: process 0 emits `d1 · 2 + d0`.
+    /// In any execution where the two heights decide different values,
+    /// its packed decision disagrees with every correct process's.
+    pub fn mutant(mut self) -> LogAutomaton {
+        self.mutant = true;
+        self
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Every packed value reachable under per-height validity — the
+    /// validity set for `SafetySpec`-style checks.
+    pub fn valid_packed(&self) -> Vec<u64> {
+        let mut vals: Vec<u64> = self.inputs.iter().map(|&b| b as u64).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        let mut packed = Vec::new();
+        for &d0 in &vals {
+            for &d1 in &vals {
+                packed.push(d0 * 2 + d1);
+            }
+        }
+        packed
+    }
+
+    /// Which height the process steps next: the non-halted one, or the
+    /// turn bit when both are live. Pure in the state, so
+    /// [`Automaton::next_action`] and [`Automaton::apply`] agree.
+    fn active(&self, s: &LogState) -> Option<usize> {
+        match (self.h0.is_halted(&s.s0), self.h1.is_halted(&s.s1)) {
+            (false, false) => Some(s.turn as usize),
+            (false, true) => Some(0),
+            (true, false) => Some(1),
+            (true, true) => None,
+        }
+    }
+}
+
+/// Per-process state: both height sub-states, captured decisions, and
+/// the alternation bit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogState {
+    s0: ConsensusState,
+    s1: ConsensusState,
+    /// Height 0 / height 1 decision, once read (+1; 0 = none).
+    d0: u64,
+    d1: u64,
+    /// Which live height steps next (false = height 0).
+    turn: bool,
+    mutant_here: bool,
+}
+
+impl Automaton for LogAutomaton {
+    type State = LogState;
+
+    fn init(&self, pid: ProcId) -> LogState {
+        LogState {
+            s0: self.h0.init(pid),
+            s1: self.h1.init(pid),
+            d0: 0,
+            d1: 0,
+            turn: false,
+            mutant_here: self.mutant && pid.0 == 0,
+        }
+    }
+
+    fn next_action(&self, s: &LogState) -> Action {
+        match self.active(s) {
+            Some(0) => self.h0.next_action(&s.s0),
+            Some(_) => self.h1.next_action(&s.s1),
+            None => Action::Halt,
+        }
+    }
+
+    fn apply(&self, s: &mut LogState, observed: Option<u64>, obs: &mut Vec<Obs>) {
+        let mut sub = Vec::new();
+        match self.active(s).expect("halted process stepped") {
+            0 => {
+                self.h0.apply(&mut s.s0, observed, &mut sub);
+                for o in &sub {
+                    if let Obs::Decided(v) = o {
+                        s.d0 = v + 1;
+                    }
+                }
+            }
+            _ => {
+                self.h1.apply(&mut s.s1, observed, &mut sub);
+                for o in &sub {
+                    if let Obs::Decided(v) = o {
+                        s.d1 = v + 1;
+                    }
+                }
+            }
+        }
+        s.turn = !s.turn;
+        // Sub-machine observations are swallowed: the log's observable
+        // behaviour is the packed pair, emitted once both heights have
+        // decided locally.
+        if s.d0 != 0 && s.d1 != 0 {
+            let (a, b) = if s.mutant_here {
+                (s.d1 - 1, s.d0 - 1) // the bug: heights assembled swapped
+            } else {
+                (s.d0 - 1, s.d1 - 1)
+            };
+            obs.push(Obs::Decided(a * 2 + b));
+            // Emit exactly once: mark both captured decisions consumed.
+            s.d0 = u64::MAX;
+            s.d1 = u64::MAX;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives every process round-robin against an in-memory register
+    /// bank; returns the packed decisions emitted.
+    fn run_round_robin(a: &LogAutomaton) -> Vec<u64> {
+        use std::collections::HashMap;
+        let mut regs: HashMap<u64, u64> = HashMap::new();
+        let mut states: Vec<LogState> = (0..a.n()).map(|p| a.init(ProcId(p))).collect();
+        let mut decided = Vec::new();
+        let mut steps = 0;
+        loop {
+            let mut live = false;
+            for s in states.iter_mut() {
+                let act = a.next_action(s);
+                let observed = match act {
+                    Action::Halt => continue,
+                    Action::Read(r) => Some(*regs.entry(r.0).or_insert(0)),
+                    Action::Write(r, v) => {
+                        regs.insert(r.0, v);
+                        None
+                    }
+                    Action::Delay(_) => None,
+                };
+                live = true;
+                let mut obs = Vec::new();
+                a.apply(s, observed, &mut obs);
+                for o in obs {
+                    if let Obs::Decided(v) = o {
+                        decided.push(v);
+                    }
+                }
+            }
+            steps += 1;
+            assert!(steps < 10_000, "automaton livelocked");
+            if !live {
+                return decided;
+            }
+        }
+    }
+
+    #[test]
+    fn all_processes_emit_the_same_packed_pair() {
+        let a = LogAutomaton::new(vec![false, true, true], 8);
+        let decided = run_round_robin(&a);
+        assert_eq!(decided.len(), 3, "every process decides both heights");
+        assert!(
+            decided.windows(2).all(|w| w[0] == w[1]),
+            "packed pairs must agree: {decided:?}"
+        );
+        assert!(a.valid_packed().contains(&decided[0]));
+    }
+
+    #[test]
+    fn valid_packed_covers_the_input_combinations() {
+        let a = LogAutomaton::new(vec![false, true], 2);
+        assert_eq!(a.valid_packed(), vec![0, 1, 2, 3]);
+        let uniform = LogAutomaton::new(vec![true, true], 2);
+        assert_eq!(uniform.valid_packed(), vec![3]);
+    }
+}

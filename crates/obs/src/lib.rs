@@ -30,5 +30,6 @@ pub mod monitor;
 
 pub use collector::{Collector, CollectorConfig, LiveSnapshot, ObsReport, StageStats};
 pub use monitor::{
-    BatchMonitor, MonitorBank, MutexMonitor, QuorumMonitor, RecoveryMonitor, Violation,
+    BatchMonitor, LogPrefixMonitor, MonitorBank, MutexMonitor, QuorumMonitor, RecoveryMonitor,
+    Violation,
 };

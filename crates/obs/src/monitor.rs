@@ -38,7 +38,7 @@ const MUTEX_INTERVALS_KEPT: usize = 4096;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Which monitor raised it (`"mutex"`, `"batch"`, `"quorum"`,
-    /// `"recovery"`).
+    /// `"recovery"`, `"log"`).
     pub monitor: &'static str,
     /// Timestamp of the event that completed the evidence.
     pub ts_ns: u64,
@@ -225,7 +225,99 @@ impl RecoveryMonitor {
     }
 }
 
-/// All four monitors behind one `observe` call, accumulating violations.
+/// Streams replicated-log events and flags **applied-prefix
+/// divergence** — the replicated log's core safety property, checked
+/// online in three sound, per-lane/order-free ways:
+///
+/// * **height sequence** — an applier lane must apply heights
+///   `0, 1, 2, …` with no skip or swap ([`EventKind::LogApply`] events
+///   on one lane arrive in per-lane order, which `drain_new`
+///   guarantees). A `CrashRecover` on the lane resets the expectation:
+///   the next incarnation resynchronises from the registers and resumes
+///   at its recovered frontier, so its first apply may land at any
+///   height (and is strict again from there).
+/// * **digest agreement** — two lanes applying the same height must
+///   report the same chained prefix digest. The digest is
+///   order-sensitive, so this is cross-lane prefix equality in an
+///   order-free, set-logic form: no lane-arrival interleaving can fake
+///   a mismatch.
+/// * **winner uniqueness** — [`EventKind::HeightDecide`] is emitted
+///   exactly once, by the winning proposer; a height announced twice
+///   means two proposers both believe their batch committed there.
+#[derive(Debug, Default)]
+pub struct LogPrefixMonitor {
+    /// Per lane: the next in-order height (`None` = just recovered,
+    /// accept any height once).
+    expected: HashMap<u32, Option<u64>>,
+    /// Per height: the first reported `(digest, lane)`.
+    digests: HashMap<u64, (u64, u32)>,
+    /// Per height: the winning proposer that announced the decision.
+    winners: HashMap<u64, u32>,
+}
+
+impl LogPrefixMonitor {
+    fn observe(&mut self, e: &Event, out: &mut Vec<Violation>) {
+        match e.kind {
+            EventKind::LogApply { height, digest } => {
+                let pid = e.pid.0 as u32;
+                let slot = self.expected.entry(pid).or_insert(Some(0));
+                if let Some(exp) = *slot {
+                    if height != exp {
+                        out.push(Violation {
+                            monitor: "log",
+                            ts_ns: e.ts_ns,
+                            detail: format!(
+                                "p{pid} applied height {height} but its next in-order \
+                                 height is {exp}"
+                            ),
+                        });
+                    }
+                }
+                *slot = Some(height + 1);
+                match self.digests.entry(height) {
+                    std::collections::hash_map::Entry::Occupied(seen) => {
+                        let &(first_digest, first_pid) = seen.get();
+                        if first_digest != digest {
+                            out.push(Violation {
+                                monitor: "log",
+                                ts_ns: e.ts_ns,
+                                detail: format!(
+                                    "applied-prefix divergence at height {height}: \
+                                     p{pid} digest {digest:#x} ≠ p{first_pid} digest \
+                                     {first_digest:#x}"
+                                ),
+                            });
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert((digest, pid));
+                    }
+                }
+            }
+            EventKind::HeightDecide { height, winner, .. } => {
+                if let Some(&prev) = self.winners.get(&height) {
+                    out.push(Violation {
+                        monitor: "log",
+                        ts_ns: e.ts_ns,
+                        detail: format!(
+                            "height {height} decided twice (winner p{prev}, then p{winner})"
+                        ),
+                    });
+                } else {
+                    self.winners.insert(height, winner as u32);
+                }
+            }
+            EventKind::CrashRecover { .. } => {
+                // The lane's next incarnation replays from the registers
+                // and resumes wherever its recovered frontier is.
+                self.expected.insert(e.pid.0 as u32, None);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// All five monitors behind one `observe` call, accumulating violations.
 ///
 /// Feed it every drained event (irrelevant kinds are ignored), call
 /// [`MonitorBank::finalize`] once at quiescence for the checks that need
@@ -256,6 +348,7 @@ pub struct MonitorBank {
     batch: BatchMonitor,
     quorum: QuorumMonitor,
     recovery: RecoveryMonitor,
+    log: LogPrefixMonitor,
     violations: Vec<Violation>,
     finalized: bool,
 }
@@ -272,6 +365,7 @@ impl MonitorBank {
         self.batch.observe(e, &mut self.violations);
         self.quorum.observe(e, &mut self.violations);
         self.recovery.observe(e, &mut self.violations);
+        self.log.observe(e, &mut self.violations);
     }
 
     /// Runs the quiescence-only checks (currently: batch-log gaps).
@@ -496,6 +590,159 @@ mod tests {
         ));
         assert_eq!(bank.violations().len(), 1);
         assert_eq!(bank.violations()[0].monitor, "recovery");
+    }
+
+    #[test]
+    fn log_out_of_order_apply_is_flagged() {
+        let mut bank = MonitorBank::new();
+        bank.observe(&ev(
+            1,
+            0,
+            EventKind::LogApply {
+                height: 0,
+                digest: 0xA,
+            },
+        ));
+        bank.observe(&ev(
+            2,
+            0,
+            EventKind::LogApply {
+                height: 1,
+                digest: 0xB,
+            },
+        ));
+        assert!(bank.clean(), "in-order applies are fine");
+        // Lane 1 applies height 1 before height 0: the pipelining bug.
+        bank.observe(&ev(
+            3,
+            1,
+            EventKind::LogApply {
+                height: 1,
+                digest: 0xC,
+            },
+        ));
+        // Both the sequence skip and the digest mismatch at height 1 flag.
+        assert_eq!(bank.violations().len(), 2);
+        assert!(bank.violations().iter().all(|v| v.monitor == "log"));
+        assert!(bank.violations()[1].detail.contains("divergence"));
+    }
+
+    #[test]
+    fn log_digest_divergence_is_flagged_even_in_order() {
+        let mut bank = MonitorBank::new();
+        bank.observe(&ev(
+            1,
+            0,
+            EventKind::LogApply {
+                height: 0,
+                digest: 0xA,
+            },
+        ));
+        bank.observe(&ev(
+            2,
+            1,
+            EventKind::LogApply {
+                height: 0,
+                digest: 0xA,
+            },
+        ));
+        assert!(bank.clean(), "identical digests agree");
+        bank.observe(&ev(
+            3,
+            2,
+            EventKind::LogApply {
+                height: 0,
+                digest: 0xF,
+            },
+        ));
+        assert_eq!(bank.violations().len(), 1);
+        assert!(bank.violations()[0]
+            .detail
+            .contains("divergence at height 0"));
+    }
+
+    #[test]
+    fn log_lane_recovery_resets_the_height_expectation() {
+        let mut bank = MonitorBank::new();
+        bank.observe(&ev(
+            1,
+            0,
+            EventKind::LogApply {
+                height: 0,
+                digest: 0xA,
+            },
+        ));
+        bank.observe(&ev(
+            2,
+            0,
+            EventKind::LogApply {
+                height: 1,
+                digest: 0xB,
+            },
+        ));
+        // p0 crashes and its next incarnation resumes past heights other
+        // proposers decided meanwhile (it replayed them from registers).
+        bank.observe(&ev(
+            3,
+            0,
+            EventKind::CrashRecover {
+                point: "log.propose-batch",
+                down_ns: 500,
+            },
+        ));
+        bank.observe(&ev(
+            9,
+            0,
+            EventKind::LogApply {
+                height: 5,
+                digest: 0xD,
+            },
+        ));
+        bank.observe(&ev(
+            10,
+            0,
+            EventKind::LogApply {
+                height: 6,
+                digest: 0xE,
+            },
+        ));
+        assert!(bank.clean(), "a recovered lane may resume at any height");
+        // …but it is strict again after the resume point.
+        bank.observe(&ev(
+            11,
+            0,
+            EventKind::LogApply {
+                height: 9,
+                digest: 0xF,
+            },
+        ));
+        assert_eq!(bank.violations().len(), 1);
+    }
+
+    #[test]
+    fn log_double_height_decide_is_flagged() {
+        let mut bank = MonitorBank::new();
+        bank.observe(&ev(
+            1,
+            0,
+            EventKind::HeightDecide {
+                height: 3,
+                winner: 0,
+                size: 2,
+            },
+        ));
+        assert!(bank.clean());
+        bank.observe(&ev(
+            2,
+            1,
+            EventKind::HeightDecide {
+                height: 3,
+                winner: 1,
+                size: 1,
+            },
+        ));
+        assert_eq!(bank.violations().len(), 1);
+        assert!(bank.violations()[0].detail.contains("decided twice"));
     }
 
     #[test]

@@ -122,6 +122,17 @@ pub mod points {
     /// proves the recovering process never proposed at any undecided
     /// slot, so a new incarnation may safely rejoin and propose.
     pub const UNIVERSAL_COMBINE: &str = "universal.combine";
+    /// Replicated log: in a proposer, before its batch is published and
+    /// proposed at the current height. A crash-recovery here leaves the
+    /// height either undecided or won by someone else; the published
+    /// arena is only ever read after a decision names it, so a new
+    /// incarnation may safely republish and re-propose.
+    pub const LOG_PROPOSE: &str = "log.propose-batch";
+    /// Replicated log: in an applier, before the committed entry at the
+    /// next height is applied to the local state machine. Application is
+    /// a pure register read plus a deterministic replay, so a new
+    /// incarnation rebuilds the exact same prefix from the registers.
+    pub const LOG_APPLY: &str = "log.apply-entry";
 
     /// Every injection point, for schedule generators.
     pub const ALL: &[&str] = &[
@@ -146,6 +157,8 @@ pub mod points {
         RECOVERY_SECTION,
         UNIVERSAL_ANNOUNCE,
         UNIVERSAL_COMBINE,
+        LOG_PROPOSE,
+        LOG_APPLY,
     ];
 }
 

@@ -354,6 +354,8 @@ impl ChromeTraceBuilder {
                 | EventKind::MsgDropped { .. }
                 | EventKind::ServiceEnqueue { .. }
                 | EventKind::BatchCommit { .. }
+                | EventKind::HeightDecide { .. }
+                | EventKind::LogApply { .. }
                 | EventKind::Mark { .. } => {
                     self.events.push(instant(
                         e.kind.label(),

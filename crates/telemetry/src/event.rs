@@ -198,6 +198,29 @@ pub enum EventKind {
         /// Number of operations the batch committed.
         size: u64,
     },
+    /// A replicated-log height was decided: one consensus decision chose
+    /// the proposer whose published batch occupies log position `height`
+    /// (pid = the winning proposer, so each height is reported exactly
+    /// once — the log-layer analogue of [`EventKind::BatchCommit`]).
+    HeightDecide {
+        /// The decided log height.
+        height: u64,
+        /// The winning proposer's pid.
+        winner: u64,
+        /// Number of operations in the winning batch.
+        size: u64,
+    },
+    /// A log applier (worker or replica) applied the committed entry at
+    /// `height` to its local state machine. `digest` is the applier's
+    /// *chained prefix digest* after this entry — equal across all
+    /// correct appliers at the same height, so any divergence (a wrong
+    /// batch, an out-of-order apply) shows up as a digest mismatch.
+    LogApply {
+        /// The height just applied (appliers go strictly 0, 1, 2, …).
+        height: u64,
+        /// The chained applied-prefix digest after this entry.
+        digest: u64,
+    },
     /// A causal span opened on this process (closed by the matching
     /// [`EventKind::SpanEnd`]). Span ids are process-global and never
     /// reused; `parent` is the span that was current at entry (0 = root).
@@ -294,6 +317,14 @@ impl EventKind {
             EventKind::BatchCommit { shard, slot, size } => {
                 format!("batch s{shard}@{slot} ×{size}")
             }
+            EventKind::HeightDecide {
+                height,
+                winner,
+                size,
+            } => format!("h{height} → p{winner} ×{size}"),
+            EventKind::LogApply { height, digest } => {
+                format!("apply h{height} #{digest:x}")
+            }
             EventKind::SpanStart { span, label, .. } => format!("{label} #{span}"),
             EventKind::SpanEnd { span } => format!("end #{span}"),
             EventKind::QuorumVersion { reg, ts, wid } => format!("r{reg} v{ts}.{wid}"),
@@ -363,6 +394,23 @@ mod tests {
             "quorum.phase1 #7"
         );
         assert_eq!(EventKind::SpanEnd { span: 7 }.label(), "end #7");
+        assert_eq!(
+            EventKind::HeightDecide {
+                height: 4,
+                winner: 1,
+                size: 8
+            }
+            .label(),
+            "h4 → p1 ×8"
+        );
+        assert_eq!(
+            EventKind::LogApply {
+                height: 4,
+                digest: 0xbeef
+            }
+            .label(),
+            "apply h4 #beef"
+        );
         assert_eq!(
             EventKind::QuorumVersion {
                 reg: 2,

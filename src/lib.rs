@@ -56,6 +56,14 @@
 //!   online invariant monitors — mutual-exclusion intrusion, batch
 //!   duplicate/gap, quorum version regression, recovery-incarnation
 //!   monotonicity — that flag violations while chaos nemeses run.
+//! * [`log`] — the replication layer: a multi-height replicated log
+//!   (each height one timing-resilient consensus instance over a tiled
+//!   register arena) with batched proposals and commit pipelining
+//!   behind a pure height state machine, log-driven state-machine
+//!   replication of the derived objects (counter, queue, renaming),
+//!   chained prefix digests with a cross-lane audit, a recoverable
+//!   worker incarnation model, and seeded reordering mutants proving
+//!   the audit and the online prefix monitor both have teeth.
 //!
 //! # Quickstart
 //!
@@ -82,6 +90,7 @@ pub use tfr_baselines as baselines;
 pub use tfr_chaos as chaos;
 pub use tfr_core as core;
 pub use tfr_linearize as linearize;
+pub use tfr_log as log;
 pub use tfr_modelcheck as modelcheck;
 pub use tfr_net as net;
 pub use tfr_obs as obs;

@@ -499,3 +499,56 @@ fn service_cross_shard_totals_equal_sequential_sums() {
         assert_eq!(actual, expected, "case {case}: totals must be conserved");
     }
 }
+
+/// The replicated log's register layout — three stride-3 regions
+/// (acks / arena / slots), per-height arena blocks of `n·max_batch + n`
+/// cells, and per-height consensus subspaces at stride `heights` —
+/// never aliases two logical cells onto one parent register, for
+/// arbitrary shapes. An overlap would let one height's publish clobber
+/// another's decided batch, so this is the layout's load-bearing fact.
+#[test]
+fn log_register_tiling_is_disjoint_across_heights_and_regions() {
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use tfr::registers::space::{NativeSpace, SubSpace};
+
+    let mut rng = SplitMix64::new(0x7113_1135);
+    for case in 0..64 {
+        let n = rng.random_range(1..=8);
+        let replicas = rng.random_range(0..=3);
+        let heights = rng.random_range(1..=24);
+        let max_batch = rng.random_range(1..=8);
+        let slot_cells = rng.random_range(1..=32); // consensus registers probed per height
+        let hstride = n * max_batch + n;
+
+        let parent = Arc::new(NativeSpace::new());
+        let acks = SubSpace::new(Arc::clone(&parent), 0, 3);
+        let arena = SubSpace::new(Arc::clone(&parent), 1, 3);
+        let mut seen = HashSet::new();
+        for lane in 0..n + replicas {
+            assert!(
+                seen.insert(acks.parent_index(lane)),
+                "case {case}: ack lane {lane} aliases another cell"
+            );
+        }
+        for h in 0..heights {
+            for c in 0..hstride {
+                assert!(
+                    seen.insert(arena.parent_index(h * hstride + c)),
+                    "case {case}: height {h} arena cell {c} aliases another cell"
+                );
+            }
+            let region = SubSpace::new(Arc::clone(&parent), 2, 3);
+            let slots = SubSpace::new(region.clone(), h, heights);
+            for i in 0..slot_cells {
+                // `parent_index` maps one nesting level at a time:
+                // height-local → region-local → root.
+                let root = region.parent_index(slots.parent_index(i));
+                assert!(
+                    seen.insert(root),
+                    "case {case}: height {h} slot register {i} aliases another cell"
+                );
+            }
+        }
+    }
+}
