@@ -15,6 +15,7 @@ pub mod optimistic;
 pub mod recovery;
 pub mod registers;
 pub mod service;
+pub mod sim_scale;
 
 use crate::Table;
 use tfr_registers::Delta;
@@ -144,6 +145,11 @@ pub fn registry() -> Vec<Experiment> {
             "log",
             "replicated log: commit pipelining speedup, batch/window sweep, audit + mutant verdicts (E24)",
             log::log,
+        ),
+        (
+            "sim",
+            "simulator scale: wheel-vs-heap events/sec, 10^6-process Δ-sweep storm, differential verdicts (E25)",
+            sim_scale::sim,
         ),
     ]
 }

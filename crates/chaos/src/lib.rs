@@ -34,6 +34,10 @@
 //!   as a new incarnation that runs the lock's recovery section first
 //!   ([`recovery::run_recovery_chaos`]). Crash-stopped pids are
 //!   deregistered so no later fault is wasted on them.
+//! * [`storm`] — large-n *simulated* chaos at 10^5–10^6 processes:
+//!   seeded timing-failure storms and crash waves scripted through the
+//!   scaled `tfr-sim` timer-wheel engine, plus the Δ-sweep runner behind
+//!   experiment E25 ([`storm::delta_sweep`]).
 //! * [`netfault`] — the network nemesis for the quorum stack: seeded
 //!   schedules of delay spikes, message drops, partitions, and heals
 //!   ([`netfault::random_net_schedule`]) applied through a
@@ -72,6 +76,7 @@ pub mod nemesis;
 pub mod netfault;
 pub mod recovery;
 pub mod schedule;
+pub mod storm;
 
 pub use assess::{
     assess_native_mutex, assess_native_mutex_traced, NativeAssessConfig, TracedAssessment,

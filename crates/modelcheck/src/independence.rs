@@ -40,7 +40,7 @@ use tfr_registers::RegId;
 
 /// The shared-memory part of a transition's footprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub(crate) enum Kind {
+pub enum Kind {
     /// No shared access (`Delay` — local computation only).
     Local,
     /// Atomic read of a register.
@@ -57,12 +57,20 @@ impl Kind {
     /// # Panics
     ///
     /// Panics on `Halt`: a halted process has no transition.
-    pub(crate) fn of(action: Action) -> Kind {
+    pub fn of(action: Action) -> Kind {
         match action {
             Action::Read(r) => Kind::Read(r),
             Action::Write(r, _) => Kind::Write(r),
             Action::Delay(_) => Kind::Local,
             Action::Halt => panic!("a halted process has no access footprint"),
+        }
+    }
+
+    /// Non-panicking variant of [`Kind::of`]: `Halt` has no footprint.
+    pub fn try_of(action: Action) -> Option<Kind> {
+        match action {
+            Action::Halt => None,
+            other => Some(Kind::of(other)),
         }
     }
 }
@@ -71,22 +79,22 @@ impl Kind {
 /// relation: its register access plus whether it emits a
 /// critical-section event (`EnterCritical`/`ExitCritical`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub(crate) struct Access {
+pub struct Access {
     /// The register access performed.
-    pub(crate) kind: Kind,
+    pub kind: Kind,
     /// Whether applying the step emits `EnterCritical`/`ExitCritical`.
-    pub(crate) cs: bool,
+    pub cs: bool,
 }
 
 impl Access {
     /// A purely local step with no monitored events.
-    pub(crate) const LOCAL: Access = Access {
+    pub const LOCAL: Access = Access {
         kind: Kind::Local,
         cs: false,
     };
 
     /// The register touched, if any.
-    pub(crate) fn reg(&self) -> Option<RegId> {
+    pub fn reg(&self) -> Option<RegId> {
         match self.kind {
             Kind::Local => None,
             Kind::Read(r) | Kind::Write(r) => Some(r),
@@ -94,7 +102,7 @@ impl Access {
     }
 
     /// Whether this footprint writes shared memory.
-    pub(crate) fn is_write(&self) -> bool {
+    pub fn is_write(&self) -> bool {
         matches!(self.kind, Kind::Write(_))
     }
 }
@@ -103,7 +111,7 @@ impl Access {
 /// processes, and either a register conflict (same register, at least
 /// one write) or both emitting critical-section events.
 #[inline]
-pub(crate) fn conflicts(p: usize, a: Access, q: usize, b: Access) -> bool {
+pub fn conflicts(p: usize, a: Access, q: usize, b: Access) -> bool {
     if p == q {
         // Same process: its own steps are totally ordered anyway; the
         // reduction never reorders them.
@@ -116,6 +124,21 @@ pub(crate) fn conflicts(p: usize, a: Access, q: usize, b: Access) -> bool {
         (Some(r), Some(s)) => r == s && (a.is_write() || b.is_write()),
         _ => false,
     }
+}
+
+/// Whether two footprint *sets*, attributed to different processes,
+/// contain any dependent pair — the check the sharded simulator uses to
+/// certify that two process groups' sampled access footprints commute.
+/// Returns the first conflicting pair, if any.
+pub fn footprints_conflict(a: &[Access], b: &[Access]) -> Option<(Access, Access)> {
+    for &x in a {
+        for &y in b {
+            if conflicts(0, x, 1, y) {
+                return Some((x, y));
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -160,6 +183,23 @@ mod tests {
         assert!(!conflicts(0, cs(Kind::Local), 1, acc(Kind::Write(r))));
         // Same process: still no self-conflict.
         assert!(!conflicts(1, cs(Kind::Local), 1, cs(Kind::Local)));
+    }
+
+    #[test]
+    fn footprint_sets_report_first_conflict() {
+        let a = [acc(Kind::Read(RegId(1))), acc(Kind::Write(RegId(2)))];
+        let b = [acc(Kind::Read(RegId(2))), acc(Kind::Write(RegId(9)))];
+        let c = [acc(Kind::Read(RegId(2))), acc(Kind::Write(RegId(3)))];
+        assert_eq!(
+            footprints_conflict(&a, &b),
+            Some((acc(Kind::Write(RegId(2))), acc(Kind::Read(RegId(2)))))
+        );
+        assert_eq!(footprints_conflict(&b, &c), None, "shared reads commute");
+        assert_eq!(Kind::try_of(Action::Halt), None);
+        assert_eq!(
+            Kind::try_of(Action::Read(RegId(5))),
+            Some(Kind::Read(RegId(5)))
+        );
     }
 
     #[test]

@@ -73,7 +73,7 @@ use tfr_registers::ProcId;
 pub mod corpus;
 mod dpor;
 mod exec;
-mod independence;
+pub mod independence;
 mod parallel;
 mod symmetry;
 

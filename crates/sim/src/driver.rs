@@ -1,10 +1,26 @@
 //! The discrete-event engine: issues actions, assigns durations via the
 //! timing model, linearizes each action at its completion instant.
+//!
+//! The engine is split in two layers:
+//!
+//! * [`Sim`] — the configuration-time builder (automaton, [`RunConfig`],
+//!   timing model, injected faults). [`Sim::run`] executes to completion
+//!   exactly as before.
+//! * [`Engine`] — the resumable run state. [`Sim::start`] creates one;
+//!   [`Engine::run_until`] advances it up to a virtual-time limit and can
+//!   be called repeatedly. The sharded executor (`crate::shard`) uses this
+//!   to run many engines side by side with barriers at epoch boundaries.
+//!
+//! Pending completion events live behind the [`Scheduler`] trait
+//! (`crate::sched`): a hierarchical timer wheel by default, the original
+//! `BinaryHeap` as the reference implementation — selected by
+//! [`RunConfig::sched`] and proven trace-identical by the differential
+//! test tier.
 
+use crate::sched::{AnySched, Event, SchedKind, Scheduler};
 use crate::timing::{Fate, StepCtx, TimingModel};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use tfr_registers::bank::{ArrayBank, RegisterBank};
+use tfr_registers::bank::RegisterBank;
+use tfr_registers::cow::CowBank;
 use tfr_registers::spec::{Action, Automaton, Obs};
 use tfr_registers::{Delta, ProcId, Ticks};
 
@@ -24,11 +40,24 @@ pub struct RunConfig {
     pub max_steps: u64,
     /// Record the full action trace (costs memory; off by default).
     pub record_trace: bool,
+    /// Which event scheduler drives the run (timer wheel by default; the
+    /// `BinaryHeap` reference is selectable for differential testing).
+    pub sched: SchedKind,
+    /// If set, snapshot the register file every this many ticks of
+    /// virtual time into [`RunResult::snapshots`]. Snapshots are O(1)-ish
+    /// (copy-on-write segments), so this is affordable even at 10^6
+    /// processes.
+    pub snapshot_every: Option<Ticks>,
 }
 
 impl RunConfig {
     /// A config for `n` processes with bound `delta`, a generous time
-    /// budget of `100_000·Δ` and step budget of `10_000_000`.
+    /// budget of `100_000·Δ` and a step budget that **scales with n**:
+    /// `max(10_000_000, n · 1_000)`. A fixed 10M-step budget silently
+    /// truncated million-process runs mid-warmup (10 steps per process);
+    /// the scaled budget keeps ≥1000 steps per process at any n. Runs cut
+    /// off by either budget come back with [`RunResult::timed_out`] set —
+    /// check it whenever a run unexpectedly "finishes".
     ///
     /// # Panics
     ///
@@ -39,8 +68,10 @@ impl RunConfig {
             n,
             delta,
             max_time: delta.times(100_000),
-            max_steps: 10_000_000,
+            max_steps: 10_000_000u64.max((n as u64).saturating_mul(1_000)),
             record_trace: false,
+            sched: SchedKind::default(),
+            snapshot_every: None,
         }
     }
 
@@ -59,6 +90,18 @@ impl RunConfig {
     /// Enables full action tracing.
     pub fn record_trace(mut self) -> RunConfig {
         self.record_trace = true;
+        self
+    }
+
+    /// Selects the event scheduler.
+    pub fn sched(mut self, kind: SchedKind) -> RunConfig {
+        self.sched = kind;
+        self
+    }
+
+    /// Snapshots the register file every `t` ticks of virtual time.
+    pub fn snapshot_every(mut self, t: Ticks) -> RunConfig {
+        self.snapshot_every = Some(t);
         self
     }
 }
@@ -90,7 +133,12 @@ pub struct TraceStep {
 }
 
 /// Everything a simulation run produced.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq`: two results compare equal exactly when they agree
+/// on every observable — obs order, trace, step/failure counts, final
+/// register contents. The wheel-vs-heap differential battery asserts this
+/// bit-identity across schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
     /// Number of processes.
     pub n: usize,
@@ -111,10 +159,22 @@ pub struct RunResult {
     /// Number of shared-memory accesses that took longer than Δ — the
     /// paper's timing failures.
     pub timing_failures: u64,
-    /// Whether the run was cut off by the time or step budget.
+    /// Whether the run was **truncated** by the time or step budget
+    /// rather than finishing. A truncated run's `obs`, counts and
+    /// `final_bank` describe a *prefix* of the execution, not its end
+    /// state — treat any metric computed from one as a lower bound.
+    /// Always check this flag before drawing conclusions from a run;
+    /// `RunConfig::new` scales the step budget with `n` precisely so
+    /// large runs don't trip it silently.
     pub timed_out: bool,
-    /// The final register file.
-    pub final_bank: ArrayBank,
+    /// The final register file (copy-on-write segments; compares
+    /// extensionally, so materialization history never affects equality).
+    pub final_bank: CowBank,
+    /// Periodic register-file snapshots `(boundary, bank)` if
+    /// [`RunConfig::snapshot_every`] was set. The snapshot at boundary
+    /// `b` reflects every action completed strictly before `b` and every
+    /// injected fault with `at <= b`.
+    pub snapshots: Vec<(Ticks, CowBank)>,
 }
 
 impl RunResult {
@@ -190,7 +250,8 @@ pub struct Sim<A, M> {
 }
 
 impl<A: Automaton, M: TimingModel> Sim<A, M> {
-    /// Creates the simulation; nothing runs until [`Sim::run`].
+    /// Creates the simulation; nothing runs until [`Sim::run`] or
+    /// [`Sim::start`].
     pub fn new(automaton: A, config: RunConfig, model: M) -> Sim<A, M> {
         Sim {
             automaton,
@@ -211,137 +272,388 @@ impl<A: Automaton, M: TimingModel> Sim<A, M> {
 
     /// Runs to completion (all processes halted or crashed) or until a
     /// budget is exhausted.
-    pub fn run(mut self) -> RunResult {
+    pub fn run(self) -> RunResult {
+        let mut engine = self.start();
+        engine.run_until(Ticks::NEVER);
+        engine.finish()
+    }
+
+    /// Builds the resumable run state: initializes every process and
+    /// issues its first action at instant 0, but linearizes nothing yet.
+    pub fn start(self) -> Engine<A, M> {
         let n = self.config.n;
-        let delta = self.config.delta;
-        let mut bank = ArrayBank::new();
-        let mut states: Vec<A::State> = (0..n).map(|i| self.automaton.init(ProcId(i))).collect();
-        let mut halted = vec![false; n];
-        let mut crashed = vec![false; n];
-        let mut proc_steps = vec![0u64; n];
-        let mut pending: Vec<Option<Action>> = vec![None; n];
-        let mut issued_at = vec![Ticks::ZERO; n];
-        let mut obs_out: Vec<TimedObs> = Vec::new();
-        let mut trace: Vec<TraceStep> = Vec::new();
-        let mut global_step = 0u64;
-        let mut timing_failures = 0u64;
-        let mut timed_out = false;
-        let mut end_time = Ticks::ZERO;
-        let mut seq = 0u64;
-
-        // Completion events: (completion instant, tie-break seq, pid).
-        let mut queue: BinaryHeap<Reverse<(Ticks, u64, usize)>> = BinaryHeap::new();
-
-        let mut obs_buf: Vec<Obs> = Vec::new();
-
-        // Issues the next action of process `pid` at instant `now`.
-        // Returns false if the process halted or crashed instead.
-        macro_rules! issue {
-            ($pid:expr, $now:expr) => {{
-                let pid = $pid;
-                let now: Ticks = $now;
-                let action = self.automaton.next_action(&states[pid]);
-                if matches!(action, Action::Halt) {
-                    halted[pid] = true;
-                } else {
-                    let ctx = StepCtx {
-                        pid: ProcId(pid),
-                        action,
-                        now,
-                        global_step,
-                        proc_step: proc_steps[pid],
-                    };
-                    match self.model.fate(ctx) {
-                        Fate::Crash => {
-                            crashed[pid] = true;
-                        }
-                        Fate::Take(dur) => {
-                            // A delay never completes before its requested length.
-                            let dur = match action {
-                                Action::Delay(d) => Ticks(dur.0.max(d.0)),
-                                _ => dur,
-                            };
-                            if action.is_shared_access() && dur > delta.ticks() {
-                                timing_failures += 1;
-                            }
-                            pending[pid] = Some(action);
-                            issued_at[pid] = now;
-                            proc_steps[pid] += 1;
-                            global_step += 1;
-                            queue.push(Reverse((now.saturating_add(dur), seq, pid)));
-                            seq += 1;
-                        }
-                    }
-                }
-            }};
-        }
-
+        let procs = (0..n)
+            .map(|i| ProcSlot {
+                state: self.automaton.init(ProcId(i)),
+                pending: None,
+                issued_at: Ticks::ZERO,
+                steps: 0,
+                halted: false,
+                crashed: false,
+            })
+            .collect();
+        let mut engine = Engine {
+            automaton: self.automaton,
+            model: self.model,
+            faults: self.faults,
+            bank: CowBank::new(),
+            procs,
+            obs_out: Vec::new(),
+            trace: Vec::new(),
+            global_step: 0,
+            timing_failures: 0,
+            timed_out: false,
+            end_time: Ticks::ZERO,
+            steps: 0,
+            next_fault: 0,
+            sched: AnySched::new(self.config.sched),
+            stashed: None,
+            obs_buf: Vec::new(),
+            snapshots: Vec::new(),
+            next_snapshot: self.config.snapshot_every,
+            config: self.config,
+        };
         for pid in 0..n {
-            issue!(pid, Ticks::ZERO);
+            engine.issue(pid, Ticks::ZERO);
         }
+        engine
+    }
+}
 
-        let mut steps = 0u64;
-        let mut next_fault = 0usize;
-        while let Some(Reverse((now, _, pid))) = queue.pop() {
-            if now > self.config.max_time || steps >= self.config.max_steps {
-                timed_out = true;
+/// What stopped an [`Engine::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineStatus {
+    /// No pending events remain: every process halted or crashed.
+    Idle,
+    /// The next pending event lies beyond the given limit; the engine can
+    /// be resumed with a later limit.
+    Paused,
+    /// The run hit its time or step budget and is permanently
+    /// [`RunResult::timed_out`].
+    Budget,
+}
+
+/// Per-process run state, kept in one struct so the two random-indexed
+/// accesses every event performs (issue + completion) touch one cache
+/// line instead of five parallel arrays — at 10^5+ processes those are
+/// real cache misses on every event. Aligned to a cache line so a slot
+/// never straddles two of them.
+#[derive(Debug)]
+#[repr(align(64))]
+struct ProcSlot<S> {
+    state: S,
+    pending: Option<Action>,
+    issued_at: Ticks,
+    steps: u64,
+    halted: bool,
+    crashed: bool,
+}
+
+/// The resumable run state of one simulation.
+///
+/// Created by [`Sim::start`]; advanced by [`Engine::run_until`]; consumed
+/// by [`Engine::finish`]. Between calls the shard executor may read the
+/// register file ([`Engine::bank`]) or — for declared shared regions at
+/// epoch barriers — write it ([`Engine::bank_mut`]).
+#[derive(Debug)]
+pub struct Engine<A: Automaton, M> {
+    automaton: A,
+    config: RunConfig,
+    model: M,
+    faults: Vec<RegisterFault>,
+    bank: CowBank,
+    procs: Vec<ProcSlot<A::State>>,
+    obs_out: Vec<TimedObs>,
+    trace: Vec<TraceStep>,
+    global_step: u64,
+    timing_failures: u64,
+    timed_out: bool,
+    end_time: Ticks,
+    steps: u64,
+    next_fault: usize,
+    sched: AnySched,
+    /// An event popped but found to lie beyond the `run_until` limit; it
+    /// fires first on the next call.
+    stashed: Option<Event>,
+    obs_buf: Vec<Obs>,
+    snapshots: Vec<(Ticks, CowBank)>,
+    next_snapshot: Option<Ticks>,
+}
+
+impl<A: Automaton, M: TimingModel> Engine<A, M> {
+    /// Issues the next action of process `pid` at instant `now` (or marks
+    /// it halted/crashed).
+    fn issue(&mut self, pid: usize, now: Ticks) {
+        let slot = &mut self.procs[pid];
+        let action = self.automaton.next_action(&slot.state);
+        if matches!(action, Action::Halt) {
+            slot.halted = true;
+            return;
+        }
+        let ctx = StepCtx {
+            pid: ProcId(pid),
+            action,
+            now,
+            global_step: self.global_step,
+            proc_step: slot.steps,
+        };
+        match self.model.fate(ctx) {
+            Fate::Crash => {
+                self.procs[pid].crashed = true;
+            }
+            Fate::Take(dur) => {
+                // A delay never completes before its requested length.
+                let dur = match action {
+                    Action::Delay(d) => Ticks(dur.0.max(d.0)),
+                    _ => dur,
+                };
+                if action.is_shared_access() && dur > self.config.delta.ticks() {
+                    self.timing_failures += 1;
+                }
+                let slot = &mut self.procs[pid];
+                slot.pending = Some(action);
+                slot.issued_at = now;
+                slot.steps += 1;
+                self.global_step += 1;
+                self.sched.schedule(now.saturating_add(dur), pid);
+            }
+        }
+    }
+
+    /// Applies all injected faults with `at <= upto`.
+    fn apply_faults(&mut self, upto: Ticks) {
+        while self.next_fault < self.faults.len() && self.faults[self.next_fault].at <= upto {
+            let f = self.faults[self.next_fault];
+            self.bank.write(f.reg, f.value);
+            self.next_fault += 1;
+        }
+    }
+
+    /// Advances the run until the next event lies beyond `limit`, all
+    /// processes stop, or a budget trips. Events **at** `limit` are still
+    /// processed; resuming with a later limit continues exactly where the
+    /// run left off.
+    ///
+    /// The loop body is the engine's hot path — at 10^5+ processes it
+    /// runs tens of millions of times per wall second, so it borrows
+    /// every field once per event (one bounds check on `procs`, no
+    /// re-resolution across the automaton/model/scheduler calls) and
+    /// fuses completion with the next issue. [`Engine::issue`] is the
+    /// same issue logic as a cold method; the two must stay in sync.
+    pub fn run_until(&mut self, limit: Ticks) -> EngineStatus {
+        if self.timed_out {
+            return EngineStatus::Budget;
+        }
+        // A stash only exists right after a pause; deal with it here so
+        // the hot loop below never touches it.
+        if let Some(ev) = self.stashed.take() {
+            if ev.time > limit {
+                self.stashed = Some(ev);
+                return EngineStatus::Paused;
+            }
+            if let Some(status) = self.step(ev, limit) {
+                return status;
+            }
+        }
+        loop {
+            let ev = match self.sched.pop() {
+                Some(ev) => ev,
+                None => return EngineStatus::Idle,
+            };
+            if ev.time > limit {
+                self.stashed = Some(ev);
+                return EngineStatus::Paused;
+            }
+            if let Some(status) = self.step(ev, limit) {
+                return status;
+            }
+        }
+    }
+
+    /// Processes one popped event: budget checks, snapshots, faults,
+    /// linearization, and the fused re-issue. Returns `Some` when the
+    /// run must stop.
+    #[inline]
+    fn step(&mut self, ev: Event, _limit: Ticks) -> Option<EngineStatus> {
+        let now = ev.time;
+        // Budget checks happen after the pop (the budget-tripping
+        // event is dropped, not linearized) — the semantics the
+        // original driver pinned down in its truncation tests.
+        if now > self.config.max_time || self.steps >= self.config.max_steps {
+            self.timed_out = true;
+            return Some(EngineStatus::Budget);
+        }
+        // Hide the next event's random ProcSlot access behind this
+        // event's work — at 10^5+ processes that access is a cache
+        // miss that would otherwise serialize with everything below.
+        #[cfg(target_arch = "x86_64")]
+        if let Some(next) = self.sched.peek_pid() {
+            // SAFETY: prefetch is a hint with no memory effects; the
+            // pointer is in-bounds for the procs allocation.
+            unsafe {
+                std::arch::x86_64::_mm_prefetch(
+                    (self.procs.as_ptr() as *const i8)
+                        .add(next * std::mem::size_of::<ProcSlot<A::State>>()),
+                    std::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+        // Periodic snapshots: boundary b sees actions completed
+        // strictly before b and faults with at <= b.
+        if self.config.snapshot_every.is_some() {
+            self.take_due_snapshots(now);
+        }
+        // Transient memory failures strike before anything linearizes
+        // at or after their instant (cold unless faults were injected).
+        if self.next_fault < self.faults.len() {
+            self.apply_faults(now);
+        }
+        self.end_time = now;
+        self.steps += 1;
+        let pid = ev.pid;
+
+        // One borrow of each field for the whole completion + re-issue;
+        // `slot` is the single random-indexed access of the event.
+        let Engine {
+            procs,
+            automaton,
+            model,
+            bank,
+            config,
+            trace,
+            obs_buf,
+            obs_out,
+            global_step,
+            timing_failures,
+            sched,
+            ..
+        } = self;
+        let slot = &mut procs[pid];
+        let action = slot
+            .pending
+            .take()
+            .expect("completion without pending action");
+        // Linearize the action at its completion instant.
+        let observed = match action {
+            Action::Read(r) => Some(bank.read(r)),
+            Action::Write(r, v) => {
+                bank.write(r, v);
+                None
+            }
+            Action::Delay(_) => None,
+            Action::Halt => unreachable!("Halt is never scheduled"),
+        };
+        if config.record_trace {
+            trace.push(TraceStep {
+                issued: slot.issued_at,
+                completed: now,
+                pid: ProcId(pid),
+                action,
+            });
+        }
+        obs_buf.clear();
+        automaton.apply(&mut slot.state, observed, obs_buf);
+        if !obs_buf.is_empty() {
+            obs_out.extend(obs_buf.drain(..).map(|obs| TimedObs {
+                time: now,
+                pid: ProcId(pid),
+                obs,
+            }));
+        }
+        // Fused issue — keep in sync with `Engine::issue`.
+        let action = automaton.next_action(&slot.state);
+        if matches!(action, Action::Halt) {
+            slot.halted = true;
+            return None;
+        }
+        let ctx = StepCtx {
+            pid: ProcId(pid),
+            action,
+            now,
+            global_step: *global_step,
+            proc_step: slot.steps,
+        };
+        match model.fate(ctx) {
+            Fate::Crash => {
+                slot.crashed = true;
+            }
+            Fate::Take(dur) => {
+                // A delay never completes before its requested length.
+                let dur = match action {
+                    Action::Delay(d) => Ticks(dur.0.max(d.0)),
+                    _ => dur,
+                };
+                if action.is_shared_access() && dur > config.delta.ticks() {
+                    *timing_failures += 1;
+                }
+                slot.pending = Some(action);
+                slot.issued_at = now;
+                slot.steps += 1;
+                *global_step += 1;
+                sched.schedule(now.saturating_add(dur), pid);
+            }
+        }
+        None
+    }
+
+    /// Snapshot boundaries due at or before `now` (cold path).
+    #[cold]
+    fn take_due_snapshots(&mut self, now: Ticks) {
+        let every = self.config.snapshot_every.expect("checked by caller");
+        while let Some(b) = self.next_snapshot {
+            if b > now {
                 break;
             }
-            // Transient memory failures strike before anything linearizes
-            // at or after their instant.
-            while next_fault < self.faults.len() && self.faults[next_fault].at <= now {
-                let f = self.faults[next_fault];
-                bank.write(f.reg, f.value);
-                next_fault += 1;
-            }
-            end_time = now;
-            steps += 1;
-            let action = pending[pid]
-                .take()
-                .expect("completion without pending action");
-            // Linearize the action at its completion instant.
-            let observed = match action {
-                Action::Read(r) => Some(bank.read(r)),
-                Action::Write(r, v) => {
-                    bank.write(r, v);
-                    None
-                }
-                Action::Delay(_) => None,
-                Action::Halt => unreachable!("Halt is never scheduled"),
-            };
-            if self.config.record_trace {
-                trace.push(TraceStep {
-                    issued: issued_at[pid],
-                    completed: now,
-                    pid: ProcId(pid),
-                    action,
-                });
-            }
-            obs_buf.clear();
-            self.automaton
-                .apply(&mut states[pid], observed, &mut obs_buf);
-            for &o in obs_buf.iter() {
-                obs_out.push(TimedObs {
-                    time: now,
-                    pid: ProcId(pid),
-                    obs: o,
-                });
-            }
-            issue!(pid, now);
+            self.apply_faults(b);
+            let snap = self.bank.snapshot();
+            self.snapshots.push((b, snap));
+            self.next_snapshot = Some(b.saturating_add(every));
         }
+    }
 
+    /// The instant of the last linearized action so far.
+    pub fn now(&self) -> Ticks {
+        self.end_time
+    }
+
+    /// Linearized actions so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The live register file.
+    pub fn bank(&self) -> &CowBank {
+        &self.bank
+    }
+
+    /// Mutable access to the register file, for epoch-barrier writes into
+    /// a declared shared region (see `crate::shard`). Writing registers a
+    /// running shard owns would break linearizability — the shard executor
+    /// guards this; direct users must respect it themselves.
+    pub fn bank_mut(&mut self) -> &mut CowBank {
+        &mut self.bank
+    }
+
+    /// An O(segments) copy-on-write snapshot of the live register file.
+    pub fn snapshot_bank(&self) -> CowBank {
+        self.bank.snapshot()
+    }
+
+    /// Consumes the engine into the final [`RunResult`].
+    pub fn finish(self) -> RunResult {
         RunResult {
-            n,
-            delta,
-            obs: obs_out,
-            trace,
-            steps,
-            end_time,
-            halted,
-            crashed,
-            timing_failures,
-            timed_out,
-            final_bank: bank,
+            n: self.config.n,
+            delta: self.config.delta,
+            obs: self.obs_out,
+            trace: self.trace,
+            steps: self.steps,
+            end_time: self.end_time,
+            halted: self.procs.iter().map(|p| p.halted).collect(),
+            crashed: self.procs.iter().map(|p| p.crashed).collect(),
+            timing_failures: self.timing_failures,
+            timed_out: self.timed_out,
+            final_bank: self.bank,
+            snapshots: self.snapshots,
         }
     }
 }
@@ -465,6 +777,17 @@ mod tests {
         assert!(result.end_time <= Ticks(45));
     }
 
+    /// The default step budget scales with n so million-process runs are
+    /// not silently truncated mid-warmup (the old fixed 10M budget gave
+    /// 10^6 processes just 10 steps each).
+    #[test]
+    fn default_step_budget_scales_with_n() {
+        let d = Delta::from_ticks(100);
+        assert_eq!(RunConfig::new(1, d).max_steps, 10_000_000);
+        assert_eq!(RunConfig::new(10_000, d).max_steps, 10_000_000);
+        assert_eq!(RunConfig::new(1_000_000, d).max_steps, 1_000_000_000);
+    }
+
     #[test]
     fn trace_records_issue_and_completion() {
         let config = RunConfig::new(1, Delta::from_ticks(100)).record_trace();
@@ -487,6 +810,58 @@ mod tests {
             })
             .collect();
         assert_eq!(notes.len(), 2, "each process emits one done-note");
+    }
+
+    /// Both schedulers produce identical results on the same workload —
+    /// the one-seed smoke version of the 256-seed battery in
+    /// `tests/sim_scale_integration.rs`.
+    #[test]
+    fn wheel_and_heap_agree_on_counter() {
+        let d = Delta::from_ticks(100);
+        let run = |kind: SchedKind| {
+            let config = RunConfig::new(4, d).record_trace().sched(kind);
+            Sim::new(
+                Counter { rounds: 7 },
+                config,
+                crate::timing::standard_no_failures(d, 42),
+            )
+            .run()
+        };
+        assert_eq!(run(SchedKind::Wheel), run(SchedKind::Heap));
+    }
+
+    /// `run_until` pauses at the limit and resumes with no difference to
+    /// an uninterrupted run.
+    #[test]
+    fn run_until_resumes_identically() {
+        let d = Delta::from_ticks(100);
+        let config = RunConfig::new(3, d).record_trace();
+        let whole = Sim::new(Counter { rounds: 9 }, config.clone(), Fixed::new(Ticks(10))).run();
+
+        let mut engine = Sim::new(Counter { rounds: 9 }, config, Fixed::new(Ticks(10))).start();
+        let mut limit = Ticks(25);
+        loop {
+            match engine.run_until(limit) {
+                EngineStatus::Idle | EngineStatus::Budget => break,
+                EngineStatus::Paused => limit = limit.saturating_add(Ticks(25)),
+            }
+        }
+        assert_eq!(engine.run_until(Ticks::NEVER), EngineStatus::Idle);
+        assert_eq!(whole, engine.finish());
+    }
+
+    /// Periodic snapshots record prefix states of the register file.
+    #[test]
+    fn snapshots_capture_prefixes() {
+        let config = RunConfig::new(1, Delta::from_ticks(100)).snapshot_every(Ticks(40));
+        let result = Sim::new(Counter { rounds: 4 }, config, Fixed::new(Ticks(10))).run();
+        assert!(!result.snapshots.is_empty());
+        // Each write of k lands at t = 20k; snapshot at b sees writes
+        // strictly before b.
+        for (b, snap) in &result.snapshots {
+            assert_eq!(snap.read(RegId(0)), (b.0 - 1) / 20, "boundary {b}");
+        }
+        assert_eq!(result.final_bank.read(RegId(0)), 4);
     }
 
     #[test]

@@ -50,6 +50,10 @@
 
 pub mod driver;
 pub mod metrics;
+pub mod sched;
+pub mod shard;
 pub mod timing;
+pub mod workload;
 
-pub use driver::{RegisterFault, RunConfig, RunResult, Sim, TimedObs};
+pub use driver::{Engine, EngineStatus, RegisterFault, RunConfig, RunResult, Sim, TimedObs};
+pub use sched::SchedKind;

@@ -1,0 +1,741 @@
+//! Parallel execution of provably-independent simulation shards.
+//!
+//! A *shard* is a group of processes driven by its own [`Engine`] against
+//! its own copy-on-write register bank, restricted to a declared register
+//! [`Region`]. When every shard's region is disjoint from every other's,
+//! the shards' transitions are pairwise independent in exactly the sense
+//! of the model checker's DPOR relation
+//! ([`tfr_modelcheck::independence`]): no pair accesses a common register
+//! with a write, so executing them interleaved or in parallel on separate
+//! threads yields identical observable histories. That is what lets the
+//! sharded runner put each shard on its own OS thread with a barrier only
+//! at *shared-region epochs* and still be deterministic — a claim the
+//! differential tests verify by asserting `run_parallel` and
+//! `run_sequential` produce bit-identical [`RunResult`]s.
+//!
+//! # Soundness argument (three layers)
+//!
+//! 1. **Static**: [`certify`] rejects plans whose regions overlap
+//!    pairwise or overlap the shared region.
+//! 2. **Sampled**: each shard's automaton is solo-executed for a bounded
+//!    number of steps per process, its access footprint collected via the
+//!    exported DPOR [`Access`]/[`Kind`] machinery, and checked (a) to
+//!    stay inside `region ∪ shared` (reads) / `region` (writes), and (b)
+//!    to be conflict-free against every other shard's footprint
+//!    ([`footprints_conflict`]). Sampling catches mis-declared regions
+//!    before any run starts, but is necessary-not-sufficient —
+//!    which is why layer 3 exists.
+//! 3. **Dynamic**: every automaton is wrapped in a fence that checks each
+//!    issued action *during the run*. An out-of-region access never
+//!    executes — the process halts, the violation is recorded, and the
+//!    whole sharded run returns [`ShardError::RegionViolation`]. So the
+//!    independence claim is not trusted, it is enforced: any run that
+//!    completes without error touched only certified-disjoint registers.
+//!
+//! # The shared region
+//!
+//! Shards never share memory. A declared `shared` region is *replicated*
+//! into every shard's bank, readable by all shards, writable only by the
+//! coordinator's sync hook at epoch barriers (all engines are paused at
+//! the same virtual instant, so the broadcast linearizes identically in
+//! every shard). Within an epoch a shard writing the shared region trips
+//! the fence.
+
+use crate::driver::{Engine, EngineStatus, RunConfig, RunResult, Sim};
+use crate::timing::TimingModel;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use tfr_modelcheck::independence::{footprints_conflict, Access, Kind};
+use tfr_registers::bank::RegisterBank;
+use tfr_registers::cow::CowBank;
+use tfr_registers::spec::{Action, Automaton, Obs};
+use tfr_registers::{ProcId, RegId, Ticks};
+
+/// A half-open register-id range `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First register id in the region.
+    pub lo: u64,
+    /// One past the last register id.
+    pub hi: u64,
+}
+
+impl Region {
+    /// Creates `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Region {
+        assert!(lo <= hi, "region bounds out of order");
+        Region { lo, hi }
+    }
+
+    /// The `i`-th tile of `width` registers starting at `base`:
+    /// `[base + i·width, base + (i+1)·width)`.
+    pub fn tile(base: u64, i: usize, width: u64) -> Region {
+        let lo = base + i as u64 * width;
+        Region { lo, hi: lo + width }
+    }
+
+    /// Whether `reg` lies in the region.
+    #[inline]
+    pub fn contains(&self, reg: RegId) -> bool {
+        (self.lo..self.hi).contains(&reg.0)
+    }
+
+    /// Whether the two regions share no register.
+    pub fn is_disjoint(&self, other: &Region) -> bool {
+        self.hi <= other.lo || other.hi <= self.lo
+    }
+
+    /// Number of registers spanned.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[r{}, r{})", self.lo, self.hi)
+    }
+}
+
+/// One shard of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardSpec<A, M> {
+    /// The automaton every process of this shard runs.
+    pub automaton: A,
+    /// The shard's timing model.
+    pub model: M,
+    /// The shard's run config (`n` is the shard-local process count;
+    /// shard-local pids are `0..n`).
+    pub config: RunConfig,
+    /// The register region this shard may read and write.
+    pub region: Region,
+}
+
+/// A full sharded execution plan.
+#[derive(Debug, Clone)]
+pub struct ShardPlan<A, M> {
+    /// The shards, each with its own region.
+    pub shards: Vec<ShardSpec<A, M>>,
+    /// Optional broadcast region: readable by every shard, writable only
+    /// by the coordinator's sync hook at epoch barriers.
+    pub shared: Option<Region>,
+    /// Barrier period in virtual time. `None` runs barrier-free to
+    /// completion (one epoch).
+    pub epoch: Option<Ticks>,
+}
+
+/// Proof-of-work record [`certify`] returns: the sampled footprints that
+/// were checked pairwise-independent.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Distinct sampled accesses per shard, in footprint order.
+    pub footprints: Vec<Vec<Access>>,
+    /// Solo steps sampled per process per shard.
+    pub sampled_steps: u64,
+}
+
+/// Why a sharded plan or run was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Two shard regions overlap.
+    OverlappingRegions {
+        /// First shard index.
+        a: usize,
+        /// Second shard index.
+        b: usize,
+    },
+    /// A shard region overlaps the shared region.
+    SharedOverlapsShard {
+        /// Offending shard index.
+        shard: usize,
+    },
+    /// A sampled solo execution accessed a register outside what the
+    /// shard declared (read outside `region ∪ shared`, or write outside
+    /// `region`).
+    FootprintEscape {
+        /// Offending shard index.
+        shard: usize,
+        /// The escaping access.
+        access: Access,
+    },
+    /// Two shards' sampled footprints contain a dependent pair.
+    FootprintConflict {
+        /// First shard index.
+        a: usize,
+        /// Second shard index.
+        b: usize,
+        /// The conflicting accesses.
+        pair: (Access, Access),
+    },
+    /// The runtime fence caught an out-of-region access mid-run — the
+    /// declared regions were wrong and the run's results were discarded.
+    RegionViolation {
+        /// Offending shard index.
+        shard: usize,
+        /// The action that would have escaped (never executed).
+        action: Action,
+    },
+    /// The sync hook wrote outside the declared shared region.
+    SyncWriteOutsideShared {
+        /// The register it tried to write.
+        reg: RegId,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::OverlappingRegions { a, b } => {
+                write!(f, "shards {a} and {b} declare overlapping regions")
+            }
+            ShardError::SharedOverlapsShard { shard } => {
+                write!(f, "shard {shard}'s region overlaps the shared region")
+            }
+            ShardError::FootprintEscape { shard, access } => {
+                write!(
+                    f,
+                    "shard {shard}: sampled access {access:?} escapes its region"
+                )
+            }
+            ShardError::FootprintConflict { a, b, pair } => {
+                write!(f, "shards {a}/{b}: dependent accesses {pair:?}")
+            }
+            ShardError::RegionViolation { shard, action } => {
+                write!(f, "shard {shard}: attempted out-of-region {action:?}")
+            }
+            ShardError::SyncWriteOutsideShared { reg } => {
+                write!(f, "sync hook wrote {reg} outside the shared region")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Runtime region fence shared by all processes of one shard.
+#[derive(Debug)]
+struct Fence {
+    region: Region,
+    shared: Option<Region>,
+    violation: Mutex<Option<Action>>,
+}
+
+impl Fence {
+    fn allows(&self, action: Action) -> bool {
+        match action {
+            Action::Read(r) => {
+                self.region.contains(r) || self.shared.is_some_and(|s| s.contains(r))
+            }
+            Action::Write(r, _) => self.region.contains(r),
+            Action::Delay(_) | Action::Halt => true,
+        }
+    }
+}
+
+/// Automaton wrapper enforcing the fence: an out-of-region action is
+/// replaced by `Halt` and recorded, so it never reaches the bank.
+#[derive(Debug)]
+struct Fenced<A> {
+    inner: A,
+    fence: Arc<Fence>,
+}
+
+impl<A: Automaton> Automaton for Fenced<A> {
+    type State = A::State;
+
+    fn init(&self, pid: ProcId) -> A::State {
+        self.inner.init(pid)
+    }
+
+    fn next_action(&self, s: &A::State) -> Action {
+        let action = self.inner.next_action(s);
+        if self.fence.allows(action) {
+            return action;
+        }
+        let mut slot = self.fence.violation.lock().expect("fence lock");
+        // Keep the first violation per shard — one suffices to fail the
+        // whole run.
+        if slot.is_none() {
+            *slot = Some(action);
+        }
+        Action::Halt
+    }
+
+    fn apply(&self, s: &mut A::State, observed: Option<u64>, obs: &mut Vec<Obs>) {
+        self.inner.apply(s, observed, obs);
+    }
+}
+
+/// Samples the solo footprint of `automaton` for each of `n` processes,
+/// `steps` steps each, against a scratch bank.
+fn sample_footprint<A: Automaton>(automaton: &A, n: usize, steps: u64) -> Vec<Access> {
+    let mut seen: BTreeSet<Access> = BTreeSet::new();
+    let mut obs_buf: Vec<Obs> = Vec::new();
+    for pid in 0..n {
+        let mut bank = CowBank::new();
+        let mut state = automaton.init(ProcId(pid));
+        for _ in 0..steps {
+            let action = automaton.next_action(&state);
+            let Some(kind) = Kind::try_of(action) else {
+                break; // halted
+            };
+            let observed = match action {
+                Action::Read(r) => Some(bank.read(r)),
+                Action::Write(r, v) => {
+                    bank.write(r, v);
+                    None
+                }
+                _ => None,
+            };
+            obs_buf.clear();
+            automaton.apply(&mut state, observed, &mut obs_buf);
+            let cs = obs_buf
+                .iter()
+                .any(|o| matches!(o, Obs::EnterCritical | Obs::ExitCritical));
+            seen.insert(Access { kind, cs });
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// Certifies that a plan's shards are independent: disjoint regions,
+/// sampled footprints contained and pairwise conflict-free. `steps` is
+/// the solo-sampling depth per process.
+///
+/// This is the *preflight* half of the soundness story; the runtime
+/// fence (layer 3 in the module docs) backs it unconditionally.
+pub fn certify<A: Automaton, M>(
+    plan: &ShardPlan<A, M>,
+    steps: u64,
+) -> Result<Certificate, ShardError> {
+    for (i, a) in plan.shards.iter().enumerate() {
+        for (j, b) in plan.shards.iter().enumerate().skip(i + 1) {
+            if !a.region.is_disjoint(&b.region) {
+                return Err(ShardError::OverlappingRegions { a: i, b: j });
+            }
+        }
+        if let Some(shared) = plan.shared {
+            if !a.region.is_disjoint(&shared) {
+                return Err(ShardError::SharedOverlapsShard { shard: i });
+            }
+        }
+    }
+    let mut footprints = Vec::with_capacity(plan.shards.len());
+    for (i, spec) in plan.shards.iter().enumerate() {
+        let fp = sample_footprint(&spec.automaton, spec.config.n, steps);
+        for &access in &fp {
+            let contained = match access.kind {
+                Kind::Local => true,
+                Kind::Read(r) => {
+                    spec.region.contains(r) || plan.shared.is_some_and(|s| s.contains(r))
+                }
+                Kind::Write(r) => spec.region.contains(r),
+            };
+            if !contained {
+                return Err(ShardError::FootprintEscape { shard: i, access });
+            }
+        }
+        footprints.push(fp);
+    }
+    for i in 0..footprints.len() {
+        for j in i + 1..footprints.len() {
+            if let Some(pair) = footprints_conflict(&footprints[i], &footprints[j]) {
+                return Err(ShardError::FootprintConflict { a: i, b: j, pair });
+            }
+        }
+    }
+    Ok(Certificate {
+        footprints,
+        sampled_steps: steps,
+    })
+}
+
+/// Coordinator callback at each epoch barrier: sees every shard's bank
+/// (read-only) and returns writes to broadcast into the shared region of
+/// every bank.
+pub type SyncHook = Box<dyn FnMut(u64, &[&CowBank]) -> Vec<(RegId, u64)> + Send>;
+
+/// The combined outcome of a sharded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedRunResult {
+    /// Per-shard results, in shard order.
+    pub shards: Vec<RunResult>,
+    /// Number of epoch barriers crossed.
+    pub epochs: u64,
+}
+
+impl ShardedRunResult {
+    /// Total linearized actions across shards.
+    pub fn total_steps(&self) -> u64 {
+        self.shards.iter().map(|r| r.steps).sum()
+    }
+
+    /// Total timing failures across shards.
+    pub fn total_timing_failures(&self) -> u64 {
+        self.shards.iter().map(|r| r.timing_failures).sum()
+    }
+
+    /// Whether every process of every shard halted normally.
+    pub fn all_halted(&self) -> bool {
+        self.shards.iter().all(|r| r.all_halted())
+    }
+
+    /// The latest instant any shard reached.
+    pub fn end_time(&self) -> Ticks {
+        self.shards
+            .iter()
+            .map(|r| r.end_time)
+            .max()
+            .unwrap_or(Ticks::ZERO)
+    }
+
+    /// All observations merged deterministically: ordered by
+    /// `(time, shard, within-shard index)`, tagged with the shard index.
+    pub fn merged_obs(&self) -> Vec<(usize, crate::TimedObs)> {
+        let mut all: Vec<(Ticks, usize, usize, crate::TimedObs)> = Vec::new();
+        for (shard, r) in self.shards.iter().enumerate() {
+            for (idx, &o) in r.obs.iter().enumerate() {
+                all.push((o.time, shard, idx, o));
+            }
+        }
+        all.sort_by_key(|&(t, s, i, _)| (t, s, i));
+        all.into_iter().map(|(_, s, _, o)| (s, o)).collect()
+    }
+}
+
+/// A certified sharded simulation, ready to run.
+pub struct ShardedSim<A: Automaton, M> {
+    engines: Vec<Engine<Fenced<A>, M>>,
+    fences: Vec<Arc<Fence>>,
+    certificate: Certificate,
+    epoch: Option<Ticks>,
+    shared: Option<Region>,
+    sync: Option<SyncHook>,
+}
+
+impl<A, M> ShardedSim<A, M>
+where
+    A: Automaton + Send,
+    A::State: Send,
+    M: TimingModel + Send,
+{
+    /// Certifies the plan (64 solo steps per process) and builds one
+    /// engine per shard.
+    pub fn new(plan: ShardPlan<A, M>) -> Result<ShardedSim<A, M>, ShardError> {
+        let certificate = certify(&plan, 64)?;
+        Ok(ShardedSim::new_with_certificate(plan, certificate))
+    }
+
+    /// Builds the engines from a certificate produced separately (e.g. a
+    /// shallower [`certify`] sampling depth). The runtime fence still
+    /// enforces every region unconditionally, so a bogus certificate can
+    /// waste a run but never corrupt one.
+    pub fn new_with_certificate(
+        plan: ShardPlan<A, M>,
+        certificate: Certificate,
+    ) -> ShardedSim<A, M> {
+        let shared = plan.shared;
+        let epoch = plan.epoch;
+        let mut engines = Vec::with_capacity(plan.shards.len());
+        let mut fences = Vec::with_capacity(plan.shards.len());
+        for spec in plan.shards {
+            let fence = Arc::new(Fence {
+                region: spec.region,
+                shared,
+                violation: Mutex::new(None),
+            });
+            fences.push(Arc::clone(&fence));
+            let fenced = Fenced {
+                inner: spec.automaton,
+                fence,
+            };
+            engines.push(Sim::new(fenced, spec.config, spec.model).start());
+        }
+        ShardedSim {
+            engines,
+            fences,
+            certificate,
+            epoch,
+            shared,
+            sync: None,
+        }
+    }
+
+    /// Installs the epoch-barrier sync hook (requires a shared region).
+    pub fn with_sync(mut self, hook: SyncHook) -> ShardedSim<A, M> {
+        assert!(
+            self.shared.is_some(),
+            "a sync hook needs a declared shared region"
+        );
+        self.sync = Some(hook);
+        self
+    }
+
+    /// The certificate [`certify`] produced for this plan.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
+    /// Runs every shard on the calling thread, epoch by epoch — the
+    /// reference execution the parallel path is differentially tested
+    /// against.
+    pub fn run_sequential(self) -> Result<ShardedRunResult, ShardError> {
+        self.drive(None)
+    }
+
+    /// Runs the shards on up to `threads` OS threads (scoped, re-joined
+    /// at every epoch barrier). Determinism: each engine is fully
+    /// independent between barriers (certified + fenced), so thread
+    /// scheduling cannot affect any shard's event order.
+    pub fn run_parallel(self, threads: usize) -> Result<ShardedRunResult, ShardError> {
+        assert!(threads > 0, "need at least one thread");
+        self.drive(Some(threads))
+    }
+
+    fn check_violations(&self) -> Result<(), ShardError> {
+        for (i, fence) in self.fences.iter().enumerate() {
+            if let Some(action) = *fence.violation.lock().expect("fence lock") {
+                return Err(ShardError::RegionViolation { shard: i, action });
+            }
+        }
+        Ok(())
+    }
+
+    fn drive(mut self, threads: Option<usize>) -> Result<ShardedRunResult, ShardError> {
+        let mut epochs = 0u64;
+        loop {
+            let limit = match self.epoch {
+                Some(e) => Ticks(e.0.saturating_mul(epochs + 1)),
+                None => Ticks::NEVER,
+            };
+            match threads {
+                None => {
+                    for engine in &mut self.engines {
+                        engine.run_until(limit);
+                    }
+                }
+                Some(t) => {
+                    let per = self.engines.len().div_ceil(t.max(1));
+                    std::thread::scope(|s| {
+                        for chunk in self.engines.chunks_mut(per.max(1)) {
+                            s.spawn(move || {
+                                for engine in chunk {
+                                    engine.run_until(limit);
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+            self.check_violations()?;
+            // Re-querying at the same limit is side-effect-free, so the
+            // coordinator can read statuses after the join.
+            let any_paused = self
+                .engines
+                .iter_mut()
+                .any(|e| e.run_until(limit) == EngineStatus::Paused);
+            if let Some(hook) = self.sync.as_mut() {
+                let banks: Vec<&CowBank> = self.engines.iter().map(|e| e.bank()).collect();
+                let writes = hook(epochs, &banks);
+                let shared = self.shared.expect("with_sync requires shared");
+                for (reg, value) in writes {
+                    if !shared.contains(reg) {
+                        return Err(ShardError::SyncWriteOutsideShared { reg });
+                    }
+                    for engine in &mut self.engines {
+                        engine.bank_mut().write(reg, value);
+                    }
+                }
+            }
+            if !any_paused {
+                break;
+            }
+            epochs += 1;
+        }
+        let results = self.engines.into_iter().map(Engine::finish).collect();
+        Ok(ShardedRunResult {
+            shards: results,
+            epochs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedKind;
+    use crate::timing::standard_no_failures;
+    use crate::workload::ScaleLoop;
+    use crate::RunConfig;
+    use tfr_registers::Delta;
+
+    fn plan(
+        shards: usize,
+        per_shard: usize,
+        epoch: Option<Ticks>,
+    ) -> ShardPlan<ScaleLoop, impl TimingModel + Send> {
+        let d = Delta::from_ticks(50);
+        let width = per_shard as u64;
+        ShardPlan {
+            shards: (0..shards)
+                .map(|i| {
+                    let region = Region::tile(0, i, width);
+                    ShardSpec {
+                        automaton: ScaleLoop::new(3, per_shard, region.lo).salt(i as u64),
+                        model: standard_no_failures(d, 7 + i as u64),
+                        config: RunConfig::new(per_shard, d),
+                        region,
+                    }
+                })
+                .collect(),
+            shared: None,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn certify_accepts_disjoint_tiles() {
+        let p = plan(4, 8, None);
+        let cert = certify(&p, 64).expect("disjoint tiles certify");
+        assert_eq!(cert.footprints.len(), 4);
+        assert!(cert.footprints.iter().all(|fp| !fp.is_empty()));
+    }
+
+    #[test]
+    fn certify_rejects_overlapping_regions() {
+        let mut p = plan(2, 8, None);
+        p.shards[1].region = Region::new(4, 12); // overlaps shard 0's [0, 8)
+                                                 // The footprint escape fires first (shard 1's automaton still
+                                                 // writes its tile) or the overlap check — either way it's an Err.
+        assert!(certify(&p, 64).is_err());
+    }
+
+    #[test]
+    fn certify_rejects_footprint_escape() {
+        let mut p = plan(2, 8, None);
+        // Declare a region that doesn't cover what the automaton touches.
+        p.shards[1].region = Region::new(100, 101);
+        assert!(matches!(
+            certify(&p, 64),
+            Err(ShardError::FootprintEscape { shard: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let seq = ShardedSim::new(plan(4, 8, Some(Ticks(200))))
+            .unwrap()
+            .run_sequential()
+            .unwrap();
+        let par = ShardedSim::new(plan(4, 8, Some(Ticks(200))))
+            .unwrap()
+            .run_parallel(3)
+            .unwrap();
+        assert_eq!(seq, par);
+        assert!(seq.all_halted());
+        assert!(seq.total_steps() > 0);
+    }
+
+    #[test]
+    fn runtime_fence_catches_undeclared_access() {
+        // Lie to the certifier: sampling only goes 2 steps deep, but the
+        // workload's *first* out-of-region access happens immediately on
+        // a mis-based region, so instead build a plan whose region is
+        // right for sampling depth 0 and wrong at runtime.
+        let d = Delta::from_ticks(50);
+        let region = Region::new(0, 4); // too small: 8 processes need 8 regs
+        let p = ShardPlan {
+            shards: vec![ShardSpec {
+                automaton: ScaleLoop::new(2, 8, 0),
+                model: standard_no_failures(d, 3),
+                config: RunConfig::new(8, d),
+                region,
+            }],
+            shared: None,
+            epoch: None,
+        };
+        // Certification itself catches this via sampling; bypass it by
+        // certifying with 0 steps to prove the *fence* also catches it.
+        let cert = certify(&p, 0).expect("empty sampling certifies trivially");
+        assert!(cert.footprints.iter().all(|fp| fp.is_empty()));
+        let sim = ShardedSim::new_with_certificate(p, cert);
+        let err = sim.run_sequential().unwrap_err();
+        assert!(
+            matches!(err, ShardError::RegionViolation { shard: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn shared_region_broadcasts_at_barriers() {
+        let shared = Region::new(1_000_000, 1_000_001);
+        let mut p = plan(2, 4, Some(Ticks(100)));
+        p.shared = Some(shared);
+        let sim = ShardedSim::new(p)
+            .unwrap()
+            .with_sync(Box::new(move |epoch, banks| {
+                // Broadcast the epoch count; read-visibility is checked
+                // via the banks argument itself.
+                assert_eq!(banks.len(), 2);
+                vec![(RegId(1_000_000), epoch + 1)]
+            }));
+        let result = sim.run_sequential().unwrap();
+        assert!(result.all_halted());
+        for shard in &result.shards {
+            assert_eq!(
+                shard.final_bank.read(RegId(1_000_000)),
+                result.epochs + 1,
+                "the final broadcast is visible in every shard's bank"
+            );
+        }
+    }
+
+    #[test]
+    fn sync_writes_outside_shared_are_rejected() {
+        let mut p = plan(2, 4, Some(Ticks(100)));
+        p.shared = Some(Region::new(500, 501));
+        let sim = ShardedSim::new(p)
+            .unwrap()
+            .with_sync(Box::new(|_, _| vec![(RegId(3), 9)]));
+        assert_eq!(
+            sim.run_sequential().unwrap_err(),
+            ShardError::SyncWriteOutsideShared { reg: RegId(3) }
+        );
+    }
+
+    #[test]
+    fn merged_obs_is_deterministic_and_time_ordered() {
+        let result = ShardedSim::new(plan(3, 4, None))
+            .unwrap()
+            .run_sequential()
+            .unwrap();
+        let merged = result.merged_obs();
+        assert_eq!(merged.len(), 12, "one scale-done note per process");
+        let times: Vec<Ticks> = merged.iter().map(|(_, o)| o.time).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn wheel_and_heap_shards_agree() {
+        let with_kind = |kind: SchedKind| {
+            let mut p = plan(3, 8, Some(Ticks(150)));
+            for s in &mut p.shards {
+                s.config = s.config.clone().sched(kind).record_trace();
+            }
+            ShardedSim::new(p).unwrap().run_parallel(2).unwrap()
+        };
+        assert_eq!(with_kind(SchedKind::Wheel), with_kind(SchedKind::Heap));
+    }
+}

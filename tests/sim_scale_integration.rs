@@ -1,0 +1,231 @@
+//! The differential test tier for the scaled simulator: the timer-wheel
+//! scheduler is only allowed to exist because these tests prove it
+//! indistinguishable from the reference `BinaryHeap` driver.
+//!
+//! The headline is a 256-seed battery: every seed builds one seeded
+//! workload + timing model (uniform access times, failure windows,
+//! crash schedules, slowdown bursts — rotating by seed) and runs it to
+//! completion under both schedulers with trace recording on. The full
+//! [`RunResult`]s — traces, observations, halt/crash vectors, failure
+//! counts, end times — must be **bit-identical**. Seeds are spread
+//! across n ∈ {1, 2, 17, 256, 4096} so tie-break-heavy tiny runs and
+//! cascade-heavy large runs are both covered, and a slice of the seeds
+//! gets tight `max_time`/`max_steps` budgets so truncation edges (the
+//! budget-tripping event is dropped, not linearized) agree too.
+
+use tfr::chaos::storm::{storm_model, StormConfig};
+use tfr::registers::{Delta, ProcId, Ticks};
+use tfr::sim::shard::{Region, ShardPlan, ShardSpec, ShardedSim};
+use tfr::sim::timing::{
+    standard_no_failures, Bursts, CrashSchedule, FailureWindows, TimingModel, UniformAccess, Window,
+};
+use tfr::sim::workload::{DelayOnly, ScaleLoop};
+use tfr::sim::{RunConfig, RunResult, SchedKind, Sim};
+
+/// Runs the same seeded scenario under both schedulers and asserts the
+/// results are bit-identical. Returns one result for further checks.
+fn both_schedulers<M: TimingModel + Clone>(
+    workload: ScaleLoop,
+    config: RunConfig,
+    model: M,
+    what: &str,
+) -> RunResult {
+    let run = |kind: SchedKind| {
+        Sim::new(workload.clone(), config.clone().sched(kind), model.clone()).run()
+    };
+    let wheel = run(SchedKind::Wheel);
+    let heap = run(SchedKind::Heap);
+    assert_eq!(wheel, heap, "wheel diverged from heap: {what}");
+    wheel
+}
+
+/// The base access-time model every battery variant builds on.
+fn base(d: Delta, seed: u64) -> UniformAccess {
+    UniformAccess::new(Ticks(d.ticks().0 / 4), Ticks(d.ticks().0 * 2), seed)
+}
+
+/// The 256-seed wheel-vs-heap battery. Four timing-model variants
+/// rotate by seed; every 5th seed gets a tight `max_time` and every 7th
+/// a tight `max_steps`, so scheduler agreement is also proven on
+/// truncated runs where the last popped event is dropped.
+#[test]
+fn differential_battery_256_seeds_wheel_equals_heap() {
+    let d = Delta::from_ticks(100);
+    let mut seed = 0u64;
+    let mut truncated = 0u64;
+    for &(n, seeds) in &[(1usize, 64u64), (2, 64), (17, 64), (256, 48), (4096, 16)] {
+        for _ in 0..seeds {
+            seed += 1;
+            let workload = ScaleLoop::new(2, n.min(64), 0).salt(seed);
+            let mut config = RunConfig::new(n, d).record_trace();
+            if seed.is_multiple_of(5) {
+                config = config.max_time(Ticks(3 + seed % 97));
+            }
+            if seed.is_multiple_of(7) {
+                config = config.max_steps(1 + seed % 53);
+            }
+            let what = format!("seed {seed}, n {n}");
+            let result = match seed % 4 {
+                0 => both_schedulers(workload, config, base(d, seed), &what),
+                1 => {
+                    let windows = vec![Window {
+                        from: Ticks(seed % 50),
+                        to: Ticks(seed % 50 + 120),
+                        pids: (n > 2).then(|| vec![ProcId(0), ProcId(seed as usize % n)]),
+                        inflated: Ticks(d.ticks().0 * 3),
+                    }];
+                    let model = FailureWindows::new(base(d, seed), windows);
+                    both_schedulers(workload, config, model, &what)
+                }
+                2 => {
+                    let crashes: Vec<(ProcId, Ticks)> = (0..n.min(5))
+                        .map(|i| (ProcId((seed as usize + i) % n), Ticks(20 + 30 * i as u64)))
+                        .collect();
+                    let model = CrashSchedule::new(base(d, seed), crashes);
+                    both_schedulers(workload, config, model, &what)
+                }
+                _ => {
+                    let model = Bursts::new(
+                        base(d, seed),
+                        Ticks(d.ticks().0 * 4),
+                        Ticks(d.ticks().0),
+                        Ticks(d.ticks().0 * 3),
+                    );
+                    both_schedulers(workload, config, model, &what)
+                }
+            };
+            if result.timed_out {
+                // A cutoff below the first completion legitimately
+                // linearizes nothing; agreement is what's under test.
+                truncated += 1;
+            } else {
+                assert!(result.steps > 0, "seed {seed} linearized nothing");
+            }
+        }
+    }
+    assert_eq!(seed, 256, "the battery must cover exactly 256 seeds");
+    assert!(
+        truncated > 20,
+        "the tight budgets must actually exercise truncation edges (got {truncated})"
+    );
+}
+
+/// Dense sweep of the truncation boundary itself: every `max_steps` in
+/// [0, 40) and a grid of `max_time` cutoffs, wheel vs heap. The budget
+/// semantics (budget-tripping event dropped, resume-exact pauses) are
+/// where a scheduler swap would most plausibly diverge.
+#[test]
+fn truncation_edges_agree_at_every_budget() {
+    let d = Delta::from_ticks(100);
+    for max_steps in 0..40 {
+        let config = RunConfig::new(17, d).record_trace().max_steps(max_steps);
+        both_schedulers(
+            ScaleLoop::new(3, 17, 0).salt(max_steps),
+            config,
+            base(d, max_steps),
+            &format!("max_steps {max_steps}"),
+        );
+    }
+    for i in 0..30 {
+        let cutoff = Ticks(7 * i);
+        let config = RunConfig::new(17, d).record_trace().max_time(cutoff);
+        both_schedulers(
+            ScaleLoop::new(3, 17, 0).salt(i),
+            config,
+            base(d, i),
+            &format!("max_time {cutoff:?}"),
+        );
+    }
+}
+
+/// The chaos storm (bursty slowdowns + a crash wave at large n) agrees
+/// across schedulers at a moderate n with traces on — the same model
+/// the E25 million-process sweep runs, at a size debug builds afford.
+#[test]
+fn storm_differential_with_traces() {
+    let cfg = StormConfig::new(1_500, Delta::from_ticks(80));
+    for seed in [3u64, 17, 0xE25] {
+        let run = |kind: SchedKind| {
+            let config = RunConfig::new(cfg.n, cfg.delta).sched(kind).record_trace();
+            Sim::new(
+                ScaleLoop::new(2, 64, 0).salt(seed),
+                config,
+                storm_model(seed, &cfg),
+            )
+            .run()
+        };
+        assert_eq!(
+            run(SchedKind::Wheel),
+            run(SchedKind::Heap),
+            "storm seed {seed}"
+        );
+    }
+}
+
+/// The parallel shard executor equals its sequential run, seed by seed,
+/// including with an epoch fence — the third leg of the differential
+/// tier (wheel ≡ heap ≡ the sharded decomposition of the same work).
+#[test]
+fn sharded_parallel_equals_sequential_battery() {
+    let d = Delta::from_ticks(60);
+    for seed in 0..12u64 {
+        let width = 16u64;
+        let epoch = seed.is_multiple_of(3).then_some(Ticks(150));
+        let plan = || ShardPlan {
+            shards: (0..6)
+                .map(|i| {
+                    let region = Region::tile(0, i, width);
+                    ShardSpec {
+                        automaton: ScaleLoop::new(3, width as usize, region.lo)
+                            .salt(seed ^ (i as u64) << 8),
+                        model: standard_no_failures(d, seed.wrapping_add(i as u64)),
+                        config: RunConfig::new(width as usize, d).record_trace(),
+                        region,
+                    }
+                })
+                .collect(),
+            shared: None,
+            epoch,
+        };
+        let seq = ShardedSim::new(plan())
+            .expect("disjoint tiles certify")
+            .run_sequential()
+            .expect("sequential run");
+        let par = ShardedSim::new(plan())
+            .expect("disjoint tiles certify")
+            .run_parallel(3)
+            .expect("parallel run");
+        assert_eq!(seq, par, "shard seed {seed}");
+        assert!(seq.all_halted(), "shard seed {seed} must complete");
+    }
+}
+
+/// Large-n smoke: fifty thousand processes complete a delay workload
+/// under the *default* budgets on both schedulers — the max_steps
+/// budget scales with n instead of silently truncating big runs.
+#[test]
+fn large_n_smoke_under_default_budgets() {
+    let d = Delta::from_ticks(100);
+    let run = |kind: SchedKind| {
+        let config = RunConfig::new(50_000, d).max_time(Ticks::NEVER).sched(kind);
+        Sim::new(
+            DelayOnly::new(4, 1, 512).salt(9),
+            config,
+            tfr::sim::timing::Fixed::new(Ticks(1)),
+        )
+        .run()
+    };
+    let wheel = run(SchedKind::Wheel);
+    let heap = run(SchedKind::Heap);
+    assert_eq!(wheel, heap);
+    assert!(
+        !wheel.timed_out,
+        "default budgets must not truncate at n=50k"
+    );
+    assert!(wheel.all_halted());
+    assert_eq!(wheel.steps, 50_000 * 4);
+    // The scaling rule itself, at sizes the test cannot afford to run:
+    // a million processes get a billion steps, not the old flat cap.
+    assert_eq!(RunConfig::new(1_000_000, d).max_steps, 1_000_000_000);
+    assert!(RunConfig::new(1_000_000, d).max_steps >= 1_000_000 * 100);
+}
